@@ -1,0 +1,63 @@
+//! Theorem 3.5 wall-clock: dynamic updates per second for the window
+//! scheme vs the threshold maximal matching baseline, at growing n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_dynamic::adversary::{Adversary, Policy, StreamAdversary};
+use sparsimatch_dynamic::baselines::ThresholdMaximalMatching;
+use sparsimatch_dynamic::scheme::DynamicMatcher;
+use sparsimatch_graph::generators::{clique_union, CliqueUnionConfig};
+use sparsimatch_matching::Matching;
+use std::hint::black_box;
+
+const BATCH: usize = 500;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic-updates");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(BATCH as u64));
+    for &n in &[200usize, 400, 800] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let host = clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: 2,
+                clique_size: n / 4,
+            },
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::new("window-scheme", n), &host, |b, host| {
+            let params = SparsifierParams::practical(2, 0.5);
+            let mut dm = DynamicMatcher::new(n, params, 1);
+            let mut adv = StreamAdversary::new(host, Policy::Oblivious { p_insert: 0.7 });
+            let mut rng = StdRng::seed_from_u64(17);
+            b.iter(|| {
+                let mut total = 0u64;
+                for _ in 0..BATCH {
+                    let upd = adv.next(dm.matching(), &mut rng);
+                    total += dm.apply(upd).work;
+                }
+                black_box(total)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("threshold-mm", n), &host, |b, host| {
+            let mut tm = ThresholdMaximalMatching::new(n, 2);
+            let mut adv = StreamAdversary::new(host, Policy::Oblivious { p_insert: 0.7 });
+            let mut rng = StdRng::seed_from_u64(17);
+            let probe = Matching::new(n);
+            b.iter(|| {
+                let mut total = 0u64;
+                for _ in 0..BATCH {
+                    let upd = adv.next(&probe, &mut rng);
+                    total += tm.apply(upd);
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

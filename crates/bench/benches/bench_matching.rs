@@ -1,0 +1,53 @@
+//! Matching-substrate benchmarks: exact blossom vs Hopcroft–Karp on
+//! bipartite inputs, and the `(1+1/k)` bounded augmentation across ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_graph::generators::{bipartite_gnp, gnp};
+use sparsimatch_matching::blossom::maximum_matching;
+use sparsimatch_matching::bounded_aug::approx_maximum_matching;
+use sparsimatch_matching::hopcroft_karp::hopcroft_karp_auto;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact-matching");
+    group.sample_size(10);
+    for &n in &[500usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(23);
+        let bip = bipartite_gnp(n / 2, n / 2, 8.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("hopcroft-karp", n), &bip, |b, g| {
+            b.iter(|| black_box(hopcroft_karp_auto(g).unwrap().len()));
+        });
+        group.bench_with_input(BenchmarkId::new("blossom-bipartite", n), &bip, |b, g| {
+            b.iter(|| black_box(maximum_matching(g).len()));
+        });
+        let gen = gnp(n, 8.0 / n as f64, &mut rng);
+        group.bench_with_input(BenchmarkId::new("blossom-general", n), &gen, |b, g| {
+            b.iter(|| black_box(maximum_matching(g).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_aug(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded-augmentation");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(29);
+    let g = gnp(2000, 0.004, &mut rng);
+    for &eps in &[1.0f64, 0.5, 0.25, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::new("approx", format!("eps={eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| black_box(approx_maximum_matching(&g, eps).len()));
+            },
+        );
+    }
+    group.bench_function("exact-reference", |b| {
+        b.iter(|| black_box(maximum_matching(&g).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_bounded_aug);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E13 — sampler microbenchmarks: the deterministic `pos_v` sampler vs
+//! naive rejection sampling (whose time bound is only w.h.p.).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sparsimatch_core::sampler::PosArraySampler;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn rejection_sample(deg: usize, k: usize, rng: &mut StdRng, out: &mut Vec<u32>) {
+    out.clear();
+    let mut seen = HashSet::with_capacity(k * 2);
+    while out.len() < k {
+        let i = rng.random_range(0..deg) as u32;
+        if seen.insert(i) {
+            out.push(i);
+        }
+    }
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler");
+    for &(deg, k) in &[(1usize << 10, 32usize), (1 << 16, 64), (1 << 20, 128)] {
+        group.bench_with_input(
+            BenchmarkId::new("pos-array", format!("deg={deg},k={k}")),
+            &(deg, k),
+            |b, &(deg, k)| {
+                let mut sampler = PosArraySampler::new(deg);
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut out = Vec::with_capacity(k);
+                b.iter(|| {
+                    sampler.sample_indices(deg, k, &mut rng, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rejection", format!("deg={deg},k={k}")),
+            &(deg, k),
+            |b, &(deg, k)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut out = Vec::with_capacity(k);
+                b.iter(|| {
+                    rejection_sample(deg, k, &mut rng, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+        // The adversarial regime for rejection sampling: k close to deg.
+        group.bench_with_input(
+            BenchmarkId::new("pos-array-dense", format!("deg={d},k={d}", d = 2 * k)),
+            &(2 * k, 2 * k),
+            |b, &(deg, k)| {
+                let mut sampler = PosArraySampler::new(deg);
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut out = Vec::with_capacity(k);
+                b.iter(|| {
+                    sampler.sample_indices(deg, k, &mut rng, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Theorem 3.1 wall-clock: the sparsifier pipeline vs reading the whole
+//! graph. On dense inputs the pipeline's advantage grows with density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_core::pipeline::approx_mcm_via_sparsifier;
+use sparsimatch_graph::generators::{clique_union, CliqueUnionConfig};
+use sparsimatch_matching::assadi_solomon::{assadi_solomon_maximal, AsConfig};
+use sparsimatch_matching::bounded_aug::approx_maximum_matching;
+use sparsimatch_matching::greedy::greedy_maximal_matching;
+use std::hint::black_box;
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential");
+    group.sample_size(10);
+    for &n in &[400usize, 800, 1600] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: 2,
+                clique_size: n / 4,
+            },
+            &mut rng,
+        );
+        let label = format!("n={n},m={}", g.num_edges());
+        let params = SparsifierParams::practical(2, 0.3);
+        group.bench_with_input(BenchmarkId::new("sparsify+match", &label), &g, |b, g| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(approx_mcm_via_sparsifier(g, &params, &mut rng).matching.len()));
+        });
+        group.bench_with_input(BenchmarkId::new("as19-maximal", &label), &g, |b, g| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                black_box(assadi_solomon_maximal(g, &AsConfig::for_beta(2), &mut rng).len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("greedy-full", &label), &g, |b, g| {
+            b.iter(|| black_box(greedy_maximal_matching(g).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("karp-sipser-full", &label), &g, |b, g| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                black_box(
+                    sparsimatch_matching::karp_sipser::karp_sipser_matching(g, &mut rng).len(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bounded-aug-full", &label), &g, |b, g| {
+            b.iter(|| black_box(approx_maximum_matching(g, 0.3).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Sparsifier construction cost: wall-clock confirmation that building
+//! `G_Δ` is governed by `n·Δ`, not by `m` (Theorem 3.1's construction
+//! step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_core::sparsifier::{build_sparsifier, build_sparsifier_parallel};
+use sparsimatch_graph::generators::{clique_union, CliqueUnionConfig};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsifier-build");
+    group.sample_size(20);
+    for &n in &[500usize, 1000, 2000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Dense host: m = Θ(n²/4).
+        let g = clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: 2,
+                clique_size: n / 4,
+            },
+            &mut rng,
+        );
+        let params = SparsifierParams::practical(2, 0.3);
+        group.bench_with_input(
+            BenchmarkId::new("build_sparsifier", format!("n={n},m={}", g.num_edges())),
+            &g,
+            |b, g| {
+                let mut rng = StdRng::seed_from_u64(11);
+                b.iter(|| black_box(build_sparsifier(g, &params, &mut rng).stats.edges));
+            },
+        );
+        for threads in [2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("build_parallel_t{threads}"),
+                    format!("n={n},m={}", g.num_edges()),
+                ),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        black_box(build_sparsifier_parallel(g, &params, 11, threads).stats.edges)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

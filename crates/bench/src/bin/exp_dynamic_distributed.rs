@@ -1,0 +1,98 @@
+//! E18 — the dynamic distributed model (the last Section 3 intro
+//! setting): maintaining the sparsifier in a changing network.
+//!
+//! Each topology update costs exactly one communication round and `O(Δ)`
+//! one-bit messages (only the two endpoints resample); per-node memory
+//! stays `O(deg + Δ)`. At any audit point, a `(1+ε)`-approximate matching
+//! is extractable from the maintained sparsifier.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sparsimatch_bench::table::{f3, Table};
+use sparsimatch_bench::{scale_from_args, Scale, Violations};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_distsim::dynamic_net::{DynamicNetwork, TopologyUpdate};
+use sparsimatch_graph::generators::{clique_union, CliqueUnionConfig};
+use sparsimatch_matching::blossom::maximum_matching;
+
+fn main() {
+    let scale = scale_from_args();
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[100, 200],
+        Scale::Full => &[100, 200, 400, 800],
+    };
+    let eps = 0.4;
+    let beta = 2;
+    let mut violations = Violations::new();
+    let mut table = Table::new(&[
+        "n", "updates", "rounds/update", "msgs/update", "max node mem", "|E(GΔ)|",
+        "worst audit ratio",
+    ]);
+
+    println!("E18 / dynamic distributed: sparsifier maintenance under topology churn");
+    println!("host: 2-layer clique union (beta <= {beta}), eps = {eps}\n");
+    for &n in ns {
+        let mut rng = StdRng::seed_from_u64(0xE18 + n as u64);
+        let host = clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: beta,
+                clique_size: n / 4,
+            },
+            &mut rng,
+        );
+        let params = SparsifierParams::practical(beta, eps);
+        let mut net = DynamicNetwork::new(n, params, 0xE18);
+        let mut present: Vec<(u32, u32)> = Vec::new();
+        let mut updates = 0u64;
+        let mut worst_ratio = 1.0f64;
+        let edges: Vec<(u32, u32)> = host.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            net.apply(TopologyUpdate::LinkUp(
+                sparsimatch_graph::ids::VertexId(u),
+                sparsimatch_graph::ids::VertexId(v),
+            ));
+            present.push((u, v));
+            updates += 1;
+            if rng.random_bool(0.25) && present.len() > 1 {
+                let k = rng.random_range(0..present.len());
+                let (a, b) = present.swap_remove(k);
+                net.apply(TopologyUpdate::LinkDown(
+                    sparsimatch_graph::ids::VertexId(a),
+                    sparsimatch_graph::ids::VertexId(b),
+                ));
+                updates += 1;
+            }
+            if i % (edges.len() / 4).max(1) == (edges.len() / 4).max(1) - 1 {
+                let snapshot = net.graph().to_csr();
+                let exact = maximum_matching(&snapshot).len();
+                if exact > 0 {
+                    let sparse = maximum_matching(&net.sparsifier()).len().max(1);
+                    worst_ratio = worst_ratio.max(exact as f64 / sparse as f64);
+                }
+            }
+        }
+        let m = net.metrics();
+        violations.check(m.rounds == updates, || {
+            format!("n={n}: rounds {} != updates {updates}", m.rounds)
+        });
+        violations.check(worst_ratio <= 1.0 + eps, || {
+            format!("n={n}: audit ratio {worst_ratio:.3} above 1+eps")
+        });
+        let msgs_per_update = m.messages as f64 / updates as f64;
+        violations.check(
+            msgs_per_update <= 4.0 * (params.mark_cap() + params.delta) as f64,
+            || format!("n={n}: {msgs_per_update:.1} msgs/update above O(Δ)"),
+        );
+        table.row(vec![
+            n.to_string(),
+            updates.to_string(),
+            f3(m.rounds as f64 / updates as f64),
+            f3(msgs_per_update),
+            net.max_node_memory().to_string(),
+            net.sparsifier().num_edges().to_string(),
+            f3(worst_ratio),
+        ]);
+    }
+    table.print();
+    violations.finish("E18");
+}

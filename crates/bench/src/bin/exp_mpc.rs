@@ -1,0 +1,74 @@
+//! E15 — the MPC application (Section 3, opening paragraph): two
+//! communication rounds with per-machine memory `O(n·Δ)` — sublinear in
+//! `m` on dense inputs, where a naive single-shuffle of the whole graph
+//! would need `Ω(m)` memory on some machine.
+
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_bench::table::{f3, Table};
+use sparsimatch_bench::{scale_from_args, Scale, Violations};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_distsim::mpc::{mpc_approx_mcm, MpcConfig};
+use sparsimatch_graph::generators::{clique_union, CliqueUnionConfig};
+use sparsimatch_matching::blossom::maximum_matching;
+
+fn main() {
+    let scale = scale_from_args();
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[400, 800],
+        Scale::Full => &[400, 800, 1600, 3200],
+    };
+    let eps = 0.3;
+    let beta = 2;
+    let mut rng = StdRng::seed_from_u64(0xE15);
+    let mut violations = Violations::new();
+    let mut table = Table::new(&[
+        "n", "m", "machines", "rounds", "max load (words)", "load/m-words", "|M|",
+        "ratio vs exact",
+    ]);
+
+    println!("E15 / MPC: two-round sparsifier matching with sublinear machine memory");
+    println!("input: dense 2-layer clique union (beta <= 2), eps = {eps}\n");
+    for &n in ns {
+        let g = clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: beta,
+                clique_size: n / 2,
+            },
+            &mut rng,
+        );
+        let m_words = 2 * g.num_edges();
+        let exact = maximum_matching(&g).len();
+        let params = SparsifierParams::practical(beta, eps);
+        let cfg = MpcConfig {
+            machines: 16,
+            memory_words: m_words, // cap at the input size; we check realized load
+        };
+        let out = mpc_approx_mcm(&g, &params, &cfg, 0xE15 + n as u64).expect("memory fits");
+        let ratio = exact as f64 / out.matching.len().max(1) as f64;
+        violations.check(out.rounds == 2, || format!("n={n}: rounds != 2"));
+        violations.check(ratio <= 1.0 + eps, || {
+            format!("n={n}: MPC ratio {ratio:.3} above 1+eps")
+        });
+        if n >= 800 {
+            violations.check(out.max_round_load * 2 < m_words, || {
+                format!(
+                    "n={n}: max load {} words not well below input {} words",
+                    out.max_round_load, m_words
+                )
+            });
+        }
+        table.row(vec![
+            n.to_string(),
+            g.num_edges().to_string(),
+            cfg.machines.to_string(),
+            out.rounds.to_string(),
+            out.max_round_load.to_string(),
+            f3(out.max_round_load as f64 / m_words as f64),
+            out.matching.len().to_string(),
+            f3(ratio),
+        ]);
+    }
+    table.print();
+    violations.finish("E15");
+}

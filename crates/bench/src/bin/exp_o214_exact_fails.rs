@@ -1,0 +1,72 @@
+//! E6 — Observation 2.14: exact MCM preservation is impossible unless
+//! `Δ = Ω(p·n)`.
+//!
+//! On the two-odd-cliques-with-a-bridge instance, the sparsifier
+//! preserves the exact MCM only when the bridge edge is marked, which
+//! happens with probability exactly `1 − (1 − Δ/half)²` (≤ `4Δ/n`). We
+//! Monte-Carlo the marking rate and the exact-preservation rate and
+//! compare both against the closed form.
+
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_bench::table::{f3, Table};
+use sparsimatch_bench::{scale_from_args, Scale, Violations};
+use sparsimatch_core::lower_bounds::{bridge_experiment, bridge_mark_probability};
+
+fn main() {
+    let scale = scale_from_args();
+    let (halves, deltas, trials): (&[usize], &[usize], usize) = match scale {
+        Scale::Quick => (&[11, 21], &[1, 2, 4], 2000),
+        Scale::Full => (&[11, 21, 41, 81], &[1, 2, 4, 8], 10000),
+    };
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    let mut violations = Violations::new();
+    let mut table = Table::new(&[
+        "half", "n", "delta", "P[bridge] predicted", "P[bridge] measured",
+        "P[exact] measured", "4Δ/n",
+    ]);
+
+    println!("E6 / Observation 2.14: exact preservation needs the bridge edge\n");
+    for &half in halves {
+        for &delta in deltas {
+            if delta >= half {
+                continue;
+            }
+            let r = bridge_experiment(half, delta, trials, &mut rng);
+            let n = 2 * half;
+            let four_delta_over_n = 4.0 * delta as f64 / n as f64;
+            // Monte-Carlo agreement with the closed form (3 sigma-ish).
+            let sigma = (r.predicted * (1.0 - r.predicted) / trials as f64).sqrt();
+            violations.check(
+                (r.bridge_marked_rate - r.predicted).abs() <= 4.0 * sigma + 0.01,
+                || {
+                    format!(
+                        "half={half} delta={delta}: measured {:.4} vs predicted {:.4}",
+                        r.bridge_marked_rate, r.predicted
+                    )
+                },
+            );
+            // The paper's upper bound P <= 4Δ/n.
+            violations.check(r.predicted <= four_delta_over_n + 1e-12, || {
+                format!(
+                    "half={half} delta={delta}: closed form {:.4} above 4Δ/n {:.4}",
+                    r.predicted, four_delta_over_n
+                )
+            });
+            // Exact preservation is gated on the bridge.
+            violations.check(r.exact_preserved_rate <= r.bridge_marked_rate + 1e-12, || {
+                format!("half={half} delta={delta}: exact rate above bridge rate")
+            });
+            table.row(vec![
+                half.to_string(),
+                n.to_string(),
+                delta.to_string(),
+                f3(bridge_mark_probability(half, delta)),
+                f3(r.bridge_marked_rate),
+                f3(r.exact_preserved_rate),
+                f3(four_delta_over_n),
+            ]);
+        }
+    }
+    table.print();
+    violations.finish("E6");
+}

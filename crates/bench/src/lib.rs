@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! Shared experiment harness: workload families, table printing, and
+//! summary statistics for the per-claim experiment binaries.
+//!
+//! Every paper claim has a binary in `src/bin/` (see DESIGN.md §3 for the
+//! experiment index). Binaries accept `--full` for the larger parameter
+//! grid (default is a quick grid suitable for CI) and exit nonzero if a
+//! paper bound is violated, so the experiment suite doubles as a
+//! statistical test suite.
+
+pub mod stats;
+pub mod table;
+pub mod workloads;
+
+/// Runtime scale selected on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small grid, seconds per experiment (default).
+    Quick,
+    /// Full grid, minutes per experiment (`--full`).
+    Full,
+}
+
+/// Parse the scale from `std::env::args`.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    }
+}
+
+/// Exit reporting: collect violations and flush at the end.
+#[derive(Default)]
+pub struct Violations {
+    items: Vec<String>,
+}
+
+impl Violations {
+    /// Fresh empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a violated bound.
+    pub fn record(&mut self, what: impl Into<String>) {
+        self.items.push(what.into());
+    }
+
+    /// Check a bound; record on failure.
+    pub fn check(&mut self, ok: bool, what: impl FnOnce() -> String) {
+        if !ok {
+            self.record(what());
+        }
+    }
+
+    /// Print any violations and exit nonzero if there were some.
+    pub fn finish(self, experiment: &str) -> ! {
+        if self.items.is_empty() {
+            println!("\n[{experiment}] all paper bounds verified");
+            std::process::exit(0);
+        }
+        eprintln!("\n[{experiment}] BOUND VIOLATIONS:");
+        for item in &self.items {
+            eprintln!("  - {item}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_accumulate() {
+        let mut v = Violations::new();
+        v.check(true, || "never".into());
+        assert!(v.items.is_empty());
+        v.check(false, || "bad".into());
+        v.record("worse");
+        assert_eq!(v.items, vec!["bad".to_string(), "worse".to_string()]);
+    }
+}

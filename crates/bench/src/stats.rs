@@ -1,0 +1,81 @@
+//! Small summary statistics for repeated trials.
+
+/// Summary of a sample of f64 observations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let n = xs.len();
+    if n == 0 {
+        return Summary::default();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n >= 2 {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+    } else {
+        0.0
+    };
+    Summary {
+        n,
+        mean,
+        std: var.sqrt(),
+        min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a copy of the data.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(summarize(&[]).n, 0);
+        let s = summarize(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+}

@@ -1,0 +1,156 @@
+//! The standard bounded-β instance families used across experiments.
+//!
+//! Each family declares its certified β bound alongside the generated
+//! graph, so experiments can size Δ honestly without re-computing β
+//! (which the analysis suite can still audit exactly on small instances).
+
+use rand::Rng;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::generators::{
+    clique, clique_union, disk_graph, gnp, line_graph, proper_interval_with_degree, unit_disk,
+    CliqueUnionConfig, DiskConfig, UnitDiskConfig,
+};
+
+/// A named instance with a certified β bound.
+pub struct Instance {
+    /// Family label for tables.
+    pub name: &'static str,
+    /// The graph.
+    pub graph: CsrGraph,
+    /// Certified neighborhood independence bound.
+    pub beta: usize,
+}
+
+/// The clique `K_n`: β = 1, maximally dense.
+pub fn family_clique(n: usize) -> Instance {
+    Instance {
+        name: "clique",
+        graph: clique(n),
+        beta: 1,
+    }
+}
+
+/// Union of 2 random clique layers: β ≤ 2, density tunable via layer size.
+pub fn family_clique_union(n: usize, rng: &mut impl Rng) -> Instance {
+    Instance {
+        name: "clique-union",
+        graph: clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: 2,
+                clique_size: (n / 4).max(2),
+            },
+            rng,
+        ),
+        beta: 2,
+    }
+}
+
+/// A denser 4-layer clique union: β ≤ 4.
+pub fn family_clique_union4(n: usize, rng: &mut impl Rng) -> Instance {
+    Instance {
+        name: "clique-union-4",
+        graph: clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: 4,
+                clique_size: (n / 8).max(2),
+            },
+            rng,
+        ),
+        beta: 4,
+    }
+}
+
+/// Line graph of a random base graph: β ≤ 2. `n` is the *target* vertex
+/// count of the line graph (= edges of the base).
+pub fn family_line_graph(n: usize, rng: &mut impl Rng) -> Instance {
+    // A base G(b, p) has ≈ p·b²/2 edges; solve for b at average degree 8.
+    let b = (n / 4).max(8);
+    let p = (8.0 / b as f64).min(1.0);
+    let base = gnp(b, p, rng);
+    Instance {
+        name: "line-graph",
+        graph: line_graph(&base),
+        beta: 2,
+    }
+}
+
+/// Random unit-disk graph with expected degree ~16: β ≤ 5.
+pub fn family_unit_disk(n: usize, rng: &mut impl Rng) -> Instance {
+    Instance {
+        name: "unit-disk",
+        graph: unit_disk(UnitDiskConfig::with_expected_degree(n, 1.0, 16.0), rng),
+        beta: 5,
+    }
+}
+
+/// Random proper (unit) interval graph with expected degree ~14: β ≤ 2.
+pub fn family_interval(n: usize, rng: &mut impl Rng) -> Instance {
+    Instance {
+        name: "proper-interval",
+        graph: proper_interval_with_degree(n, 14.0, rng),
+        beta: 2,
+    }
+}
+
+/// Random general disk graph with radius ratio 2: β ≤ (1+2·2)² = 25
+/// (conservative packing certificate; realized β is far smaller).
+pub fn family_disk(n: usize, rng: &mut impl Rng) -> Instance {
+    let cfg = DiskConfig {
+        n,
+        side: (n as f64).sqrt() * 0.8,
+        r_min: 0.5,
+        ratio: 2.0,
+    };
+    Instance {
+        name: "disk-ratio-2",
+        graph: disk_graph(cfg, rng),
+        beta: cfg.beta_bound(),
+    }
+}
+
+/// The standard battery used by most experiments.
+pub fn standard_families(n: usize, rng: &mut impl Rng) -> Vec<Instance> {
+    vec![
+        family_clique(n),
+        family_clique_union(n, rng),
+        family_clique_union4(n, rng),
+        family_line_graph(n, rng),
+        family_unit_disk(n, rng),
+        family_interval(n, rng),
+        family_disk(n, rng),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sparsimatch_graph::analysis::independence::neighborhood_independence_at_most;
+
+    #[test]
+    fn certified_betas_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for inst in standard_families(80, &mut rng) {
+            assert!(
+                neighborhood_independence_at_most(&inst.graph, inst.beta),
+                "{}: beta certificate violated",
+                inst.name
+            );
+            assert!(inst.graph.num_edges() > 0, "{}: empty instance", inst.name);
+        }
+    }
+
+    #[test]
+    fn families_have_distinct_names() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let names: Vec<&str> = standard_families(40, &mut rng)
+            .iter()
+            .map(|i| i.name)
+            .collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

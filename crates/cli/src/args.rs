@@ -1,0 +1,301 @@
+//! Hand-rolled argument parsing (no external dependency needed for four
+//! subcommands).
+
+use std::path::PathBuf;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+sparsimatch — matching sparsifiers for bounded neighborhood independence
+
+USAGE:
+  sparsimatch generate <family> --n <N> [--seed <S>] [--out <FILE>]
+      families: clique | clique-union:<layers>:<clique_size> |
+                unit-disk:<avg_degree> | gnp:<p> | line-gnp:<p> |
+                path | cycle
+  sparsimatch analyze <FILE> [--exact-beta]
+  sparsimatch sparsify <FILE> --beta <B> --eps <E> [--scale <S>] [--seed <S>] [--out <FILE>]
+  sparsimatch match <FILE> (--eps <E> --beta <B> | --exact | --greedy) [--seed <S>] [--pairs]
+  sparsimatch help
+
+Graphs are plain-text edge lists: a `n m` header line followed by one
+`u v` line per edge (0-based ids, `#` comments allowed). Omitting --out
+writes the graph to stdout.";
+
+/// The `generate` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateArgs {
+    /// Family spec, e.g. `clique-union:2:100`.
+    pub family: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output path (stdout if absent).
+    pub out: Option<PathBuf>,
+}
+
+/// The `analyze` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Input graph.
+    pub input: PathBuf,
+    /// Also compute β exactly (exponential-time per neighborhood; fine on
+    /// moderate graphs, omitted by default).
+    pub exact_beta: bool,
+}
+
+/// The `sparsify` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparsifyArgs {
+    /// Input graph.
+    pub input: PathBuf,
+    /// β bound to size Δ for.
+    pub beta: usize,
+    /// Target ε.
+    pub eps: f64,
+    /// Δ scale relative to the paper's proof constant (default 1/20).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output path (stdout if absent).
+    pub out: Option<PathBuf>,
+}
+
+/// Matching algorithm selector.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatchAlgo {
+    /// Sparsify-and-match (needs β and ε).
+    Sparsify {
+        /// β bound.
+        beta: usize,
+        /// Target ε.
+        eps: f64,
+    },
+    /// Exact blossom.
+    Exact,
+    /// Greedy maximal.
+    Greedy,
+}
+
+/// The `match` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchArgs {
+    /// Input graph.
+    pub input: PathBuf,
+    /// Which algorithm.
+    pub algo: MatchAlgo,
+    /// RNG seed.
+    pub seed: u64,
+    /// Print the matched pairs, not just the size.
+    pub pairs: bool,
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate a graph.
+    Generate(GenerateArgs),
+    /// Analyze a graph file.
+    Analyze(AnalyzeArgs),
+    /// Sparsify a graph file.
+    Sparsify(SparsifyArgs),
+    /// Match on a graph file.
+    Match(MatchArgs),
+    /// Print usage.
+    Help,
+}
+
+struct Flags<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Result<Option<&'a str>, String> {
+        let mut found = None;
+        let mut i = 0;
+        while i < self.rest.len() {
+            if self.rest[i] == name {
+                let val = self
+                    .rest
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{name} needs a value"))?;
+                if found.is_some() {
+                    return Err(format!("{name} given twice"));
+                }
+                found = Some(val.as_str());
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(found)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.rest.iter().any(|a| a == name)
+    }
+
+    fn parse_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name)? {
+            None => Ok(None),
+            Some(s) => s
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("{name}: {e}")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.parse_opt(name)?
+            .ok_or_else(|| format!("missing required {name}"))
+    }
+}
+
+/// Parse a raw argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let family = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("generate needs a family")?
+                .clone();
+            let flags = Flags { rest: &args[2..] };
+            Ok(Command::Generate(GenerateArgs {
+                family,
+                n: flags.require("--n")?,
+                seed: flags.parse_opt("--seed")?.unwrap_or(0),
+                out: flags.get("--out")?.map(PathBuf::from),
+            }))
+        }
+        "analyze" => {
+            let input = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("analyze needs an input file")?;
+            let flags = Flags { rest: &args[2..] };
+            Ok(Command::Analyze(AnalyzeArgs {
+                input: PathBuf::from(input),
+                exact_beta: flags.has("--exact-beta"),
+            }))
+        }
+        "sparsify" => {
+            let input = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("sparsify needs an input file")?;
+            let flags = Flags { rest: &args[2..] };
+            Ok(Command::Sparsify(SparsifyArgs {
+                input: PathBuf::from(input),
+                beta: flags.require("--beta")?,
+                eps: flags.require("--eps")?,
+                scale: flags.parse_opt("--scale")?.unwrap_or(1.0 / 20.0),
+                seed: flags.parse_opt("--seed")?.unwrap_or(0),
+                out: flags.get("--out")?.map(PathBuf::from),
+            }))
+        }
+        "match" => {
+            let input = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("match needs an input file")?;
+            let flags = Flags { rest: &args[2..] };
+            let algo = if flags.has("--exact") {
+                MatchAlgo::Exact
+            } else if flags.has("--greedy") {
+                MatchAlgo::Greedy
+            } else {
+                MatchAlgo::Sparsify {
+                    beta: flags.require("--beta")?,
+                    eps: flags.require("--eps")?,
+                }
+            };
+            Ok(Command::Match(MatchArgs {
+                input: PathBuf::from(input),
+                algo,
+                seed: flags.parse_opt("--seed")?.unwrap_or(0),
+                pairs: flags.has("--pairs"),
+            }))
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&args("generate clique-union:2:50 --n 200 --seed 7 --out g.el")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate(GenerateArgs {
+                family: "clique-union:2:50".into(),
+                n: 200,
+                seed: 7,
+                out: Some(PathBuf::from("g.el")),
+            })
+        );
+    }
+
+    #[test]
+    fn parses_match_variants() {
+        assert!(matches!(
+            parse(&args("match g.el --exact")).unwrap(),
+            Command::Match(MatchArgs { algo: MatchAlgo::Exact, .. })
+        ));
+        assert!(matches!(
+            parse(&args("match g.el --greedy --pairs")).unwrap(),
+            Command::Match(MatchArgs { algo: MatchAlgo::Greedy, pairs: true, .. })
+        ));
+        let sp = parse(&args("match g.el --beta 2 --eps 0.3")).unwrap();
+        assert!(matches!(
+            sp,
+            Command::Match(MatchArgs { algo: MatchAlgo::Sparsify { beta: 2, .. }, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse(&args("generate --n 10")).is_err());
+        assert!(parse(&args("generate clique")).is_err());
+        assert!(parse(&args("sparsify g.el --beta 2")).is_err());
+        assert!(parse(&args("match g.el")).is_err(), "needs algo flags");
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("generate clique --n abc")).is_err());
+        assert!(parse(&args("generate clique --n 5 --n 6")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn defaults() {
+        let Command::Sparsify(s) = parse(&args("sparsify g.el --beta 3 --eps 0.5")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(s.seed, 0);
+        assert!((s.scale - 0.05).abs() < 1e-12);
+        assert_eq!(s.out, None);
+    }
+}

@@ -1,0 +1,296 @@
+//! Command implementations, parameterized over the output writer for
+//! testability.
+
+use crate::args::{AnalyzeArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs};
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_core::pipeline::approx_mcm_via_sparsifier;
+use sparsimatch_core::sparsifier::build_sparsifier;
+use sparsimatch_graph::analysis::arboricity::{arboricity_bounds, degeneracy};
+use sparsimatch_graph::analysis::independence::neighborhood_independence_exact;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::generators::{
+    clique, clique_union, cycle, gnp, line_graph, path, unit_disk, CliqueUnionConfig,
+    UnitDiskConfig,
+};
+use sparsimatch_graph::io::{read_edge_list_file, write_edge_list, write_edge_list_file};
+use sparsimatch_matching::blossom::maximum_matching;
+use sparsimatch_matching::greedy::greedy_maximal_matching;
+use sparsimatch_matching::Matching;
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+fn io_err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// Build a graph from a family spec like `clique-union:2:100`.
+pub fn build_family(spec: &str, n: usize, rng: &mut StdRng) -> Result<CsrGraph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["clique"] => Ok(clique(n)),
+        ["clique-union", layers, size] => {
+            let diversity: usize = layers.parse().map_err(io_err)?;
+            let clique_size: usize = size.parse().map_err(io_err)?;
+            Ok(clique_union(
+                CliqueUnionConfig {
+                    n,
+                    diversity,
+                    clique_size,
+                },
+                rng,
+            ))
+        }
+        ["unit-disk", deg] => {
+            let avg: f64 = deg.parse().map_err(io_err)?;
+            Ok(unit_disk(
+                UnitDiskConfig::with_expected_degree(n, 1.0, avg),
+                rng,
+            ))
+        }
+        ["gnp", p] => {
+            let p: f64 = p.parse().map_err(io_err)?;
+            Ok(gnp(n, p, rng))
+        }
+        ["line-gnp", p] => {
+            let p: f64 = p.parse().map_err(io_err)?;
+            Ok(line_graph(&gnp(n, p, rng)))
+        }
+        ["path"] => Ok(path(n)),
+        ["cycle"] => Ok(cycle(n)),
+        _ => Err(format!("unknown family {spec:?}")),
+    }
+}
+
+/// `sparsimatch generate`.
+pub fn generate(args: GenerateArgs, out: Out<'_>) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let g = build_family(&args.family, args.n, &mut rng)?;
+    emit_graph(&g, &args.out, out)?;
+    writeln!(
+        std::io::stderr(),
+        "generated {}: n = {}, m = {}",
+        args.family,
+        g.num_vertices(),
+        g.num_edges()
+    )
+    .ok();
+    Ok(())
+}
+
+fn emit_graph(
+    g: &CsrGraph,
+    dest: &Option<std::path::PathBuf>,
+    out: Out<'_>,
+) -> Result<(), String> {
+    match dest {
+        Some(path) => write_edge_list_file(g, path).map_err(io_err),
+        None => write_edge_list(g, out).map_err(io_err),
+    }
+}
+
+/// `sparsimatch analyze`.
+pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), String> {
+    let g = read_edge_list_file(&args.input).map_err(io_err)?;
+    writeln!(out, "vertices:      {}", g.num_vertices()).map_err(io_err)?;
+    writeln!(out, "edges:         {}", g.num_edges()).map_err(io_err)?;
+    writeln!(out, "non-isolated:  {}", g.num_non_isolated()).map_err(io_err)?;
+    writeln!(out, "max degree:    {}", g.max_degree()).map_err(io_err)?;
+    writeln!(out, "degeneracy:    {}", degeneracy(&g)).map_err(io_err)?;
+    if g.num_edges() > 0 {
+        let (lo, hi) = arboricity_bounds(&g);
+        writeln!(out, "arboricity:    in [{lo}, {hi}]").map_err(io_err)?;
+    }
+    let mm = greedy_maximal_matching(&g).len();
+    writeln!(out, "maximal match: {mm} (greedy; MCM is in [{mm}, {}])", 2 * mm)
+        .map_err(io_err)?;
+    // A cheap sampled lower bound on beta plus the diversity upper bound
+    // (beta <= diversity): together they bracket the parameter users need
+    // for SparsifierParams.
+    let mut rng = StdRng::seed_from_u64(0);
+    let beta_lower =
+        sparsimatch_graph::analysis::independence::estimate_beta_sampled(&g, 16, &mut rng);
+    writeln!(out, "beta >= {beta_lower} (sampled lower bound)").map_err(io_err)?;
+    match sparsimatch_graph::analysis::diversity::diversity(&g, 100_000) {
+        Some(d) => {
+            writeln!(out, "beta <= {d} (diversity upper bound)").map_err(io_err)?
+        }
+        None => writeln!(out, "diversity:     > clique budget (skipped)").map_err(io_err)?,
+    }
+    if args.exact_beta {
+        let beta = neighborhood_independence_exact(&g);
+        writeln!(out, "beta (exact):  {beta}").map_err(io_err)?;
+        if beta > 0 {
+            let n_prime = g.num_non_isolated();
+            writeln!(
+                out,
+                "Lemma 2.2:     MCM >= n'/(beta+2) = {:.2}",
+                n_prime as f64 / (beta as f64 + 2.0)
+            )
+            .map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// `sparsimatch sparsify`.
+pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
+    let g = read_edge_list_file(&args.input).map_err(io_err)?;
+    let params = SparsifierParams::scaled(args.beta, args.eps, args.scale);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let s = build_sparsifier(&g, &params, &mut rng);
+    emit_graph(&s.graph, &args.out, out)?;
+    writeln!(
+        std::io::stderr(),
+        "sparsified m = {} -> {} edges (delta = {}, cap = {})",
+        g.num_edges(),
+        s.stats.edges,
+        params.delta,
+        params.mark_cap()
+    )
+    .ok();
+    Ok(())
+}
+
+/// `sparsimatch match`.
+pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
+    let g = read_edge_list_file(&args.input).map_err(io_err)?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let (label, matching): (&str, Matching) = match args.algo {
+        MatchAlgo::Exact => ("exact (blossom)", maximum_matching(&g)),
+        MatchAlgo::Greedy => ("greedy maximal", greedy_maximal_matching(&g)),
+        MatchAlgo::Sparsify { beta, eps } => {
+            let params = SparsifierParams::practical(beta, eps);
+            let r = approx_mcm_via_sparsifier(&g, &params, &mut rng);
+            writeln!(
+                out,
+                "probes: {} (m = {})",
+                r.probes.total(),
+                g.num_edges()
+            )
+            .map_err(io_err)?;
+            ("sparsify+match", r.matching)
+        }
+    };
+    writeln!(out, "algorithm: {label}").map_err(io_err)?;
+    writeln!(out, "matching size: {}", matching.len()).map_err(io_err)?;
+    if args.pairs {
+        for (u, v) in matching.pairs() {
+            writeln!(out, "{} {}", u.0, v.0).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sparsimatch-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_line(line: &str) -> Result<String, String> {
+        let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
+        let cmd = parse(&argv)?;
+        let mut buf = Vec::new();
+        crate::run(cmd, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn generate_analyze_match_pipeline() {
+        let dir = tmpdir();
+        let file = dir.join("g.el");
+        let fs = file.to_str().unwrap();
+        run_line(&format!(
+            "generate clique-union:2:30 --n 120 --seed 5 --out {fs}"
+        ))
+        .unwrap();
+        let analysis = run_line(&format!("analyze {fs} --exact-beta")).unwrap();
+        assert!(analysis.contains("vertices:      120"));
+        assert!(analysis.contains("beta (exact):  2") || analysis.contains("beta (exact):  1"));
+
+        let exact = run_line(&format!("match {fs} --exact")).unwrap();
+        assert!(exact.contains("matching size: 60"), "{exact}");
+
+        let approx = run_line(&format!("match {fs} --beta 2 --eps 0.3 --seed 2")).unwrap();
+        assert!(approx.contains("probes:"));
+        assert!(approx.contains("matching size:"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn sparsify_reduces_edges() {
+        let dir = tmpdir();
+        let input = dir.join("dense.el");
+        let output = dir.join("sparse.el");
+        run_line(&format!(
+            "generate clique --n 150 --out {}",
+            input.display()
+        ))
+        .unwrap();
+        run_line(&format!(
+            "sparsify {} --beta 1 --eps 0.4 --seed 1 --out {}",
+            input.display(),
+            output.display()
+        ))
+        .unwrap();
+        let g = read_edge_list_file(&input).unwrap();
+        let s = read_edge_list_file(&output).unwrap();
+        assert!(s.num_edges() < g.num_edges() / 2);
+        // Sparsifier is a subgraph.
+        for (_, u, v) in s.edges() {
+            assert!(g.has_edge(u, v));
+        }
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn generate_to_stdout() {
+        let text = run_line("generate path --n 5").unwrap();
+        let first = text.lines().next().unwrap();
+        assert_eq!(first, "5 4");
+    }
+
+    #[test]
+    fn match_pairs_output() {
+        let dir = tmpdir();
+        let file = dir.join("p.el");
+        run_line(&format!("generate path --n 4 --out {}", file.display())).unwrap();
+        let out = run_line(&format!("match {} --exact --pairs", file.display())).unwrap();
+        assert!(out.contains("matching size: 2"));
+        // Two pair lines follow.
+        assert_eq!(out.lines().filter(|l| l.split_whitespace().count() == 2).count(), 2);
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn unknown_family_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(build_family("nonsense", 5, &mut rng).is_err());
+        assert!(build_family("clique-union:x:3", 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn all_families_build() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for spec in [
+            "clique",
+            "clique-union:2:8",
+            "unit-disk:8",
+            "gnp:0.2",
+            "line-gnp:0.3",
+            "path",
+            "cycle",
+        ] {
+            let g = build_family(spec, 30, &mut rng).unwrap();
+            assert!(g.num_vertices() >= 1, "{spec}");
+        }
+    }
+}

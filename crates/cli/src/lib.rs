@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Library backing the `sparsimatch` command-line tool.
+//!
+//! All behavior lives here (argument parsing, command execution against
+//! generic writers) so it is unit-testable; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+
+/// Run a parsed command, writing human output to `out`.
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String> {
+    match cmd {
+        Command::Generate(g) => commands::generate(g, out),
+        Command::Analyze(a) => commands::analyze(a, out),
+        Command::Sparsify(s) => commands::sparsify(s, out),
+        Command::Match(m) => commands::do_match(m, out),
+        Command::Help => {
+            writeln!(out, "{}", args::USAGE).map_err(|e| e.to_string())?;
+            Ok(())
+        }
+    }
+}

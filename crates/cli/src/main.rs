@@ -1,0 +1,16 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match sparsimatch_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", sparsimatch_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = sparsimatch_cli::run(cmd, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end smoke tests of the actual `sparsimatch` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sparsimatch"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("sparsify"));
+}
+
+#[test]
+fn bad_subcommand_exits_two() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn generate_analyze_match_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("smoke.el");
+
+    let out = bin()
+        .args([
+            "generate",
+            "clique",
+            "--n",
+            "40",
+            "--out",
+            file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+
+    let out = bin()
+        .args(["analyze", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("vertices:      40"), "{text}");
+    assert!(text.contains("edges:         780"), "{text}");
+
+    let out = bin()
+        .args(["match", file.to_str().unwrap(), "--exact"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("matching size: 20"), "{text}");
+
+    let out = bin()
+        .args([
+            "match",
+            file.to_str().unwrap(),
+            "--beta",
+            "1",
+            "--eps",
+            "0.4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("probes:"), "{text}");
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = bin()
+        .args(["analyze", "/nonexistent/definitely-not-here.el"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! The SPAA'20 matching sparsifier `G_Δ` and its applications.
+//!
+//! Given a graph `G` of neighborhood independence number β and a target
+//! accuracy ε, every vertex marks `Δ = Θ((β/ε)·log(1/ε))` uniformly random
+//! incident edges (all of them if its degree is below the threshold); the
+//! marked subgraph `G_Δ` is, with high probability, a `(1+ε)`-matching
+//! sparsifier: `|MCM(G)| ≤ (1+ε)·|MCM(G_Δ)|` (Theorem 2.1).
+//!
+//! Modules:
+//!
+//! * [`params`] — Δ from (β, ε): the paper's proof constant and practical
+//!   scalings; the validity window `β = O(εn/log n)`.
+//! * [`sampler`] — Δ-out-of-deg sampling without replacement over
+//!   *read-only* adjacency arrays in deterministic O(Δ) time per vertex,
+//!   via the `pos_v` sparse-array emulation of Section 3.1.
+//! * [`sparsifier`] — the `G_Δ` construction with size/arboricity
+//!   accounting (Observations 2.10 and 2.12).
+//! * [`solomon`] — Solomon's ITCS'18 bounded-degree sparsifier for
+//!   bounded-arboricity graphs (deterministic, mutual marking).
+//! * [`composed`] — the two-round composition `G̃_Δ` of Section 3.2:
+//!   bounded-β graph → low-arboricity `G_Δ` → bounded-degree `G̃_Δ`.
+//! * [`pipeline`] — Theorem 3.1 end-to-end: sparsify then run a `(1+ε)`
+//!   matching algorithm, in time sublinear in `|E(G)|`.
+//! * [`lower_bounds`] — the paper's negative results as executable
+//!   instances: deterministic marking fails (Lemma 2.13) and exact
+//!   preservation fails (Observation 2.14).
+
+pub mod composed;
+pub mod lower_bounds;
+pub mod params;
+pub mod pipeline;
+pub mod sampler;
+pub mod solomon;
+pub mod sparsifier;
+
+pub use params::SparsifierParams;
+pub use pipeline::{approx_mcm_via_sparsifier, PipelineResult};
+pub use sparsifier::{build_sparsifier, Sparsifier, SparsifierStats};

@@ -1,0 +1,206 @@
+//! Theorem 3.1 end-to-end: the sequential `(1+ε)`-approximate maximum
+//! matching in time sublinear in `|E(G)|`.
+//!
+//! Pipeline: (1) build `G_Δ` with the deterministic-time sampler — `O(n·Δ)`
+//! probes; (2) run the `(1+ε')`-approximate matching of
+//! [`sparsimatch_matching::bounded_aug`] on the sparsifier — linear in
+//! `|E(G_Δ)| = O(n·Δ)` per phase. The accuracy budget is split between the
+//! two `(1+·)` factors so the end-to-end guarantee is `1 + ε`:
+//! `(1 + ε/2.5)² ≤ 1 + ε` for `ε ≤ 1`.
+
+use crate::params::SparsifierParams;
+use crate::sparsifier::{build_sparsifier, SparsifierStats};
+use rand::Rng;
+use sparsimatch_graph::adjacency::{CountingOracle, ProbeCounts};
+use sparsimatch_graph::csr::{CsrGraph, GraphBuilder};
+use sparsimatch_matching::bounded_aug::{approx_maximum_matching_from, AugStats};
+use sparsimatch_matching::greedy::greedy_maximal_matching;
+use sparsimatch_matching::Matching;
+
+/// Everything the sequential pipeline measured while running.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The `(1+ε)`-approximate matching — valid for the *original* graph.
+    pub matching: Matching,
+    /// Sparsifier construction statistics.
+    pub sparsifier: SparsifierStats,
+    /// Adjacency-array probes spent building the sparsifier (the
+    /// sublinearity certificate: compare with `m`).
+    pub probes: ProbeCounts,
+    /// Augmentation statistics on the sparsifier.
+    pub aug: AugStats,
+}
+
+/// Split a target ε into the per-stage ε' so that `(1+ε')² ≤ 1+ε`.
+pub fn stage_eps(eps: f64) -> f64 {
+    eps / 2.5
+}
+
+/// Theorem 3.1: compute a `(1+ε)`-approximate MCM of `g` by sparsifying
+/// and matching on the sparsifier. `params.eps` is the *end-to-end* target;
+/// both stages run at [`stage_eps`].
+pub fn approx_mcm_via_sparsifier(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+) -> PipelineResult {
+    let eps_stage = stage_eps(params.eps);
+    // Size Δ for the stage accuracy, keeping the caller's scaling choice
+    // relative to the paper constant.
+    let scale = params.delta as f64
+        / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
+    let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
+
+    // Stage 1: sparsify, counting probes.
+    let counter = CountingOracle::new(g);
+    let marks = crate::sparsifier::mark_edges_oracle(&counter, &stage_params, rng);
+    let probes = counter.counts();
+    let mut b = GraphBuilder::with_capacity(g.num_vertices(), marks.len());
+    for (u, v) in marks {
+        b.add_edge(u, v);
+    }
+    let sparse = b.build();
+    let sparsifier = SparsifierStats {
+        delta: stage_params.delta,
+        mark_cap: stage_params.mark_cap(),
+        low_degree_vertices: 0, // not tracked through the oracle path
+        marks_placed: 0,
+        edges: sparse.num_edges(),
+    };
+
+    // Stage 2: (1+eps')-approximate matching on the sparsifier.
+    let init = greedy_maximal_matching(&sparse);
+    let (matching, aug) = approx_maximum_matching_from(&sparse, init, eps_stage);
+    debug_assert!(matching.is_valid_for(g), "sparsifier must be a subgraph");
+
+    PipelineResult {
+        matching,
+        sparsifier,
+        probes,
+        aug,
+    }
+}
+
+/// The same pipeline on a pre-built sparsifier (used by the dynamic
+/// scheme, which rebuilds the sparsifier itself under a work budget).
+pub fn approx_mcm_on_sparsifier(sparse: &CsrGraph, eps: f64) -> (Matching, AugStats) {
+    let init = greedy_maximal_matching(sparse);
+    approx_maximum_matching_from(sparse, init, eps)
+}
+
+/// Convenience wrapper returning a [`crate::sparsifier::Sparsifier`] plus
+/// the matching (CSR path with full stats, no probe counting).
+pub fn approx_mcm_with_stats(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+) -> (crate::sparsifier::Sparsifier, Matching) {
+    let eps_stage = stage_eps(params.eps);
+    let s = build_sparsifier(g, params, rng);
+    let (m, _) = approx_mcm_on_sparsifier(&s.graph, eps_stage);
+    (s, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sparsimatch_matching::blossom::maximum_matching;
+    use sparsimatch_graph::generators::{
+        clique, clique_union, line_graph, unit_disk, CliqueUnionConfig, UnitDiskConfig,
+    };
+
+    #[test]
+    fn stage_eps_composes() {
+        for &eps in &[0.1f64, 0.3, 0.5, 0.9] {
+            let s = stage_eps(eps);
+            assert!((1.0 + s) * (1.0 + s) <= 1.0 + eps + 1e-12);
+        }
+    }
+
+    #[test]
+    fn end_to_end_accuracy_on_clique() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = clique(200);
+        let p = SparsifierParams::practical(1, 0.3);
+        let exact = maximum_matching(&g).len(); // 100
+        for _ in 0..3 {
+            let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+            assert!(r.matching.is_valid_for(&g));
+            assert!(
+                r.matching.len() as f64 * 1.3 >= exact as f64,
+                "{} vs {exact}",
+                r.matching.len()
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_accuracy_on_clique_union() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = clique_union(
+            CliqueUnionConfig {
+                n: 300,
+                diversity: 3,
+                clique_size: 60,
+            },
+            &mut rng,
+        );
+        let p = SparsifierParams::practical(3, 0.4);
+        let exact = maximum_matching(&g).len();
+        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        assert!(r.matching.len() as f64 * 1.4 >= exact as f64);
+    }
+
+    #[test]
+    fn probes_sublinear_on_dense_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = clique(500); // m ≈ 125k
+        let p = SparsifierParams::practical(1, 0.5);
+        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        let m = g.num_edges() as u64;
+        assert!(
+            r.probes.total() < m / 2,
+            "probes {} not sublinear in m {m}",
+            r.probes.total()
+        );
+    }
+
+    #[test]
+    fn line_graph_pipeline() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = sparsimatch_graph::generators::gnp(60, 0.25, &mut rng);
+        let g = line_graph(&base); // beta <= 2
+        if g.num_edges() == 0 {
+            return;
+        }
+        let p = SparsifierParams::practical(2, 0.4);
+        let exact = maximum_matching(&g).len();
+        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        assert!(r.matching.len() as f64 * 1.4 >= exact as f64);
+    }
+
+    #[test]
+    fn unit_disk_pipeline() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = unit_disk(
+            UnitDiskConfig::with_expected_degree(500, 1.0, 30.0),
+            &mut rng,
+        );
+        let p = SparsifierParams::practical(5, 0.4);
+        let exact = maximum_matching(&g).len();
+        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        assert!(r.matching.len() as f64 * 1.4 >= exact as f64);
+    }
+
+    #[test]
+    fn with_stats_variant_agrees() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = clique(100);
+        let p = SparsifierParams::practical(1, 0.4);
+        let (s, m) = approx_mcm_with_stats(&g, &p, &mut rng);
+        assert!(m.is_valid_for(&g));
+        assert!(m.is_valid_for(&s.graph));
+        assert!(s.stats.edges > 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! The random matching sparsifier `G_Δ` (Section 2 of the paper).
+//!
+//! Every vertex marks Δ uniform incident edges without replacement —
+//! all of them if its degree is at most the low-degree threshold `2Δ`
+//! (the Section 3.1 tweak that enables deterministic-time sampling). The
+//! sparsifier is the subgraph of all marked edges, over the *same* vertex
+//! set, so a matching in `G_Δ` is a matching in `G` verbatim.
+
+use crate::params::SparsifierParams;
+use crate::sampler::{mark_indices_for_vertex, PosArraySampler};
+use rand::Rng;
+use sparsimatch_graph::adjacency::AdjacencyOracle;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::{EdgeId, VertexId};
+
+/// Construction statistics, all deterministic consequences of the marking
+/// scheme (only *which* edges get marked is random).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SparsifierStats {
+    /// Δ used.
+    pub delta: usize,
+    /// Low-degree threshold (`2Δ`).
+    pub mark_cap: usize,
+    /// Vertices that marked their full neighborhood.
+    pub low_degree_vertices: usize,
+    /// Total marks placed (with multiplicity: an edge marked by both
+    /// endpoints counts twice).
+    pub marks_placed: usize,
+    /// Distinct marked edges = `|E(G_Δ)|`.
+    pub edges: usize,
+}
+
+/// The sparsifier `G_Δ` of a CSR graph.
+#[derive(Clone, Debug)]
+pub struct Sparsifier {
+    /// The sparsified graph (same vertex ids as the input).
+    pub graph: CsrGraph,
+    /// Construction statistics.
+    pub stats: SparsifierStats,
+}
+
+/// Build `G_Δ` from a CSR graph. Runs in time `O(n + |E(G_Δ)|)` —
+/// deterministically linear in the *output*, not the input (Theorem 3.1's
+/// construction bound), modulo the final CSR layout.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sparsimatch_core::params::SparsifierParams;
+/// use sparsimatch_core::sparsifier::build_sparsifier;
+/// use sparsimatch_graph::generators::clique;
+///
+/// let g = clique(200); // β = 1, ~20k edges
+/// let params = SparsifierParams::practical(1, 0.3);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let s = build_sparsifier(&g, &params, &mut rng);
+/// assert!(s.stats.edges <= params.naive_size_bound(200));
+/// assert!(s.stats.edges < g.num_edges() / 2, "much sparser than the input");
+/// ```
+pub fn build_sparsifier(g: &CsrGraph, params: &SparsifierParams, rng: &mut impl Rng) -> Sparsifier {
+    let n = g.num_vertices();
+    let mut marked = vec![false; g.num_edges()];
+    let mut sampler = PosArraySampler::new(g.max_degree());
+    let mut indices: Vec<u32> = Vec::with_capacity(params.mark_cap());
+    let mut stats = SparsifierStats {
+        delta: params.delta,
+        mark_cap: params.mark_cap(),
+        ..Default::default()
+    };
+    for v in 0..n {
+        let v = VertexId::new(v);
+        let deg = g.degree(v);
+        if deg <= params.mark_cap() {
+            stats.low_degree_vertices += 1;
+        }
+        mark_indices_for_vertex(
+            g,
+            v,
+            params.delta,
+            params.mark_cap(),
+            &mut sampler,
+            rng,
+            &mut indices,
+        );
+        stats.marks_placed += indices.len();
+        for &i in &indices {
+            marked[g.incident_edge(v, i as usize).index()] = true;
+        }
+    }
+    let keep = marked
+        .iter()
+        .enumerate()
+        .filter_map(|(e, &keep)| keep.then(|| EdgeId::new(e)));
+    let graph = g.edge_subgraph(keep);
+    stats.edges = graph.num_edges();
+    Sparsifier { graph, stats }
+}
+
+/// Parallel `G_Δ` construction: per-vertex marking is embarrassingly
+/// parallel once each vertex draws from its own deterministically seeded
+/// RNG (exactly the independence the analysis requires anyway, and the
+/// same seeding the distributed protocol uses). The output is identical
+/// for any thread count.
+pub fn build_sparsifier_parallel(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    threads: usize,
+) -> Sparsifier {
+    use rand::SeedableRng;
+    let n = g.num_vertices();
+    let threads = threads.clamp(1, 64);
+    let chunk = n.div_ceil(threads).max(1);
+    let vertex_ids: Vec<usize> = (0..n).collect();
+    let shards: Vec<(Vec<EdgeId>, usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = vertex_ids
+            .chunks(chunk)
+            .map(|ch| {
+                s.spawn(move || {
+                    let mut sampler = PosArraySampler::new(g.max_degree().max(1));
+                    let mut indices = Vec::new();
+                    let mut keep = Vec::new();
+                    let mut marks_placed = 0usize;
+                    let mut low_degree = 0usize;
+                    for &v in ch {
+                        let vid = VertexId::new(v);
+                        let deg = g.degree(vid);
+                        if deg <= params.mark_cap() {
+                            low_degree += 1;
+                        }
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(
+                            seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        );
+                        mark_indices_for_vertex(
+                            g,
+                            vid,
+                            params.delta,
+                            params.mark_cap(),
+                            &mut sampler,
+                            &mut rng,
+                            &mut indices,
+                        );
+                        marks_placed += indices.len();
+                        for &i in &indices {
+                            keep.push(g.incident_edge(vid, i as usize));
+                        }
+                    }
+                    (keep, marks_placed, low_degree)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sparsifier worker panicked"))
+            .collect()
+    });
+    let mut stats = SparsifierStats {
+        delta: params.delta,
+        mark_cap: params.mark_cap(),
+        ..Default::default()
+    };
+    let mut keep = Vec::new();
+    for (shard, marks, low) in shards {
+        keep.extend(shard);
+        stats.marks_placed += marks;
+        stats.low_degree_vertices += low;
+    }
+    let graph = g.edge_subgraph(keep.into_iter());
+    stats.edges = graph.num_edges();
+    Sparsifier { graph, stats }
+}
+
+/// Build the marked edge *list* from any adjacency oracle (no edge ids
+/// needed). This is the form used when the input is not materialized as a
+/// CSR graph — e.g. the probe-counting experiments and the dynamic setting.
+/// Returns endpoint pairs with possible duplicates (an edge can be marked
+/// from both sides); deduplication happens wherever a graph is built.
+pub fn mark_edges_oracle(
+    g: &impl AdjacencyOracle,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices();
+    let mut max_deg = 0usize;
+    for v in 0..n {
+        max_deg = max_deg.max(g.degree(VertexId::new(v)));
+    }
+    let mut sampler = PosArraySampler::new(max_deg);
+    let mut indices: Vec<u32> = Vec::new();
+    let mut out = Vec::new();
+    for v in 0..n {
+        let v = VertexId::new(v);
+        mark_indices_for_vertex(
+            g,
+            v,
+            params.delta,
+            params.mark_cap(),
+            &mut sampler,
+            rng,
+            &mut indices,
+        );
+        for &i in &indices {
+            out.push((v, g.neighbor(v, i as usize)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sparsimatch_matching::blossom::maximum_matching;
+    use sparsimatch_graph::analysis::arboricity::arboricity_bounds;
+    use sparsimatch_graph::generators::{
+        clique, clique_union, gnp, star, unit_disk, CliqueUnionConfig, UnitDiskConfig,
+    };
+
+    fn params(beta: usize, eps: f64, delta: usize) -> SparsifierParams {
+        SparsifierParams::with_delta(beta, eps, delta)
+    }
+
+    #[test]
+    fn sparsifier_is_subgraph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnp(60, 0.3, &mut rng);
+        let s = build_sparsifier(&g, &params(3, 0.5, 4), &mut rng);
+        assert_eq!(s.graph.num_vertices(), g.num_vertices());
+        for (_, u, v) in s.graph.edges() {
+            assert!(g.has_edge(u, v), "sparsifier edge not in input");
+        }
+    }
+
+    #[test]
+    fn low_degree_vertices_keep_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = star(50); // center degree 49, leaves degree 1
+        let p = params(1, 0.5, 3); // mark_cap = 6 < 49
+        let s = build_sparsifier(&g, &p, &mut rng);
+        // All leaves are low degree and mark their only edge, so G_Δ = G.
+        assert_eq!(s.graph.num_edges(), 49);
+        assert_eq!(s.stats.low_degree_vertices, 49);
+    }
+
+    #[test]
+    fn high_degree_vertices_mark_exactly_delta() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = clique(100);
+        let p = params(1, 0.5, 5);
+        let s = build_sparsifier(&g, &p, &mut rng);
+        // Every vertex has degree 99 > cap 10, so marks 5: total 500 marks,
+        // edges <= 500 (collisions dedupe).
+        assert_eq!(s.stats.marks_placed, 500);
+        assert!(s.stats.edges <= 500);
+        assert!(s.stats.edges >= 250, "at least marks/2 distinct edges");
+        assert_eq!(s.stats.low_degree_vertices, 0);
+    }
+
+    #[test]
+    fn naive_size_bound_holds_always() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let g = gnp(80, 0.4, &mut rng);
+            let p = params(2, 0.5, 3);
+            let s = build_sparsifier(&g, &p, &mut rng);
+            assert!(s.stats.edges <= p.naive_size_bound(g.num_vertices()));
+        }
+    }
+
+    #[test]
+    fn observation_2_10_size_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = clique_union(
+            CliqueUnionConfig {
+                n: 100,
+                diversity: 2,
+                clique_size: 25,
+            },
+            &mut rng,
+        );
+        let p = params(2, 0.5, 4);
+        let mcm = maximum_matching(&g).len();
+        for _ in 0..5 {
+            let s = build_sparsifier(&g, &p, &mut rng);
+            assert!(
+                s.stats.edges <= p.size_bound(mcm),
+                "{} > bound {}",
+                s.stats.edges,
+                p.size_bound(mcm)
+            );
+        }
+    }
+
+    #[test]
+    fn observation_2_12_arboricity_bound() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = clique(120);
+        let p = params(1, 0.5, 4);
+        let s = build_sparsifier(&g, &p, &mut rng);
+        let (_, hi) = arboricity_bounds(&s.graph);
+        assert!(
+            hi <= p.arboricity_bound(),
+            "arboricity upper bound {hi} exceeds {}",
+            p.arboricity_bound()
+        );
+    }
+
+    #[test]
+    fn preserves_matching_on_unit_disk() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = unit_disk(
+            UnitDiskConfig::with_expected_degree(300, 1.0, 20.0),
+            &mut rng,
+        );
+        let p = SparsifierParams::practical(5, 0.5);
+        let exact = maximum_matching(&g).len();
+        let s = build_sparsifier(&g, &p, &mut rng);
+        let sparse_mcm = maximum_matching(&s.graph).len();
+        assert!(
+            (sparse_mcm as f64) * 1.5 >= exact as f64,
+            "sparse {sparse_mcm} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn oracle_marks_match_graph_structure() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gnp(40, 0.3, &mut rng);
+        let p = params(2, 0.5, 3);
+        let marks = mark_edges_oracle(&g, &p, &mut rng);
+        for &(u, v) in &marks {
+            assert!(g.has_edge(u, v));
+        }
+        // Each vertex contributes min(deg, cap or delta) marks.
+        let mut per_vertex = vec![0usize; g.num_vertices()];
+        for &(u, _) in &marks {
+            per_vertex[u.index()] += 1;
+        }
+        for v in 0..g.num_vertices() {
+            let deg = g.degree(VertexId::new(v));
+            let expect = if deg <= p.mark_cap() { deg } else { p.delta };
+            assert_eq!(per_vertex[v], expect);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = clique_union(
+            CliqueUnionConfig {
+                n: 200,
+                diversity: 2,
+                clique_size: 40,
+            },
+            &mut rng,
+        );
+        let p = params(2, 0.4, 6);
+        let reference = build_sparsifier_parallel(&g, &p, 42, 1);
+        for threads in [2usize, 4, 7] {
+            let s = build_sparsifier_parallel(&g, &p, 42, threads);
+            let e1: Vec<_> = reference.graph.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+            let e2: Vec<_> = s.graph.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+            assert_eq!(e1, e2, "threads = {threads}");
+            assert_eq!(s.stats.marks_placed, reference.stats.marks_placed);
+            assert_eq!(
+                s.stats.low_degree_vertices,
+                reference.stats.low_degree_vertices
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_meets_same_bounds() {
+        let g = clique(150);
+        let p = params(1, 0.5, 5);
+        let s = build_sparsifier_parallel(&g, &p, 7, 4);
+        assert!(s.stats.edges <= p.naive_size_bound(150));
+        for (_, u, v) in s.graph.edges() {
+            assert!(g.has_edge(u, v));
+        }
+        let mcm = maximum_matching(&s.graph).len();
+        assert!(mcm * 2 >= 75, "sparse mcm {mcm}");
+    }
+
+    #[test]
+    fn empty_graph_sparsifies_to_empty() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = sparsimatch_graph::csr::from_edges(10, []);
+        let s = build_sparsifier(&g, &params(1, 0.5, 2), &mut rng);
+        assert_eq!(s.graph.num_edges(), 0);
+        assert_eq!(s.stats.marks_placed, 0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Distributed algorithms on the simulator.
+
+pub mod coloring;
+pub mod israeli_itai;
+pub mod matching;
+pub mod pipeline;
+pub mod solomon;
+pub mod sparsify;

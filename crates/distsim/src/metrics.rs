@@ -1,0 +1,91 @@
+//! Round / message / bit accounting for the simulator.
+
+/// Communication metrics accumulated over a simulated execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Synchronous communication rounds executed.
+    pub rounds: u64,
+    /// Unicast messages delivered (one per (edge, direction) with a
+    /// non-empty payload in a round).
+    pub messages: u64,
+    /// Total payload bits delivered.
+    pub bits: u64,
+    /// Largest single-message payload observed, in bits — the CONGEST
+    /// model demands this stays `O(log n)`.
+    pub max_message_bits: u64,
+}
+
+impl Metrics {
+    /// CONGEST compliance: every message fit in `c·⌈log₂ n⌉` bits.
+    pub fn congest_compliant(&self, n: usize, c: u64) -> bool {
+        let logn = (usize::BITS - n.max(2).leading_zeros()) as u64;
+        self.max_message_bits <= c * logn
+    }
+}
+
+impl Metrics {
+    /// Zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Merge another metrics record into this one (rounds add too:
+    /// sequential composition of protocol phases).
+    pub fn absorb(&mut self, other: Metrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} bits",
+            self.rounds, self.messages, self.bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_adds_fields() {
+        let mut a = Metrics {
+            rounds: 1,
+            messages: 10,
+            bits: 100,
+            max_message_bits: 8,
+        };
+        a.absorb(Metrics {
+            rounds: 2,
+            messages: 5,
+            bits: 7,
+            max_message_bits: 32,
+        });
+        assert_eq!(
+            a,
+            Metrics {
+                rounds: 3,
+                messages: 15,
+                bits: 107,
+                max_message_bits: 32,
+            }
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = Metrics {
+            rounds: 2,
+            messages: 3,
+            bits: 4,
+            max_message_bits: 4,
+        };
+        assert_eq!(m.to_string(), "2 rounds, 3 messages, 4 bits");
+    }
+}

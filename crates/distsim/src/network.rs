@@ -1,0 +1,285 @@
+//! The simulated network: a graph of nodes exchanging port-addressed
+//! messages in synchronous rounds.
+//!
+//! Ports follow the standard distributed-computing convention: vertex `v`
+//! talks through ports `0..deg(v)`, port `i` being its `i`-th incident
+//! edge. Nodes address neighbors by port, never by id (the `KT_0`
+//! assumption the paper's sparsifier needs); ids exist only as symmetry-
+//! breaking input to the coloring algorithms, as in the LOCAL model.
+
+use crate::metrics::Metrics;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::VertexId;
+
+/// A message emitted by a node in one round: (out-port, payload, bits).
+pub type Outgoing<M> = (usize, M, u64);
+
+/// A message received by a node: (in-port, payload).
+pub type Incoming<M> = (usize, M);
+
+/// The simulated network over a fixed topology.
+///
+/// ```
+/// use sparsimatch_distsim::Network;
+/// use sparsimatch_graph::generators::path;
+///
+/// let g = path(3); // 0 - 1 - 2
+/// let mut net = Network::new(&g);
+/// // Vertex 0 sends one 8-bit message to its only neighbor.
+/// let mut out: Vec<Vec<(usize, u32, u64)>> = vec![vec![]; 3];
+/// out[0].push((0, 42, 8));
+/// let inboxes = net.exchange(out);
+/// assert_eq!(inboxes[1].iter().map(|&(_, m)| m).collect::<Vec<_>>(), vec![42]);
+/// assert_eq!(net.metrics().rounds, 1);
+/// assert_eq!(net.metrics().bits, 8);
+/// ```
+pub struct Network<'g> {
+    graph: &'g CsrGraph,
+    /// For the half-edge at global CSR slot `s` (vertex `u`, port `i`),
+    /// `peer_port[s]` is the port index of the same edge at the other
+    /// endpoint.
+    peer_port: Vec<u32>,
+    /// Global slot offset of each vertex (mirror of CSR offsets).
+    offsets: Vec<usize>,
+    metrics: Metrics,
+}
+
+impl<'g> Network<'g> {
+    /// Wrap a topology.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + graph.degree(VertexId::new(v)));
+        }
+        // slot_of_edge[e] = (slot at smaller endpoint, slot at larger endpoint)
+        let mut slot_small = vec![u32::MAX; graph.num_edges()];
+        let mut slot_large = vec![u32::MAX; graph.num_edges()];
+        for v in 0..n {
+            let v = VertexId::new(v);
+            for (i, (u, e)) in graph.incident(v).enumerate() {
+                if v.0 < u.0 {
+                    slot_small[e.index()] = i as u32;
+                } else {
+                    slot_large[e.index()] = i as u32;
+                }
+            }
+        }
+        let mut peer_port = vec![0u32; 2 * graph.num_edges()];
+        for v in 0..n {
+            let v = VertexId::new(v);
+            for (i, (u, e)) in graph.incident(v).enumerate() {
+                peer_port[offsets[v.index()] + i] = if v.0 < u.0 {
+                    slot_large[e.index()]
+                } else {
+                    slot_small[e.index()]
+                };
+            }
+        }
+        Network {
+            graph,
+            peer_port,
+            offsets,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The underlying topology. The returned reference borrows the graph
+    /// itself (lifetime `'g`), not the network, so callers can hold it
+    /// across accounted rounds.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// The neighbor reached through `(v, port)`.
+    pub fn peer(&self, v: VertexId, port: usize) -> VertexId {
+        self.graph.neighbor(v, port)
+    }
+
+    /// One synchronous round: every node's outbox is delivered to the
+    /// corresponding peer's inbox (tagged with the receiving port).
+    /// `outboxes[v]` lists `(port, payload, payload_bits)`.
+    pub fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
+        assert_eq!(outboxes.len(), self.num_nodes());
+        self.metrics.rounds += 1;
+        let mut inboxes: Vec<Vec<Incoming<M>>> = vec![Vec::new(); self.num_nodes()];
+        for (v, outbox) in outboxes.into_iter().enumerate() {
+            let v = VertexId::new(v);
+            for (port, payload, bits) in outbox {
+                assert!(port < self.graph.degree(v), "port out of range");
+                let u = self.graph.neighbor(v, port);
+                let in_port = self.peer_port[self.offsets[v.index()] + port] as usize;
+                self.metrics.messages += 1;
+                self.metrics.bits += bits;
+                self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                inboxes[u.index()].push((in_port, payload.clone()));
+            }
+        }
+        inboxes
+    }
+
+    /// Broadcast convenience: every node sends the same payload on all its
+    /// ports (the broadcast transmission mode of Section 3.2).
+    pub fn broadcast_exchange<M: Clone>(
+        &mut self,
+        payloads: Vec<(M, u64)>,
+    ) -> Vec<Vec<Incoming<M>>> {
+        let outboxes = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(v, (payload, bits))| {
+                let deg = self.graph.degree(VertexId::new(v));
+                (0..deg).map(|p| (p, payload.clone(), bits)).collect()
+            })
+            .collect();
+        self.exchange(outboxes)
+    }
+
+    /// Charge the canonical LOCAL "gather your radius-`r` ball" primitive:
+    /// `r` rounds in which every vertex forwards everything it knows on
+    /// every port. Messages: `r · 2m`; bits: caller-supplied estimate of
+    /// the per-message payload (e.g. the ball's edge count × bits/edge).
+    ///
+    /// The ball content itself is then read off the master graph by the
+    /// caller — an accounting-faithful shortcut (the protocol would deliver
+    /// exactly that information in `r` rounds).
+    pub fn charge_gather(&mut self, radius: usize, bits_per_message: u64) {
+        let m2 = 2 * self.graph.num_edges() as u64;
+        self.metrics.rounds += radius as u64;
+        self.metrics.messages += radius as u64 * m2;
+        self.metrics.bits += radius as u64 * m2 * bits_per_message;
+        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits_per_message);
+    }
+
+    /// Collect the radius-`r` ball around `v`: vertices at distance ≤ r.
+    /// Pure topology helper (pair with [`Network::charge_gather`] for
+    /// accounting).
+    pub fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId> {
+        let mut dist = std::collections::HashMap::new();
+        dist.insert(v, 0usize);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(v);
+        let mut out = vec![v];
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            if du == radius {
+                continue;
+            }
+            for w in self.graph.neighbors(u) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(du + 1);
+                    out.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsimatch_graph::csr::from_edges;
+    use sparsimatch_graph::generators::{cycle, path, star};
+
+    #[test]
+    fn peer_ports_are_inverse() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let net = Network::new(&g);
+        for v in 0..5 {
+            let v = VertexId::new(v);
+            for port in 0..g.degree(v) {
+                let u = net.peer(v, port);
+                let back = net.peer_port[net.offsets[v.index()] + port] as usize;
+                assert_eq!(net.peer(u, back), v, "peer port must point back");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_delivers_and_counts() {
+        let g = path(3); // 0-1-2
+        let mut net = Network::new(&g);
+        // Vertex 0 sends "7" to its only neighbor (1).
+        let mut out: Vec<Vec<Outgoing<u32>>> = vec![vec![]; 3];
+        out[0].push((0, 7u32, 32));
+        let inboxes = net.exchange(out);
+        let received: Vec<u32> = inboxes[1].iter().map(|&(_, m)| m).collect();
+        assert_eq!(received, vec![7]);
+        assert!(inboxes[0].is_empty() && inboxes[2].is_empty());
+        let m = net.metrics();
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.bits, 32);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors() {
+        let g = star(5);
+        let mut net = Network::new(&g);
+        let payloads = (0..5).map(|v| (v as u32, 8u64)).collect();
+        let inboxes = net.broadcast_exchange(payloads);
+        // Center (0) hears from all 4 leaves.
+        assert_eq!(inboxes[0].len(), 4);
+        let mut heard: Vec<u32> = inboxes[0].iter().map(|&(_, m)| m).collect();
+        heard.sort_unstable();
+        assert_eq!(heard, vec![1, 2, 3, 4]);
+        // Each leaf hears only the center's value 0.
+        for leaf in 1..5 {
+            assert_eq!(inboxes[leaf], vec![(0usize, 0u32)]);
+        }
+        assert_eq!(net.metrics().messages, 8, "2m messages on a star of 4 edges");
+    }
+
+    #[test]
+    fn gather_charging() {
+        let g = cycle(6);
+        let mut net = Network::new(&g);
+        net.charge_gather(3, 10);
+        let m = net.metrics();
+        assert_eq!(m.rounds, 3);
+        assert_eq!(m.messages, 3 * 12);
+        assert_eq!(m.bits, 3 * 12 * 10);
+    }
+
+    #[test]
+    fn ball_radii() {
+        let g = path(7); // 0-1-2-3-4-5-6
+        let net = Network::new(&g);
+        let b0 = net.ball(VertexId(3), 0);
+        assert_eq!(b0.len(), 1);
+        let b2: std::collections::HashSet<u32> =
+            net.ball(VertexId(3), 2).into_iter().map(|v| v.0).collect();
+        assert_eq!(b2, [1u32, 2, 3, 4, 5].into_iter().collect());
+        let ball_all = net.ball(VertexId(0), 10);
+        assert_eq!(ball_all.len(), 7);
+    }
+
+    #[test]
+    fn port_addressing_round_trip_message() {
+        // Reply on the in-port must reach the original sender.
+        let g = from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let mut net = Network::new(&g);
+        let mut out: Vec<Vec<Outgoing<&'static str>>> = vec![vec![]; 4];
+        out[2].push((0, "ping", 8));
+        let inboxes = net.exchange(out);
+        let (in_port, msg) = inboxes[0][0].clone();
+        assert_eq!(msg, "ping");
+        let mut reply: Vec<Vec<Outgoing<&'static str>>> = vec![vec![]; 4];
+        reply[0].push((in_port, "pong", 8));
+        let inboxes2 = net.exchange(reply);
+        assert_eq!(inboxes2[2], vec![(0usize, "pong")]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the distributed simulator and algorithms.
+
+use proptest::prelude::*;
+use sparsimatch_distsim::algorithms::coloring::{linial_coloring, validate_coloring};
+use sparsimatch_distsim::algorithms::israeli_itai::israeli_itai_matching;
+use sparsimatch_distsim::algorithms::matching::bounded_degree_matching;
+use sparsimatch_distsim::Network;
+use sparsimatch_graph::csr::from_edges;
+use sparsimatch_matching::blossom::maximum_matching;
+
+const N: usize = 20;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..N, 0..N), 0..70)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coloring_is_always_proper(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        let mut net = Network::new(&g);
+        let target = g.max_degree() as u64 + 1;
+        let c = linial_coloring(&mut net, target.max(2));
+        prop_assert!(validate_coloring(&net, &c));
+        prop_assert!(c.num_colors <= target.max(2));
+    }
+
+    #[test]
+    fn israeli_itai_is_always_maximal(edges in arb_edges(), seed in any::<u64>()) {
+        let g = from_edges(N, edges);
+        let mut net = Network::new(&g);
+        let (m, _) = israeli_itai_matching(&mut net, seed);
+        prop_assert!(m.is_valid_for(&g));
+        prop_assert!(m.is_maximal_in(&g));
+    }
+
+    #[test]
+    fn bounded_degree_matching_meets_guarantee(edges in arb_edges(), k in 1usize..4) {
+        let g = from_edges(N, edges);
+        let mut net = Network::new(&g);
+        let eps = 1.0 / k as f64;
+        let (m, _) = bounded_degree_matching(&mut net, eps);
+        prop_assert!(m.is_valid_for(&g));
+        let exact = maximum_matching(&g).len();
+        prop_assert!(
+            m.len() * (k + 1) >= exact * k,
+            "k={} got {} vs exact {}", k, m.len(), exact
+        );
+    }
+
+    #[test]
+    fn exchange_is_lossless_and_counted(edges in arb_edges(), payloads in proptest::collection::vec(any::<u32>(), N)) {
+        let g = from_edges(N, edges);
+        let mut net = Network::new(&g);
+        // Every node broadcasts its payload; every half-edge must deliver
+        // exactly once with the right value.
+        let outs: Vec<(u32, u64)> = payloads.iter().map(|&p| (p, 32u64)).collect();
+        let inboxes = net.broadcast_exchange(outs);
+        let mut delivered = 0u64;
+        for v in 0..N {
+            for &(port, value) in &inboxes[v] {
+                let sender = net.peer(sparsimatch_graph::ids::VertexId::new(v), port);
+                prop_assert_eq!(value, payloads[sender.index()]);
+                delivered += 1;
+            }
+        }
+        prop_assert_eq!(delivered, 2 * g.num_edges() as u64);
+        prop_assert_eq!(net.metrics().messages, delivered);
+        prop_assert_eq!(net.metrics().bits, 32 * delivered);
+    }
+}

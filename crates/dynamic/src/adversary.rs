@@ -1,0 +1,222 @@
+//! Update-stream adversaries.
+//!
+//! Streams are sampled from a fixed *host graph* so the dynamic graph's
+//! neighborhood independence stays bounded by the host's β at every step
+//! (an arbitrary random stream would not). Two policies:
+//!
+//! * [`Policy::Oblivious`] — inserts/deletes chosen independently of the
+//!   algorithm's output (the standard oblivious-adversary model);
+//! * [`Policy::AdaptiveDeleteMatched`] — the adversary Theorem 3.5 is
+//!   proud to survive: it inspects the served matching every step and
+//!   preferentially deletes currently-matched edges, forcing maximal
+//!   repair pressure.
+
+use rand::Rng;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::VertexId;
+use sparsimatch_matching::Matching;
+
+/// A single edge update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Insert edge `{u, v}`.
+    Insert(VertexId, VertexId),
+    /// Delete edge `{u, v}`.
+    Delete(VertexId, VertexId),
+}
+
+/// Anything that produces the next update given the adversary's view.
+pub trait Adversary {
+    /// Produce the next update. `output` is the algorithm's currently
+    /// served matching (adaptive adversaries read it; oblivious ones must
+    /// not — enforced by the implementations, not the signature).
+    fn next(&mut self, output: &Matching, rng: &mut dyn rand::RngCore) -> Update;
+}
+
+/// Stream policy.
+#[derive(Clone, Copy, Debug)]
+pub enum Policy {
+    /// Insert with probability `p_insert`, else delete a uniformly random
+    /// present edge; never looks at the matching.
+    Oblivious {
+        /// Probability of an insert step (when both options exist).
+        p_insert: f64,
+    },
+    /// Insert with probability `p_insert`; deletions target a uniformly
+    /// random *matched* edge when one exists.
+    AdaptiveDeleteMatched {
+        /// Probability of an insert step (when both options exist).
+        p_insert: f64,
+    },
+}
+
+/// An adversary drawing updates from a host graph's edge set.
+pub struct StreamAdversary {
+    host: Vec<(u32, u32)>,
+    /// Present edges, as indices into `host`, with O(1) sample/remove.
+    present_list: Vec<u32>,
+    /// Position of host edge `e` in `present_list`, or `u32::MAX`.
+    position: Vec<u32>,
+    policy: Policy,
+}
+
+impl StreamAdversary {
+    /// An adversary over `host`'s edges, starting from the empty graph.
+    pub fn new(host: &CsrGraph, policy: Policy) -> Self {
+        let host_edges: Vec<(u32, u32)> = host.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        let m = host_edges.len();
+        StreamAdversary {
+            host: host_edges,
+            present_list: Vec::with_capacity(m),
+            position: vec![u32::MAX; m],
+            policy,
+        }
+    }
+
+    /// Number of edges currently present.
+    pub fn present(&self) -> usize {
+        self.present_list.len()
+    }
+
+    /// Number of host edges currently absent.
+    pub fn absent(&self) -> usize {
+        self.host.len() - self.present_list.len()
+    }
+
+    fn insert_random(&mut self, rng: &mut dyn rand::RngCore) -> Update {
+        debug_assert!(self.absent() > 0);
+        // Rejection-sample an absent host edge (fast while density < ~90%).
+        loop {
+            let e = rng.random_range(0..self.host.len() as u32);
+            if self.position[e as usize] == u32::MAX {
+                self.position[e as usize] = self.present_list.len() as u32;
+                self.present_list.push(e);
+                let (u, v) = self.host[e as usize];
+                return Update::Insert(VertexId(u), VertexId(v));
+            }
+        }
+    }
+
+    fn delete_edge_index(&mut self, e: u32) -> Update {
+        let pos = self.position[e as usize];
+        debug_assert_ne!(pos, u32::MAX);
+        self.present_list.swap_remove(pos as usize);
+        if (pos as usize) < self.present_list.len() {
+            let moved = self.present_list[pos as usize];
+            self.position[moved as usize] = pos;
+        }
+        self.position[e as usize] = u32::MAX;
+        let (u, v) = self.host[e as usize];
+        Update::Delete(VertexId(u), VertexId(v))
+    }
+
+    fn delete_random(&mut self, rng: &mut dyn rand::RngCore) -> Update {
+        debug_assert!(self.present() > 0);
+        let i = rng.random_range(0..self.present_list.len());
+        let e = self.present_list[i];
+        self.delete_edge_index(e)
+    }
+
+    fn delete_matched(&mut self, output: &Matching, rng: &mut dyn rand::RngCore) -> Update {
+        // Collect present matched edges; fall back to a random deletion.
+        let matched: Vec<u32> = self
+            .present_list
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let (u, v) = self.host[e as usize];
+                output.mate(VertexId(u)) == Some(VertexId(v))
+            })
+            .collect();
+        if matched.is_empty() {
+            return self.delete_random(rng);
+        }
+        let e = matched[rng.random_range(0..matched.len())];
+        self.delete_edge_index(e)
+    }
+}
+
+impl Adversary for StreamAdversary {
+    fn next(&mut self, output: &Matching, rng: &mut dyn rand::RngCore) -> Update {
+        let (p_insert, adaptive) = match self.policy {
+            Policy::Oblivious { p_insert } => (p_insert, false),
+            Policy::AdaptiveDeleteMatched { p_insert } => (p_insert, true),
+        };
+        let can_insert = self.absent() > 0;
+        let can_delete = self.present() > 0;
+        let do_insert = match (can_insert, can_delete) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => rng.random_bool(p_insert),
+            (false, false) => panic!("host graph has no edges"),
+        };
+        if do_insert {
+            self.insert_random(rng)
+        } else if adaptive {
+            self.delete_matched(output, rng)
+        } else {
+            self.delete_random(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sparsimatch_graph::generators::clique;
+
+    #[test]
+    fn stream_stays_within_host() {
+        let host = clique(10);
+        let mut adv = StreamAdversary::new(&host, Policy::Oblivious { p_insert: 0.7 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let output = Matching::new(10);
+        let mut present = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            match adv.next(&output, &mut rng) {
+                Update::Insert(u, v) => {
+                    assert!(host.has_edge(u, v));
+                    assert!(present.insert((u.0.min(v.0), u.0.max(v.0))), "double insert");
+                }
+                Update::Delete(u, v) => {
+                    assert!(present.remove(&(u.0.min(v.0), u.0.max(v.0))), "phantom delete");
+                }
+            }
+            assert_eq!(present.len(), adv.present());
+        }
+    }
+
+    #[test]
+    fn adaptive_targets_matched_edges() {
+        let host = clique(8);
+        let mut adv =
+            StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 1.0 });
+        let mut rng = StdRng::seed_from_u64(2);
+        // p_insert = 1 fills the host; once saturated the adversary is
+        // forced to delete, and must hit the matched pair.
+        let m = Matching::from_pairs(8, [(VertexId(0), VertexId(1))]);
+        while adv.absent() > 0 {
+            assert!(matches!(adv.next(&m, &mut rng), Update::Insert(..)));
+        }
+        match adv.next(&m, &mut rng) {
+            Update::Delete(u, v) => {
+                assert_eq!((u.0.min(v.0), u.0.max(v.0)), (0, 1));
+            }
+            other => panic!("expected delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustion_flips_direction() {
+        let host = clique(4); // 6 edges
+        let mut adv = StreamAdversary::new(&host, Policy::Oblivious { p_insert: 1.0 });
+        let mut rng = StdRng::seed_from_u64(3);
+        let output = Matching::new(4);
+        for _ in 0..6 {
+            assert!(matches!(adv.next(&output, &mut rng), Update::Insert(..)));
+        }
+        // Host saturated: forced to delete despite p_insert = 1.
+        assert!(matches!(adv.next(&output, &mut rng), Update::Delete(..)));
+    }
+}

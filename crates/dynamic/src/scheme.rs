@@ -1,0 +1,341 @@
+//! The Theorem 3.5 dynamic matcher.
+//!
+//! Implementation of the window scheme with explicit work accounting:
+//!
+//! * every update applies its graph mutation and (for deletions of
+//!   currently-output pairs) prunes the output matching — O(1) work;
+//! * when the window closes, the pending fresh matching (computed on the
+//!   snapshot taken at the window's start, minus edges deleted during the
+//!   window) becomes the output, a new static computation starts on a new
+//!   snapshot, and a new window of length `max(1, ⌊ε/4·|M|⌋)` opens;
+//! * the static computation's work — adjacency probes for the sparsifier,
+//!   sparsifier edges for greedy, and blossom edge-visits for the bounded
+//!   augmentation, all machine-independent unit counts — is time-sliced
+//!   evenly over the window's updates, exactly as the worst-case variant
+//!   of [Gupta–Peng] prescribes. [`UpdateReport::work`] is therefore the
+//!   realized worst-case per-update work the theorem bounds by
+//!   `O((β/ε³)·log(1/ε))`.
+
+use crate::adversary::Update;
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_graph::adjacency::AdjacencyOracle;
+use sparsimatch_graph::adjlist::AdjListGraph;
+use sparsimatch_graph::csr::GraphBuilder;
+use sparsimatch_graph::ids::VertexId;
+use sparsimatch_matching::bounded_aug::approx_maximum_matching_from;
+use sparsimatch_matching::greedy::greedy_maximal_matching;
+use sparsimatch_matching::Matching;
+
+/// Per-update accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateReport {
+    /// Work units charged to this update: O(1) bookkeeping plus this
+    /// update's time-slice of the background static computation.
+    pub work: u64,
+    /// Whether the output matching was swapped at this update (window
+    /// boundary).
+    pub swapped: bool,
+}
+
+/// Fully dynamic `(1+ε)`-approximate maximum matching over a fixed vertex
+/// set.
+///
+/// ```
+/// use sparsimatch_core::params::SparsifierParams;
+/// use sparsimatch_dynamic::adversary::Update;
+/// use sparsimatch_dynamic::scheme::DynamicMatcher;
+/// use sparsimatch_graph::ids::VertexId;
+///
+/// let params = SparsifierParams::practical(1, 0.5);
+/// let mut dm = DynamicMatcher::new(4, params, 42);
+/// dm.apply(Update::Insert(VertexId(0), VertexId(1)));
+/// dm.apply(Update::Insert(VertexId(2), VertexId(3)));
+/// // The served matching is always a valid matching of the current graph.
+/// let snapshot = dm.graph().to_csr();
+/// assert!(dm.matching().is_valid_for(&snapshot));
+/// ```
+pub struct DynamicMatcher {
+    graph: AdjListGraph,
+    params: SparsifierParams,
+    output: Matching,
+    /// Fresh matching awaiting the end of the current window.
+    pending: Option<Matching>,
+    /// Updates remaining in the current window.
+    window_left: usize,
+    /// Work share charged to each update of the current window.
+    share: u64,
+    seed_counter: u64,
+    base_seed: u64,
+    /// High-water mark of any vertex degree (sizes the sampler overlay
+    /// without rescanning; never shrinks, which only wastes capacity).
+    max_degree_seen: usize,
+}
+
+impl DynamicMatcher {
+    /// A matcher over `n` vertices, initially edgeless (the standard
+    /// dynamic-model assumption). `params.eps` is the end-to-end target ε.
+    pub fn new(n: usize, params: SparsifierParams, seed: u64) -> Self {
+        DynamicMatcher {
+            graph: AdjListGraph::new(n),
+            params,
+            output: Matching::new(n),
+            pending: None,
+            window_left: 1,
+            share: 0,
+            seed_counter: 0,
+            base_seed: seed,
+            max_degree_seen: 0,
+        }
+    }
+
+    /// The served matching (always a valid matching of the current graph).
+    pub fn matching(&self) -> &Matching {
+        &self.output
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &AdjListGraph {
+        &self.graph
+    }
+
+    /// Apply one update.
+    pub fn apply(&mut self, update: Update) -> UpdateReport {
+        let mut work = 1u64; // the O(1) mutation + bookkeeping
+        match update {
+            Update::Insert(u, v) => {
+                self.graph.insert_edge(u, v);
+                self.max_degree_seen = self
+                    .max_degree_seen
+                    .max(self.graph.degree(u))
+                    .max(self.graph.degree(v));
+            }
+            Update::Delete(u, v) => {
+                self.graph.delete_edge(u, v);
+                // Prune the output and the pending matching in O(1).
+                if self.output.mate(u) == Some(v) {
+                    self.output.remove_pair(u);
+                    work += 1;
+                }
+                if let Some(p) = &mut self.pending {
+                    if p.mate(u) == Some(v) {
+                        p.remove_pair(u);
+                        work += 1;
+                    }
+                }
+            }
+        }
+        work += self.share;
+        self.window_left = self.window_left.saturating_sub(1);
+        let mut swapped = false;
+        if self.window_left == 0 {
+            // Window boundary: publish the pending matching (already pruned
+            // of in-window deletions), start a fresh computation on the
+            // current graph, and size the next window.
+            if let Some(p) = self.pending.take() {
+                self.output = p;
+            }
+            let static_work = self.start_background();
+            let window = ((self.params.eps / 4.0) * self.output.len().max(1) as f64).floor()
+                as usize;
+            let window = window.max(1);
+            self.window_left = window;
+            self.share = static_work.div_ceil(window as u64);
+            swapped = true;
+        }
+        UpdateReport { work, swapped }
+    }
+
+    /// Run the static `(1+ε/4)` pipeline on a snapshot of the current
+    /// graph; store the result as pending; return its measured work units.
+    fn start_background(&mut self) -> u64 {
+        self.seed_counter += 1;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.base_seed ^ self.seed_counter.wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        let stage_eps = self.params.eps / 4.0;
+        // Stage-ε sparsifier parameters with the caller's Δ-scaling.
+        let n = self.graph.num_vertices();
+        let mut work = 0u64;
+
+        // Sparsify straight off the dynamic adjacency (it implements the
+        // oracle), visiting only non-isolated vertices — the dynamic
+        // structure knows them for free, and skipping the rest is what
+        // turns the naive O(n·Δ) construction cost into the refined
+        // O(|MCM|·β·Δ) of Observation 2.10 + Lemma 2.2 (n' ≤ (β+2)·|MCM|).
+        // Work: one unit per adjacency probe (≤ mark_cap per vertex).
+        let mut sampler =
+            sparsimatch_core::sampler::PosArraySampler::new(self.max_degree_seen.max(1));
+        let mut indices: Vec<u32> = Vec::new();
+        let mut marks: Vec<(VertexId, VertexId)> = Vec::new();
+        for v in 0..n {
+            let v = VertexId::new(v);
+            let deg = self.graph.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            sparsimatch_core::sampler::mark_indices_for_vertex(
+                &self.graph,
+                v,
+                self.params.delta,
+                self.params.mark_cap(),
+                &mut sampler,
+                &mut rng,
+                &mut indices,
+            );
+            for &i in &indices {
+                marks.push((v, self.graph.neighbor(v, i as usize)));
+            }
+            work += deg.min(self.params.mark_cap()) as u64 + 1;
+        }
+        let mut b = GraphBuilder::with_capacity(n, marks.len());
+        for (u, v) in marks {
+            b.add_edge(u, v);
+        }
+        let sparse = b.build();
+        work += sparse.num_edges() as u64;
+
+        // Greedy + bounded augmentation on the sparsifier.
+        let init = greedy_maximal_matching(&sparse);
+        work += sparse.num_edges() as u64;
+        let (m, stats) = approx_maximum_matching_from(&sparse, init, stage_eps);
+        work += stats.edge_visits;
+
+        self.pending = Some(m);
+        work
+    }
+
+    /// Theory bound on the worst-case per-update work: `O(Δ/ε³)` units.
+    /// The constants reflect this implementation's splitting: the static
+    /// stage runs at ε/4, its augmentation visits `O(m_Δ/(ε/4))` edges
+    /// with `m_Δ ≤ 4·|MCM|·Δ`, and the window has `⌊ε/4·|M|⌋` updates —
+    /// so the per-update share is about `Δ·(4/ε)²·4/ε = 64·Δ/ε³`.
+    pub fn work_bound(&self) -> u64 {
+        let eps = self.params.eps;
+        (64.0 * self.params.mark_cap() as f64 / (eps * eps * eps)) as u64 + 1
+    }
+}
+
+use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Update;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use sparsimatch_matching::blossom::maximum_matching;
+
+    fn insert(u: usize, v: usize) -> Update {
+        Update::Insert(VertexId::new(u), VertexId::new(v))
+    }
+    fn delete(u: usize, v: usize) -> Update {
+        Update::Delete(VertexId::new(u), VertexId::new(v))
+    }
+
+    #[test]
+    fn output_always_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = SparsifierParams::practical(2, 0.5);
+        let mut dm = DynamicMatcher::new(40, params, 7);
+        let mut reference = AdjListGraph::new(40);
+        for step in 0..1500 {
+            let u = rng.random_range(0..40);
+            let v = rng.random_range(0..40);
+            if u == v {
+                continue;
+            }
+            let upd = if rng.random_bool(0.6) {
+                reference.insert_edge(VertexId::new(u), VertexId::new(v));
+                insert(u, v)
+            } else {
+                reference.delete_edge(VertexId::new(u), VertexId::new(v));
+                delete(u, v)
+            };
+            dm.apply(upd);
+            // Validity: every output pair is a current edge (checked on a
+            // sample of steps plus the first 50, where churn is highest).
+            if step < 50 || step % 25 == 0 {
+                let snapshot = dm.graph().to_csr();
+                assert!(dm.matching().is_valid_for(&snapshot));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_only_stream_tracks_mcm() {
+        let params = SparsifierParams::practical(1, 0.4);
+        let mut dm = DynamicMatcher::new(100, params, 3);
+        // Build a clique incrementally.
+        for u in 0..100 {
+            for v in (u + 1)..100 {
+                dm.apply(insert(u, v));
+            }
+        }
+        let snapshot = dm.graph().to_csr();
+        let exact = maximum_matching(&snapshot).len();
+        assert_eq!(exact, 50);
+        // After ~5000 inserts the window machinery has cycled many times;
+        // the served matching must be within (1+eps) of 50 (whp), plus the
+        // stability slack of one window (<= eps/4 * |M|).
+        assert!(
+            dm.matching().len() as f64 * 1.55 >= exact as f64,
+            "served {} vs exact {exact}",
+            dm.matching().len()
+        );
+    }
+
+    #[test]
+    fn deletion_of_matched_edge_prunes_output() {
+        let params = SparsifierParams::practical(1, 0.5);
+        let mut dm = DynamicMatcher::new(4, params, 5);
+        dm.apply(insert(0, 1));
+        // Force window turnover so (0,1) can enter the output.
+        for _ in 0..50 {
+            dm.apply(insert(2, 3));
+            dm.apply(delete(2, 3));
+        }
+        if dm.matching().mate(VertexId(0)) == Some(VertexId(1)) {
+            dm.apply(delete(0, 1));
+            assert!(!dm.matching().is_matched(VertexId(0)));
+        }
+    }
+
+    #[test]
+    fn work_per_update_is_bounded_by_theory_shape() {
+        // On a growing clique stream (random insertion order, so the
+        // intermediate graphs keep small neighborhood independence — a
+        // row-major order would pass through star-like, huge-β states the
+        // theorem does not cover), per-update work must stay within a
+        // constant factor of the O(Δ/ε³) bound — in particular it must
+        // not grow with n.
+        use rand::seq::SliceRandom;
+        let params = SparsifierParams::practical(3, 0.5);
+        let mut dm = DynamicMatcher::new(120, params, 11);
+        let mut edges: Vec<(usize, usize)> = (0..120)
+            .flat_map(|u| ((u + 1)..120).map(move |v| (u, v)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(99);
+        edges.shuffle(&mut rng);
+        let mut max_work = 0u64;
+        for (u, v) in edges {
+            let r = dm.apply(insert(u, v));
+            max_work = max_work.max(r.work);
+        }
+        let bound = dm.work_bound();
+        assert!(
+            max_work <= 4 * bound,
+            "max work {max_work} vs theory shape {bound}"
+        );
+    }
+
+    #[test]
+    fn swap_reports_at_window_boundaries() {
+        let params = SparsifierParams::practical(1, 0.5);
+        let mut dm = DynamicMatcher::new(10, params, 13);
+        let mut swaps = 0;
+        for i in 0..100 {
+            let r = dm.apply(insert(i % 9, (i + 1) % 9));
+            swaps += r.swapped as u64;
+        }
+        assert!(swaps > 0, "windows must turn over");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the dynamic matchers.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_dynamic::adversary::Update;
+use sparsimatch_dynamic::oblivious::ObliviousDynamicSparsifier;
+use sparsimatch_dynamic::scheme::DynamicMatcher;
+use sparsimatch_graph::ids::VertexId;
+
+const N: usize = 14;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(usize, usize),
+    Delete(usize, usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..N, 0..N).prop_map(|(u, v)| Op::Insert(u, v)),
+            (0..N, 0..N).prop_map(|(u, v)| Op::Delete(u, v)),
+        ],
+        0..120,
+    )
+}
+
+fn to_update(op: &Op) -> Option<Update> {
+    match *op {
+        Op::Insert(u, v) if u != v => {
+            Some(Update::Insert(VertexId::new(u), VertexId::new(v)))
+        }
+        Op::Delete(u, v) if u != v => {
+            Some(Update::Delete(VertexId::new(u), VertexId::new(v)))
+        }
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn served_matching_is_always_valid(ops in arb_ops(), seed in any::<u64>()) {
+        let params = SparsifierParams::practical(2, 0.5);
+        let mut dm = DynamicMatcher::new(N, params, seed);
+        for op in &ops {
+            if let Some(u) = to_update(op) {
+                dm.apply(u);
+                let snapshot = dm.graph().to_csr();
+                prop_assert!(dm.matching().is_valid_for(&snapshot));
+            }
+        }
+    }
+
+    #[test]
+    fn oblivious_sparsifier_invariants_under_arbitrary_ops(ops in arb_ops(), seed in any::<u64>()) {
+        let params = SparsifierParams::with_delta(2, 0.5, 2);
+        let mut s = ObliviousDynamicSparsifier::new(N, params);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for op in &ops {
+            match *op {
+                Op::Insert(u, v) if u != v => {
+                    s.insert_edge(VertexId::new(u), VertexId::new(v), &mut rng);
+                }
+                Op::Delete(u, v) if u != v => {
+                    s.delete_edge(VertexId::new(u), VertexId::new(v), &mut rng);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(s.check_invariants());
+        // Sparsifier ⊆ current graph.
+        let snapshot = s.graph().to_csr();
+        for (_, u, v) in s.sparsifier_graph().edges() {
+            prop_assert!(snapshot.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn work_reports_are_positive_and_bounded(ops in arb_ops(), seed in any::<u64>()) {
+        let params = SparsifierParams::with_delta(2, 0.5, 3);
+        let mut dm = DynamicMatcher::new(N, params, seed);
+        for op in &ops {
+            if let Some(u) = to_update(op) {
+                let r = dm.apply(u);
+                prop_assert!(r.work >= 1);
+                // On 14 vertices nothing can legitimately cost more than a
+                // generous constant.
+                prop_assert!(r.work < 100_000);
+            }
+        }
+    }
+}

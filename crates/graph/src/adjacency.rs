@@ -1,0 +1,205 @@
+//! The read-only adjacency-array access model and probe accounting.
+//!
+//! Sublinear-time claims (Theorem 3.1, and the [Assadi–Solomon ICALP'19]
+//! baseline) are statements about the number of *probes* to the adjacency
+//! arrays, not about wall-clock time on any particular machine. The
+//! [`AdjacencyOracle`] trait captures exactly the two operations the model
+//! grants in O(1) — `deg(v)` and "the i-th neighbor of v" — and
+//! [`CountingOracle`] wraps any oracle with cheap probe counters so that
+//! experiments can report machine-independent complexities.
+
+use crate::csr::CsrGraph;
+use crate::ids::{EdgeId, VertexId};
+use std::cell::Cell;
+
+/// Read-only access to a graph in the adjacency-array model.
+///
+/// Implementations must answer both queries in O(1), as the model assumes
+/// (Section 3.1 of the paper: "we can determine the degree of any vertex v
+/// or its i-th neighbor ... in O(1) time").
+pub trait AdjacencyOracle {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// The degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// The `i`-th entry of `v`'s adjacency array, `i < degree(v)`.
+    fn neighbor(&self, v: VertexId, i: usize) -> VertexId;
+
+    /// The undirected edge behind `v`'s `i`-th half-edge, when the backing
+    /// store knows it. A CSR-backed oracle always does; synthetic oracles
+    /// (e.g. the Lemma 2.13 adversary) may not.
+    fn incident_edge(&self, v: VertexId, i: usize) -> Option<EdgeId> {
+        let _ = (v, i);
+        None
+    }
+}
+
+impl AdjacencyOracle for CsrGraph {
+    #[inline(always)]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline(always)]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline(always)]
+    fn neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        CsrGraph::neighbor(self, v, i)
+    }
+
+    #[inline(always)]
+    fn incident_edge(&self, v: VertexId, i: usize) -> Option<EdgeId> {
+        Some(CsrGraph::incident_edge(self, v, i))
+    }
+}
+
+impl<T: AdjacencyOracle + ?Sized> AdjacencyOracle for &T {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+    fn neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        (**self).neighbor(v, i)
+    }
+    fn incident_edge(&self, v: VertexId, i: usize) -> Option<EdgeId> {
+        (**self).incident_edge(v, i)
+    }
+}
+
+/// Probe counts accumulated by a [`CountingOracle`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeCounts {
+    /// Number of `degree` queries.
+    pub degree_probes: u64,
+    /// Number of `neighbor` (adjacency-array entry) queries.
+    pub neighbor_probes: u64,
+}
+
+impl ProbeCounts {
+    /// Total probes of either kind.
+    pub fn total(&self) -> u64 {
+        self.degree_probes + self.neighbor_probes
+    }
+}
+
+/// Wraps an [`AdjacencyOracle`] and counts every probe.
+///
+/// Counters use `Cell` so that counting works through shared references —
+/// algorithms take `&impl AdjacencyOracle` and never know they are being
+/// measured.
+pub struct CountingOracle<O> {
+    inner: O,
+    degree_probes: Cell<u64>,
+    neighbor_probes: Cell<u64>,
+}
+
+impl<O: AdjacencyOracle> CountingOracle<O> {
+    /// Wrap `inner` with fresh zero counters.
+    pub fn new(inner: O) -> Self {
+        CountingOracle {
+            inner,
+            degree_probes: Cell::new(0),
+            neighbor_probes: Cell::new(0),
+        }
+    }
+
+    /// The probe counts so far.
+    pub fn counts(&self) -> ProbeCounts {
+        ProbeCounts {
+            degree_probes: self.degree_probes.get(),
+            neighbor_probes: self.neighbor_probes.get(),
+        }
+    }
+
+    /// Reset counters to zero.
+    pub fn reset(&self) {
+        self.degree_probes.set(0);
+        self.neighbor_probes.set(0);
+    }
+
+    /// Unwrap the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Borrow the inner oracle without counting.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: AdjacencyOracle> AdjacencyOracle for CountingOracle<O> {
+    #[inline(always)]
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    #[inline(always)]
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree_probes.set(self.degree_probes.get() + 1);
+        self.inner.degree(v)
+    }
+
+    #[inline(always)]
+    fn neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        self.neighbor_probes.set(self.neighbor_probes.get() + 1);
+        self.inner.neighbor(v, i)
+    }
+
+    #[inline(always)]
+    fn incident_edge(&self, v: VertexId, i: usize) -> Option<EdgeId> {
+        self.inner.incident_edge(v, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+
+    #[test]
+    fn csr_implements_oracle() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let o: &dyn AdjacencyOracle = &g;
+        assert_eq!(o.num_vertices(), 3);
+        assert_eq!(o.degree(VertexId(1)), 2);
+        assert_eq!(o.neighbor(VertexId(1), 0), VertexId(0));
+        assert!(o.incident_edge(VertexId(1), 0).is_some());
+    }
+
+    #[test]
+    fn counting_oracle_counts() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let c = CountingOracle::new(&g);
+        assert_eq!(c.counts().total(), 0);
+        let _ = c.degree(VertexId(0));
+        let _ = c.neighbor(VertexId(1), 1);
+        let _ = c.neighbor(VertexId(1), 0);
+        let counts = c.counts();
+        assert_eq!(counts.degree_probes, 1);
+        assert_eq!(counts.neighbor_probes, 2);
+        assert_eq!(counts.total(), 3);
+        c.reset();
+        assert_eq!(c.counts().total(), 0);
+    }
+
+    #[test]
+    fn counting_is_transparent() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let c = CountingOracle::new(&g);
+        for v in 0..4 {
+            let v = VertexId::new(v);
+            assert_eq!(c.degree(v), g.degree(v));
+            for i in 0..g.degree(v) {
+                assert_eq!(c.neighbor(v, i), g.neighbor(v, i));
+            }
+        }
+    }
+}

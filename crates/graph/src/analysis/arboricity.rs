@@ -1,0 +1,284 @@
+//! Degeneracy, maximum subgraph density, pseudoarboricity, and arboricity.
+//!
+//! Observation 2.12 asserts the sparsifier `G_Δ` has arboricity ≤ 2Δ. By
+//! Nash–Williams, `α(G) = max_U ⌈|E(U)|/(|U|−1)⌉`; computing it exactly is
+//! a matroid-union computation, but it is sandwiched within 1 by the
+//! *pseudoarboricity* `p(G) = ⌈ρ*(G)⌉` where `ρ*(G) = max_U |E(U)|/|U|` is
+//! the maximum subgraph density:
+//!
+//! ```text
+//! p(G) ≤ α(G) ≤ p(G) + 1         and         α(G) ≤ degeneracy(G)
+//! ```
+//!
+//! We compute `ρ*` **exactly** with Goldberg's flow reduction (binary
+//! search over the O(n²) candidate densities, one Dinic run per step), so
+//! experiments can verify `α(G_Δ) ≤ 2Δ` through certified bounds rather
+//! than heuristics.
+
+use super::flow::{FlowNetwork, INF};
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// The degeneracy of `G`: the smallest `d` such that every subgraph has a
+/// vertex of degree ≤ `d`. Computed by bucket peeling in O(n + m).
+///
+/// Satisfies `α(G) ≤ degeneracy(G) ≤ 2α(G) − 1`.
+pub fn degeneracy(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(VertexId::new(v))).collect();
+    let max_deg = *deg.iter().max().unwrap();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in deg.iter().enumerate() {
+        buckets[d].push(v as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize; // lowest possibly-nonempty bucket
+    for _ in 0..n {
+        // Find the lowest-degree live vertex.
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        // Buckets hold stale entries; skip them.
+        let v = loop {
+            while cursor <= max_deg && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let candidate = buckets[cursor].pop().unwrap();
+            let cu = candidate as usize;
+            if !removed[cu] && deg[cu] == cursor {
+                break cu;
+            }
+        };
+        degeneracy = degeneracy.max(deg[v]);
+        removed[v] = true;
+        for u in g.neighbors(VertexId::new(v)) {
+            let u = u.index();
+            if !removed[u] {
+                deg[u] -= 1;
+                buckets[deg[u]].push(u as u32);
+                cursor = cursor.min(deg[u]);
+            }
+        }
+    }
+    degeneracy
+}
+
+/// The exact maximum subgraph density `ρ* = max_{∅≠U⊆V} |E(U)| / |U|`,
+/// returned as an exact fraction `(|E(U*)|, |U*|)` for a densest `U*`.
+///
+/// Goldberg's reduction: for a guess `g = a/b`, build the network
+/// `s →(b) e → u, v (∞)`, `u →(a) t` for every edge node `e = {u,v}` and
+/// vertex node `u`; then `min-cut < m·b` iff some subgraph has density
+/// > `a/b`. Distinct densities differ by ≥ `1/(n(n−1))`, so a binary
+/// search on integers `a` with fixed denominator `b = n(n−1)` pins the
+/// optimum, after which the cut's vertex side identifies `U*` and we read
+/// off the exact fraction.
+pub fn max_density(g: &CsrGraph) -> (u64, u64) {
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    if m == 0 {
+        return (0, 1);
+    }
+    let b = n * (n - 1); // common denominator
+    let mut lo = 0u64; // density > lo/b is known achievable
+    let mut hi = m * b; // density > hi/b is known unachievable (ρ* ≤ m)
+    // Invariant: exists U with density > lo/b (density ≥ smallest positive
+    // density > 0 = lo/b initially since m ≥ 1); no U has density > hi/b.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if denser_than(g, mid, b) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Some subgraph has density > lo/b and none exceeds hi/b = (lo+1)/b.
+    // Extract the witness for guess lo/b.
+    let witness = densest_witness(g, lo, b);
+    let (edges, verts) = subgraph_size(g, &witness);
+    debug_assert!(verts > 0);
+    (edges, verts)
+}
+
+/// Does some nonempty `U` have `|E(U)|/|U| > a/b`?
+fn denser_than(g: &CsrGraph, a: u64, b: u64) -> bool {
+    let (mut net, s, t, mb) = goldberg_network(g, a, b);
+    net.max_flow(s, t) < mb
+}
+
+/// The vertex set of a subgraph with density > `a/b` (valid when one
+/// exists): vertex nodes on the source side of the min cut.
+fn densest_witness(g: &CsrGraph, a: u64, b: u64) -> Vec<bool> {
+    let (mut net, s, t, _mb) = goldberg_network(g, a, b);
+    net.max_flow(s, t);
+    let side = net.min_cut_source_side(s);
+    let m = g.num_edges();
+    (0..g.num_vertices()).map(|v| side[1 + m + v]).collect()
+}
+
+/// Nodes: 0 = s, 1..=m = edge nodes, m+1..=m+n = vertex nodes, last = t.
+fn goldberg_network(g: &CsrGraph, a: u64, b: u64) -> (FlowNetwork, usize, usize, u64) {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let s = 0usize;
+    let t = 1 + m + n;
+    let mut net = FlowNetwork::new(t + 1);
+    for (e, u, v) in g.edges() {
+        let enode = 1 + e.index();
+        net.add_arc(s, enode, b);
+        net.add_arc(enode, 1 + m + u.index(), INF);
+        net.add_arc(enode, 1 + m + v.index(), INF);
+    }
+    for v in 0..n {
+        net.add_arc(1 + m + v, t, a);
+    }
+    (net, s, t, m as u64 * b)
+}
+
+fn subgraph_size(g: &CsrGraph, keep: &[bool]) -> (u64, u64) {
+    let verts = keep.iter().filter(|&&k| k).count() as u64;
+    let edges = g
+        .edges()
+        .filter(|&(_, u, v)| keep[u.index()] && keep[v.index()])
+        .count() as u64;
+    (edges, verts)
+}
+
+/// The pseudoarboricity `p(G) = ⌈ρ*(G)⌉` (max density rounded up).
+pub fn pseudoarboricity(g: &CsrGraph) -> usize {
+    let (num, den) = max_density(g);
+    num.div_ceil(den) as usize
+}
+
+/// Certified bounds `(lo, hi)` with `lo ≤ α(G) ≤ hi`:
+/// `lo = max(p, ⌈max_U |E(U)|/(|U|−1)⌉ on the densest witness)` and
+/// `hi = min(p + 1, degeneracy)`.
+pub fn arboricity_bounds(g: &CsrGraph) -> (usize, usize) {
+    if g.num_edges() == 0 {
+        return (0, 0);
+    }
+    let (num, den) = max_density(g);
+    let p = num.div_ceil(den) as usize;
+    // Nash–Williams on the densest witness gives a valid lower bound with
+    // the correct (|U|−1) denominator.
+    let nw_lo = if den >= 2 {
+        num.div_ceil(den - 1) as usize
+    } else {
+        p
+    };
+    let lo = p.max(nw_lo);
+    let hi = (p + 1).min(degeneracy(g)).max(lo);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::generators::{clique, complete_bipartite, cycle, path, star};
+
+    #[test]
+    fn degeneracy_basics() {
+        assert_eq!(degeneracy(&path(10)), 1);
+        assert_eq!(degeneracy(&cycle(10)), 2);
+        assert_eq!(degeneracy(&star(10)), 1);
+        assert_eq!(degeneracy(&clique(6)), 5);
+        assert_eq!(degeneracy(&complete_bipartite(3, 7)), 3);
+    }
+
+    #[test]
+    fn degeneracy_of_empty_and_trivial() {
+        assert_eq!(degeneracy(&from_edges(0, [])), 0);
+        assert_eq!(degeneracy(&from_edges(5, [])), 0);
+    }
+
+    #[test]
+    fn max_density_of_clique() {
+        // K_5: density = 10/5 = 2.
+        let (num, den) = max_density(&clique(5));
+        assert_eq!((num * 2, den), (den * 4, den)); // num/den == 2
+        assert_eq!(num as f64 / den as f64, 2.0);
+    }
+
+    #[test]
+    fn max_density_finds_dense_core() {
+        // K_5 plus a long pendant path: densest subgraph is still K_5.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        for v in 5..20 {
+            edges.push((v - 1, v));
+        }
+        let g = from_edges(20, edges);
+        let (num, den) = max_density(&g);
+        assert_eq!(num as f64 / den as f64, 2.0, "core density 10/5");
+    }
+
+    #[test]
+    fn density_of_tree_is_under_one() {
+        let (num, den) = max_density(&path(8));
+        assert!(num < den, "trees have density < 1, got {num}/{den}");
+        assert_eq!(pseudoarboricity(&path(8)), 1);
+    }
+
+    #[test]
+    fn arboricity_bounds_on_knowns() {
+        // Trees: arboricity 1.
+        let (lo, hi) = arboricity_bounds(&star(12));
+        assert!(lo <= 1 && 1 <= hi, "star: ({lo},{hi})");
+        // Cycle: arboricity 2 (not a forest), pseudoarboricity 1.
+        let (lo, hi) = arboricity_bounds(&cycle(9));
+        assert!(lo <= 2 && 2 <= hi, "cycle: ({lo},{hi})");
+        // K_6: arboricity = ceil(15/5) = 3.
+        let (lo, hi) = arboricity_bounds(&clique(6));
+        assert!(lo <= 3 && 3 <= hi, "K6: ({lo},{hi})");
+        // K_{4,4}: arboricity = ceil(16/7) = 3.
+        let (lo, hi) = arboricity_bounds(&complete_bipartite(4, 4));
+        assert!(lo <= 3 && 3 <= hi, "K44: ({lo},{hi})");
+    }
+
+    #[test]
+    fn bounds_are_tight_window() {
+        for g in [clique(7), complete_bipartite(5, 6), cycle(11)] {
+            let (lo, hi) = arboricity_bounds(&g);
+            assert!(hi - lo <= 1, "window wider than 1: ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn density_brute_force_small() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let g = crate::generators::gnp(9, 0.4, &mut rng);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let (num, den) = max_density(&g);
+            // Brute force all nonempty subsets.
+            let n = g.num_vertices();
+            let mut best = (0u64, 1u64);
+            for mask in 1u32..(1 << n) {
+                let keep: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+                let (e, k) = super::subgraph_size(&g, &keep);
+                if e * best.1 > best.0 * k {
+                    best = (e, k);
+                }
+            }
+            assert_eq!(
+                num * best.1,
+                best.0 * den,
+                "flow {num}/{den} vs brute {}/{}",
+                best.0,
+                best.1
+            );
+        }
+    }
+}

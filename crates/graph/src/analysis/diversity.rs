@@ -1,0 +1,264 @@
+//! Graph diversity: maximal-clique membership counts.
+//!
+//! The *diversity* of a vertex is the number of maximal cliques containing
+//! it; the diversity of a graph is the maximum over vertices (Section 1.1
+//! of the paper, following Barenboim–Elkin–Maimon). Since each maximal
+//! clique contributes at most one vertex to an independent set inside a
+//! neighborhood, **β(G) ≤ diversity(G)** — the containment that puts the
+//! bounded-diversity family inside the paper's scope, and which the test
+//! suite verifies against the exact β computation.
+//!
+//! Maximal cliques are enumerated with Bron–Kerbosch with pivoting
+//! (worst-case exponential — `3^{n/3}` cliques exist — so the entry point
+//! takes an explicit budget and reports truncation instead of hanging).
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// Result of clique enumeration.
+#[derive(Clone, Debug)]
+pub struct CliqueReport {
+    /// Per-vertex maximal-clique membership counts.
+    pub membership: Vec<usize>,
+    /// Total maximal cliques found.
+    pub cliques: usize,
+    /// True if enumeration stopped at the budget (counts are then lower
+    /// bounds).
+    pub truncated: bool,
+}
+
+impl CliqueReport {
+    /// The graph diversity (max membership count).
+    pub fn diversity(&self) -> usize {
+        self.membership.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[derive(Clone)]
+struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    fn empty(n: usize) -> Self {
+        Bits {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+    fn full(n: usize) -> Self {
+        let mut b = Bits::empty(n);
+        for i in 0..n {
+            b.set(i);
+        }
+        b
+    }
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+    #[inline]
+    fn and(&self, o: &Bits) -> Bits {
+        Bits {
+            words: self.words.iter().zip(&o.words).map(|(a, b)| a & b).collect(),
+        }
+    }
+    #[inline]
+    fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+    #[inline]
+    fn count_and(&self, o: &Bits) -> usize {
+        self.words
+            .iter()
+            .zip(&o.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+    fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                (w != 0).then(|| {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    wi * 64 + b
+                })
+            })
+        })
+    }
+}
+
+/// Enumerate maximal cliques (up to `budget` of them) and report
+/// per-vertex membership counts.
+pub fn clique_report(g: &CsrGraph, budget: usize) -> CliqueReport {
+    let n = g.num_vertices();
+    let adj: Vec<Bits> = (0..n)
+        .map(|v| {
+            let mut b = Bits::empty(n);
+            for u in g.neighbors(VertexId::new(v)) {
+                b.set(u.index());
+            }
+            b
+        })
+        .collect();
+    let mut report = CliqueReport {
+        membership: vec![0; n],
+        cliques: 0,
+        truncated: false,
+    };
+    let mut r: Vec<usize> = Vec::new();
+    bron_kerbosch(
+        &adj,
+        &mut r,
+        Bits::full(n),
+        Bits::empty(n),
+        budget,
+        &mut report,
+    );
+    report
+}
+
+/// The graph diversity, or `None` if enumeration exceeded `budget`
+/// maximal cliques.
+pub fn diversity(g: &CsrGraph, budget: usize) -> Option<usize> {
+    let report = clique_report(g, budget);
+    (!report.truncated).then(|| report.diversity())
+}
+
+fn bron_kerbosch(
+    adj: &[Bits],
+    r: &mut Vec<usize>,
+    p: Bits,
+    x: Bits,
+    budget: usize,
+    report: &mut CliqueReport,
+) {
+    if report.truncated {
+        return;
+    }
+    if !p.any() && !x.any() {
+        // Isolated vertices form their own singleton maximal "cliques";
+        // count them like any other (r is empty only for the empty graph).
+        if !r.is_empty() {
+            if report.cliques >= budget {
+                report.truncated = true;
+                return;
+            }
+            report.cliques += 1;
+            for &v in r.iter() {
+                report.membership[v] += 1;
+            }
+        }
+        return;
+    }
+    // Pivot: vertex of P ∪ X with the most neighbors in P.
+    let pivot = p
+        .ones()
+        .chain(x.ones())
+        .max_by_key(|&u| adj[u].count_and(&p))
+        .expect("P ∪ X nonempty here");
+    let mut p = p;
+    let mut x = x;
+    let candidates: Vec<usize> = {
+        let mut not_nbr = p.clone();
+        for u in adj[pivot].ones() {
+            not_nbr.clear(u);
+        }
+        not_nbr.ones().collect()
+    };
+    for v in candidates {
+        r.push(v);
+        bron_kerbosch(adj, r, p.and(&adj[v]), x.and(&adj[v]), budget, report);
+        r.pop();
+        p.clear(v);
+        x.set(v);
+        if report.truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::independence::neighborhood_independence_exact;
+    use crate::csr::from_edges;
+    use crate::generators::{clique, cycle, gnp, path, star};
+
+    const BUDGET: usize = 100_000;
+
+    #[test]
+    fn clique_has_one_maximal_clique() {
+        let r = clique_report(&clique(7), BUDGET);
+        assert_eq!(r.cliques, 1);
+        assert_eq!(r.diversity(), 1);
+    }
+
+    #[test]
+    fn star_diversity_is_leaf_count() {
+        let r = clique_report(&star(8), BUDGET);
+        assert_eq!(r.cliques, 7, "each edge is a maximal clique");
+        assert_eq!(r.diversity(), 7, "the center is in all of them");
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(diversity(&path(6), BUDGET), Some(2));
+        assert_eq!(diversity(&cycle(6), BUDGET), Some(2));
+        assert_eq!(diversity(&cycle(3), BUDGET), Some(1), "triangle is a clique");
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let r = clique_report(&g, BUDGET);
+        assert_eq!(r.cliques, 2);
+        assert_eq!(r.diversity(), 2, "the shared vertex is in both");
+    }
+
+    #[test]
+    fn beta_bounded_by_diversity() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let g = gnp(16, 0.35, &mut rng);
+            let beta = neighborhood_independence_exact(&g);
+            let div = diversity(&g, BUDGET).expect("small graph within budget");
+            assert!(beta <= div, "beta {beta} > diversity {div}");
+        }
+    }
+
+    #[test]
+    fn budget_truncation_reported() {
+        // Turán-style graph with many maximal cliques: complete 5-partite
+        // with parts of size 3 has 3^5 = 243 maximal cliques.
+        let mut edges = Vec::new();
+        for u in 0..15 {
+            for v in (u + 1)..15 {
+                if u / 3 != v / 3 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = from_edges(15, edges);
+        let full = clique_report(&g, BUDGET);
+        assert_eq!(full.cliques, 243);
+        assert!(!full.truncated);
+        let cut = clique_report(&g, 10);
+        assert!(cut.truncated);
+        assert!(diversity(&g, 10).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(4, []);
+        let r = clique_report(&g, BUDGET);
+        // Each isolated vertex is a singleton maximal clique.
+        assert_eq!(r.cliques, 4);
+        assert_eq!(r.diversity(), 1);
+    }
+}

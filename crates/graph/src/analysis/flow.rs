@@ -1,0 +1,208 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Used by the exact densest-subgraph computation behind the arboricity
+//! measurements (Observation 2.12). Capacities are `u64`; `u64::MAX / 4`
+//! serves as +∞.
+
+/// Effectively infinite capacity (safe to add a few of these without
+/// overflow).
+pub const INF: u64 = u64::MAX / 4;
+
+#[derive(Clone, Debug)]
+struct Arc {
+    to: usize,
+    cap: u64,
+    /// Index of the reverse arc in `arcs[to]`.
+    rev: usize,
+}
+
+/// A flow network under construction / being solved.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    arcs: Vec<Vec<Arc>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            arcs: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Add a directed arc `from → to` with the given capacity (and a
+    /// residual reverse arc of capacity 0).
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: u64) {
+        let from_len = self.arcs[from].len();
+        let to_len = self.arcs[to].len();
+        self.arcs[from].push(Arc {
+            to,
+            cap,
+            rev: to_len,
+        });
+        self.arcs[to].push(Arc {
+            to: from,
+            cap: 0,
+            rev: from_len,
+        });
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for arc in &self.arcs[v] {
+                if arc.cap > 0 && self.level[arc.to] < 0 {
+                    self.level[arc.to] = self.level[v] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, pushed: u64) -> u64 {
+        if v == t {
+            return pushed;
+        }
+        while self.iter[v] < self.arcs[v].len() {
+            let i = self.iter[v];
+            let (to, cap, rev) = {
+                let a = &self.arcs[v][i];
+                (a.to, a.cap, a.rev)
+            };
+            if cap > 0 && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, pushed.min(cap));
+                if d > 0 {
+                    self.arcs[v][i].cap -= d;
+                    self.arcs[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Compute the maximum `s → t` flow. Consumes capacity; call once per
+    /// built network (clone first to reuse).
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t);
+        let mut flow = 0u64;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, INF);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After `max_flow`, the set of nodes reachable from `s` in the
+    /// residual network — the source side of a minimum cut.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.num_nodes()];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(v) = stack.pop() {
+            for arc in &self.arcs[v] {
+                if arc.cap > 0 && !seen[arc.to] {
+                    seen[arc.to] = true;
+                    stack.push(arc.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arc() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 5);
+        assert_eq!(net.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn diamond() {
+        // s=0, t=3; two disjoint paths of capacity 3 and 4.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3);
+        net.add_arc(1, 3, 3);
+        net.add_arc(0, 2, 4);
+        net.add_arc(2, 3, 4);
+        assert_eq!(net.max_flow(0, 3), 7);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 10);
+        net.add_arc(1, 2, 1);
+        net.add_arc(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 1);
+    }
+
+    #[test]
+    fn classic_augmenting_path_case() {
+        // The textbook instance where a naive greedy needs the residual
+        // back-arc: s-a, s-b, a-b, a-t, b-t.
+        let (s, a, b, t) = (0, 1, 2, 3);
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(s, a, 1000);
+        net.add_arc(s, b, 1000);
+        net.add_arc(a, b, 1);
+        net.add_arc(a, t, 1000);
+        net.add_arc(b, t, 1000);
+        assert_eq!(net.max_flow(s, t), 2000);
+    }
+
+    #[test]
+    fn min_cut_side_is_consistent() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 2);
+        net.add_arc(1, 2, 1); // unique min cut here
+        net.add_arc(2, 3, 2);
+        let f = net.max_flow(0, 3);
+        assert_eq!(f, 1);
+        let side = net.min_cut_source_side(0);
+        assert!(side[0] && side[1]);
+        assert!(!side[2] && !side[3]);
+    }
+
+    #[test]
+    fn bipartite_matching_via_flow() {
+        // 3x3 bipartite with a perfect matching.
+        let n = 8; // s=0, L=1..3, R=4..6, t=7
+        let mut net = FlowNetwork::new(n);
+        for l in 1..=3 {
+            net.add_arc(0, l, 1);
+        }
+        for r in 4..=6 {
+            net.add_arc(r, 7, 1);
+        }
+        for (l, r) in [(1, 4), (1, 5), (2, 5), (3, 5), (3, 6)] {
+            net.add_arc(l, r, 1);
+        }
+        assert_eq!(net.max_flow(0, 7), 3);
+    }
+}

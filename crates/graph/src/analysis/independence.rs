@@ -1,0 +1,323 @@
+//! The neighborhood independence number β.
+//!
+//! `β(G)` is the size of the largest independent set contained in the
+//! neighborhood `N(v)` of any vertex `v` — the parameter every theorem in
+//! the paper is stated in. Computing a maximum independent set is NP-hard
+//! in general, but the instances here are *neighborhood-induced* subgraphs
+//! of bounded-β families (unions of few cliques, disk packings, …), where
+//! a branch-and-bound with max-degree pivoting terminates quickly.
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// A dynamic bitset over at most `64 * words` elements.
+#[derive(Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn empty(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+    #[inline]
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+    #[inline]
+    fn and_not(&self, other: &BitSet) -> BitSet {
+        BitSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+    #[inline]
+    fn intersect_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+    fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Maximum independent set size of the graph given as adjacency bitsets
+/// (`adj[i]` = neighbors of local vertex `i`), optionally stopping early
+/// once `stop_at` is reached (pass `usize::MAX` for an exact answer).
+fn mis_size(adj: &[BitSet], n: usize, stop_at: usize) -> usize {
+    let mut candidates = BitSet::empty(n);
+    for i in 0..n {
+        candidates.set(i);
+    }
+    let mut best = 0usize;
+    mis_branch(adj, candidates, 0, &mut best, stop_at);
+    best
+}
+
+fn mis_branch(adj: &[BitSet], cand: BitSet, current: usize, best: &mut usize, stop_at: usize) {
+    if *best >= stop_at {
+        return;
+    }
+    let remaining = cand.count();
+    if current + remaining <= *best {
+        return; // bound: even taking everything can't beat best
+    }
+    if remaining == 0 {
+        *best = (*best).max(current);
+        return;
+    }
+    // Pivot on the candidate with the most candidate-neighbors; if it has
+    // none, the candidate set is independent and we take it whole.
+    let mut pivot = usize::MAX;
+    let mut pivot_deg = 0usize;
+    for i in cand.iter_ones() {
+        let d = adj[i].intersect_count(&cand);
+        if pivot == usize::MAX || d > pivot_deg {
+            pivot = i;
+            pivot_deg = d;
+        }
+    }
+    if pivot_deg == 0 {
+        *best = (*best).max(current + remaining);
+        return;
+    }
+    // Branch 1: include pivot (drop pivot and its neighbors).
+    let mut incl = cand.and_not(&adj[pivot]);
+    incl.clear(pivot);
+    mis_branch(adj, incl, current + 1, best, stop_at);
+    // Branch 2: exclude pivot.
+    let mut excl = cand;
+    excl.clear(pivot);
+    mis_branch(adj, excl, current, best, stop_at);
+}
+
+/// Independence number of the subgraph of `g` induced by `verts`, with
+/// early exit at `stop_at`.
+fn induced_mis(g: &CsrGraph, verts: &[VertexId], stop_at: usize) -> usize {
+    let k = verts.len();
+    if k == 0 {
+        return 0;
+    }
+    // Local index map.
+    let mut local = std::collections::HashMap::with_capacity(k);
+    for (i, &v) in verts.iter().enumerate() {
+        local.insert(v, i);
+    }
+    let mut adj: Vec<BitSet> = (0..k).map(|_| BitSet::empty(k)).collect();
+    for (i, &v) in verts.iter().enumerate() {
+        for u in g.neighbors(v) {
+            if let Some(&j) = local.get(&u) {
+                adj[i].set(j);
+                adj[j].set(i);
+            }
+        }
+    }
+    mis_size(&adj, k, stop_at)
+}
+
+/// The exact neighborhood independence number `β(G)`:
+/// `max_v MIS(G[N(v)])`, or 0 for edgeless graphs.
+///
+/// Worst-case exponential in the largest neighborhood, but fast on the
+/// bounded-β families this workspace targets. For a guaranteed-cheap
+/// variant use [`neighborhood_independence_at_most`].
+pub fn neighborhood_independence_exact(g: &CsrGraph) -> usize {
+    let mut beta = 0usize;
+    for v in 0..g.num_vertices() {
+        let v = VertexId::new(v);
+        let nbrs: Vec<VertexId> = g.neighbors(v).collect();
+        if nbrs.len() <= beta {
+            continue; // cannot beat current best
+        }
+        beta = beta.max(induced_mis(g, &nbrs, usize::MAX));
+    }
+    beta
+}
+
+/// The independence number of one vertex's neighborhood, exactly.
+pub fn neighborhood_mis(g: &CsrGraph, v: VertexId) -> usize {
+    let nbrs: Vec<VertexId> = g.neighbors(v).collect();
+    induced_mis(g, &nbrs, usize::MAX)
+}
+
+/// A sampled **lower bound** on β: the exact neighborhood independence of
+/// `samples` uniformly random vertices (biased toward high degree by
+/// also always including the max-degree vertex, which often realizes β).
+///
+/// Useful when the exact sweep is too slow; note the direction — for
+/// sizing Δ safely one wants an *upper* bound, e.g. the diversity bound
+/// of [`crate::analysis::diversity::diversity`], and this sampler only certifies
+/// "β is at least this".
+pub fn estimate_beta_sampled(
+    g: &CsrGraph,
+    samples: usize,
+    rng: &mut impl rand::Rng,
+) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0usize;
+    if let Some(vmax) = (0..n).max_by_key(|&v| g.degree(VertexId::new(v))) {
+        best = neighborhood_mis(g, VertexId::new(vmax));
+    }
+    for _ in 0..samples {
+        let v = VertexId::new(rng.random_range(0..n));
+        if g.degree(v) > best {
+            best = best.max(neighborhood_mis(g, v));
+        }
+    }
+    best
+}
+
+/// Decide whether `β(G) ≤ k`, terminating each per-neighborhood search as
+/// soon as an independent set of size `k + 1` is found. Much cheaper than
+/// the exact computation when the answer is "no".
+pub fn neighborhood_independence_at_most(g: &CsrGraph, k: usize) -> bool {
+    for v in 0..g.num_vertices() {
+        let v = VertexId::new(v);
+        let nbrs: Vec<VertexId> = g.neighbors(v).collect();
+        if nbrs.len() <= k {
+            continue;
+        }
+        if induced_mis(g, &nbrs, k + 1) > k {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::generators::{clique, complete_bipartite, cycle, path, star};
+
+    #[test]
+    fn clique_has_beta_one() {
+        assert_eq!(neighborhood_independence_exact(&clique(8)), 1);
+    }
+
+    #[test]
+    fn star_has_beta_n_minus_one() {
+        assert_eq!(neighborhood_independence_exact(&star(9)), 8);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        assert_eq!(neighborhood_independence_exact(&path(6)), 2);
+        assert_eq!(neighborhood_independence_exact(&cycle(6)), 2);
+        // Triangle: each neighborhood is an edge => beta 1.
+        assert_eq!(neighborhood_independence_exact(&cycle(3)), 1);
+    }
+
+    #[test]
+    fn complete_bipartite_beta() {
+        // N(left vertex) = right side, an independent set of size b.
+        assert_eq!(neighborhood_independence_exact(&complete_bipartite(3, 5)), 5);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        assert_eq!(neighborhood_independence_exact(&from_edges(4, [])), 0);
+    }
+
+    #[test]
+    fn sampled_estimate_is_a_lower_bound_and_often_tight() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let g = crate::generators::gnp(20, 0.3, &mut rng);
+            let exact = neighborhood_independence_exact(&g);
+            let est = estimate_beta_sampled(&g, 10, &mut rng);
+            assert!(est <= exact, "estimate {est} above exact {exact}");
+        }
+        // On a star the max-degree vertex realizes beta, so the estimate
+        // is exact.
+        let s = crate::generators::star(15);
+        assert_eq!(estimate_beta_sampled(&s, 0, &mut rng), 14);
+    }
+
+    #[test]
+    fn neighborhood_mis_matches_definition() {
+        let g = crate::generators::complete_bipartite(2, 6);
+        // Left vertices see the 6-element independent right side.
+        assert_eq!(neighborhood_mis(&g, VertexId(0)), 6);
+        // Right vertices see the 2-element independent left side.
+        assert_eq!(neighborhood_mis(&g, VertexId(5)), 2);
+    }
+
+    #[test]
+    fn at_most_agrees_with_exact() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..20 {
+            let g = crate::generators::gnp(14, 0.35, &mut rng);
+            let beta = neighborhood_independence_exact(&g);
+            if beta > 0 {
+                assert!(!neighborhood_independence_at_most(&g, beta - 1));
+            }
+            assert!(neighborhood_independence_at_most(&g, beta));
+            assert!(neighborhood_independence_at_most(&g, beta + 1));
+        }
+    }
+
+    #[test]
+    fn mis_brute_force_cross_check() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4321);
+        for _ in 0..10 {
+            let g = crate::generators::gnp(12, 0.3, &mut rng);
+            // Brute force beta.
+            let n = g.num_vertices();
+            let mut brute = 0usize;
+            for v in 0..n {
+                let nbrs: Vec<usize> = g.neighbors(VertexId::new(v)).map(|u| u.index()).collect();
+                // All subsets of the neighborhood.
+                for mask in 0u32..(1 << nbrs.len()) {
+                    let chosen: Vec<usize> = (0..nbrs.len())
+                        .filter(|&i| mask >> i & 1 == 1)
+                        .map(|i| nbrs[i])
+                        .collect();
+                    let independent = chosen.iter().enumerate().all(|(i, &a)| {
+                        chosen[i + 1..]
+                            .iter()
+                            .all(|&b| !g.has_edge(VertexId::new(a), VertexId::new(b)))
+                    });
+                    if independent {
+                        brute = brute.max(chosen.len());
+                    }
+                }
+            }
+            assert_eq!(neighborhood_independence_exact(&g), brute);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Structural graph analysis.
+//!
+//! * [`flow`] — Dinic max-flow, the substrate for exact densest-subgraph.
+//! * [`arboricity`] — degeneracy, exact maximum subgraph density
+//!   (Goldberg's flow reduction), pseudoarboricity, and Nash–Williams
+//!   arboricity bounds: the quantities behind Observation 2.12.
+//! * [`independence`] — the neighborhood independence number β itself,
+//!   exact (branch & bound over neighborhood induced subgraphs) and capped.
+
+pub mod arboricity;
+pub mod diversity;
+pub mod flow;
+pub mod independence;
+
+pub use arboricity::{arboricity_bounds, degeneracy, max_density, pseudoarboricity};
+pub use diversity::{clique_report, diversity, CliqueReport};
+pub use independence::{
+    neighborhood_independence_at_most, neighborhood_independence_exact,
+};

@@ -1,0 +1,404 @@
+//! Immutable compressed-sparse-row (CSR) graphs.
+//!
+//! [`CsrGraph`] is the in-memory realization of the paper's *adjacency-array
+//! representation* (Section 3.1): for every vertex `v` we can read `deg(v)`
+//! and the `i`-th neighbor of `v` in O(1), and the arrays are read-only.
+//! Every half-edge also records the id of its undirected parent edge, which
+//! lets sparsifier constructions collect "marked" edges without hashing.
+
+use crate::ids::{EdgeId, VertexId};
+
+/// An immutable undirected graph in CSR form.
+///
+/// ```
+/// use sparsimatch_graph::csr::from_edges;
+/// use sparsimatch_graph::ids::VertexId;
+///
+/// let g = from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.degree(VertexId(2)), 3);
+/// assert_eq!(g.neighbor(VertexId(2), 0), VertexId(0)); // sorted adjacency
+/// assert!(g.has_edge(VertexId(3), VertexId(2)));
+/// ```
+///
+/// Invariants (enforced by [`GraphBuilder`]):
+/// * no self-loops and no parallel edges;
+/// * each undirected edge `{u, v}` appears as two half-edges, one in each
+///   endpoint's adjacency array, both carrying the same [`EdgeId`];
+/// * adjacency arrays are sorted by neighbor id (enables O(log deg)
+///   adjacency queries).
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `v`'s half-edges.
+    offsets: Vec<usize>,
+    /// Neighbor endpoint of each half-edge.
+    targets: Vec<u32>,
+    /// Undirected parent edge of each half-edge.
+    half_edge_ids: Vec<u32>,
+    /// Endpoints `(u, v)` with `u < v` of each undirected edge.
+    endpoints: Vec<(u32, u32)>,
+}
+
+impl CsrGraph {
+    /// The number of vertices `n`.
+    #[inline(always)]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The number of undirected edges `m`.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The degree of `v`.
+    #[inline(always)]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// The maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(VertexId::new(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The number of vertices with at least one incident edge (the paper's
+    /// `n'`; success probabilities depend on `n'` rather than `n`).
+    pub fn num_non_isolated(&self) -> usize {
+        (0..self.num_vertices())
+            .filter(|&v| self.degree(VertexId::new(v)) > 0)
+            .count()
+    }
+
+    /// The `i`-th neighbor of `v` (O(1), as the adjacency-array model
+    /// requires). Panics if `i >= degree(v)`.
+    #[inline(always)]
+    pub fn neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        debug_assert!(i < self.degree(v));
+        VertexId(self.targets[self.offsets[v.index()] + i])
+    }
+
+    /// The undirected edge id of `v`'s `i`-th half-edge.
+    #[inline(always)]
+    pub fn incident_edge(&self, v: VertexId, i: usize) -> EdgeId {
+        debug_assert!(i < self.degree(v));
+        EdgeId(self.half_edge_ids[self.offsets[v.index()] + i])
+    }
+
+    /// All neighbors of `v`, sorted by id.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+            .iter()
+            .map(|&t| VertexId(t))
+    }
+
+    /// All `(neighbor, edge_id)` pairs incident on `v`.
+    #[inline]
+    pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let lo = self.offsets[v.index()];
+        let hi = self.offsets[v.index() + 1];
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.half_edge_ids[lo..hi])
+            .map(|(&t, &e)| (VertexId(t), EdgeId(e)))
+    }
+
+    /// The endpoints `(u, v)` with `u < v` of undirected edge `e`.
+    #[inline(always)]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let (u, v) = self.endpoints[e.index()];
+        (VertexId(u), VertexId(v))
+    }
+
+    /// All undirected edges as `(EdgeId, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId::new(i), VertexId(u), VertexId(v)))
+    }
+
+    /// Whether `{u, v}` is an edge (O(log min-degree) via binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// The edge id of `{u, v}` if present (O(log min-degree)).
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let lo = self.offsets[a.index()];
+        let hi = self.offsets[a.index() + 1];
+        let slice = &self.targets[lo..hi];
+        slice
+            .binary_search(&b.0)
+            .ok()
+            .map(|i| EdgeId(self.half_edge_ids[lo + i]))
+    }
+
+    /// The subgraph consisting of the given undirected edges (vertex set is
+    /// preserved). Edge ids are renumbered densely in the result.
+    pub fn edge_subgraph(&self, keep: impl Iterator<Item = EdgeId>) -> CsrGraph {
+        let mut builder = GraphBuilder::new(self.num_vertices());
+        for e in keep {
+            let (u, v) = self.edge_endpoints(e);
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+
+    /// The subgraph induced by `keep[v] == true` vertices. The vertex set is
+    /// preserved (dropped vertices become isolated), which keeps vertex ids
+    /// stable across the sparsifier pipeline.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> CsrGraph {
+        assert_eq!(keep.len(), self.num_vertices());
+        let mut builder = GraphBuilder::new(self.num_vertices());
+        for (_, u, v) in self.edges() {
+            if keep[u.index()] && keep[v.index()] {
+                builder.add_edge(u, v);
+            }
+        }
+        builder.build()
+    }
+
+    /// Total memory held by the four internal arrays, in bytes. Useful for
+    /// documenting that sparsifiers are small.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * 4
+            + self.half_edge_ids.len() * 4
+            + self.endpoints.len() * 8
+    }
+}
+
+/// Builder for [`CsrGraph`]: accumulates undirected edges, deduplicates,
+/// drops self-loops, then lays out sorted CSR arrays.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices and no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            num_vertices: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// A builder pre-sized for roughly `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            num_vertices: n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Add the undirected edge `{u, v}`. Self-loops are ignored; duplicates
+    /// are deduplicated at `build` time.
+    #[inline]
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(
+            u.index() < self.num_vertices && v.index() < self.num_vertices,
+            "edge endpoint out of range"
+        );
+        if u == v {
+            return;
+        }
+        let (a, b) = if u.0 < v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        self.edges.push((a, b));
+    }
+
+    /// Bulk-add edges from `(u, v)` index pairs.
+    pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (usize, usize)>) {
+        for (u, v) in it {
+            self.add_edge(VertexId::new(u), VertexId::new(v));
+        }
+    }
+
+    /// Finalize into a [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.num_vertices;
+        let m = self.edges.len();
+
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+
+        let mut targets = vec![0u32; 2 * m];
+        let mut half_edge_ids = vec![0u32; 2 * m];
+        let mut cursor = offsets[..n].to_vec();
+        for (eid, &(u, v)) in self.edges.iter().enumerate() {
+            let eid = eid as u32;
+            targets[cursor[u as usize]] = v;
+            half_edge_ids[cursor[u as usize]] = eid;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            half_edge_ids[cursor[v as usize]] = eid;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency window by neighbor id, carrying edge ids along.
+        for v in 0..n {
+            let lo = offsets[v];
+            let hi = offsets[v + 1];
+            let mut window: Vec<(u32, u32)> = targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(half_edge_ids[lo..hi].iter().copied())
+                .collect();
+            window.sort_unstable();
+            for (i, (t, e)) in window.into_iter().enumerate() {
+                targets[lo + i] = t;
+                half_edge_ids[lo + i] = e;
+            }
+        }
+
+        CsrGraph {
+            offsets,
+            targets,
+            half_edge_ids,
+            endpoints: self.edges,
+        }
+    }
+}
+
+/// Build a graph directly from an iterator of `(u, v)` index pairs.
+pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges(edges);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1, 1-2, 2-0, 2-3
+        from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(VertexId(0)), 2);
+        assert_eq!(g.degree(VertexId(2)), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.num_non_isolated(), 4);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let g = from_edges(5, [(0, 1)]);
+        assert_eq!(g.num_non_isolated(), 2);
+        assert_eq!(g.degree(VertexId(4)), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let g = triangle_plus_pendant();
+        let nbrs: Vec<u32> = g.neighbors(VertexId(2)).map(|v| v.0).collect();
+        assert_eq!(nbrs, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let g = from_edges(3, [(0, 0), (0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn half_edges_share_edge_id() {
+        let g = triangle_plus_pendant();
+        for (e, u, v) in g.edges() {
+            let from_u = g
+                .incident(u)
+                .find(|&(t, _)| t == v)
+                .map(|(_, id)| id)
+                .unwrap();
+            let from_v = g
+                .incident(v)
+                .find(|&(t, _)| t == u)
+                .map(|(_, id)| id)
+                .unwrap();
+            assert_eq!(from_u, e);
+            assert_eq!(from_v, e);
+        }
+    }
+
+    #[test]
+    fn find_edge_works_both_ways() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+        assert!(!g.has_edge(VertexId(1), VertexId(1)));
+        let e = g.find_edge(VertexId(2), VertexId(3)).unwrap();
+        let (a, b) = g.edge_endpoints(e);
+        assert_eq!((a.0, b.0), (2, 3));
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_vertex_set() {
+        let g = triangle_plus_pendant();
+        let keep: Vec<EdgeId> = g
+            .edges()
+            .filter(|&(_, u, v)| u.0 == 0 || v.0 == 0)
+            .map(|(e, _, _)| e)
+            .collect();
+        let h = g.edge_subgraph(keep.into_iter());
+        assert_eq!(h.num_vertices(), 4);
+        assert_eq!(h.num_edges(), 2); // 0-1 and 0-2
+        assert_eq!(h.degree(VertexId(3)), 0);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = triangle_plus_pendant();
+        let h = g.induced_subgraph(&[true, true, true, false]);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.degree(VertexId(3)), 0);
+    }
+
+    #[test]
+    fn neighbor_ith_matches_iterator() {
+        let g = triangle_plus_pendant();
+        for v in 0..4 {
+            let v = VertexId::new(v);
+            let via_iter: Vec<VertexId> = g.neighbors(v).collect();
+            for (i, &u) in via_iter.iter().enumerate() {
+                assert_eq!(g.neighbor(v, i), u);
+            }
+        }
+    }
+}

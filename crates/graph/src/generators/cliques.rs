@@ -1,0 +1,186 @@
+//! Clique-based families: the densest bounded-β graphs and the paper's
+//! lower-bound instances.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::ids::VertexId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The complete graph `K_n`. β(K_n) = 1 and m = Θ(n²): the canonical
+/// "reading the input is already too slow" instance of the paper.
+pub fn clique(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(VertexId::new(u), VertexId::new(v));
+        }
+    }
+    b.build()
+}
+
+/// `K_n` minus the single edge `{missing.0, missing.1}` — the family `G_n`
+/// of Lemma 2.13. β = 2 (the two endpoints of the non-edge are the only
+/// non-adjacent pair in any neighborhood), and the graph has a perfect
+/// matching for even `n`.
+pub fn clique_minus_edge(n: usize, missing: (usize, usize)) -> CsrGraph {
+    assert!(missing.0 != missing.1 && missing.0 < n && missing.1 < n);
+    let miss = (
+        missing.0.min(missing.1) as u32,
+        missing.0.max(missing.1) as u32,
+    );
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2 - 1);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if (u, v) != miss {
+                b.add_edge(VertexId(u), VertexId(v));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Observation 2.14 instance: two disjoint cliques `A = K_half` and
+/// `B = K_half` with `half` **odd**, plus a single bridge edge between
+/// vertex 0 (in A) and vertex `half` (in B).
+///
+/// Every MCM has size `half` (= n/2) and must contain the bridge: without
+/// it, each odd clique matches at most `(half-1)/2` pairs internally, so
+/// any bridge-free matching has size `half - 1`.
+///
+/// Returns the graph and the bridge endpoints.
+pub fn two_cliques_bridge(half: usize) -> (CsrGraph, (VertexId, VertexId)) {
+    assert!(half >= 3 && half % 2 == 1, "each side must be odd and ≥ 3");
+    let n = 2 * half;
+    let mut b = GraphBuilder::with_capacity(n, half * (half - 1) + 1);
+    for u in 0..half {
+        for v in (u + 1)..half {
+            b.add_edge(VertexId::new(u), VertexId::new(v));
+            b.add_edge(VertexId::new(half + u), VertexId::new(half + v));
+        }
+    }
+    let bridge = (VertexId(0), VertexId::new(half));
+    b.add_edge(bridge.0, bridge.1);
+    (b.build(), bridge)
+}
+
+/// Configuration for [`clique_union`].
+#[derive(Clone, Copy, Debug)]
+pub struct CliqueUnionConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Diversity bound: each vertex joins at most this many cliques, so the
+    /// generated graph has β ≤ `diversity`.
+    pub diversity: usize,
+    /// Size of each clique (the last clique of a layer may be smaller).
+    pub clique_size: usize,
+}
+
+/// A random *bounded-diversity* graph: the union of `diversity` independent
+/// random partitions of the vertex set into cliques of size `clique_size`.
+///
+/// Every vertex belongs to at most `diversity` maximal cliques, so the
+/// neighborhood independence number is at most `diversity` (each clique
+/// contributes at most one vertex to any independent set — Section 1.1 of
+/// the paper). Density is tunable: `m ≈ n · diversity · (clique_size-1)/2`,
+/// so with `clique_size = Θ(n)` these graphs are dense while keeping β
+/// constant.
+pub fn clique_union(cfg: CliqueUnionConfig, rng: &mut impl Rng) -> CsrGraph {
+    assert!(cfg.clique_size >= 2, "cliques of size < 2 add no edges");
+    assert!(cfg.diversity >= 1);
+    let mut b = GraphBuilder::new(cfg.n);
+    let mut order: Vec<u32> = (0..cfg.n as u32).collect();
+    for _layer in 0..cfg.diversity {
+        order.shuffle(rng);
+        for group in order.chunks(cfg.clique_size) {
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    b.add_edge(VertexId(group[i]), VertexId(group[j]));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::independence::neighborhood_independence_exact;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn clique_counts() {
+        let g = clique(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(neighborhood_independence_exact(&g), 1);
+    }
+
+    #[test]
+    fn clique_minus_edge_shape() {
+        let g = clique_minus_edge(6, (1, 4));
+        assert_eq!(g.num_edges(), 14);
+        assert!(!g.has_edge(VertexId(1), VertexId(4)));
+        assert!(g.has_edge(VertexId(1), VertexId(3)));
+        assert_eq!(neighborhood_independence_exact(&g), 2);
+    }
+
+    #[test]
+    fn bridge_instance_shape() {
+        let (g, (a, b)) = two_cliques_bridge(5);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 2 * 10 + 1);
+        assert!(g.has_edge(a, b));
+        // The two sides are otherwise disconnected.
+        for u in 0..5u32 {
+            for v in 5..10u32 {
+                if (u, v) != (a.0, b.0) {
+                    assert!(!g.has_edge(VertexId(u), VertexId(v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clique_union_respects_diversity_beta_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for diversity in 1..=3 {
+            let g = clique_union(
+                CliqueUnionConfig {
+                    n: 40,
+                    diversity,
+                    clique_size: 8,
+                },
+                &mut rng,
+            );
+            let beta = neighborhood_independence_exact(&g);
+            assert!(
+                beta <= diversity,
+                "diversity {diversity} produced beta {beta}"
+            );
+            assert!(g.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn clique_union_density_scales() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sparse = clique_union(
+            CliqueUnionConfig {
+                n: 100,
+                diversity: 2,
+                clique_size: 4,
+            },
+            &mut rng,
+        );
+        let dense = clique_union(
+            CliqueUnionConfig {
+                n: 100,
+                diversity: 2,
+                clique_size: 50,
+            },
+            &mut rng,
+        );
+        assert!(dense.num_edges() > 4 * sparse.num_edges());
+    }
+}

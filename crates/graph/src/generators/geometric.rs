@@ -1,0 +1,347 @@
+//! Geometric intersection graphs: unit-disk graphs.
+//!
+//! Unit-disk graphs are the paper's flagship *bounded growth* family
+//! (Section 1.1): vertices are points in the plane, and two vertices are
+//! adjacent iff their distance is at most the radius. Any independent set
+//! inside a neighborhood consists of points that pairwise exceed distance
+//! `r` while all lying within distance `r` of the center — a classical
+//! packing argument bounds such a set by 5, hence β ≤ 5.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::ids::VertexId;
+use rand::Rng;
+
+/// Configuration for [`unit_disk`].
+#[derive(Clone, Copy, Debug)]
+pub struct UnitDiskConfig {
+    /// Number of points.
+    pub n: usize,
+    /// Side length of the square the points are drawn from.
+    pub side: f64,
+    /// Connection radius.
+    pub radius: f64,
+}
+
+impl UnitDiskConfig {
+    /// A configuration calibrated for an expected average degree: points in
+    /// a square sized so that each disk of the given radius contains
+    /// `avg_degree` other points in expectation.
+    pub fn with_expected_degree(n: usize, radius: f64, avg_degree: f64) -> Self {
+        // E[deg] = (n-1) * pi r^2 / side^2  =>  side = r * sqrt(pi (n-1)/avg).
+        let side = radius * (std::f64::consts::PI * (n.max(2) as f64 - 1.0) / avg_degree).sqrt();
+        UnitDiskConfig { n, side, radius }
+    }
+}
+
+/// A random unit-disk graph: `n` uniform points in a `side × side` square,
+/// edges between points at distance ≤ `radius`.
+///
+/// Uses a uniform grid with cells of side `radius` so construction is
+/// O(n + m) in expectation rather than O(n²).
+pub fn unit_disk(cfg: UnitDiskConfig, rng: &mut impl Rng) -> CsrGraph {
+    let UnitDiskConfig { n, side, radius } = cfg;
+    assert!(radius > 0.0 && side > 0.0);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..side), rng.random_range(0.0..side)))
+        .collect();
+    build_disk_graph(&pts, radius)
+}
+
+/// Build the unit-disk graph of an explicit point set (exposed for
+/// deterministic tests and for domain examples that bring their own layout).
+pub fn build_disk_graph(pts: &[(f64, f64)], radius: f64) -> CsrGraph {
+    let n = pts.len();
+    let r2 = radius * radius;
+    let cell = radius;
+    // Grid bucketing.
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for &(x, y) in pts {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    let cols = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+    let rows = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cols * rows];
+    let cell_of = |x: f64, y: f64| -> (usize, usize) {
+        let cx = (((x - min_x) / cell).floor() as usize).min(cols - 1);
+        let cy = (((y - min_y) / cell).floor() as usize).min(rows - 1);
+        (cx, cy)
+    };
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        grid[cy * cols + cx].push(i as u32);
+    }
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cols as i64 || ny >= rows as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cols + nx as usize] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let (px, py) = pts[j];
+                    let d2 = (px - x) * (px - x) + (py - y) * (py - y);
+                    if d2 <= r2 {
+                        b.add_edge(VertexId::new(i), VertexId::new(j));
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Configuration for [`disk_graph`]: disks with radii in
+/// `[r_min, ratio·r_min]`.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskConfig {
+    /// Number of disks.
+    pub n: usize,
+    /// Side length of the square the centers are drawn from.
+    pub side: f64,
+    /// Smallest radius.
+    pub r_min: f64,
+    /// Radius ratio ρ ≥ 1 (radii uniform in `[r_min, ρ·r_min]`).
+    pub ratio: f64,
+}
+
+impl DiskConfig {
+    /// The β certificate for this configuration: disks adjacent to `v`
+    /// with pairwise-disjoint interiors have centers within
+    /// `r_v + ρ·r_min ≤ 2ρ·r_min` of `v`'s center and pairwise distance
+    /// ≥ `2·r_min`, so a packing argument bounds them by `(1 + 2ρ)²`.
+    pub fn beta_bound(&self) -> usize {
+        let rho = self.ratio;
+        ((1.0 + 2.0 * rho) * (1.0 + 2.0 * rho)).ceil() as usize
+    }
+}
+
+/// A random *general disk graph* (bounded growth for bounded radius
+/// ratio, one of the Section 1.1 families): disks intersect iff the
+/// center distance is at most the sum of radii.
+pub fn disk_graph(cfg: DiskConfig, rng: &mut impl Rng) -> CsrGraph {
+    assert!(cfg.ratio >= 1.0 && cfg.r_min > 0.0);
+    let centers: Vec<(f64, f64)> = (0..cfg.n)
+        .map(|_| (rng.random_range(0.0..cfg.side), rng.random_range(0.0..cfg.side)))
+        .collect();
+    let radii: Vec<f64> = (0..cfg.n)
+        .map(|_| rng.random_range(cfg.r_min..=cfg.r_min * cfg.ratio))
+        .collect();
+    build_disk_intersection_graph(&centers, &radii)
+}
+
+/// Build the disk intersection graph of explicit centers and radii
+/// (grid-bucketed by the largest radius; O(n + m) expected for bounded
+/// density).
+pub fn build_disk_intersection_graph(centers: &[(f64, f64)], radii: &[f64]) -> CsrGraph {
+    assert_eq!(centers.len(), radii.len());
+    let n = centers.len();
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    let r_max = radii.iter().cloned().fold(0.0f64, f64::max);
+    let cell = (2.0 * r_max).max(f64::MIN_POSITIVE);
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for &(x, y) in centers {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    let cols = (((max_x - min_x) / cell).floor() as usize + 1).max(1);
+    let rows = (((max_y - min_y) / cell).floor() as usize + 1).max(1);
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cols * rows];
+    let cell_of = |x: f64, y: f64| -> (usize, usize) {
+        let cx = (((x - min_x) / cell).floor() as usize).min(cols - 1);
+        let cy = (((y - min_y) / cell).floor() as usize).min(rows - 1);
+        (cx, cy)
+    };
+    for (i, &(x, y)) in centers.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        grid[cy * cols + cx].push(i as u32);
+    }
+    let mut b = GraphBuilder::new(n);
+    for (i, &(x, y)) in centers.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cols as i64 || ny >= rows as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cols + nx as usize] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let (px, py) = centers[j];
+                    let d2 = (px - x) * (px - x) + (py - y) * (py - y);
+                    let rr = radii[i] + radii[j];
+                    if d2 <= rr * rr {
+                        b.add_edge(VertexId::new(i), VertexId::new(j));
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::independence::neighborhood_independence_exact;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn matches_bruteforce_on_fixed_points() {
+        let pts = [
+            (0.0, 0.0),
+            (0.5, 0.0),
+            (1.2, 0.0),
+            (0.0, 0.9),
+            (3.0, 3.0),
+        ];
+        let g = build_disk_graph(&pts, 1.0);
+        // Brute force distances.
+        let mut expected = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d2 = (pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2);
+                if d2 <= 1.0 {
+                    expected.push((i, j));
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expected.len());
+        for (i, j) in expected {
+            assert!(g.has_edge(VertexId::new(i), VertexId::new(j)));
+        }
+        assert_eq!(g.degree(VertexId(4)), 0, "far point is isolated");
+    }
+
+    #[test]
+    fn grid_agrees_with_quadratic_bruteforce_random() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        let pts: Vec<(f64, f64)> = (0..150)
+            .map(|_| (rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect();
+        let r = 1.3;
+        let g = build_disk_graph(&pts, r);
+        let mut count = 0usize;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d2 = (pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2);
+                let connected = d2 <= r * r;
+                assert_eq!(g.has_edge(VertexId::new(i), VertexId::new(j)), connected);
+                count += connected as usize;
+            }
+        }
+        assert_eq!(g.num_edges(), count);
+    }
+
+    #[test]
+    fn beta_bounded_by_packing_constant() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = unit_disk(
+            UnitDiskConfig::with_expected_degree(200, 1.0, 12.0),
+            &mut rng,
+        );
+        let beta = neighborhood_independence_exact(&g);
+        assert!(beta <= 5, "unit-disk beta must be ≤ 5, got {beta}");
+    }
+
+    #[test]
+    fn expected_degree_calibration_is_sane() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = unit_disk(
+            UnitDiskConfig::with_expected_degree(2000, 1.0, 10.0),
+            &mut rng,
+        );
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            (5.0..20.0).contains(&avg),
+            "average degree {avg} far from calibration target 10"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = build_disk_graph(&[], 1.0);
+        assert_eq!(g.num_vertices(), 0);
+        let g = build_disk_intersection_graph(&[], &[]);
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn disk_graph_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let centers: Vec<(f64, f64)> = (0..120)
+            .map(|_| (rng.random_range(0.0..8.0), rng.random_range(0.0..8.0)))
+            .collect();
+        let radii: Vec<f64> = (0..120).map(|_| rng.random_range(0.3..0.9)).collect();
+        let g = build_disk_intersection_graph(&centers, &radii);
+        for i in 0..120 {
+            for j in (i + 1)..120 {
+                let d2 = (centers[i].0 - centers[j].0).powi(2)
+                    + (centers[i].1 - centers[j].1).powi(2);
+                let rr = radii[i] + radii[j];
+                assert_eq!(
+                    g.has_edge(VertexId::new(i), VertexId::new(j)),
+                    d2 <= rr * rr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_graph_beta_certificate() {
+        let mut rng = StdRng::seed_from_u64(56);
+        let cfg = DiskConfig {
+            n: 150,
+            side: 8.0,
+            r_min: 0.4,
+            ratio: 2.0,
+        };
+        let g = disk_graph(cfg, &mut rng);
+        let beta = neighborhood_independence_exact(&g);
+        assert!(
+            beta <= cfg.beta_bound(),
+            "beta {beta} above certificate {}",
+            cfg.beta_bound()
+        );
+    }
+
+    #[test]
+    fn unit_ratio_disk_graph_is_unit_disk_like() {
+        // ratio = 1 with radius r behaves like a unit-disk graph of
+        // radius 2r.
+        let mut rng = StdRng::seed_from_u64(57);
+        let centers: Vec<(f64, f64)> = (0..100)
+            .map(|_| (rng.random_range(0.0..6.0), rng.random_range(0.0..6.0)))
+            .collect();
+        let radii = vec![0.5; 100];
+        let via_disks = build_disk_intersection_graph(&centers, &radii);
+        let via_unit = build_disk_graph(&centers, 1.0);
+        assert_eq!(via_disks.num_edges(), via_unit.num_edges());
+    }
+}

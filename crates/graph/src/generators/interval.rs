@@ -1,0 +1,103 @@
+//! Interval graphs.
+//!
+//! *Proper* (= unit) interval graphs are among the bounded-growth families
+//! listed in the paper's Section 1.1 (citing Halldórsson–Kortsarz–Shachnai
+//! for scheduling applications). For unit intervals, any independent set
+//! in a neighborhood has size at most 2: intervals overlapping `[x, x+1]`
+//! that are pairwise disjoint can only be one hanging off each end.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::ids::VertexId;
+use rand::Rng;
+
+/// A random proper (unit) interval graph: `n` unit intervals with left
+/// endpoints uniform in `[0, span)`; vertices adjacent iff the intervals
+/// overlap. β ≤ 2. Expected degree ≈ `2·(n−1)/span`.
+pub fn proper_interval(n: usize, span: f64, rng: &mut impl Rng) -> CsrGraph {
+    assert!(span > 0.0);
+    let mut lefts: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..span)).collect();
+    build_unit_interval_graph(&mut lefts)
+}
+
+/// Build the unit-interval graph of explicit left endpoints (the slice is
+/// sorted in place; vertex `i` of the result is the interval with the
+/// `i`-th smallest left endpoint).
+pub fn build_unit_interval_graph(lefts: &mut [f64]) -> CsrGraph {
+    lefts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = lefts.len();
+    let mut b = GraphBuilder::new(n);
+    // Sorted sweep: i overlaps j > i iff lefts[j] <= lefts[i] + 1.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if lefts[j] <= lefts[i] + 1.0 {
+                b.add_edge(VertexId::new(i), VertexId::new(j));
+            } else {
+                break;
+            }
+        }
+    }
+    b.build()
+}
+
+/// `proper_interval` calibrated for an expected average degree.
+pub fn proper_interval_with_degree(n: usize, avg_degree: f64, rng: &mut impl Rng) -> CsrGraph {
+    let span = (2.0 * (n.max(2) as f64 - 1.0) / avg_degree).max(1.0);
+    proper_interval(n, span, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::independence::neighborhood_independence_exact;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn explicit_intervals() {
+        // [0,1] [0.5,1.5] [2,3] [2.4,3.4]: two overlapping pairs.
+        let mut lefts = vec![0.0, 0.5, 2.0, 2.4];
+        let g = build_unit_interval_graph(&mut lefts);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(g.has_edge(VertexId(2), VertexId(3)));
+    }
+
+    #[test]
+    fn sweep_agrees_with_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lefts: Vec<f64> = (0..80).map(|_| rng.random_range(0.0..20.0)).collect();
+        let g = build_unit_interval_graph(&mut lefts);
+        let mut count = 0;
+        for i in 0..80 {
+            for j in (i + 1)..80 {
+                let overlap = (lefts[i] - lefts[j]).abs() <= 1.0;
+                assert_eq!(g.has_edge(VertexId::new(i), VertexId::new(j)), overlap);
+                count += overlap as usize;
+            }
+        }
+        assert_eq!(g.num_edges(), count);
+    }
+
+    #[test]
+    fn beta_at_most_two() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let g = proper_interval(100, 12.0, &mut rng);
+            assert!(neighborhood_independence_exact(&g) <= 2);
+        }
+    }
+
+    #[test]
+    fn degree_calibration() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = proper_interval_with_degree(2000, 10.0, &mut rng);
+        let avg = 2.0 * g.num_edges() as f64 / 2000.0;
+        assert!((6.0..15.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn dense_span_is_clique() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = proper_interval(30, 0.5, &mut rng);
+        assert_eq!(g.num_edges(), 30 * 29 / 2, "all unit intervals overlap");
+    }
+}

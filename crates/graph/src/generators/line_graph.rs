@@ -1,0 +1,89 @@
+//! Line graphs.
+//!
+//! The line graph `L(G)` has one vertex per edge of `G`, with two vertices
+//! adjacent iff the corresponding edges share an endpoint. Line graphs have
+//! neighborhood independence number at most 2 (the paper's first example):
+//! the neighbors of an edge `{u, v}` split into edges through `u` and edges
+//! through `v`, and edges sharing an endpoint are pairwise adjacent, so any
+//! independent set in the neighborhood has ≤ 1 edge per side.
+//!
+//! A matching in `L(G)` pairs up adjacent edges of `G`, which models
+//! conflict-free pairing of tasks that share a resource — see
+//! `examples/job_assignment.rs`.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::ids::VertexId;
+
+/// The line graph of `base`. Vertex `e` of the result corresponds to the
+/// undirected edge with [`EdgeId`](crate::ids::EdgeId) `e` in `base`.
+///
+/// Size warning: `L(G)` has `Σ_v C(deg v, 2)` edges, quadratic in the
+/// maximum degree of `base`.
+pub fn line_graph(base: &CsrGraph) -> CsrGraph {
+    let m = base.num_edges();
+    let mut b = GraphBuilder::new(m);
+    for v in 0..base.num_vertices() {
+        let v = VertexId::new(v);
+        let incident: Vec<u32> = base.incident(v).map(|(_, e)| e.0).collect();
+        for i in 0..incident.len() {
+            for j in (i + 1)..incident.len() {
+                b.add_edge(VertexId(incident[i]), VertexId(incident[j]));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::independence::neighborhood_independence_exact;
+    use crate::csr::from_edges;
+    use crate::generators::{cycle, path, star};
+
+    #[test]
+    fn line_of_path_is_shorter_path() {
+        let g = line_graph(&path(5)); // P5 has 4 edges -> L = P4
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn line_of_cycle_is_same_cycle() {
+        let g = line_graph(&cycle(7));
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 7);
+        assert!((0..7).all(|v| g.degree(VertexId::new(v)) == 2));
+    }
+
+    #[test]
+    fn line_of_star_is_clique() {
+        let g = line_graph(&star(6)); // K_{1,5} -> K_5
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn beta_at_most_two() {
+        // A graph with varied structure: two triangles sharing a vertex plus
+        // a pendant path.
+        let base = from_edges(
+            7,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5), (5, 6)],
+        );
+        let lg = line_graph(&base);
+        assert!(neighborhood_independence_exact(&lg) <= 2);
+    }
+
+    #[test]
+    fn line_graph_beta_of_random_base() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = crate::generators::gnp(18, 0.3, &mut rng);
+        let lg = line_graph(&base);
+        if lg.num_edges() > 0 {
+            assert!(neighborhood_independence_exact(&lg) <= 2);
+        }
+    }
+}

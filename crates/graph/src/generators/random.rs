@@ -1,0 +1,157 @@
+//! Unstructured random graphs.
+//!
+//! These have no β guarantee — they exercise the matching substrate
+//! (blossom, Hopcroft–Karp, bounded augmentation) on general inputs and
+//! provide null-model comparisons for the sparsifier experiments.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::ids::VertexId;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)` via geometric edge skipping (O(n + m) expected).
+pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(VertexId::new(u), VertexId::new(v));
+            }
+        }
+        return b.build();
+    }
+    // Iterate over the C(n,2) potential edges, skipping ahead by
+    // geometrically distributed gaps.
+    let log_q = (1.0 - p).ln();
+    let total = n * (n - 1) / 2;
+    let mut idx: usize = 0;
+    // First gap.
+    let advance = |rng: &mut dyn rand::RngCore| -> usize {
+        let u: f64 = rand::Rng::random_range(&mut *rng, f64::MIN_POSITIVE..1.0);
+        (u.ln() / log_q).floor() as usize + 1
+    };
+    idx += advance(rng);
+    while idx <= total {
+        // Map linear index (1-based) to the (u, v) pair.
+        let (u, v) = unrank_pair(idx - 1, n);
+        b.add_edge(VertexId::new(u), VertexId::new(v));
+        idx += advance(rng);
+    }
+    b.build()
+}
+
+/// Map a linear index in `0..C(n,2)` to the corresponding pair `(u, v)`,
+/// `u < v`, in lexicographic order.
+fn unrank_pair(mut k: usize, n: usize) -> (usize, usize) {
+    // Row u contributes (n - 1 - u) pairs.
+    let mut u = 0usize;
+    loop {
+        let row = n - 1 - u;
+        if k < row {
+            return (u, u + 1 + k);
+        }
+        k -= row;
+        u += 1;
+    }
+}
+
+/// Random bipartite graph: left side `0..a`, right side `a..a+b`, each of
+/// the `a·b` cross pairs included independently with probability `p`.
+pub fn bipartite_gnp(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            if rng.random_bool(p) {
+                builder.add_edge(VertexId::new(u), VertexId::new(a + v));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A graph with a *planted* perfect matching (`n` even): the matching
+/// `(2i, 2i+1)` plus `extra_per_vertex` random noise edges per vertex.
+/// Returns the graph; by construction `MCM = n/2`, giving matching tests a
+/// known optimum without running an exact solver.
+pub fn random_matching_instance(
+    n: usize,
+    extra_per_vertex: usize,
+    rng: &mut impl Rng,
+) -> CsrGraph {
+    assert!(n % 2 == 0, "planted perfect matching needs even n");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n / 2 {
+        b.add_edge(VertexId::new(2 * i), VertexId::new(2 * i + 1));
+    }
+    for u in 0..n {
+        for _ in 0..extra_per_vertex {
+            let v = rng.random_range(0..n);
+            if v != u {
+                b.add_edge(VertexId::new(u), VertexId::new(v));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn unrank_covers_all_pairs() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..n * (n - 1) / 2 {
+            let (u, v) = unrank_pair(k, n);
+            assert!(u < v && v < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 300;
+        let p = 0.1;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.num_edges() as f64;
+        assert!(
+            (actual - expected).abs() < 0.15 * expected,
+            "expected ≈ {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn bipartite_respects_sides() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = bipartite_gnp(20, 30, 0.3, &mut rng);
+        for (_, u, v) in g.edges() {
+            let left = |x: VertexId| x.index() < 20;
+            assert_ne!(left(u), left(v), "edge within one side");
+        }
+    }
+
+    #[test]
+    fn planted_matching_present() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_matching_instance(50, 3, &mut rng);
+        for i in 0..25 {
+            assert!(g.has_edge(VertexId::new(2 * i), VertexId::new(2 * i + 1)));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Small deterministic graph shapes used across the test suites.
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::ids::VertexId;
+
+/// The path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(VertexId::new(v - 1), VertexId::new(v));
+    }
+    b.build()
+}
+
+/// The cycle on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n {
+        b.add_edge(VertexId::new(v - 1), VertexId::new(v));
+    }
+    b.add_edge(VertexId::new(n - 1), VertexId::new(0));
+    b.build()
+}
+
+/// The star `K_{1,n-1}` with center 0. Neighborhood independence of the
+/// center is `n - 1`, the worst case — useful for β-sensitivity tests.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(VertexId(0), VertexId::new(v));
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` with left side `0..a` and right
+/// side `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut builder = GraphBuilder::with_capacity(a + b, a * b);
+    for u in 0..a {
+        for v in 0..b {
+            builder.add_edge(VertexId::new(u), VertexId::new(a + v));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let g = path(1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in 0..6 {
+            assert_eq!(g.degree(VertexId::new(v)), 2);
+        }
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(VertexId(0)), 6);
+        assert_eq!(g.degree(VertexId(3)), 1);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(VertexId(0)), 4);
+        assert_eq!(g.degree(VertexId(5)), 3);
+        // No edges within a side.
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        assert!(!g.has_edge(VertexId(3), VertexId(4)));
+    }
+}

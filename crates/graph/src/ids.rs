@@ -1,0 +1,122 @@
+//! Strongly-typed vertex and edge identifiers.
+//!
+//! Vertices and (undirected) edges are identified by dense `u32` indices so
+//! that graphs with hundreds of millions of edges fit comfortably in memory
+//! and index arrays stay cache-friendly (see the Rust Performance Book's
+//! "Smaller Integers" guidance).
+
+use std::fmt;
+
+/// A vertex identifier: a dense index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The index as a `usize`, for slice indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index (panics if it does not fit in `u32`).
+    #[inline(always)]
+    pub fn new(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "vertex index overflows u32");
+        VertexId(i as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline(always)]
+    fn from(i: u32) -> Self {
+        VertexId(i)
+    }
+}
+
+/// An undirected edge identifier: a dense index in `0..m`.
+///
+/// Each undirected edge has exactly one `EdgeId` regardless of direction;
+/// CSR half-edges store the id of their undirected parent so that "the same
+/// edge marked from both sides" (as in Solomon's mutual-marking sparsifier)
+/// can be detected in O(1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The index as a `usize`, for slice indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index (panics if it does not fit in `u32`).
+    #[inline(always)]
+    pub fn new(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(i as u32)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    #[inline(always)]
+    fn from(i: u32) -> Self {
+        EdgeId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn edge_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "e7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format (whitespace-separated, `#` comments):
+//!
+//! ```text
+//! # optional comments
+//! <n> <m>
+//! <u> <v>      # one line per undirected edge, 0-based vertex ids
+//! ...
+//! ```
+//!
+//! The header's `m` is validated against the body. Self-loops and
+//! duplicate edges are rejected on read (the in-memory representation
+//! does not admit them, so silently dropping would corrupt round-trips).
+
+use crate::csr::{CsrGraph, GraphBuilder};
+use crate::ids::VertexId;
+use std::io::{BufRead, Write};
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn parse_error(line: usize, message: impl Into<String>) -> ReadError {
+    ReadError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Read a graph from edge-list text.
+pub fn read_edge_list(reader: impl BufRead) -> Result<CsrGraph, ReadError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    let mut edges_read = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let a: usize = fields
+            .next()
+            .ok_or_else(|| parse_error(lineno, "missing first field"))?
+            .parse()
+            .map_err(|e| parse_error(lineno, format!("bad integer: {e}")))?;
+        let b: usize = fields
+            .next()
+            .ok_or_else(|| parse_error(lineno, "missing second field"))?
+            .parse()
+            .map_err(|e| parse_error(lineno, format!("bad integer: {e}")))?;
+        if fields.next().is_some() {
+            return Err(parse_error(lineno, "trailing fields"));
+        }
+        match (&header, &mut builder) {
+            (None, _) => {
+                header = Some((a, b));
+                builder = Some(GraphBuilder::with_capacity(a, b));
+            }
+            (Some((n, m)), Some(builder)) => {
+                let (n, m) = (*n, *m);
+                if a >= n || b >= n {
+                    return Err(parse_error(
+                        lineno,
+                        format!("vertex out of range (n = {n})"),
+                    ));
+                }
+                if a == b {
+                    return Err(parse_error(lineno, "self-loop"));
+                }
+                if !seen.insert((a.min(b), a.max(b))) {
+                    return Err(parse_error(lineno, "duplicate edge"));
+                }
+                edges_read += 1;
+                if edges_read > m {
+                    return Err(parse_error(
+                        lineno,
+                        format!("more than the declared {m} edges"),
+                    ));
+                }
+                builder.add_edge(VertexId::new(a), VertexId::new(b));
+            }
+            _ => unreachable!("builder exists whenever header does"),
+        }
+    }
+    let Some((_, m)) = header else {
+        return Err(parse_error(0, "empty input (missing header)"));
+    };
+    if edges_read != m {
+        return Err(parse_error(
+            0,
+            format!("declared {m} edges but found {edges_read}"),
+        ));
+    }
+    Ok(builder.expect("header implies builder").build())
+}
+
+/// Write a graph as edge-list text.
+pub fn write_edge_list(g: &CsrGraph, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "{} {}", g.num_vertices(), g.num_edges())?;
+    for (_, u, v) in g.edges() {
+        writeln!(writer, "{} {}", u.0, v.0)?;
+    }
+    Ok(())
+}
+
+/// Convenience: read from a file path.
+pub fn read_edge_list_file(path: &std::path::Path) -> Result<CsrGraph, ReadError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Convenience: write to a file path.
+pub fn write_edge_list_file(g: &CsrGraph, path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+
+    fn roundtrip(g: &CsrGraph) -> CsrGraph {
+        let mut buf = Vec::new();
+        write_edge_list(g, &mut buf).unwrap();
+        read_edge_list(std::io::Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = from_edges(5, [(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let h = roundtrip(&g);
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 4);
+        for (_, u, v) in g.edges() {
+            assert!(h.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a graph\n\n3 2   # header\n0 1\n# middle\n1 2\n";
+        let g = read_edge_list(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cases = [
+            ("", "empty"),
+            ("3 1\n0 0\n", "self-loop"),
+            ("3 2\n0 1\n0 1\n", "duplicate"),
+            ("3 1\n0 5\n", "out of range"),
+            ("3 2\n0 1\n", "declared 2"),
+            ("3 1\n0 1\n1 2\n", "more than"),
+            ("3 1\n0 1 9\n", "trailing"),
+            ("3 x\n", "bad integer"),
+        ];
+        for (text, needle) in cases {
+            let err = read_edge_list(std::io::Cursor::new(text)).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "input {text:?}: expected {needle:?} in {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = from_edges(7, []);
+        let h = roundtrip(&g);
+        assert_eq!(h.num_vertices(), 7);
+        assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn file_helpers() {
+        let g = from_edges(4, [(0, 1), (2, 3)]);
+        let dir = std::env::temp_dir().join("sparsimatch-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.el");
+        write_edge_list_file(&g, &path).unwrap();
+        let h = read_edge_list_file(&path).unwrap();
+        assert_eq!(h.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

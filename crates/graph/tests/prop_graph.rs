@@ -1,0 +1,162 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use sparsimatch_graph::adjlist::AdjListGraph;
+use sparsimatch_graph::analysis::arboricity::{arboricity_bounds, degeneracy, max_density};
+use sparsimatch_graph::csr::from_edges;
+use sparsimatch_graph::ids::VertexId;
+use sparsimatch_graph::sparse_array::SparseArray;
+use std::collections::HashSet;
+
+const N: usize = 24;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..N, 0..N), 0..120)
+}
+
+#[derive(Clone, Debug)]
+enum ArrayOp {
+    Set(usize, u32),
+    Clear,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<ArrayOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..32usize, any::<u32>()).prop_map(|(i, v)| ArrayOp::Set(i, v)),
+            Just(ArrayOp::Clear),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn sparse_array_matches_dense_model(ops in arb_ops()) {
+        let mut sparse = SparseArray::new(32, 0u32);
+        let mut dense = vec![0u32; 32];
+        for op in ops {
+            match op {
+                ArrayOp::Set(i, v) => {
+                    sparse.set(i, v);
+                    dense[i] = v;
+                }
+                ArrayOp::Clear => {
+                    sparse.clear();
+                    dense.iter_mut().for_each(|x| *x = 0);
+                }
+            }
+        }
+        for i in 0..32 {
+            prop_assert_eq!(*sparse.get(i), dense[i]);
+        }
+    }
+
+    #[test]
+    fn csr_degree_sum_is_twice_edges(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        let degsum: usize = (0..N).map(|v| g.degree(VertexId::new(v))).sum();
+        prop_assert_eq!(degsum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn csr_has_edge_agrees_with_edge_list(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        let set: HashSet<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        for u in 0..N as u32 {
+            for v in 0..N as u32 {
+                let expected = u != v && (set.contains(&(u.min(v), u.max(v))));
+                prop_assert_eq!(g.has_edge(VertexId(u), VertexId(v)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn full_edge_subgraph_is_identity(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        let ids: Vec<_> = g.edges().map(|(e, _, _)| e).collect();
+        let h = g.edge_subgraph(ids.into_iter());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for (_, u, v) in g.edges() {
+            prop_assert!(h.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn adjlist_tracks_reference_model(edges in arb_edges(), deletions in arb_edges()) {
+        let mut g = AdjListGraph::new(N);
+        let mut model: HashSet<(u32, u32)> = HashSet::new();
+        for (u, v) in edges {
+            if u == v { continue; }
+            let key = ((u.min(v)) as u32, (u.max(v)) as u32);
+            prop_assert_eq!(
+                g.insert_edge(VertexId::new(u), VertexId::new(v)),
+                model.insert(key)
+            );
+        }
+        for (u, v) in deletions {
+            if u == v { continue; }
+            let key = ((u.min(v)) as u32, (u.max(v)) as u32);
+            prop_assert_eq!(
+                g.delete_edge(VertexId::new(u), VertexId::new(v)),
+                model.remove(&key)
+            );
+        }
+        prop_assert_eq!(g.num_edges(), model.len());
+        let csr = g.to_csr();
+        prop_assert_eq!(csr.num_edges(), model.len());
+    }
+
+    #[test]
+    fn degeneracy_below_max_degree(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        prop_assert!(degeneracy(&g) <= g.max_degree());
+    }
+
+    #[test]
+    fn arboricity_window_is_sound(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        if g.num_edges() == 0 { return Ok(()); }
+        let (lo, hi) = arboricity_bounds(&g);
+        prop_assert!(lo <= hi);
+        prop_assert!(hi - lo <= 1, "window ({lo},{hi}) wider than 1");
+        // Nash–Williams global lower bound: ceil(m / (n'-1)) <= alpha <= hi.
+        let n_prime = g.num_non_isolated();
+        if n_prime >= 2 {
+            let global = g.num_edges().div_ceil(n_prime - 1);
+            prop_assert!(hi >= global);
+        }
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        let mut buf = Vec::new();
+        sparsimatch_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let h = sparsimatch_graph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(h.num_vertices(), g.num_vertices());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for (_, u, v) in g.edges() {
+            prop_assert!(h.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn diversity_dominates_beta(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        let beta = sparsimatch_graph::analysis::independence::neighborhood_independence_exact(&g);
+        if let Some(div) = sparsimatch_graph::analysis::diversity::diversity(&g, 500_000) {
+            prop_assert!(beta <= div, "beta {} > diversity {}", beta, div);
+        }
+    }
+
+    #[test]
+    fn max_density_at_least_global_density(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        if g.num_edges() == 0 { return Ok(()); }
+        let (num, den) = max_density(&g);
+        // rho* >= m / n.
+        prop_assert!(num as u128 * g.num_vertices() as u128 >= g.num_edges() as u128 * den as u128);
+        prop_assert!(den >= 1 && den <= g.num_vertices() as u64);
+    }
+}

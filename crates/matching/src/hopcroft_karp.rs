@@ -1,0 +1,293 @@
+//! Hopcroft–Karp: exact maximum matching on bipartite graphs in
+//! `O(m·√n)`, with phase accounting.
+//!
+//! Besides serving as an independent cross-check for the blossom
+//! implementation, the phase structure (each phase augments along a
+//! maximal set of vertex-disjoint *shortest* augmenting paths, and after
+//! `k` phases the shortest augmenting path has length ≥ 2k+1) is the
+//! original form of the `(1+ε)`-approximation the paper invokes on its
+//! sparsifier: stopping after `⌈1/ε⌉` phases yields a `(1+ε)`-approximate
+//! matching.
+
+use crate::matching::Matching;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::VertexId;
+use std::collections::VecDeque;
+
+const NONE: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Result of a Hopcroft–Karp run.
+pub struct HkResult {
+    /// The matching found.
+    pub matching: Matching,
+    /// Number of phases executed.
+    pub phases: usize,
+}
+
+/// Try to 2-color `g`; returns `side[v] = true` for one part, or `None` if
+/// `g` contains an odd cycle.
+pub fn bipartition(g: &CsrGraph) -> Option<Vec<bool>> {
+    let n = g.num_vertices();
+    let mut color: Vec<i8> = vec![-1; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if color[start] != -1 {
+            continue;
+        }
+        color[start] = 0;
+        queue.push_back(start as u32);
+        while let Some(v) = queue.pop_front() {
+            for u in g.neighbors(VertexId(v)) {
+                let u = u.index();
+                if color[u] == -1 {
+                    color[u] = 1 - color[v as usize];
+                    queue.push_back(u as u32);
+                } else if color[u] == color[v as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c == 0).collect())
+}
+
+/// Hopcroft–Karp with an explicit bipartition (`side[v] == true` for left
+/// vertices). Runs to optimality; use [`hopcroft_karp_phases`] to stop
+/// early for a `(1 + 1/phases)`-approximation.
+pub fn hopcroft_karp(g: &CsrGraph, side: &[bool]) -> HkResult {
+    hopcroft_karp_phases(g, side, usize::MAX)
+}
+
+/// Convenience: bipartition automatically, `None` if `g` is not bipartite.
+pub fn hopcroft_karp_auto(g: &CsrGraph) -> Option<Matching> {
+    let side = bipartition(g)?;
+    Some(hopcroft_karp(g, &side).matching)
+}
+
+/// Hopcroft–Karp limited to at most `max_phases` phases. After `k` full
+/// phases the matching is a `(1 + 1/k)`-approximate MCM.
+pub fn hopcroft_karp_phases(g: &CsrGraph, side: &[bool], max_phases: usize) -> HkResult {
+    let n = g.num_vertices();
+    assert_eq!(side.len(), n);
+    debug_assert!(
+        g.edges().all(|(_, u, v)| side[u.index()] != side[v.index()]),
+        "side[] must be a proper bipartition"
+    );
+    let lefts: Vec<u32> = (0..n as u32).filter(|&v| side[v as usize]).collect();
+    let mut mate = vec![NONE; n];
+    let mut dist = vec![INF; n];
+    let mut phases = 0usize;
+    let mut queue = VecDeque::new();
+
+    while phases < max_phases {
+        // BFS from free left vertices to layer the graph.
+        queue.clear();
+        for &l in &lefts {
+            if mate[l as usize] == NONE {
+                dist[l as usize] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l as usize] = INF;
+            }
+        }
+        let mut found_free_right = false;
+        let mut bfs_order: Vec<u32> = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            bfs_order.push(v);
+            for u in g.neighbors(VertexId(v)) {
+                let u = u.0;
+                let next = mate[u as usize];
+                if next == NONE {
+                    found_free_right = true;
+                } else if dist[next as usize] == INF {
+                    dist[next as usize] = dist[v as usize] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found_free_right {
+            break;
+        }
+        phases += 1;
+        // Layered DFS for a maximal set of disjoint shortest paths.
+        let mut augmented_any = false;
+        for &l in &lefts {
+            if mate[l as usize] == NONE && dfs(g, l, &mut mate, &mut dist) {
+                augmented_any = true;
+            }
+        }
+        if !augmented_any {
+            break;
+        }
+    }
+
+    let mut matching = Matching::new(n);
+    for (v, &m) in mate.iter().enumerate() {
+        if m != NONE && (v as u32) < m {
+            matching.add_pair(VertexId::new(v), VertexId(m));
+        }
+    }
+    HkResult { matching, phases }
+}
+
+/// König's theorem certificate: from a *maximum* bipartite matching,
+/// extract a vertex cover of the same size. Let `Z` be the vertices
+/// reachable from free left vertices by alternating paths (non-matching
+/// edges L→R, matching edges R→L); then `(L ∖ Z) ∪ (R ∩ Z)` is a vertex
+/// cover with `|VC| = |M|`, certifying the matching's optimality.
+///
+/// Returns the cover; callers can assert `cover.len() == matching.len()`
+/// and coverage of every edge (the tests do).
+pub fn koenig_vertex_cover(
+    g: &CsrGraph,
+    side: &[bool],
+    matching: &crate::matching::Matching,
+) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    assert_eq!(side.len(), n);
+    let mut in_z = vec![false; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for v in 0..n {
+        if side[v] && !matching.is_matched(VertexId::new(v)) {
+            in_z[v] = true;
+            queue.push_back(v as u32);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if side[v as usize] {
+            // Left: cross non-matching edges.
+            for u in g.neighbors(VertexId(v)) {
+                if matching.mate(VertexId(v)) != Some(u) && !in_z[u.index()] {
+                    in_z[u.index()] = true;
+                    queue.push_back(u.0);
+                }
+            }
+        } else if let Some(u) = matching.mate(VertexId(v)) {
+            // Right: cross the matching edge only.
+            if !in_z[u.index()] {
+                in_z[u.index()] = true;
+                queue.push_back(u.0);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&v| (side[v] && !in_z[v]) || (!side[v] && in_z[v]))
+        .map(VertexId::new)
+        .collect()
+}
+
+fn dfs(g: &CsrGraph, v: u32, mate: &mut [u32], dist: &mut [u32]) -> bool {
+    for u in g.neighbors(VertexId(v)) {
+        let u = u.0;
+        let next = mate[u as usize];
+        if next == NONE || (dist[next as usize] == dist[v as usize] + 1 && dfs(g, next, mate, dist))
+        {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+            return true;
+        }
+    }
+    dist[v as usize] = INF; // dead end: prune for this phase
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sparsimatch_graph::generators::{bipartite_gnp, complete_bipartite, cycle, path};
+
+    #[test]
+    fn bipartition_of_even_cycle() {
+        let side = bipartition(&cycle(8)).unwrap();
+        assert_eq!(side.iter().filter(|&&s| s).count(), 4);
+    }
+
+    #[test]
+    fn odd_cycle_not_bipartite() {
+        assert!(bipartition(&cycle(7)).is_none());
+    }
+
+    #[test]
+    fn complete_bipartite_mcm() {
+        let g = complete_bipartite(5, 8);
+        let m = hopcroft_karp_auto(&g).unwrap();
+        assert_eq!(m.len(), 5);
+        assert!(m.is_valid_for(&g));
+    }
+
+    #[test]
+    fn path_matching() {
+        let g = path(9);
+        let m = hopcroft_karp_auto(&g).unwrap();
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn phase_count_is_small() {
+        // Hopcroft–Karp needs O(sqrt(n)) phases.
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = bipartite_gnp(200, 200, 0.05, &mut rng);
+        let side = bipartition(&g).unwrap();
+        let res = hopcroft_karp(&g, &side);
+        assert!(res.phases <= 30, "phases = {}", res.phases);
+        assert!(res.matching.is_valid_for(&g));
+    }
+
+    #[test]
+    fn phase_limit_gives_approximation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let g = bipartite_gnp(60, 60, 0.08, &mut rng);
+            let side = bipartition(&g).unwrap();
+            let exact = hopcroft_karp(&g, &side).matching.len();
+            for k in 1..=4usize {
+                let approx = hopcroft_karp_phases(&g, &side, k).matching.len();
+                // After k phases: |M| >= k/(k+1) * MCM.
+                assert!(
+                    approx * (k + 1) >= exact * k,
+                    "k={k}: {approx} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = sparsimatch_graph::csr::from_edges(5, []);
+        let m = hopcroft_karp_auto(&g).unwrap();
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn koenig_cover_certifies_optimality() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let g = bipartite_gnp(25, 30, 0.1, &mut rng);
+            let side = bipartition(&g).unwrap();
+            let m = hopcroft_karp(&g, &side).matching;
+            let cover = koenig_vertex_cover(&g, &side, &m);
+            // König: |VC| = |M| for maximum bipartite matchings.
+            assert_eq!(cover.len(), m.len());
+            // ... and it is a vertex cover.
+            let in_cover: std::collections::HashSet<u32> =
+                cover.iter().map(|v| v.0).collect();
+            for (_, u, v) in g.edges() {
+                assert!(
+                    in_cover.contains(&u.0) || in_cover.contains(&v.0),
+                    "edge ({u}, {v}) uncovered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn koenig_on_complete_bipartite() {
+        let g = complete_bipartite(3, 7);
+        let side = bipartition(&g).unwrap();
+        let m = hopcroft_karp(&g, &side).matching;
+        let cover = koenig_vertex_cover(&g, &side, &m);
+        assert_eq!(cover.len(), 3, "min cover of K_{{3,7}} is the small side");
+    }
+}

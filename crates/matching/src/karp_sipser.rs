@@ -1,0 +1,156 @@
+//! The Karp–Sipser heuristic: degree-1 reductions + random greedy.
+//!
+//! A classical high-quality maximal-matching heuristic: while a vertex of
+//! degree 1 exists, matching its unique edge is *optimal* (some maximum
+//! matching contains it), so do that; otherwise match a uniformly random
+//! edge and recurse on the residual graph. On many graph families this
+//! lands within 1–2% of optimal — a much stronger practical baseline
+//! than plain greedy, included here so the sparsifier pipeline is
+//! compared against the best cheap heuristic rather than a strawman.
+
+use crate::matching::Matching;
+use rand::Rng;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::VertexId;
+
+/// Compute a maximal matching with the Karp–Sipser heuristic. O(m α)
+/// expected (residual degrees maintained incrementally).
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sparsimatch_graph::generators::path;
+/// use sparsimatch_matching::karp_sipser::karp_sipser_matching;
+///
+/// // Degree-1 reductions alone solve trees exactly.
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let m = karp_sipser_matching(&path(9), &mut rng);
+/// assert_eq!(m.len(), 4);
+/// ```
+pub fn karp_sipser_matching(g: &CsrGraph, rng: &mut impl Rng) -> Matching {
+    let n = g.num_vertices();
+    let mut m = Matching::new(n);
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(VertexId::new(v))).collect();
+    // Stack of (possibly stale) degree-1 candidates.
+    let mut ones: Vec<u32> = (0..n as u32).filter(|&v| degree[v as usize] == 1).collect();
+    // Random processing order for phase-2 edges.
+    let mut edge_order: Vec<u32> = (0..g.num_edges() as u32).collect();
+    use rand::seq::SliceRandom;
+    edge_order.shuffle(rng);
+    let mut cursor = 0usize;
+
+    let kill = |v: usize,
+                    alive: &mut [bool],
+                    degree: &mut [usize],
+                    ones: &mut Vec<u32>| {
+        alive[v] = false;
+        for u in g.neighbors(VertexId::new(v)) {
+            if alive[u.index()] {
+                degree[u.index()] -= 1;
+                if degree[u.index()] == 1 {
+                    ones.push(u.0);
+                }
+            }
+        }
+    };
+
+    loop {
+        // Phase 1: exhaust degree-1 reductions.
+        while let Some(v) = ones.pop() {
+            let v = v as usize;
+            if !alive[v] || degree[v] != 1 {
+                continue; // stale entry
+            }
+            let partner = g
+                .neighbors(VertexId::new(v))
+                .find(|u| alive[u.index()])
+                .expect("degree-1 vertex has a live neighbor");
+            m.add_pair(VertexId::new(v), partner);
+            kill(v, &mut alive, &mut degree, &mut ones);
+            kill(partner.index(), &mut alive, &mut degree, &mut ones);
+        }
+        // Phase 2: one random edge, then back to reductions.
+        let mut matched_any = false;
+        while cursor < edge_order.len() {
+            let e = sparsimatch_graph::ids::EdgeId(edge_order[cursor]);
+            cursor += 1;
+            let (u, v) = g.edge_endpoints(e);
+            if alive[u.index()] && alive[v.index()] {
+                m.add_pair(u, v);
+                kill(u.index(), &mut alive, &mut degree, &mut ones);
+                kill(v.index(), &mut alive, &mut degree, &mut ones);
+                matched_any = true;
+                break;
+            }
+        }
+        if !matched_any {
+            break;
+        }
+    }
+    debug_assert!(m.is_valid_for(g));
+    debug_assert!(m.is_maximal_in(g));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blossom::maximum_matching;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sparsimatch_graph::csr::from_edges;
+    use sparsimatch_graph::generators::{clique, gnp, path, star};
+
+    #[test]
+    fn exact_on_paths() {
+        // Degree-1 reduction alone solves paths exactly.
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [2usize, 5, 10, 31] {
+            let g = path(n);
+            let m = karp_sipser_matching(&g, &mut rng);
+            assert_eq!(m.len(), n / 2, "path {n}");
+        }
+    }
+
+    #[test]
+    fn exact_on_stars_and_trees() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(karp_sipser_matching(&star(9), &mut rng).len(), 1);
+        // A spider: center with three length-2 legs. MCM = 3.
+        let g = from_edges(7, [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]);
+        assert_eq!(karp_sipser_matching(&g, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn valid_and_maximal_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = gnp(80, 0.06, &mut rng);
+            let m = karp_sipser_matching(&g, &mut rng);
+            assert!(m.is_valid_for(&g));
+            assert!(m.is_maximal_in(&g));
+        }
+    }
+
+    #[test]
+    fn near_optimal_on_sparse_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ks_total = 0usize;
+        let mut opt_total = 0usize;
+        for _ in 0..10 {
+            let g = gnp(200, 0.015, &mut rng);
+            ks_total += karp_sipser_matching(&g, &mut rng).len();
+            opt_total += maximum_matching(&g).len();
+        }
+        assert!(
+            ks_total * 100 >= opt_total * 96,
+            "Karp-Sipser at {ks_total}/{opt_total} — below its usual quality"
+        );
+    }
+
+    #[test]
+    fn clique_is_perfect() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = karp_sipser_matching(&clique(30), &mut rng);
+        assert_eq!(m.len(), 15);
+    }
+}

@@ -1,0 +1,160 @@
+//! Independent verification of matching properties.
+//!
+//! These checkers deliberately share no code with the blossom machinery —
+//! they brute-force alternating paths by backtracking DFS — so the test
+//! suite can certify the `(1+1/k)` guarantee of
+//! [`crate::bounded_aug`] with an implementation that cannot share its
+//! bugs. Exponential in the path-length cap, so use on small caps /
+//! moderate graphs (which is exactly the testing regime).
+
+use crate::matching::Matching;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::VertexId;
+
+/// Does the matching admit an augmenting path of length ≤ `max_len`
+/// (odd)? Brute-force alternating DFS from every free vertex.
+pub fn has_augmenting_path_up_to(g: &CsrGraph, m: &Matching, max_len: usize) -> bool {
+    assert!(max_len % 2 == 1);
+    let n = g.num_vertices();
+    let mut on_path = vec![false; n];
+    for v in 0..n {
+        let v = VertexId::new(v);
+        if m.is_matched(v) || g.degree(v) == 0 {
+            continue;
+        }
+        on_path[v.index()] = true;
+        if dfs_unmatched(g, m, v, max_len, &mut on_path) {
+            on_path[v.index()] = false;
+            return true;
+        }
+        on_path[v.index()] = false;
+    }
+    false
+}
+
+/// Extend from `v` over a *non-matching* edge; `budget` edges remain.
+fn dfs_unmatched(
+    g: &CsrGraph,
+    m: &Matching,
+    v: VertexId,
+    budget: usize,
+    on_path: &mut [bool],
+) -> bool {
+    if budget == 0 {
+        return false;
+    }
+    for u in g.neighbors(v) {
+        if on_path[u.index()] || m.mate(v) == Some(u) {
+            continue;
+        }
+        if !m.is_matched(u) {
+            return true; // free-to-free completes an augmenting path
+        }
+        // u is matched: the path must continue over its matching edge.
+        let w = m.mate(u).expect("just checked");
+        if on_path[w.index()] {
+            continue;
+        }
+        on_path[u.index()] = true;
+        on_path[w.index()] = true;
+        if budget >= 2 && dfs_unmatched(g, m, w, budget - 2, on_path) {
+            on_path[u.index()] = false;
+            on_path[w.index()] = false;
+            return true;
+        }
+        on_path[u.index()] = false;
+        on_path[w.index()] = false;
+    }
+    false
+}
+
+/// Certify that `m` is a `(1 + 1/k)`-approximate MCM via the classical
+/// criterion: no augmenting path of length ≤ 2k−1 exists.
+pub fn certify_approximation(g: &CsrGraph, m: &Matching, k: usize) -> bool {
+    assert!(k >= 1);
+    m.is_valid_for(g) && !has_augmenting_path_up_to(g, m, 2 * k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blossom::maximum_matching;
+    use crate::bounded_aug::approx_maximum_matching;
+    use crate::greedy::greedy_maximal_matching;
+    use sparsimatch_graph::csr::from_edges;
+    use sparsimatch_graph::generators::{cycle, gnp, path};
+
+    #[test]
+    fn detects_length_one_path() {
+        let g = path(2);
+        let empty = Matching::new(2);
+        assert!(has_augmenting_path_up_to(&g, &empty, 1));
+    }
+
+    #[test]
+    fn detects_length_three_path_only_at_budget() {
+        // 0-1-2-3 with (1,2) matched: the only augmenting path has length 3.
+        let g = path(4);
+        let m = Matching::from_pairs(4, [(VertexId(1), VertexId(2))]);
+        assert!(!has_augmenting_path_up_to(&g, &m, 1));
+        assert!(has_augmenting_path_up_to(&g, &m, 3));
+    }
+
+    #[test]
+    fn maximum_matching_has_no_augmenting_path() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..15 {
+            let g = gnp(14, 0.3, &mut rng);
+            let m = maximum_matching(&g);
+            assert!(
+                !has_augmenting_path_up_to(&g, &m, 13),
+                "maximum matching admits an augmenting path"
+            );
+        }
+    }
+
+    #[test]
+    fn certifies_bounded_aug_output() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..15 {
+            let g = gnp(16, 0.25, &mut rng);
+            for k in 1..=3usize {
+                let m = approx_maximum_matching(&g, 1.0 / k as f64);
+                assert!(
+                    certify_approximation(&g, &m, k),
+                    "k = {k}: short augmenting path survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_matching_certifies_k1_only() {
+        // A greedy maximal matching never has length-1 augmenting paths
+        // but may have length-3 ones.
+        let g = path(4);
+        let ends = Matching::from_pairs(4, [(VertexId(1), VertexId(2))]);
+        assert!(certify_approximation(&g, &ends, 1));
+        assert!(!certify_approximation(&g, &ends, 2));
+        let gm = greedy_maximal_matching(&g);
+        assert!(certify_approximation(&g, &gm, 1));
+    }
+
+    #[test]
+    fn odd_cycle_blossom_case() {
+        // C5 with a maximum matching: no augmenting path even though two
+        // free-ish structures exist through the odd cycle.
+        let g = cycle(5);
+        let m = Matching::from_pairs(5, [(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]);
+        assert!(!has_augmenting_path_up_to(&g, &m, 5));
+    }
+
+    #[test]
+    fn invalid_matching_fails_certification() {
+        let g = from_edges(4, [(0, 1)]);
+        let bogus = Matching::from_pairs(4, [(VertexId(2), VertexId(3))]); // not an edge
+        assert!(!certify_approximation(&g, &bogus, 1));
+    }
+}

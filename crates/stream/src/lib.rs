@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Semi-streaming matching via the sparsifier (the "memory-constrained
+//! models" application sketched at the top of the paper's Section 3).
+//!
+//! In the insertion-only semi-streaming model, edges arrive one at a time
+//! and the algorithm may keep only `Õ(n)` words. Per-vertex **reservoir
+//! sampling** maintains, for every vertex, a uniform Δ-subset of the
+//! incident edges seen so far — which is exactly the marking distribution
+//! of the random sparsifier `G_Δ` (vertices with degree ≤ Δ keep
+//! everything automatically). At end of stream the union of reservoirs is
+//! `G_Δ`-distributed, so by Theorem 2.1 it is a `(1+ε)`-matching
+//! sparsifier of the streamed graph w.h.p. whenever the stream's graph
+//! has neighborhood independence ≤ β, and a `(1+ε)`-approximate matching
+//! is computed offline from `O(n·Δ)` retained edges.
+//!
+//! Two algorithms:
+//! * [`StreamingSparsifierMatcher`] — the reservoir construction above:
+//!   memory `O(n·Δ)` edges, approximation `(1+ε)²` (sparsifier × offline
+//!   matcher), insertion-only;
+//! * [`StreamingGreedyMatcher`] — the folklore one-pass greedy maximal
+//!   matching: memory `O(n)`, approximation 2; the baseline.
+
+pub mod matcher;
+pub mod reservoir;
+
+pub use matcher::{StreamStats, StreamingGreedyMatcher, StreamingSparsifierMatcher};
+pub use reservoir::EdgeReservoir;

@@ -1,0 +1,124 @@
+//! Classic reservoir sampling of a fixed-capacity uniform subset.
+
+use rand::Rng;
+
+/// A reservoir holding a uniform `capacity`-subset of the items offered
+/// so far (Vitter's Algorithm R).
+#[derive(Clone, Debug)]
+pub struct EdgeReservoir {
+    items: Vec<u32>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl EdgeReservoir {
+    /// An empty reservoir of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        EdgeReservoir {
+            items: Vec::new(),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Offer one item. Kept with probability `capacity / seen`, evicting
+    /// a uniform victim — the invariant "items is a uniform
+    /// capacity-subset of everything offered" is maintained.
+    pub fn offer(&mut self, item: u32, rng: &mut impl Rng) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        let j = rng.random_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.items[j as usize] = item;
+        }
+    }
+
+    /// Items currently held.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// Total items offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Current memory footprint in items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing was offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = EdgeReservoir::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..4 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3]);
+        assert_eq!(r.seen(), 4);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut r = EdgeReservoir::new(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..1000 {
+            r.offer(i, &mut rng);
+            assert!(r.len() <= 3);
+        }
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn uniform_marginals() {
+        // Each of 20 items should survive with probability 4/20 = 0.2.
+        let trials = 30_000;
+        let mut counts = vec![0u32; 20];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..trials {
+            let mut r = EdgeReservoir::new(4);
+            for i in 0..20 {
+                r.offer(i, &mut rng);
+            }
+            for &i in r.items() {
+                counts[i as usize] += 1;
+            }
+        }
+        let expected = trials as f64 * 0.2;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                ((c as f64) - expected).abs() / expected < 0.06,
+                "item {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn items_are_distinct_when_offers_are() {
+        let mut r = EdgeReservoir::new(8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..500 {
+            r.offer(i, &mut rng);
+        }
+        let mut items = r.items().to_vec();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 8);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the streaming matchers.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_graph::csr::from_edges;
+use sparsimatch_graph::ids::VertexId;
+use sparsimatch_stream::{EdgeReservoir, StreamingGreedyMatcher, StreamingSparsifierMatcher};
+
+const N: usize = 16;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    // Distinct-edge streams (the insertion-only model).
+    proptest::collection::vec((0..N, 0..N), 0..60).prop_map(|pairs| {
+        let mut seen = std::collections::HashSet::new();
+        pairs
+            .into_iter()
+            .filter(|&(u, v)| u != v && seen.insert((u.min(v), u.max(v))))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reservoir_never_exceeds_capacity(items in proptest::collection::vec(any::<u32>(), 0..300), cap in 1usize..10, seed in any::<u64>()) {
+        let mut r = EdgeReservoir::new(cap);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, &x) in items.iter().enumerate() {
+            r.offer(x, &mut rng);
+            prop_assert!(r.len() <= cap);
+            prop_assert_eq!(r.seen(), i as u64 + 1);
+        }
+        // Everything held was offered.
+        for held in r.items() {
+            prop_assert!(items.contains(held));
+        }
+    }
+
+    #[test]
+    fn streamed_matching_is_matching_of_streamed_graph(stream in arb_stream(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = SparsifierParams::with_delta(2, 0.5, 2);
+        let mut sm = StreamingSparsifierMatcher::new(N, params);
+        for &(u, v) in &stream {
+            sm.push_edge(VertexId::new(u), VertexId::new(v), &mut rng);
+        }
+        let (m, stats) = sm.finish();
+        let g = from_edges(N, stream.clone());
+        prop_assert!(m.is_valid_for(&g));
+        prop_assert_eq!(stats.edges_seen, stream.len() as u64);
+        prop_assert!(stats.edges_retained <= stream.len());
+        prop_assert!(stats.edges_retained <= N * params.mark_cap());
+    }
+
+    #[test]
+    fn greedy_stream_maximal_for_any_order(stream in arb_stream()) {
+        let mut gm = StreamingGreedyMatcher::new(N);
+        for &(u, v) in &stream {
+            gm.push_edge(VertexId::new(u), VertexId::new(v));
+        }
+        let (m, _) = gm.finish();
+        let g = from_edges(N, stream);
+        prop_assert!(m.is_valid_for(&g));
+        prop_assert!(m.is_maximal_in(&g));
+    }
+
+    #[test]
+    fn low_degree_streams_retain_everything(stream in arb_stream(), seed in any::<u64>()) {
+        // With a reservoir capacity at least the max degree, nothing is
+        // ever evicted: the retained graph IS the streamed graph.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = SparsifierParams::with_delta(2, 0.5, N); // cap = 2N > any degree
+        let mut sm = StreamingSparsifierMatcher::new(N, params);
+        for &(u, v) in &stream {
+            sm.push_edge(VertexId::new(u), VertexId::new(v), &mut rng);
+        }
+        let g = from_edges(N, stream);
+        let retained = sm.retained_graph();
+        prop_assert_eq!(retained.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,73 @@
+//! Fully dynamic matching under an adaptive adversary (Theorem 3.5).
+//!
+//! Scenario: a matchmaking service over a churning relationship graph —
+//! an adversary who *sees the published matching* keeps deleting exactly
+//! the matched edges. The window scheme maintains a `(1+ε)`-approximate
+//! matching with per-update work that is flat in the graph size, while
+//! the threshold (Barenboim–Maimon style) baseline's repair cost grows
+//! with `√(βn)`.
+//!
+//! ```text
+//! cargo run --release --example dynamic_stream
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch::dynamic::adversary::{Adversary, Policy, StreamAdversary};
+use sparsimatch::dynamic::baselines::ThresholdMaximalMatching;
+use sparsimatch::dynamic::harness::run_dynamic;
+use sparsimatch::dynamic::scheme::DynamicMatcher;
+use sparsimatch::prelude::*;
+
+fn main() {
+    let steps = 6_000;
+    println!("adaptive adversary, {steps} updates per run\n");
+    println!(
+        "{:>6}  {:>22}  {:>10} {:>10} {:>10}  {:>11}",
+        "n", "algorithm", "max work", "p99 work", "mean work", "worst ratio"
+    );
+    for n in [200usize, 400, 800] {
+        let mut rng = StdRng::seed_from_u64(0xD15EA5E + n as u64);
+        let host = clique_union(
+            CliqueUnionConfig {
+                n,
+                diversity: 2,
+                clique_size: n / 4,
+            },
+            &mut rng,
+        );
+
+        // The paper's window scheme.
+        let params = SparsifierParams::practical(2, 0.5);
+        let mut dm = DynamicMatcher::new(n, params, 1);
+        let mut adv =
+            StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 0.7 });
+        let s = run_dynamic(&mut dm, &mut adv, steps, steps / 6, &mut rng);
+        println!(
+            "{:>6}  {:>22}  {:>10} {:>10} {:>10.1}  {:>11.3}",
+            n, "window scheme", s.max_work, s.p99_work, s.avg_work, s.worst_ratio
+        );
+
+        // The √(βn) baseline.
+        let mut tm = ThresholdMaximalMatching::new(n, 2);
+        let mut adv =
+            StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 0.7 });
+        let mut max_w = 0u64;
+        let mut sum_w = 0u64;
+        for _ in 0..steps {
+            let upd = adv.next(tm.matching(), &mut rng);
+            let w = tm.apply(upd);
+            max_w = max_w.max(w);
+            sum_w += w;
+        }
+        println!(
+            "{:>6}  {:>22}  {:>10} {:>10} {:>10.1}  {:>11}",
+            n,
+            format!("threshold MM (T={})", tm.threshold()),
+            max_w,
+            "-",
+            sum_w as f64 / steps as f64,
+            "~2",
+        );
+    }
+    println!("\nThe scheme's max work stays flat as n quadruples; the baseline's grows.");
+}

@@ -1,0 +1,69 @@
+//! Cross-crate integration: the dynamic Theorem 3.5 scheme under both
+//! adversary models, audited against exact recomputation.
+
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch::dynamic::adversary::{Policy, StreamAdversary};
+use sparsimatch::dynamic::harness::run_dynamic;
+use sparsimatch::dynamic::scheme::DynamicMatcher;
+use sparsimatch::prelude::*;
+
+fn host(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    clique_union(
+        CliqueUnionConfig {
+            n,
+            diversity: 2,
+            clique_size: n / 5,
+        },
+        &mut rng,
+    )
+}
+
+#[test]
+fn oblivious_stream_stays_accurate() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let h = host(80, 11);
+    let mut adv = StreamAdversary::new(&h, Policy::Oblivious { p_insert: 0.7 });
+    let mut dm = DynamicMatcher::new(80, SparsifierParams::practical(2, 0.5), 5);
+    let s = run_dynamic(&mut dm, &mut adv, 4000, 400, &mut rng);
+    assert!(s.worst_ratio < 1.8, "ratio {}", s.worst_ratio);
+    assert!(s.audits >= 9);
+}
+
+#[test]
+fn adaptive_stream_stays_accurate() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let h = host(80, 13);
+    let mut adv = StreamAdversary::new(&h, Policy::AdaptiveDeleteMatched { p_insert: 0.65 });
+    let mut dm = DynamicMatcher::new(80, SparsifierParams::practical(2, 0.4), 7);
+    let s = run_dynamic(&mut dm, &mut adv, 4000, 400, &mut rng);
+    assert!(s.worst_ratio < 2.0, "adaptive ratio {}", s.worst_ratio);
+}
+
+#[test]
+fn update_work_flat_while_n_quadruples() {
+    let mut maxes = Vec::new();
+    for n in [100usize, 400] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = host(n, 17);
+        let mut adv = StreamAdversary::new(&h, Policy::Oblivious { p_insert: 0.7 });
+        let mut dm = DynamicMatcher::new(n, SparsifierParams::practical(2, 0.5), 9);
+        let s = run_dynamic(&mut dm, &mut adv, 5000, 0, &mut rng);
+        maxes.push(s.max_work);
+    }
+    assert!(
+        maxes[1] <= maxes[0] * 3,
+        "max work grew {maxes:?}: not flat in n"
+    );
+}
+
+#[test]
+fn served_matching_always_valid_under_churn() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let h = host(60, 19);
+    let mut adv = StreamAdversary::new(&h, Policy::AdaptiveDeleteMatched { p_insert: 0.55 });
+    let mut dm = DynamicMatcher::new(60, SparsifierParams::practical(2, 0.5), 21);
+    // run_dynamic audits validity at every audit point; audit densely.
+    let s = run_dynamic(&mut dm, &mut adv, 1200, 40, &mut rng);
+    assert_eq!(s.updates, 1200);
+}
