@@ -28,13 +28,17 @@ fn bench_sequential(c: &mut Criterion) {
         let params = SparsifierParams::practical(2, 0.3);
         group.bench_with_input(BenchmarkId::new("sparsify+match", &label), &g, |b, g| {
             let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| black_box(approx_mcm_via_sparsifier(g, &params, &mut rng).matching.len()));
+            b.iter(|| {
+                black_box(
+                    approx_mcm_via_sparsifier(g, &params, &mut rng)
+                        .matching
+                        .len(),
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("as19-maximal", &label), &g, |b, g| {
             let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| {
-                black_box(assadi_solomon_maximal(g, &AsConfig::for_beta(2), &mut rng).len())
-            });
+            b.iter(|| black_box(assadi_solomon_maximal(g, &AsConfig::for_beta(2), &mut rng).len()));
         });
         group.bench_with_input(BenchmarkId::new("greedy-full", &label), &g, |b, g| {
             b.iter(|| black_box(greedy_maximal_matching(g).len()));

@@ -41,7 +41,12 @@ fn bench_build(c: &mut Criterion) {
                 &g,
                 |b, g| {
                     b.iter(|| {
-                        black_box(build_sparsifier_parallel(g, &params, 11, threads).stats.edges)
+                        black_box(
+                            build_sparsifier_parallel(g, &params, 11, threads)
+                                .expect("valid thread count")
+                                .stats
+                                .edges,
+                        )
                     });
                 },
             );

@@ -26,7 +26,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE16);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "claimed beta", "true beta", "delta", "|E(GΔ)|/m", "worst ratio", "1+eps", "holds",
+        "claimed beta",
+        "true beta",
+        "delta",
+        "|E(GΔ)|/m",
+        "worst ratio",
+        "1+eps",
+        "holds",
     ]);
 
     println!("E16 / ablation: sparsifier under a misspecified beta");
@@ -68,5 +74,5 @@ fn main() {
         ]);
     }
     table.print();
-    violations.finish("E16");
+    violations.finish_json("E16", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -24,7 +24,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE11);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "family", "scale vs paper", "delta", "|E(GΔ)|/m", "worst ratio", "1+eps", "holds",
+        "family",
+        "scale vs paper",
+        "delta",
+        "|E(GΔ)|/m",
+        "worst ratio",
+        "1+eps",
+        "holds",
     ]);
 
     println!("E11 / ablation: scaling Delta below the paper constant (eps = {eps})\n");
@@ -64,5 +70,5 @@ fn main() {
         }
     }
     table.print();
-    violations.finish("E11");
+    violations.finish_json("E11", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -26,7 +26,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE12);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "true mcm", "mutual-mark mcm", "one-sided random mcm", "mutual ratio",
+        "n",
+        "true mcm",
+        "mutual-mark mcm",
+        "one-sided random mcm",
+        "mutual ratio",
         "random ratio",
     ]);
 
@@ -55,5 +59,5 @@ fn main() {
         ]);
     }
     table.print();
-    violations.finish("E12");
+    violations.finish_json("E12", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -43,7 +43,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE17);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "|U|", "delta", "P[U independent] predicted", "measured", "per-vertex avoid",
+        "n",
+        "|U|",
+        "delta",
+        "P[U independent] predicted",
+        "measured",
+        "per-vertex avoid",
     ]);
 
     println!("E17 / Claim 2.7: independence probability of a fixed set in G_Δ");
@@ -56,8 +61,7 @@ fn main() {
             for _ in 0..trials {
                 let s = build_plain_sparsifier(&g, delta, &mut rng);
                 let is_independent = (0..u_size).all(|a| {
-                    ((a + 1)..u_size)
-                        .all(|b| !s.has_edge(VertexId::new(a), VertexId::new(b)))
+                    ((a + 1)..u_size).all(|b| !s.has_edge(VertexId::new(a), VertexId::new(b)))
                 });
                 independent += is_independent as usize;
             }
@@ -83,5 +87,5 @@ fn main() {
         "\nDecay is exponential in |U|·Δ exactly as the union bound needs:\n\
          doubling either parameter squares the survival probability."
     );
-    violations.finish("E17");
+    violations.finish_json("E17", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -24,7 +24,12 @@ fn main() {
     let beta = 2;
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "updates", "rounds/update", "msgs/update", "max node mem", "|E(GΔ)|",
+        "n",
+        "updates",
+        "rounds/update",
+        "msgs/update",
+        "max node mem",
+        "|E(GΔ)|",
         "worst audit ratio",
     ]);
 
@@ -94,5 +99,5 @@ fn main() {
         ]);
     }
     table.print();
-    violations.finish("E18");
+    violations.finish_json("E18", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -31,7 +31,15 @@ fn main() {
 
     println!("E5 / Lemma 2.13: deterministic marking fails on cliques-minus-an-edge\n");
     println!("(a) fixed-layout worst case over non-edge placements:");
-    let mut t1 = Table::new(&["marker", "n", "delta", "true mcm", "sparsifier mcm", "ratio", "n/(2Δ)"]);
+    let mut t1 = Table::new(&[
+        "marker",
+        "n",
+        "delta",
+        "true mcm",
+        "sparsifier mcm",
+        "ratio",
+        "n/(2Δ)",
+    ]);
     for &n in ns {
         for marker in [&FirstDelta as &dyn DeterministicMarker, &Strided] {
             let r = deterministic_marker_worst_case(marker, n, delta, 8);
@@ -94,10 +102,9 @@ fn main() {
         let s = build_plain_sparsifier(&g, delta, &mut rng);
         let sparse = maximum_matching(&s).len();
         let true_mcm = n / 2;
-        violations.check(
-            (sparse as f64) * 2.0 >= true_mcm as f64,
-            || format!("random sparsifier n={n}: mcm {sparse} below half of {true_mcm}"),
-        );
+        violations.check((sparse as f64) * 2.0 >= true_mcm as f64, || {
+            format!("random sparsifier n={n}: mcm {sparse} below half of {true_mcm}")
+        });
         t3.row(vec![
             n.to_string(),
             delta.to_string(),
@@ -107,5 +114,5 @@ fn main() {
         ]);
     }
     t3.print();
-    violations.finish("E5");
+    violations.finish_json("E5", env!("CARGO_BIN_NAME"), scale, &[&t1, &t2, &t3]);
 }

@@ -21,7 +21,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE4);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "family", "n'", "beta (exact)", "mcm", "n'/(beta+2)", "slack",
+        "family",
+        "n'",
+        "beta (exact)",
+        "mcm",
+        "n'/(beta+2)",
+        "slack",
     ]);
 
     println!("E4 / Lemma 2.2: MCM is at least n'/(beta+2)\n");
@@ -48,5 +53,5 @@ fn main() {
         }
     }
     table.print();
-    violations.finish("E4");
+    violations.finish_json("E4", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -22,7 +22,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE15);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "m", "machines", "rounds", "max load (words)", "load/m-words", "|M|",
+        "n",
+        "m",
+        "machines",
+        "rounds",
+        "max load (words)",
+        "load/m-words",
+        "|M|",
         "ratio vs exact",
     ]);
 
@@ -70,5 +76,5 @@ fn main() {
         ]);
     }
     table.print();
-    violations.finish("E15");
+    violations.finish_json("E15", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

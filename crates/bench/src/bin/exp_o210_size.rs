@@ -22,8 +22,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE2);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "family", "n", "m", "beta", "delta", "|E(GΔ)|", "2·MCM·(cap+β)", "n·cap",
-        "size/obs-bound", "size/naive",
+        "family",
+        "n",
+        "m",
+        "beta",
+        "delta",
+        "|E(GΔ)|",
+        "2·MCM·(cap+β)",
+        "n·cap",
+        "size/obs-bound",
+        "size/naive",
     ]);
 
     println!("E2 / Observation 2.10: size of the sparsifier\n");
@@ -61,5 +69,5 @@ fn main() {
         }
     }
     table.print();
-    violations.finish("E2");
+    violations.finish_json("E2", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

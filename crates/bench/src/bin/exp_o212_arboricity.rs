@@ -22,7 +22,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE3);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "family", "n", "delta", "cap", "α lower", "α upper", "degeneracy", "obs bound (2·cap)",
+        "family",
+        "n",
+        "delta",
+        "cap",
+        "α lower",
+        "α upper",
+        "degeneracy",
+        "obs bound (2·cap)",
     ]);
 
     println!("E3 / Observation 2.12: arboricity of the sparsifier\n");
@@ -55,5 +62,5 @@ fn main() {
         }
     }
     table.print();
-    violations.finish("E3");
+    violations.finish_json("E3", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

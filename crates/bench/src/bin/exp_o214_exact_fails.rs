@@ -21,8 +21,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE6);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "half", "n", "delta", "P[bridge] predicted", "P[bridge] measured",
-        "P[exact] measured", "4Δ/n",
+        "half",
+        "n",
+        "delta",
+        "P[bridge] predicted",
+        "P[bridge] measured",
+        "P[exact] measured",
+        "4Δ/n",
     ]);
 
     println!("E6 / Observation 2.14: exact preservation needs the bridge edge\n");
@@ -53,9 +58,10 @@ fn main() {
                 )
             });
             // Exact preservation is gated on the bridge.
-            violations.check(r.exact_preserved_rate <= r.bridge_marked_rate + 1e-12, || {
-                format!("half={half} delta={delta}: exact rate above bridge rate")
-            });
+            violations.check(
+                r.exact_preserved_rate <= r.bridge_marked_rate + 1e-12,
+                || format!("half={half} delta={delta}: exact rate above bridge rate"),
+            );
             table.row(vec![
                 half.to_string(),
                 n.to_string(),
@@ -68,5 +74,5 @@ fn main() {
         }
     }
     table.print();
-    violations.finish("E6");
+    violations.finish_json("E6", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

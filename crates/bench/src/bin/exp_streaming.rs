@@ -28,7 +28,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE14);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "stream edges", "algo", "retained", "retained/m", "|M|", "ratio vs exact",
+        "n",
+        "stream edges",
+        "algo",
+        "retained",
+        "retained/m",
+        "|M|",
+        "ratio vs exact",
     ]);
 
     println!("E14 / streaming: one-pass reservoir sparsifier vs one-pass greedy");
@@ -89,5 +95,5 @@ fn main() {
         ]);
     }
     table.print();
-    violations.finish("E14");
+    violations.finish_json("E14", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

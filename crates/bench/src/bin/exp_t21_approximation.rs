@@ -22,7 +22,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE1);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "family", "n", "m", "beta", "eps", "delta", "|E(GΔ)|", "mcm(G)", "worst ratio", "bound",
+        "family",
+        "n",
+        "m",
+        "beta",
+        "eps",
+        "delta",
+        "|E(GΔ)|",
+        "mcm(G)",
+        "worst ratio",
+        "bound",
     ]);
 
     println!("E1 / Theorem 2.1: (1+eps)-approximation of the random sparsifier\n");
@@ -63,5 +72,5 @@ fn main() {
         }
     }
     table.print();
-    violations.finish("E1");
+    violations.finish_json("E1", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

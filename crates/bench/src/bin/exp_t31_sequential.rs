@@ -37,7 +37,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE7);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "m", "algo", "probes", "probes/m", "time (ms)", "|M|", "ratio vs exact",
+        "n",
+        "m",
+        "algo",
+        "probes",
+        "probes/m",
+        "time (ms)",
+        "|M|",
+        "ratio vs exact",
     ]);
 
     println!("E7 / Theorem 3.1: sequential sublinear (1+eps)-approximate matching");
@@ -149,5 +156,5 @@ fn main() {
             n_growth * n_growth
         );
     }
-    violations.finish("E7");
+    violations.finish_json("E7", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -29,7 +29,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE8);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "log*n", "algo", "rounds", "rounds (sparsify/solomon/match)", "deg(G̃Δ)", "|M|",
+        "n",
+        "log*n",
+        "algo",
+        "rounds",
+        "rounds (sparsify/solomon/match)",
+        "deg(G̃Δ)",
+        "|M|",
         "ratio vs exact",
     ]);
 
@@ -103,10 +109,8 @@ fn main() {
         let last = *round_series.last().unwrap() as f64;
         let n_growth = ns[ns.len() - 1] as f64 / ns[0] as f64;
         violations.check(last <= first * 4.0 + 50.0, || {
-            format!(
-                "rounds grew {first} -> {last} over n growth {n_growth:.0}x — not log*-flat"
-            )
+            format!("rounds grew {first} -> {last} over n growth {n_growth:.0}x — not log*-flat")
         });
     }
-    violations.finish("E8");
+    violations.finish_json("E8", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

@@ -25,7 +25,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xE9);
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "m", "rounds", "messages", "messages/m", "bits", "naive msgs (2m·rounds)",
+        "n",
+        "m",
+        "rounds",
+        "messages",
+        "messages/m",
+        "bits",
+        "naive msgs (2m·rounds)",
         "savings",
     ]);
 
@@ -45,7 +51,10 @@ fn main() {
         let out = distributed_approx_mcm(&g, &params, 0xE9 + n as u64);
         let naive = 2 * m * out.metrics.rounds;
         violations.check(out.metrics.messages < naive, || {
-            format!("n={n}: messages {} not below naive {naive}", out.metrics.messages)
+            format!(
+                "n={n}: messages {} not below naive {naive}",
+                out.metrics.messages
+            )
         });
         table.row(vec![
             n.to_string(),
@@ -59,5 +68,5 @@ fn main() {
         ]);
     }
     table.print();
-    violations.finish("E9");
+    violations.finish_json("E9", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }

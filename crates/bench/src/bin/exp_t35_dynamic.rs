@@ -35,7 +35,13 @@ fn main() {
     let beta = 2;
     let mut violations = Violations::new();
     let mut table = Table::new(&[
-        "n", "adversary", "algo", "max work", "p99 work", "mean work", "worst ratio",
+        "n",
+        "adversary",
+        "algo",
+        "max work",
+        "p99 work",
+        "mean work",
+        "worst ratio",
     ]);
 
     println!("E10 / Theorem 3.5: dynamic update work and adaptive robustness");
@@ -54,10 +60,7 @@ fn main() {
         );
         for (adv_name, policy) in [
             ("oblivious", Policy::Oblivious { p_insert: 0.7 }),
-            (
-                "adaptive",
-                Policy::AdaptiveDeleteMatched { p_insert: 0.7 },
-            ),
+            ("adaptive", Policy::AdaptiveDeleteMatched { p_insert: 0.7 }),
         ] {
             // (1) The window scheme.
             let params = SparsifierParams::practical(beta, eps);
@@ -65,7 +68,10 @@ fn main() {
             let mut adv = StreamAdversary::new(&host, policy);
             let s = run_dynamic(&mut dm, &mut adv, steps, steps / 8, &mut rng);
             violations.check(s.worst_ratio <= 2.0, || {
-                format!("scheme n={n} {adv_name}: ratio {:.3} blew past 2", s.worst_ratio)
+                format!(
+                    "scheme n={n} {adv_name}: ratio {:.3} blew past 2",
+                    s.worst_ratio
+                )
             });
             if adv_name == "adaptive" {
                 scheme_max_by_n.push(s.max_work);
@@ -193,7 +199,7 @@ fn main() {
                 .collect::<Vec<_>>()
         );
     }
-    violations.finish("E10");
+    violations.finish_json("E10", env!("CARGO_BIN_NAME"), scale, &[&table]);
 }
 
 fn graph_of(tm: &ThresholdMaximalMatching) -> sparsimatch_graph::csr::CsrGraph {

@@ -13,6 +13,8 @@ pub mod stats;
 pub mod table;
 pub mod workloads;
 
+use sparsimatch_obs::Json;
+
 /// Runtime scale selected on the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -20,6 +22,16 @@ pub enum Scale {
     Quick,
     /// Full grid, minutes per experiment (`--full`).
     Full,
+}
+
+impl Scale {
+    /// The scale's name as used in result files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// Parse the scale from `std::env::args`.
@@ -67,6 +79,62 @@ impl Violations {
         }
         std::process::exit(1);
     }
+
+    /// Like [`Violations::finish`], but first writes the machine-readable
+    /// result document to `<results dir>/<bin>.json` (see
+    /// [`write_results_json`]). The JSON is written whether or not bounds
+    /// were violated, so a red run still leaves its evidence on disk.
+    pub fn finish_json(self, label: &str, bin: &str, scale: Scale, tables: &[&table::Table]) -> ! {
+        match write_results_json(bin, label, scale, tables, &self.items) {
+            Ok(path) => println!("\n[{label}] results written to {}", path.display()),
+            Err(e) => {
+                eprintln!("\n[{label}] FAILED to write results JSON: {e}");
+                std::process::exit(1);
+            }
+        }
+        self.finish(label)
+    }
+}
+
+/// Where experiment result JSON files go: the `SPARSIMATCH_RESULTS_DIR`
+/// environment variable if set, else `results/` under the current
+/// directory.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("SPARSIMATCH_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"))
+}
+
+/// Write `<results dir>/<bin>.json`: experiment name, claim label, grid
+/// scale, every measured-vs-predicted table, the bound-violation messages
+/// (empty on a clean run), and the overall `bounds_ok` flag. The schema is
+/// documented in EXPERIMENTS.md ("Machine-readable results"). Returns the
+/// path written.
+pub fn write_results_json(
+    bin: &str,
+    label: &str,
+    scale: Scale,
+    tables: &[&table::Table],
+    violations: &[String],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let mut doc = Json::object();
+    doc.set("experiment", bin);
+    doc.set("label", label);
+    doc.set("scale", scale.name());
+    doc.set(
+        "tables",
+        Json::Array(tables.iter().map(|t| t.to_json()).collect()),
+    );
+    doc.set(
+        "violations",
+        Json::Array(violations.iter().map(|v| Json::from(v.as_str())).collect()),
+    );
+    doc.set("bounds_ok", violations.is_empty());
+    let path = dir.join(format!("{bin}.json"));
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -81,5 +149,35 @@ mod tests {
         v.check(false, || "bad".into());
         v.record("worse");
         assert_eq!(v.items, vec!["bad".to_string(), "worse".to_string()]);
+    }
+
+    #[test]
+    fn results_json_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("sparsimatch-results-{}", std::process::id()));
+        std::env::set_var("SPARSIMATCH_RESULTS_DIR", &dir);
+        let mut t = table::Table::new(&["n", "ratio"]);
+        t.row(vec!["100".into(), "1.042".into()]);
+        let path = write_results_json(
+            "exp_unit_test",
+            "E0",
+            Scale::Quick,
+            &[&t],
+            &["too big".to_string()],
+        )
+        .unwrap();
+        std::env::remove_var("SPARSIMATCH_RESULTS_DIR");
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("experiment").unwrap().as_str(),
+            Some("exp_unit_test")
+        );
+        assert_eq!(doc.get("label").unwrap().as_str(), Some("E0"));
+        assert_eq!(doc.get("scale").unwrap().as_str(), Some("quick"));
+        assert_eq!(doc.get("bounds_ok").unwrap().as_bool(), Some(false));
+        let tables = doc.get("tables").unwrap().as_array().unwrap();
+        assert_eq!(tables.len(), 1);
+        let rows = tables[0].get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].as_array().unwrap()[1].as_str(), Some("1.042"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

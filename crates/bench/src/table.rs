@@ -1,5 +1,7 @@
 //! Fixed-width ASCII table printing for experiment output.
 
+use sparsimatch_obs::Json;
+
 /// A simple column-aligned table.
 pub struct Table {
     headers: Vec<String>,
@@ -66,6 +68,32 @@ impl Table {
     /// Print to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+
+    /// The table as JSON: `{"headers": [...], "rows": [[...], ...]}`.
+    /// Cells stay strings — they are already formatted measurements, and
+    /// string cells keep the export lossless and byte-deterministic.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set(
+            "headers",
+            Json::Array(
+                self.headers
+                    .iter()
+                    .map(|h| Json::from(h.as_str()))
+                    .collect(),
+            ),
+        );
+        obj.set(
+            "rows",
+            Json::Array(
+                self.rows
+                    .iter()
+                    .map(|row| Json::Array(row.iter().map(|c| Json::from(c.as_str())).collect()))
+                    .collect(),
+            ),
+        );
+        obj
     }
 }
 

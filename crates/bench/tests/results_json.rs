@@ -1,0 +1,52 @@
+//! Runs a real experiment binary on the quick grid and consumes the
+//! machine-readable `results/<exp>.json` document it writes, closing the
+//! loop on the export path (acceptance: the JSON is valid and is read back
+//! by a test, not just written).
+
+use sparsimatch_obs::Json;
+use std::process::Command;
+
+#[test]
+fn quick_run_writes_valid_results_json() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let status = Command::new(env!("CARGO_BIN_EXE_exp_o210_size"))
+        .env("SPARSIMATCH_RESULTS_DIR", &dir)
+        .status()
+        .expect("experiment binary runs");
+    assert!(status.success(), "exp_o210_size exited nonzero");
+
+    let path = dir.join("exp_o210_size.json");
+    let text = std::fs::read_to_string(&path).expect("results JSON written");
+    let doc = Json::parse(&text).expect("results JSON parses");
+
+    assert_eq!(
+        doc.get("experiment").unwrap().as_str(),
+        Some("exp_o210_size")
+    );
+    assert_eq!(doc.get("label").unwrap().as_str(), Some("E2"));
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("quick"));
+    // A quick run satisfies every bound, so the violation list is empty
+    // and the flag is set.
+    assert_eq!(doc.get("bounds_ok").unwrap().as_bool(), Some(true));
+    assert!(doc
+        .get("violations")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+
+    // The measured-vs-predicted table survives the roundtrip with at least
+    // one data row, and its arity matches the headers.
+    let tables = doc.get("tables").unwrap().as_array().unwrap();
+    assert!(!tables.is_empty());
+    let headers = tables[0].get("headers").unwrap().as_array().unwrap();
+    let rows = tables[0].get("rows").unwrap().as_array().unwrap();
+    assert!(!rows.is_empty());
+    for row in rows {
+        assert_eq!(row.as_array().unwrap().len(), headers.len());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,14 +12,25 @@ USAGE:
       families: clique | clique-union:<layers>:<clique_size> |
                 unit-disk:<avg_degree> | gnp:<p> | line-gnp:<p> |
                 path | cycle
-  sparsimatch analyze <FILE> [--exact-beta]
+  sparsimatch analyze <FILE> [--exact-beta] [--metrics-json <FILE>]
   sparsimatch sparsify <FILE> --beta <B> --eps <E> [--scale <S>] [--seed <S>] [--out <FILE>]
+                       [--threads <T>] [--metrics-json <FILE>]
   sparsimatch match <FILE> (--eps <E> --beta <B> | --exact | --greedy) [--seed <S>] [--pairs]
+                    [--threads <T>] [--metrics-json <FILE>]
   sparsimatch help
 
 Graphs are plain-text edge lists: a `n m` header line followed by one
 `u v` line per edge (0-based ids, `#` comments allowed). Omitting --out
-writes the graph to stdout.";
+writes the graph to stdout.
+
+--threads 1 (the default) runs the sequential sparsifier and reproduces
+the historical output for a given --seed; --threads 2..=64 uses the
+parallel builder with deterministic per-vertex seeding, whose output
+depends only on --seed, not on the thread count. --metrics-json writes
+the unified work counters (probes, RNG draws, overlay writes, ...) as
+JSON; the file is byte-stable for a fixed seed unless the
+SPARSIMATCH_METRICS_TIMINGS=1 environment variable adds wall-clock span
+timings.";
 
 /// The `generate` subcommand.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +53,8 @@ pub struct AnalyzeArgs {
     /// Also compute β exactly (exponential-time per neighborhood; fine on
     /// moderate graphs, omitted by default).
     pub exact_beta: bool,
+    /// Write the analysis as JSON metrics to this path.
+    pub metrics_json: Option<PathBuf>,
 }
 
 /// The `sparsify` subcommand.
@@ -59,6 +72,11 @@ pub struct SparsifyArgs {
     pub seed: u64,
     /// Output path (stdout if absent).
     pub out: Option<PathBuf>,
+    /// Sparsifier build threads: 1 = sequential (historical output),
+    /// 2..=64 = parallel with thread-count-invariant output.
+    pub threads: usize,
+    /// Write work-counter metrics as JSON to this path.
+    pub metrics_json: Option<PathBuf>,
 }
 
 /// Matching algorithm selector.
@@ -88,6 +106,11 @@ pub struct MatchArgs {
     pub seed: u64,
     /// Print the matched pairs, not just the size.
     pub pairs: bool,
+    /// Sparsifier build threads (only meaningful with the sparsify algo):
+    /// 1 = sequential, 2..=64 = parallel.
+    pub threads: usize,
+    /// Write work-counter metrics as JSON to this path.
+    pub metrics_json: Option<PathBuf>,
 }
 
 /// A parsed command line.
@@ -118,6 +141,7 @@ impl<'a> Flags<'a> {
                 let val = self
                     .rest
                     .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
                     .ok_or_else(|| format!("{name} needs a value"))?;
                 if found.is_some() {
                     return Err(format!("{name} given twice"));
@@ -141,10 +165,7 @@ impl<'a> Flags<'a> {
     {
         match self.get(name)? {
             None => Ok(None),
-            Some(s) => s
-                .parse::<T>()
-                .map(Some)
-                .map_err(|e| format!("{name}: {e}")),
+            Some(s) => s.parse::<T>().map(Some).map_err(|e| format!("{name}: {e}")),
         }
     }
 
@@ -154,6 +175,15 @@ impl<'a> Flags<'a> {
     {
         self.parse_opt(name)?
             .ok_or_else(|| format!("missing required {name}"))
+    }
+
+    fn expect_known(&self, known: &[&str]) -> Result<(), String> {
+        for a in self.rest {
+            if a.starts_with("--") && !known.contains(&a.as_str()) {
+                return Err(format!("unknown flag {a}"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -171,6 +201,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .ok_or("generate needs a family")?
                 .clone();
             let flags = Flags { rest: &args[2..] };
+            flags.expect_known(&["--n", "--seed", "--out"])?;
             Ok(Command::Generate(GenerateArgs {
                 family,
                 n: flags.require("--n")?,
@@ -184,9 +215,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or("analyze needs an input file")?;
             let flags = Flags { rest: &args[2..] };
+            flags.expect_known(&["--exact-beta", "--metrics-json"])?;
             Ok(Command::Analyze(AnalyzeArgs {
                 input: PathBuf::from(input),
                 exact_beta: flags.has("--exact-beta"),
+                metrics_json: flags.get("--metrics-json")?.map(PathBuf::from),
             }))
         }
         "sparsify" => {
@@ -195,6 +228,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or("sparsify needs an input file")?;
             let flags = Flags { rest: &args[2..] };
+            flags.expect_known(&[
+                "--beta",
+                "--eps",
+                "--scale",
+                "--seed",
+                "--out",
+                "--threads",
+                "--metrics-json",
+            ])?;
             Ok(Command::Sparsify(SparsifyArgs {
                 input: PathBuf::from(input),
                 beta: flags.require("--beta")?,
@@ -202,6 +244,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 scale: flags.parse_opt("--scale")?.unwrap_or(1.0 / 20.0),
                 seed: flags.parse_opt("--seed")?.unwrap_or(0),
                 out: flags.get("--out")?.map(PathBuf::from),
+                threads: flags.parse_opt("--threads")?.unwrap_or(1),
+                metrics_json: flags.get("--metrics-json")?.map(PathBuf::from),
             }))
         }
         "match" => {
@@ -210,6 +254,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .filter(|a| !a.starts_with("--"))
                 .ok_or("match needs an input file")?;
             let flags = Flags { rest: &args[2..] };
+            flags.expect_known(&[
+                "--exact",
+                "--greedy",
+                "--beta",
+                "--eps",
+                "--seed",
+                "--pairs",
+                "--threads",
+                "--metrics-json",
+            ])?;
             let algo = if flags.has("--exact") {
                 MatchAlgo::Exact
             } else if flags.has("--greedy") {
@@ -225,6 +279,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 algo,
                 seed: flags.parse_opt("--seed")?.unwrap_or(0),
                 pairs: flags.has("--pairs"),
+                threads: flags.parse_opt("--threads")?.unwrap_or(1),
+                metrics_json: flags.get("--metrics-json")?.map(PathBuf::from),
             }))
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -241,7 +297,10 @@ mod tests {
 
     #[test]
     fn parses_generate() {
-        let cmd = parse(&args("generate clique-union:2:50 --n 200 --seed 7 --out g.el")).unwrap();
+        let cmd = parse(&args(
+            "generate clique-union:2:50 --n 200 --seed 7 --out g.el",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Generate(GenerateArgs {
@@ -257,16 +316,26 @@ mod tests {
     fn parses_match_variants() {
         assert!(matches!(
             parse(&args("match g.el --exact")).unwrap(),
-            Command::Match(MatchArgs { algo: MatchAlgo::Exact, .. })
+            Command::Match(MatchArgs {
+                algo: MatchAlgo::Exact,
+                ..
+            })
         ));
         assert!(matches!(
             parse(&args("match g.el --greedy --pairs")).unwrap(),
-            Command::Match(MatchArgs { algo: MatchAlgo::Greedy, pairs: true, .. })
+            Command::Match(MatchArgs {
+                algo: MatchAlgo::Greedy,
+                pairs: true,
+                ..
+            })
         ));
         let sp = parse(&args("match g.el --beta 2 --eps 0.3")).unwrap();
         assert!(matches!(
             sp,
-            Command::Match(MatchArgs { algo: MatchAlgo::Sparsify { beta: 2, .. }, .. })
+            Command::Match(MatchArgs {
+                algo: MatchAlgo::Sparsify { beta: 2, .. },
+                ..
+            })
         ));
     }
 
@@ -290,12 +359,49 @@ mod tests {
 
     #[test]
     fn defaults() {
-        let Command::Sparsify(s) = parse(&args("sparsify g.el --beta 3 --eps 0.5")).unwrap()
-        else {
+        let Command::Sparsify(s) = parse(&args("sparsify g.el --beta 3 --eps 0.5")).unwrap() else {
             panic!()
         };
         assert_eq!(s.seed, 0);
         assert!((s.scale - 0.05).abs() < 1e-12);
         assert_eq!(s.out, None);
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.metrics_json, None);
+    }
+
+    #[test]
+    fn parses_threads_and_metrics_json() {
+        let Command::Sparsify(s) = parse(&args(
+            "sparsify g.el --beta 3 --eps 0.5 --threads 4 --metrics-json m.json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.metrics_json, Some(PathBuf::from("m.json")));
+        let Command::Match(m) = parse(&args(
+            "match g.el --exact --threads 2 --metrics-json out.json",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.metrics_json, Some(PathBuf::from("out.json")));
+        let Command::Analyze(a) = parse(&args("analyze g.el --metrics-json a.json")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.metrics_json, Some(PathBuf::from("a.json")));
+        assert!(parse(&args("sparsify g.el --beta 3 --eps 0.5 --threads wat")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_and_dangling_flags() {
+        // A typo'd flag is an error, not silently ignored.
+        let e = parse(&args("sparsify g.el --beta 2 --eps 0.3 --thread 2")).unwrap_err();
+        assert!(e.contains("unknown flag --thread"), "{e}");
+        // A flag cannot swallow the next flag as its value.
+        let e = parse(&args("match g.el --exact --metrics-json --pairs")).unwrap_err();
+        assert!(e.contains("--metrics-json needs a value"), "{e}");
     }
 }

@@ -4,8 +4,10 @@
 use crate::args::{AnalyzeArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs};
 use rand::{rngs::StdRng, SeedableRng};
 use sparsimatch_core::params::SparsifierParams;
-use sparsimatch_core::pipeline::approx_mcm_via_sparsifier;
-use sparsimatch_core::sparsifier::build_sparsifier;
+use sparsimatch_core::pipeline::{
+    approx_mcm_via_sparsifier_metered, approx_mcm_via_sparsifier_parallel,
+};
+use sparsimatch_core::sparsifier::{build_sparsifier_metered, build_sparsifier_parallel_metered};
 use sparsimatch_graph::analysis::arboricity::{arboricity_bounds, degeneracy};
 use sparsimatch_graph::analysis::independence::neighborhood_independence_exact;
 use sparsimatch_graph::csr::CsrGraph;
@@ -17,12 +19,45 @@ use sparsimatch_graph::io::{read_edge_list_file, write_edge_list, write_edge_lis
 use sparsimatch_matching::blossom::maximum_matching;
 use sparsimatch_matching::greedy::greedy_maximal_matching;
 use sparsimatch_matching::Matching;
+use sparsimatch_obs::{Json, WorkMeter};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
 
 fn io_err(e: impl std::fmt::Display) -> String {
     e.to_string()
+}
+
+/// Start a metrics document: tool/command header plus input shape.
+fn metrics_doc(command: &str, g: &CsrGraph) -> Json {
+    let mut input = Json::object();
+    input.set("vertices", g.num_vertices());
+    input.set("edges", g.num_edges());
+    let mut doc = Json::object();
+    doc.set("tool", "sparsimatch");
+    doc.set("command", command);
+    doc.set("input", input);
+    doc
+}
+
+/// Attach the meter snapshot and write the document. Counter values are
+/// deterministic for a fixed seed, so the file is byte-stable unless
+/// `SPARSIMATCH_METRICS_TIMINGS=1` opts into wall-clock span timings.
+fn write_metrics_json(
+    path: &std::path::Path,
+    mut doc: Json,
+    meter: &WorkMeter,
+) -> Result<(), String> {
+    let with_timings = std::env::var("SPARSIMATCH_METRICS_TIMINGS").is_ok_and(|v| v == "1");
+    doc.set(
+        "meter",
+        if with_timings {
+            meter.snapshot_full()
+        } else {
+            meter.snapshot_counters()
+        },
+    );
+    std::fs::write(path, doc.to_pretty()).map_err(io_err)
 }
 
 /// Build a graph from a family spec like `clique-union:2:100`.
@@ -79,11 +114,7 @@ pub fn generate(args: GenerateArgs, out: Out<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn emit_graph(
-    g: &CsrGraph,
-    dest: &Option<std::path::PathBuf>,
-    out: Out<'_>,
-) -> Result<(), String> {
+fn emit_graph(g: &CsrGraph, dest: &Option<std::path::PathBuf>, out: Out<'_>) -> Result<(), String> {
     match dest {
         Some(path) => write_edge_list_file(g, path).map_err(io_err),
         None => write_edge_list(g, out).map_err(io_err),
@@ -93,18 +124,31 @@ fn emit_graph(
 /// `sparsimatch analyze`.
 pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), String> {
     let g = read_edge_list_file(&args.input).map_err(io_err)?;
+    let mut meter = WorkMeter::new();
+    let mut results = Json::object();
     writeln!(out, "vertices:      {}", g.num_vertices()).map_err(io_err)?;
     writeln!(out, "edges:         {}", g.num_edges()).map_err(io_err)?;
     writeln!(out, "non-isolated:  {}", g.num_non_isolated()).map_err(io_err)?;
     writeln!(out, "max degree:    {}", g.max_degree()).map_err(io_err)?;
-    writeln!(out, "degeneracy:    {}", degeneracy(&g)).map_err(io_err)?;
+    let degen = meter.time("degeneracy", |_| degeneracy(&g));
+    writeln!(out, "degeneracy:    {degen}").map_err(io_err)?;
+    results.set("non_isolated", g.num_non_isolated());
+    results.set("max_degree", g.max_degree());
+    results.set("degeneracy", degen);
     if g.num_edges() > 0 {
-        let (lo, hi) = arboricity_bounds(&g);
+        let (lo, hi) = meter.time("arboricity", |_| arboricity_bounds(&g));
         writeln!(out, "arboricity:    in [{lo}, {hi}]").map_err(io_err)?;
+        results.set("arboricity_lo", lo);
+        results.set("arboricity_hi", hi);
     }
-    let mm = greedy_maximal_matching(&g).len();
-    writeln!(out, "maximal match: {mm} (greedy; MCM is in [{mm}, {}])", 2 * mm)
-        .map_err(io_err)?;
+    let mm = meter.time("greedy_matching", |_| greedy_maximal_matching(&g).len());
+    writeln!(
+        out,
+        "maximal match: {mm} (greedy; MCM is in [{mm}, {}])",
+        2 * mm
+    )
+    .map_err(io_err)?;
+    results.set("greedy_matching", mm);
     // A cheap sampled lower bound on beta plus the diversity upper bound
     // (beta <= diversity): together they bracket the parameter users need
     // for SparsifierParams.
@@ -112,15 +156,18 @@ pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), String> {
     let beta_lower =
         sparsimatch_graph::analysis::independence::estimate_beta_sampled(&g, 16, &mut rng);
     writeln!(out, "beta >= {beta_lower} (sampled lower bound)").map_err(io_err)?;
+    results.set("beta_lower", beta_lower);
     match sparsimatch_graph::analysis::diversity::diversity(&g, 100_000) {
         Some(d) => {
-            writeln!(out, "beta <= {d} (diversity upper bound)").map_err(io_err)?
+            writeln!(out, "beta <= {d} (diversity upper bound)").map_err(io_err)?;
+            results.set("beta_upper", d);
         }
         None => writeln!(out, "diversity:     > clique budget (skipped)").map_err(io_err)?,
     }
     if args.exact_beta {
-        let beta = neighborhood_independence_exact(&g);
+        let beta = meter.time("beta_exact", |_| neighborhood_independence_exact(&g));
         writeln!(out, "beta (exact):  {beta}").map_err(io_err)?;
+        results.set("beta_exact", beta);
         if beta > 0 {
             let n_prime = g.num_non_isolated();
             writeln!(
@@ -131,6 +178,11 @@ pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), String> {
             .map_err(io_err)?;
         }
     }
+    if let Some(path) = &args.metrics_json {
+        let mut doc = metrics_doc("analyze", &g);
+        doc.set("results", results);
+        write_metrics_json(path, doc, &meter)?;
+    }
     Ok(())
 }
 
@@ -138,9 +190,31 @@ pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), String> {
 pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
     let g = read_edge_list_file(&args.input).map_err(io_err)?;
     let params = SparsifierParams::scaled(args.beta, args.eps, args.scale);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let s = build_sparsifier(&g, &params, &mut rng);
+    let mut meter = WorkMeter::new();
+    let s = if args.threads == 1 {
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        meter.time("sparsify", |m| {
+            build_sparsifier_metered(&g, &params, &mut rng, m)
+        })
+    } else {
+        meter
+            .time("sparsify", |m| {
+                build_sparsifier_parallel_metered(&g, &params, args.seed, args.threads, m)
+            })
+            .map_err(|e| e.to_string())?
+    };
     emit_graph(&s.graph, &args.out, out)?;
+    if let Some(path) = &args.metrics_json {
+        let mut doc = metrics_doc("sparsify", &g);
+        doc.set("seed", args.seed);
+        doc.set("threads", args.threads);
+        let mut results = Json::object();
+        results.set("delta", s.stats.delta);
+        results.set("mark_cap", s.stats.mark_cap);
+        results.set("sparsifier_edges", s.stats.edges);
+        doc.set("results", results);
+        write_metrics_json(path, doc, &meter)?;
+    }
     writeln!(
         std::io::stderr(),
         "sparsified m = {} -> {} edges (delta = {}, cap = {})",
@@ -157,19 +231,31 @@ pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
 pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
     let g = read_edge_list_file(&args.input).map_err(io_err)?;
     let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut meter = WorkMeter::new();
     let (label, matching): (&str, Matching) = match args.algo {
-        MatchAlgo::Exact => ("exact (blossom)", maximum_matching(&g)),
-        MatchAlgo::Greedy => ("greedy maximal", greedy_maximal_matching(&g)),
+        MatchAlgo::Exact => (
+            "exact (blossom)",
+            meter.time("match", |_| maximum_matching(&g)),
+        ),
+        MatchAlgo::Greedy => (
+            "greedy maximal",
+            meter.time("match", |_| greedy_maximal_matching(&g)),
+        ),
         MatchAlgo::Sparsify { beta, eps } => {
             let params = SparsifierParams::practical(beta, eps);
-            let r = approx_mcm_via_sparsifier(&g, &params, &mut rng);
-            writeln!(
-                out,
-                "probes: {} (m = {})",
-                r.probes.total(),
-                g.num_edges()
-            )
-            .map_err(io_err)?;
+            let r = if args.threads == 1 {
+                meter.time("match", |m| {
+                    approx_mcm_via_sparsifier_metered(&g, &params, &mut rng, m)
+                })
+            } else {
+                meter
+                    .time("match", |m| {
+                        approx_mcm_via_sparsifier_parallel(&g, &params, args.seed, args.threads, m)
+                    })
+                    .map_err(|e| e.to_string())?
+            };
+            writeln!(out, "probes: {} (m = {})", r.probes.total(), g.num_edges())
+                .map_err(io_err)?;
             ("sparsify+match", r.matching)
         }
     };
@@ -179,6 +265,16 @@ pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
         for (u, v) in matching.pairs() {
             writeln!(out, "{} {}", u.0, v.0).map_err(io_err)?;
         }
+    }
+    if let Some(path) = &args.metrics_json {
+        let mut doc = metrics_doc("match", &g);
+        doc.set("algorithm", label);
+        doc.set("seed", args.seed);
+        doc.set("threads", args.threads);
+        let mut results = Json::object();
+        results.set("matching_size", matching.len());
+        doc.set("results", results);
+        write_metrics_json(path, doc, &meter)?;
     }
     Ok(())
 }
@@ -266,8 +362,150 @@ mod tests {
         let out = run_line(&format!("match {} --exact --pairs", file.display())).unwrap();
         assert!(out.contains("matching size: 2"));
         // Two pair lines follow.
-        assert_eq!(out.lines().filter(|l| l.split_whitespace().count() == 2).count(), 2);
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.split_whitespace().count() == 2)
+                .count(),
+            2
+        );
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn metrics_json_is_byte_stable_for_fixed_seed() {
+        let dir = tmpdir();
+        let file = dir.join("det.el");
+        run_line(&format!(
+            "generate clique-union:2:25 --n 100 --seed 3 --out {}",
+            file.display()
+        ))
+        .unwrap();
+        let m1 = dir.join("det1.json");
+        let m2 = dir.join("det2.json");
+        for m in [&m1, &m2] {
+            run_line(&format!(
+                "match {} --beta 2 --eps 0.4 --seed 9 --metrics-json {}",
+                file.display(),
+                m.display()
+            ))
+            .unwrap();
+        }
+        let b1 = std::fs::read(&m1).unwrap();
+        let b2 = std::fs::read(&m2).unwrap();
+        assert_eq!(b1, b2, "metrics JSON must be byte-stable for a fixed seed");
+        // And it is well-formed JSON carrying the unified counters.
+        let doc = Json::parse(std::str::from_utf8(&b1).unwrap()).unwrap();
+        assert_eq!(doc.get("command").unwrap().as_str(), Some("match"));
+        assert_eq!(doc.get("seed").unwrap().as_u64(), Some(9));
+        let counters = doc.get("meter").unwrap().get("counters").unwrap();
+        assert!(
+            counters
+                .get(sparsimatch_obs::keys::DEGREE_PROBES)
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        assert!(counters.get(sparsimatch_obs::keys::RNG_DRAWS).is_some());
+        assert!(
+            doc.get("meter").unwrap().get("spans").is_none(),
+            "timings are opt-in"
+        );
+        for p in [&file, &m1, &m2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn sparsify_and_match_are_thread_count_invariant_via_cli() {
+        let dir = tmpdir();
+        let file = dir.join("par.el");
+        run_line(&format!(
+            "generate clique --n 120 --seed 1 --out {}",
+            file.display()
+        ))
+        .unwrap();
+        // sparsify: identical sparsifier (and metrics) for 2 vs 4 threads.
+        let out2 = dir.join("par2.el");
+        let out4 = dir.join("par4.el");
+        let met2 = dir.join("par2.json");
+        let met4 = dir.join("par4.json");
+        for (threads, o, m) in [(2, &out2, &met2), (4, &out4, &met4)] {
+            run_line(&format!(
+                "sparsify {} --beta 1 --eps 0.4 --seed 8 --threads {threads} --out {} --metrics-json {}",
+                file.display(),
+                o.display(),
+                m.display()
+            ))
+            .unwrap();
+        }
+        assert_eq!(
+            std::fs::read(&out2).unwrap(),
+            std::fs::read(&out4).unwrap(),
+            "sparsifier output must not depend on the thread count"
+        );
+        assert_eq!(std::fs::read(&met2).unwrap(), {
+            // The metrics differ only in the recorded thread count.
+            let t4 = String::from_utf8(std::fs::read(&met4).unwrap()).unwrap();
+            t4.replace("\"threads\": 4", "\"threads\": 2").into_bytes()
+        });
+        // match through the parallel pipeline: same matching for 2 vs 4.
+        let t2 = run_line(&format!(
+            "match {} --beta 1 --eps 0.4 --seed 8 --threads 2 --pairs",
+            file.display()
+        ))
+        .unwrap();
+        let t4 = run_line(&format!(
+            "match {} --beta 1 --eps 0.4 --seed 8 --threads 4 --pairs",
+            file.display()
+        ))
+        .unwrap();
+        assert_eq!(t2, t4);
+        for p in [&file, &out2, &out4, &met2, &met4] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn out_of_range_thread_count_is_a_clean_error() {
+        let dir = tmpdir();
+        let file = dir.join("err.el");
+        run_line(&format!("generate path --n 6 --out {}", file.display())).unwrap();
+        let err = run_line(&format!(
+            "sparsify {} --beta 1 --eps 0.5 --threads 65",
+            file.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("between 1 and 64"), "{err}");
+        let err = run_line(&format!(
+            "match {} --beta 1 --eps 0.5 --threads 0",
+            file.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("between 1 and 64"), "{err}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn analyze_metrics_json_has_structure_results() {
+        let dir = tmpdir();
+        let file = dir.join("an.el");
+        let met = dir.join("an.json");
+        run_line(&format!("generate clique --n 30 --out {}", file.display())).unwrap();
+        run_line(&format!(
+            "analyze {} --exact-beta --metrics-json {}",
+            file.display(),
+            met.display()
+        ))
+        .unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&met).unwrap()).unwrap();
+        assert_eq!(doc.get("command").unwrap().as_str(), Some("analyze"));
+        let results = doc.get("results").unwrap();
+        assert_eq!(results.get("greedy_matching").unwrap().as_u64(), Some(15));
+        assert_eq!(results.get("beta_exact").unwrap().as_u64(), Some(1));
+        for p in [&file, &met] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

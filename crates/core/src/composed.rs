@@ -54,8 +54,10 @@ pub fn build_composed_sparsifier(
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
+    use sparsimatch_graph::generators::{
+        clique_union, unit_disk, CliqueUnionConfig, UnitDiskConfig,
+    };
     use sparsimatch_matching::blossom::maximum_matching;
-    use sparsimatch_graph::generators::{clique_union, unit_disk, CliqueUnionConfig, UnitDiskConfig};
 
     #[test]
     fn degree_is_bounded() {

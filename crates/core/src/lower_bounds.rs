@@ -131,7 +131,7 @@ pub fn deterministic_marker_worst_case(
     delta: usize,
     placements: usize,
 ) -> DeterministicFailure {
-    assert!(n % 2 == 0 && n >= 4);
+    assert!(n.is_multiple_of(2) && n >= 4);
     let mut worst = usize::MAX;
     // Adversarial search over a spread of non-edge positions (the full
     // quadratic search is exact but unnecessary: the worst case repeats).
@@ -198,7 +198,7 @@ pub struct GameOutcome {
 impl AdversaryGame {
     /// Start a game on `n` (even) vertices with mark budget Δ < n/2.
     pub fn new(n: usize, delta: usize) -> Self {
-        assert!(n % 2 == 0 && delta < n / 2);
+        assert!(n.is_multiple_of(2) && delta < n / 2);
         AdversaryGame {
             n,
             delta,
@@ -284,7 +284,11 @@ impl AdversaryGame {
 /// Play the game with a position-based deterministic marker (it probes the
 /// positions it would mark and marks the answered vertices — the canonical
 /// honest strategy).
-pub fn play_adversary_game(marker: &dyn DeterministicMarker, n: usize, delta: usize) -> GameOutcome {
+pub fn play_adversary_game(
+    marker: &dyn DeterministicMarker,
+    n: usize,
+    delta: usize,
+) -> GameOutcome {
     let mut game = AdversaryGame::new(n, delta);
     let mut marks = Vec::new();
     for v in 0..n {
@@ -443,7 +447,11 @@ mod tests {
             &KeyedHash { key: 0xDEADBEEF },
         ] {
             let r = play_adversary_game(marker, 64, 4);
-            assert!(r.feasible, "{}: honest strategies stay feasible", marker.name());
+            assert!(
+                r.feasible,
+                "{}: honest strategies stay feasible",
+                marker.name()
+            );
             assert!(
                 r.ratio >= r.lemma_bound,
                 "{}: ratio {} below bound {}",
@@ -544,7 +552,11 @@ mod tests {
 
     #[test]
     fn markers_respect_budget() {
-        for marker in [&FirstDelta as &dyn DeterministicMarker, &Strided, &KeyedHash { key: 7 }] {
+        for marker in [
+            &FirstDelta as &dyn DeterministicMarker,
+            &Strided,
+            &KeyedHash { key: 7 },
+        ] {
             for deg in [0usize, 1, 5, 50] {
                 for delta in [1usize, 4, 10] {
                     let marks = marker.mark(VertexId(3), deg, delta);

@@ -48,8 +48,7 @@ impl SparsifierParams {
         assert!(eps > 0.0 && eps < 1.0, "theorem requires 0 < eps < 1");
         assert!(beta >= 1, "beta is at least 1 for any graph with an edge");
         assert!(scale > 0.0);
-        let delta =
-            (scale * 20.0 * (beta as f64 / eps) * (24.0 / eps).ln()).ceil() as usize;
+        let delta = (scale * 20.0 * (beta as f64 / eps) * (24.0 / eps).ln()).ceil() as usize;
         SparsifierParams {
             beta,
             eps,

@@ -9,13 +9,16 @@
 //! `(1 + ε/2.5)² ≤ 1 + ε` for `ε ≤ 1`.
 
 use crate::params::SparsifierParams;
-use crate::sparsifier::{build_sparsifier, SparsifierStats};
+use crate::sparsifier::{
+    build_sparsifier, build_sparsifier_parallel_metered, SparsifierStats, ThreadCountError,
+};
 use rand::Rng;
 use sparsimatch_graph::adjacency::{CountingOracle, ProbeCounts};
 use sparsimatch_graph::csr::{CsrGraph, GraphBuilder};
 use sparsimatch_matching::bounded_aug::{approx_maximum_matching_from, AugStats};
 use sparsimatch_matching::greedy::greedy_maximal_matching;
 use sparsimatch_matching::Matching;
+use sparsimatch_obs::{keys, WorkMeter};
 
 /// Everything the sequential pipeline measured while running.
 #[derive(Clone, Debug)]
@@ -44,6 +47,29 @@ pub fn approx_mcm_via_sparsifier(
     params: &SparsifierParams,
     rng: &mut impl Rng,
 ) -> PipelineResult {
+    approx_mcm_via_sparsifier_impl(g, params, rng, None)
+}
+
+/// [`approx_mcm_via_sparsifier`] with unified work accounting: adjacency
+/// probes, sampler RNG draws and overlay writes, sparsifier size, and
+/// augmentation work are mirrored into `meter` under the shared
+/// [`sparsimatch_obs::keys`] names. The result is identical to the
+/// unmetered pipeline for the same RNG state.
+pub fn approx_mcm_via_sparsifier_metered(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+    meter: &mut WorkMeter,
+) -> PipelineResult {
+    approx_mcm_via_sparsifier_impl(g, params, rng, Some(meter))
+}
+
+fn approx_mcm_via_sparsifier_impl(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+    mut meter: Option<&mut WorkMeter>,
+) -> PipelineResult {
     let eps_stage = stage_eps(params.eps);
     // Size Δ for the stage accuracy, keeping the caller's scaling choice
     // relative to the paper constant.
@@ -53,7 +79,10 @@ pub fn approx_mcm_via_sparsifier(
 
     // Stage 1: sparsify, counting probes.
     let counter = CountingOracle::new(g);
-    let marks = crate::sparsifier::mark_edges_oracle(&counter, &stage_params, rng);
+    let marks = match meter.as_deref_mut() {
+        Some(m) => crate::sparsifier::mark_edges_oracle_metered(&counter, &stage_params, rng, m),
+        None => crate::sparsifier::mark_edges_oracle(&counter, &stage_params, rng),
+    };
     let probes = counter.counts();
     let mut b = GraphBuilder::with_capacity(g.num_vertices(), marks.len());
     for (u, v) in marks {
@@ -73,12 +102,73 @@ pub fn approx_mcm_via_sparsifier(
     let (matching, aug) = approx_maximum_matching_from(&sparse, init, eps_stage);
     debug_assert!(matching.is_valid_for(g), "sparsifier must be a subgraph");
 
+    if let Some(meter) = meter {
+        mirror_pipeline(meter, &probes, &sparsifier, &aug);
+    }
+
     PipelineResult {
         matching,
         sparsifier,
         probes,
         aug,
     }
+}
+
+/// Theorem 3.1 pipeline with the parallel sparsifier stage: stage 1 runs
+/// [`build_sparsifier_parallel_metered`]'s deterministic per-vertex
+/// seeding across `threads` workers, stage 2 is unchanged. The result is
+/// identical for any accepted thread count (including 1), though it
+/// differs from the single-RNG sequential pipeline because vertices draw
+/// from independent streams. Rejects out-of-range `threads` like
+/// [`crate::sparsifier::build_sparsifier_parallel`].
+pub fn approx_mcm_via_sparsifier_parallel(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    threads: usize,
+    meter: &mut WorkMeter,
+) -> Result<PipelineResult, ThreadCountError> {
+    let eps_stage = stage_eps(params.eps);
+    let scale = params.delta as f64
+        / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
+    let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
+
+    let mut stage_meter = WorkMeter::new();
+    let s = build_sparsifier_parallel_metered(g, &stage_params, seed, threads, &mut stage_meter)?;
+    let probes = ProbeCounts {
+        degree_probes: stage_meter.get(keys::DEGREE_PROBES),
+        neighbor_probes: stage_meter.get(keys::NEIGHBOR_PROBES),
+    };
+
+    let init = greedy_maximal_matching(&s.graph);
+    let (matching, aug) = approx_maximum_matching_from(&s.graph, init, eps_stage);
+    debug_assert!(matching.is_valid_for(g), "sparsifier must be a subgraph");
+
+    meter.absorb(&stage_meter);
+    meter.add(keys::EDGE_VISITS, aug.edge_visits);
+    meter.add(keys::AUG_SEARCHES, aug.searches as u64);
+    meter.add(keys::AUGMENTATIONS, aug.augmentations as u64);
+
+    Ok(PipelineResult {
+        matching,
+        sparsifier: s.stats,
+        probes,
+        aug,
+    })
+}
+
+fn mirror_pipeline(
+    meter: &mut WorkMeter,
+    probes: &ProbeCounts,
+    sparsifier: &SparsifierStats,
+    aug: &AugStats,
+) {
+    meter.add(keys::DEGREE_PROBES, probes.degree_probes);
+    meter.add(keys::NEIGHBOR_PROBES, probes.neighbor_probes);
+    meter.add(keys::SPARSIFIER_EDGES, sparsifier.edges as u64);
+    meter.add(keys::EDGE_VISITS, aug.edge_visits);
+    meter.add(keys::AUG_SEARCHES, aug.searches as u64);
+    meter.add(keys::AUGMENTATIONS, aug.augmentations as u64);
 }
 
 /// The same pipeline on a pre-built sparsifier (used by the dynamic
@@ -105,10 +195,10 @@ pub fn approx_mcm_with_stats(
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
-    use sparsimatch_matching::blossom::maximum_matching;
     use sparsimatch_graph::generators::{
         clique, clique_union, line_graph, unit_disk, CliqueUnionConfig, UnitDiskConfig,
     };
+    use sparsimatch_matching::blossom::maximum_matching;
 
     #[test]
     fn stage_eps_composes() {
@@ -191,6 +281,49 @@ mod tests {
         let exact = maximum_matching(&g).len();
         let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
         assert!(r.matching.len() as f64 * 1.4 >= exact as f64);
+    }
+
+    #[test]
+    fn metered_pipeline_matches_unmetered() {
+        let g = clique(120);
+        let p = SparsifierParams::practical(1, 0.4);
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut meter = WorkMeter::new();
+        let plain = approx_mcm_via_sparsifier(&g, &p, &mut rng1);
+        let metered = approx_mcm_via_sparsifier_metered(&g, &p, &mut rng2, &mut meter);
+        assert_eq!(plain.matching.len(), metered.matching.len());
+        assert_eq!(plain.probes, metered.probes);
+        assert_eq!(meter.get(keys::DEGREE_PROBES), metered.probes.degree_probes);
+        assert_eq!(
+            meter.get(keys::NEIGHBOR_PROBES),
+            metered.probes.neighbor_probes
+        );
+        assert_eq!(
+            meter.get(keys::SPARSIFIER_EDGES),
+            metered.sparsifier.edges as u64
+        );
+        assert_eq!(meter.get(keys::EDGE_VISITS), metered.aug.edge_visits);
+        assert!(meter.get(keys::RNG_DRAWS) > 0);
+    }
+
+    #[test]
+    fn parallel_pipeline_is_thread_count_invariant() {
+        let g = clique(150);
+        let p = SparsifierParams::practical(1, 0.4);
+        let mut m2 = WorkMeter::new();
+        let mut m4 = WorkMeter::new();
+        let r2 = approx_mcm_via_sparsifier_parallel(&g, &p, 13, 2, &mut m2).unwrap();
+        let r4 = approx_mcm_via_sparsifier_parallel(&g, &p, 13, 4, &mut m4).unwrap();
+        let e2: Vec<_> = r2.matching.pairs().collect();
+        let e4: Vec<_> = r4.matching.pairs().collect();
+        assert_eq!(e2, e4);
+        assert_eq!(r2.probes, r4.probes);
+        let c2: Vec<_> = m2.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        let c4: Vec<_> = m4.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(c2, c4);
+        assert!(r2.matching.is_valid_for(&g));
+        assert!(approx_mcm_via_sparsifier_parallel(&g, &p, 13, 0, &mut WorkMeter::new()).is_err());
     }
 
     #[test]

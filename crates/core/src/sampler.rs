@@ -20,13 +20,22 @@ use rand::Rng;
 use sparsimatch_graph::adjacency::AdjacencyOracle;
 use sparsimatch_graph::ids::VertexId;
 use sparsimatch_graph::sparse_array::SparseArray;
+use sparsimatch_obs::{keys, WorkMeter};
 
 /// Sentinel for "identity" in the positions overlay.
 const IDENTITY: u32 = u32::MAX;
 
 /// A reusable sampler of uniform index subsets.
+///
+/// Besides the overlay it keeps two cumulative work counters — RNG draws
+/// and overlay writes — across its whole lifetime (the per-vertex
+/// [`SparseArray::writes`] count resets with each logical clear). These
+/// feed the unified [`sparsimatch_obs::WorkMeter`] accounting via
+/// [`PosArraySampler::mirror_into`].
 pub struct PosArraySampler {
     pos: SparseArray<u32>,
+    rng_draws: u64,
+    overlay_writes: u64,
 }
 
 impl PosArraySampler {
@@ -34,19 +43,31 @@ impl PosArraySampler {
     pub fn new(max_degree: usize) -> Self {
         PosArraySampler {
             pos: SparseArray::new(max_degree, IDENTITY),
+            rng_draws: 0,
+            overlay_writes: 0,
         }
+    }
+
+    /// Total uniform draws taken from the RNG since construction.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng_draws
+    }
+
+    /// Total writes into the positions overlay since construction.
+    pub fn overlay_writes(&self) -> u64 {
+        self.overlay_writes
+    }
+
+    /// Mirror the cumulative work counters into a [`WorkMeter`].
+    pub fn mirror_into(&self, meter: &mut WorkMeter) {
+        meter.add(keys::RNG_DRAWS, self.rng_draws);
+        meter.add(keys::OVERLAY_WRITES, self.overlay_writes);
     }
 
     /// Draw `k` distinct uniform indices from `0..deg` into `out`
     /// (clearing it first). Deterministic O(k) time. If `k ≥ deg`, returns
     /// all of `0..deg`.
-    pub fn sample_indices(
-        &mut self,
-        deg: usize,
-        k: usize,
-        rng: &mut impl Rng,
-        out: &mut Vec<u32>,
-    ) {
+    pub fn sample_indices(&mut self, deg: usize, k: usize, rng: &mut impl Rng, out: &mut Vec<u32>) {
         out.clear();
         if k >= deg {
             out.extend(0..deg as u32);
@@ -57,11 +78,13 @@ impl PosArraySampler {
         for t in 0..k {
             let limit = deg - t; // sampling from logical prefix [0, limit)
             let i = rng.random_range(0..limit);
+            self.rng_draws += 1;
             let picked = self.resolve(i as u32);
             out.push(picked);
             // Emulate swap(arr[i], arr[limit-1]).
             let last_val = self.resolve((limit - 1) as u32);
             self.pos.set(i, last_val);
+            self.overlay_writes += 1;
         }
     }
 
@@ -195,6 +218,26 @@ mod tests {
         let mut out = Vec::new();
         s.sample_indices(1_000_000, 32, &mut rng, &mut out);
         assert!(s.pos.writes() <= 64, "writes = {}", s.pos.writes());
+    }
+
+    #[test]
+    fn cumulative_counters_track_draws_and_writes() {
+        let mut s = PosArraySampler::new(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        s.sample_indices(100, 10, &mut rng, &mut out);
+        s.sample_indices(100, 10, &mut rng, &mut out);
+        // One draw and one overlay write per selected index, cumulative
+        // across calls.
+        assert_eq!(s.rng_draws(), 20);
+        assert_eq!(s.overlay_writes(), 20);
+        // The take-all path needs no randomness.
+        s.sample_indices(5, 10, &mut rng, &mut out);
+        assert_eq!(s.rng_draws(), 20);
+        let mut meter = WorkMeter::new();
+        s.mirror_into(&mut meter);
+        assert_eq!(meter.get(keys::RNG_DRAWS), 20);
+        assert_eq!(meter.get(keys::OVERLAY_WRITES), 20);
     }
 
     #[test]

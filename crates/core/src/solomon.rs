@@ -67,8 +67,8 @@ pub fn solomon_sparsifier(g: &CsrGraph, degree_cap: usize) -> CsrGraph {
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
-    use sparsimatch_matching::blossom::maximum_matching;
     use sparsimatch_graph::generators::{clique, gnp, path, star};
+    use sparsimatch_matching::blossom::maximum_matching;
 
     #[test]
     fn degree_cap_formula() {

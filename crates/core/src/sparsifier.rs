@@ -12,6 +12,34 @@ use rand::Rng;
 use sparsimatch_graph::adjacency::AdjacencyOracle;
 use sparsimatch_graph::csr::CsrGraph;
 use sparsimatch_graph::ids::{EdgeId, VertexId};
+use sparsimatch_obs::{keys, WorkMeter};
+
+/// Maximum accepted thread count for [`build_sparsifier_parallel`].
+///
+/// The cap exists because each worker allocates a `max_degree`-sized
+/// sampler overlay, so thread counts far beyond the host's parallelism
+/// only cost memory. Requests outside `1..=MAX_THREADS` are rejected with
+/// [`ThreadCountError`] rather than silently clamped.
+pub const MAX_THREADS: usize = 64;
+
+/// An out-of-range thread count passed to [`build_sparsifier_parallel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadCountError {
+    /// The rejected request.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for ThreadCountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread count must be between 1 and {MAX_THREADS}, got {}",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for ThreadCountError {}
 
 /// Construction statistics, all deterministic consequences of the marking
 /// scheme (only *which* edges get marked is random).
@@ -57,6 +85,28 @@ pub struct Sparsifier {
 /// assert!(s.stats.edges < g.num_edges() / 2, "much sparser than the input");
 /// ```
 pub fn build_sparsifier(g: &CsrGraph, params: &SparsifierParams, rng: &mut impl Rng) -> Sparsifier {
+    build_sparsifier_impl(g, params, rng, None)
+}
+
+/// [`build_sparsifier`] with unified work accounting: sampler RNG draws
+/// and overlay writes, adjacency probes, and the sparsifier size are
+/// mirrored into `meter` (see [`sparsimatch_obs::keys`]). The output is
+/// identical to the unmetered build for the same RNG state.
+pub fn build_sparsifier_metered(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+    meter: &mut WorkMeter,
+) -> Sparsifier {
+    build_sparsifier_impl(g, params, rng, Some(meter))
+}
+
+fn build_sparsifier_impl(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+    meter: Option<&mut WorkMeter>,
+) -> Sparsifier {
     let n = g.num_vertices();
     let mut marked = vec![false; g.num_edges()];
     let mut sampler = PosArraySampler::new(g.max_degree());
@@ -89,9 +139,20 @@ pub fn build_sparsifier(g: &CsrGraph, params: &SparsifierParams, rng: &mut impl 
     let keep = marked
         .iter()
         .enumerate()
-        .filter_map(|(e, &keep)| keep.then(|| EdgeId::new(e)));
+        .filter(|&(_e, &keep)| keep)
+        .map(|(e, &_keep)| EdgeId::new(e));
     let graph = g.edge_subgraph(keep);
     stats.edges = graph.num_edges();
+    if let Some(meter) = meter {
+        // The CSR fast path reads the graph directly, so probes are
+        // accounted analytically: two degree reads per vertex (the
+        // low-degree check and the one inside `mark_indices_for_vertex`)
+        // and one adjacency-entry read per mark placed.
+        meter.add(keys::DEGREE_PROBES, 2 * n as u64);
+        meter.add(keys::NEIGHBOR_PROBES, stats.marks_placed as u64);
+        meter.add(keys::SPARSIFIER_EDGES, stats.edges as u64);
+        sampler.mirror_into(meter);
+    }
     Sparsifier { graph, stats }
 }
 
@@ -100,18 +161,54 @@ pub fn build_sparsifier(g: &CsrGraph, params: &SparsifierParams, rng: &mut impl 
 /// RNG (exactly the independence the analysis requires anyway, and the
 /// same seeding the distributed protocol uses). The output is identical
 /// for any thread count.
+///
+/// Rejects `threads` outside `1..=`[`MAX_THREADS`] with a
+/// [`ThreadCountError`] (no silent clamping).
 pub fn build_sparsifier_parallel(
     g: &CsrGraph,
     params: &SparsifierParams,
     seed: u64,
     threads: usize,
-) -> Sparsifier {
+) -> Result<Sparsifier, ThreadCountError> {
+    build_sparsifier_parallel_impl(g, params, seed, threads, None)
+}
+
+/// [`build_sparsifier_parallel`] with unified work accounting. Per-worker
+/// counters are summed before mirroring, so the metered totals are also
+/// thread-count invariant.
+pub fn build_sparsifier_parallel_metered(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    threads: usize,
+    meter: &mut WorkMeter,
+) -> Result<Sparsifier, ThreadCountError> {
+    build_sparsifier_parallel_impl(g, params, seed, threads, Some(meter))
+}
+
+struct ShardResult {
+    keep: Vec<EdgeId>,
+    marks_placed: usize,
+    low_degree: usize,
+    rng_draws: u64,
+    overlay_writes: u64,
+}
+
+fn build_sparsifier_parallel_impl(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    threads: usize,
+    meter: Option<&mut WorkMeter>,
+) -> Result<Sparsifier, ThreadCountError> {
     use rand::SeedableRng;
+    if threads == 0 || threads > MAX_THREADS {
+        return Err(ThreadCountError { requested: threads });
+    }
     let n = g.num_vertices();
-    let threads = threads.clamp(1, 64);
     let chunk = n.div_ceil(threads).max(1);
     let vertex_ids: Vec<usize> = (0..n).collect();
-    let shards: Vec<(Vec<EdgeId>, usize, usize)> = std::thread::scope(|s| {
+    let shards: Vec<ShardResult> = std::thread::scope(|s| {
         let handles: Vec<_> = vertex_ids
             .chunks(chunk)
             .map(|ch| {
@@ -144,7 +241,13 @@ pub fn build_sparsifier_parallel(
                             keep.push(g.incident_edge(vid, i as usize));
                         }
                     }
-                    (keep, marks_placed, low_degree)
+                    ShardResult {
+                        keep,
+                        marks_placed,
+                        low_degree,
+                        rng_draws: sampler.rng_draws(),
+                        overlay_writes: sampler.overlay_writes(),
+                    }
                 })
             })
             .collect();
@@ -159,14 +262,27 @@ pub fn build_sparsifier_parallel(
         ..Default::default()
     };
     let mut keep = Vec::new();
-    for (shard, marks, low) in shards {
-        keep.extend(shard);
-        stats.marks_placed += marks;
-        stats.low_degree_vertices += low;
+    let mut rng_draws = 0u64;
+    let mut overlay_writes = 0u64;
+    for shard in shards {
+        keep.extend(shard.keep);
+        stats.marks_placed += shard.marks_placed;
+        stats.low_degree_vertices += shard.low_degree;
+        rng_draws += shard.rng_draws;
+        overlay_writes += shard.overlay_writes;
     }
     let graph = g.edge_subgraph(keep.into_iter());
     stats.edges = graph.num_edges();
-    Sparsifier { graph, stats }
+    if let Some(meter) = meter {
+        // Same analytic probe accounting as the sequential CSR path:
+        // two degree reads per vertex, one adjacency-entry read per mark.
+        meter.add(keys::DEGREE_PROBES, 2 * n as u64);
+        meter.add(keys::NEIGHBOR_PROBES, stats.marks_placed as u64);
+        meter.add(keys::SPARSIFIER_EDGES, stats.edges as u64);
+        meter.add(keys::RNG_DRAWS, rng_draws);
+        meter.add(keys::OVERLAY_WRITES, overlay_writes);
+    }
+    Ok(Sparsifier { graph, stats })
 }
 
 /// Build the marked edge *list* from any adjacency oracle (no edge ids
@@ -178,6 +294,28 @@ pub fn mark_edges_oracle(
     g: &impl AdjacencyOracle,
     params: &SparsifierParams,
     rng: &mut impl Rng,
+) -> Vec<(VertexId, VertexId)> {
+    mark_edges_oracle_impl(g, params, rng, None)
+}
+
+/// [`mark_edges_oracle`] with unified work accounting: sampler RNG draws
+/// and overlay writes are mirrored into `meter`. (Probe counts are the
+/// caller's business — wrap the oracle in a
+/// [`sparsimatch_graph::adjacency::CountingOracle`].)
+pub fn mark_edges_oracle_metered(
+    g: &impl AdjacencyOracle,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+    meter: &mut WorkMeter,
+) -> Vec<(VertexId, VertexId)> {
+    mark_edges_oracle_impl(g, params, rng, Some(meter))
+}
+
+fn mark_edges_oracle_impl(
+    g: &impl AdjacencyOracle,
+    params: &SparsifierParams,
+    rng: &mut impl Rng,
+    meter: Option<&mut WorkMeter>,
 ) -> Vec<(VertexId, VertexId)> {
     let n = g.num_vertices();
     let mut max_deg = 0usize;
@@ -202,6 +340,9 @@ pub fn mark_edges_oracle(
             out.push((v, g.neighbor(v, i as usize)));
         }
     }
+    if let Some(meter) = meter {
+        sampler.mirror_into(meter);
+    }
     out
 }
 
@@ -209,11 +350,11 @@ pub fn mark_edges_oracle(
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
-    use sparsimatch_matching::blossom::maximum_matching;
     use sparsimatch_graph::analysis::arboricity::arboricity_bounds;
     use sparsimatch_graph::generators::{
         clique, clique_union, gnp, star, unit_disk, CliqueUnionConfig, UnitDiskConfig,
     };
+    use sparsimatch_matching::blossom::maximum_matching;
 
     fn params(beta: usize, eps: f64, delta: usize) -> SparsifierParams {
         SparsifierParams::with_delta(beta, eps, delta)
@@ -335,10 +476,10 @@ mod tests {
         for &(u, _) in &marks {
             per_vertex[u.index()] += 1;
         }
-        for v in 0..g.num_vertices() {
+        for (v, &count) in per_vertex.iter().enumerate() {
             let deg = g.degree(VertexId::new(v));
             let expect = if deg <= p.mark_cap() { deg } else { p.delta };
-            assert_eq!(per_vertex[v], expect);
+            assert_eq!(count, expect);
         }
     }
 
@@ -354,10 +495,14 @@ mod tests {
             &mut rng,
         );
         let p = params(2, 0.4, 6);
-        let reference = build_sparsifier_parallel(&g, &p, 42, 1);
+        let reference = build_sparsifier_parallel(&g, &p, 42, 1).unwrap();
         for threads in [2usize, 4, 7] {
-            let s = build_sparsifier_parallel(&g, &p, 42, threads);
-            let e1: Vec<_> = reference.graph.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+            let s = build_sparsifier_parallel(&g, &p, 42, threads).unwrap();
+            let e1: Vec<_> = reference
+                .graph
+                .edges()
+                .map(|(_, u, v)| (u.0, v.0))
+                .collect();
             let e2: Vec<_> = s.graph.edges().map(|(_, u, v)| (u.0, v.0)).collect();
             assert_eq!(e1, e2, "threads = {threads}");
             assert_eq!(s.stats.marks_placed, reference.stats.marks_placed);
@@ -372,13 +517,69 @@ mod tests {
     fn parallel_build_meets_same_bounds() {
         let g = clique(150);
         let p = params(1, 0.5, 5);
-        let s = build_sparsifier_parallel(&g, &p, 7, 4);
+        let s = build_sparsifier_parallel(&g, &p, 7, 4).unwrap();
         assert!(s.stats.edges <= p.naive_size_bound(150));
         for (_, u, v) in s.graph.edges() {
             assert!(g.has_edge(u, v));
         }
         let mcm = maximum_matching(&s.graph).len();
         assert!(mcm * 2 >= 75, "sparse mcm {mcm}");
+    }
+
+    #[test]
+    fn parallel_build_rejects_bad_thread_counts() {
+        let g = clique(10);
+        let p = params(1, 0.5, 2);
+        assert_eq!(
+            build_sparsifier_parallel(&g, &p, 1, 0).unwrap_err(),
+            ThreadCountError { requested: 0 }
+        );
+        let err = build_sparsifier_parallel(&g, &p, 1, MAX_THREADS + 1).unwrap_err();
+        assert_eq!(err.requested, MAX_THREADS + 1);
+        assert!(err.to_string().contains("between 1 and 64"));
+        assert!(build_sparsifier_parallel(&g, &p, 1, MAX_THREADS).is_ok());
+    }
+
+    #[test]
+    fn metered_build_matches_unmetered_and_counts_work() {
+        let g = clique(80);
+        let p = params(1, 0.5, 4);
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let mut meter = sparsimatch_obs::WorkMeter::new();
+        let plain = build_sparsifier(&g, &p, &mut rng1);
+        let metered = build_sparsifier_metered(&g, &p, &mut rng2, &mut meter);
+        let e1: Vec<_> = plain.graph.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        let e2: Vec<_> = metered.graph.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        assert_eq!(e1, e2, "metering must not perturb the build");
+        use sparsimatch_obs::keys;
+        assert_eq!(meter.get(keys::DEGREE_PROBES), 2 * 80);
+        assert_eq!(
+            meter.get(keys::NEIGHBOR_PROBES),
+            metered.stats.marks_placed as u64
+        );
+        assert_eq!(
+            meter.get(keys::SPARSIFIER_EDGES),
+            metered.stats.edges as u64
+        );
+        // Every vertex is high degree (79 > cap), so each samples delta
+        // indices: one RNG draw and one overlay write apiece.
+        assert_eq!(meter.get(keys::RNG_DRAWS), 80 * p.delta as u64);
+        assert_eq!(meter.get(keys::OVERLAY_WRITES), 80 * p.delta as u64);
+    }
+
+    #[test]
+    fn metered_parallel_totals_are_thread_count_invariant() {
+        let g = clique(60);
+        let p = params(1, 0.5, 3);
+        let mut m1 = sparsimatch_obs::WorkMeter::new();
+        let mut m4 = sparsimatch_obs::WorkMeter::new();
+        let s1 = build_sparsifier_parallel_metered(&g, &p, 9, 1, &mut m1).unwrap();
+        let s4 = build_sparsifier_parallel_metered(&g, &p, 9, 4, &mut m4).unwrap();
+        assert_eq!(s1.stats.edges, s4.stats.edges);
+        let c1: Vec<_> = m1.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        let c4: Vec<_> = m4.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(c1, c4);
     }
 
     #[test]

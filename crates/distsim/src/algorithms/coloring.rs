@@ -29,7 +29,7 @@ fn next_prime(x: u64) -> u64 {
     'outer: loop {
         let mut d = 2;
         while d * d <= c {
-            if c % d == 0 {
+            if c.is_multiple_of(d) {
                 c += 1;
                 continue 'outer;
             }
@@ -87,7 +87,7 @@ pub fn linial_coloring(net: &mut Network<'_>, target: u64) -> Coloring {
     let n = g.num_vertices();
     let max_deg = g.max_degree() as u64;
     assert!(
-        target >= max_deg + 1,
+        target > max_deg,
         "target {target} below max degree + 1 = {}",
         max_deg + 1
     );
@@ -120,8 +120,7 @@ pub fn linial_coloring(net: &mut Network<'_>, target: u64) -> Coloring {
                 chosen = Some(x * q + val);
                 break;
             }
-            new_colors[v] =
-                chosen.expect("q > d·Δ guarantees a free evaluation point");
+            new_colors[v] = chosen.expect("q > d·Δ guarantees a free evaluation point");
         }
         colors = new_colors;
         k = q * q;
@@ -147,8 +146,7 @@ pub fn linial_coloring(net: &mut Network<'_>, target: u64) -> Coloring {
                     if colors[v] == k - 1 {
                         let used: std::collections::HashSet<u64> =
                             inboxes[v].iter().map(|&(_, c)| c).collect();
-                        colors[v] =
-                            (0..t).find(|c| !used.contains(c)).expect("≤ Δ neighbors");
+                        colors[v] = (0..t).find(|c| !used.contains(c)).expect("≤ Δ neighbors");
                     }
                 }
                 k -= 1;
@@ -172,10 +170,10 @@ pub fn linial_coloring(net: &mut Network<'_>, target: u64) -> Coloring {
             }
         }
         // Renumber: every color now lies in its group's low half.
-        for v in 0..n {
-            let g = colors[v] / two_t;
-            debug_assert!(colors[v] - g * two_t < t);
-            colors[v] = g * t + (colors[v] - g * two_t);
+        for c in colors.iter_mut().take(n) {
+            let g = *c / two_t;
+            debug_assert!(*c - g * two_t < t);
+            *c = g * t + (*c - g * two_t);
         }
         k = k.div_ceil(two_t) * t;
     }

@@ -54,7 +54,7 @@ pub fn israeli_itai_matching(net: &mut Network<'_>, seed: u64) -> (Matching, u64
         }
         if !any_proposal {
             iterations -= 1; // the last iteration did no work
-            // One status round was still spent discovering quiescence.
+                             // One status round was still spent discovering quiescence.
             break;
         }
         let incoming = net.exchange(proposals);
@@ -74,9 +74,9 @@ pub fn israeli_itai_matching(net: &mut Network<'_>, seed: u64) -> (Matching, u64
         // proposal accepted; ties resolve in favor of whichever pairing is
         // committed first (add_pair refuses the second). The losing side
         // simply retries next iteration — maximality is unaffected.
-        for v in 0..n {
+        for (v, acc) in accepted.iter().enumerate() {
             let vid = VertexId::new(v);
-            for &(p, ()) in &accepted[v] {
+            for &(p, ()) in acc {
                 let u = net.peer(vid, p);
                 matching.add_pair(vid, u);
             }

@@ -86,9 +86,9 @@ pub fn color_scheduled_mm(net: &mut Network<'_>, coloring: &Coloring) -> Matchin
             // Proposers that hear an accept are matched; the accept came
             // back on the proposal port, identifying the pair for both
             // sides.
-            for v in 0..n {
+            for (v, acc) in accepted.iter().enumerate() {
                 let vid = VertexId::new(v);
-                for &(p, ()) in &accepted[v] {
+                for &(p, ()) in acc {
                     let u = net.peer(vid, p);
                     if matching.add_pair(vid, u) {
                         matched_this_sweep = true;
@@ -148,8 +148,7 @@ pub fn distributed_augmentation(
         let threads = std::thread::available_parallelism()
             .map(|t| t.get())
             .unwrap_or(1)
-            .min(8)
-            .max(1);
+            .clamp(1, 8);
         let chunk = free.len().div_ceil(threads).max(1);
         let candidates: Vec<Candidate> = if free.len() < 64 {
             // Not worth the spawn overhead.
@@ -157,13 +156,13 @@ pub fn distributed_augmentation(
                 .filter_map(|&v| local_augment(net, matching, VertexId(v), max_len as u32, radius))
                 .collect()
         } else {
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = free
                     .chunks(chunk)
                     .map(|ch| {
                         let matching = &*matching;
                         let net = &*net;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             ch.iter()
                                 .filter_map(|&v| {
                                     local_augment(
@@ -183,7 +182,6 @@ pub fn distributed_augmentation(
                     .flat_map(|h| h.join().expect("augmentation worker panicked"))
                     .collect()
             })
-            .expect("crossbeam scope")
         };
         if candidates.is_empty() {
             break;
@@ -340,7 +338,11 @@ fn resolve_conflicts(candidates: &[Candidate], n: usize) -> Vec<usize> {
     candidates
         .iter()
         .enumerate()
-        .filter(|(_, cand)| cand.touched.iter().all(|&v| min_leader[v as usize] == cand.leader))
+        .filter(|(_, cand)| {
+            cand.touched
+                .iter()
+                .all(|&v| min_leader[v as usize] == cand.leader)
+        })
         .map(|(i, _)| i)
         .collect()
 }

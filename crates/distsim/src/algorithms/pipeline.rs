@@ -130,7 +130,9 @@ fn run_pipeline(
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
-    use sparsimatch_graph::generators::{clique_union, unit_disk, CliqueUnionConfig, UnitDiskConfig};
+    use sparsimatch_graph::generators::{
+        clique_union, unit_disk, CliqueUnionConfig, UnitDiskConfig,
+    };
     use sparsimatch_matching::blossom::maximum_matching;
 
     #[test]
@@ -202,7 +204,11 @@ mod tests {
         assert!(out.metrics.congest_compliant(g.num_vertices(), 1));
         assert_eq!(out.metrics.max_message_bits, 1);
         let exact = maximum_matching(&g).len();
-        assert!(out.matching.len() * 3 >= exact, "{} vs {exact}", out.matching.len());
+        assert!(
+            out.matching.len() * 3 >= exact,
+            "{} vs {exact}",
+            out.matching.len()
+        );
     }
 
     #[test]

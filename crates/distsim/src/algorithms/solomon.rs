@@ -25,10 +25,10 @@ pub fn distributed_solomon(net: &mut Network<'_>, degree_cap: usize) -> CsrGraph
 
     let graph = net.graph();
     let mut keep = Vec::new();
-    for v in 0..n {
+    for (v, inbox) in inboxes.iter().enumerate() {
         let vid = VertexId::new(v);
         let my_marks = graph.degree(vid).min(degree_cap);
-        for &(p, ()) in &inboxes[v] {
+        for &(p, ()) in inbox {
             if p < my_marks {
                 // Marked by both sides; dedupe by taking it from the
                 // smaller endpoint only.

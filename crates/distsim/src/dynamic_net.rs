@@ -187,10 +187,7 @@ mod tests {
         }
         let exact = maximum_matching(&snapshot).len();
         let approx = maximum_matching(&sparse).len();
-        assert!(
-            approx as f64 * 1.4 >= exact as f64,
-            "{approx} vs {exact}"
-        );
+        assert!(approx as f64 * 1.4 >= exact as f64, "{approx} vs {exact}");
     }
 
     #[test]

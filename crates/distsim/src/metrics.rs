@@ -1,5 +1,7 @@
 //! Round / message / bit accounting for the simulator.
 
+use sparsimatch_obs::{keys, WorkMeter};
+
 /// Communication metrics accumulated over a simulated execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
@@ -36,6 +38,15 @@ impl Metrics {
         self.messages += other.messages;
         self.bits += other.bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
+
+    /// Mirror into the unified [`WorkMeter`] accounting: rounds, messages
+    /// and bits accumulate; the largest message is a high-water maximum.
+    pub fn mirror_into(&self, meter: &mut WorkMeter) {
+        meter.add(keys::ROUNDS, self.rounds);
+        meter.add(keys::MESSAGES, self.messages);
+        meter.add(keys::MESSAGE_BITS, self.bits);
+        meter.record_max(keys::MAX_MESSAGE_BITS, self.max_message_bits);
     }
 }
 
@@ -76,6 +87,23 @@ mod tests {
                 max_message_bits: 32,
             }
         );
+    }
+
+    #[test]
+    fn mirror_into_meter() {
+        let m = Metrics {
+            rounds: 2,
+            messages: 30,
+            bits: 240,
+            max_message_bits: 16,
+        };
+        let mut meter = WorkMeter::new();
+        m.mirror_into(&mut meter);
+        m.mirror_into(&mut meter);
+        assert_eq!(meter.get(keys::ROUNDS), 4);
+        assert_eq!(meter.get(keys::MESSAGES), 60);
+        assert_eq!(meter.get(keys::MESSAGE_BITS), 480);
+        assert_eq!(meter.get_max(keys::MAX_MESSAGE_BITS), 16);
     }
 
     #[test]

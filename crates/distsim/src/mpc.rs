@@ -129,8 +129,7 @@ pub fn mpc_approx_mcm(
                 marked.push((vid.0, u.0));
             }
         } else {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng = StdRng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15));
             for i in sample(&mut rng, deg, params.delta) {
                 marked.push((vid.0, g.neighbor(vid, i).0));
             }

@@ -237,10 +237,14 @@ mod tests {
         heard.sort_unstable();
         assert_eq!(heard, vec![1, 2, 3, 4]);
         // Each leaf hears only the center's value 0.
-        for leaf in 1..5 {
-            assert_eq!(inboxes[leaf], vec![(0usize, 0u32)]);
+        for inbox in &inboxes[1..5] {
+            assert_eq!(*inbox, vec![(0usize, 0u32)]);
         }
-        assert_eq!(net.metrics().messages, 8, "2m messages on a star of 4 edges");
+        assert_eq!(
+            net.metrics().messages,
+            8,
+            "2m messages on a star of 4 edges"
+        );
     }
 
     #[test]
@@ -275,7 +279,7 @@ mod tests {
         let mut out: Vec<Vec<Outgoing<&'static str>>> = vec![vec![]; 4];
         out[2].push((0, "ping", 8));
         let inboxes = net.exchange(out);
-        let (in_port, msg) = inboxes[0][0].clone();
+        let (in_port, msg) = inboxes[0][0];
         assert_eq!(msg, "ping");
         let mut reply: Vec<Vec<Outgoing<&'static str>>> = vec![vec![]; 4];
         reply[0].push((in_port, "pong", 8));

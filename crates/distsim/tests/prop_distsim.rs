@@ -59,8 +59,8 @@ proptest! {
         let outs: Vec<(u32, u64)> = payloads.iter().map(|&p| (p, 32u64)).collect();
         let inboxes = net.broadcast_exchange(outs);
         let mut delivered = 0u64;
-        for v in 0..N {
-            for &(port, value) in &inboxes[v] {
+        for (v, inbox) in inboxes.iter().enumerate() {
+            for &(port, value) in inbox {
                 let sender = net.peer(sparsimatch_graph::ids::VertexId::new(v), port);
                 prop_assert_eq!(value, payloads[sender.index()]);
                 delivered += 1;

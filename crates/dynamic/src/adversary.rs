@@ -177,10 +177,16 @@ mod tests {
             match adv.next(&output, &mut rng) {
                 Update::Insert(u, v) => {
                     assert!(host.has_edge(u, v));
-                    assert!(present.insert((u.0.min(v.0), u.0.max(v.0))), "double insert");
+                    assert!(
+                        present.insert((u.0.min(v.0), u.0.max(v.0))),
+                        "double insert"
+                    );
                 }
                 Update::Delete(u, v) => {
-                    assert!(present.remove(&(u.0.min(v.0), u.0.max(v.0))), "phantom delete");
+                    assert!(
+                        present.remove(&(u.0.min(v.0), u.0.max(v.0))),
+                        "phantom delete"
+                    );
                 }
             }
             assert_eq!(present.len(), adv.present());
@@ -190,8 +196,7 @@ mod tests {
     #[test]
     fn adaptive_targets_matched_edges() {
         let host = clique(8);
-        let mut adv =
-            StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 1.0 });
+        let mut adv = StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 1.0 });
         let mut rng = StdRng::seed_from_u64(2);
         // p_insert = 1 fills the host; once saturated the adversary is
         // forced to delete, and must hit the matched pair.

@@ -16,8 +16,8 @@
 
 use crate::adversary::Update;
 use sparsimatch_core::params::SparsifierParams;
-use sparsimatch_graph::adjlist::AdjListGraph;
 use sparsimatch_graph::adjacency::AdjacencyOracle;
+use sparsimatch_graph::adjlist::AdjListGraph;
 use sparsimatch_graph::csr::GraphBuilder;
 use sparsimatch_graph::ids::VertexId;
 use sparsimatch_matching::bounded_aug::approx_maximum_matching_from;

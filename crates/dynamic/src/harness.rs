@@ -115,8 +115,7 @@ mod tests {
     fn adaptive_adversary_does_not_break_ratio() {
         let mut rng = StdRng::seed_from_u64(22);
         let h = host(60, &mut rng);
-        let mut adv =
-            StreamAdversary::new(&h, Policy::AdaptiveDeleteMatched { p_insert: 0.65 });
+        let mut adv = StreamAdversary::new(&h, Policy::AdaptiveDeleteMatched { p_insert: 0.65 });
         let params = SparsifierParams::practical(2, 0.4);
         let mut dm = DynamicMatcher::new(60, params, 2);
         let s = run_dynamic(&mut dm, &mut adv, 3000, 250, &mut rng);

@@ -129,8 +129,7 @@ impl ObliviousDynamicSparsifier {
 
     /// Snapshot the maintained sparsifier as a CSR graph.
     pub fn sparsifier_graph(&self) -> CsrGraph {
-        let mut b =
-            GraphBuilder::with_capacity(self.graph.num_vertices(), self.marked_edges.len());
+        let mut b = GraphBuilder::with_capacity(self.graph.num_vertices(), self.marked_edges.len());
         for &(u, v) in self.marked_edges.keys() {
             b.add_edge(VertexId(u), VertexId(v));
         }

@@ -25,6 +25,7 @@ use sparsimatch_graph::ids::VertexId;
 use sparsimatch_matching::bounded_aug::approx_maximum_matching_from;
 use sparsimatch_matching::greedy::greedy_maximal_matching;
 use sparsimatch_matching::Matching;
+use sparsimatch_obs::{keys, WorkMeter};
 
 /// Per-update accounting.
 #[derive(Clone, Copy, Debug, Default)]
@@ -35,6 +36,17 @@ pub struct UpdateReport {
     /// Whether the output matching was swapped at this update (window
     /// boundary).
     pub swapped: bool,
+}
+
+impl UpdateReport {
+    /// Mirror into the unified [`WorkMeter`] accounting: one update, its
+    /// work units, and the worst single-update work as a high-water mark
+    /// (the quantity Theorem 3.5 bounds).
+    pub fn mirror_into(&self, meter: &mut WorkMeter) {
+        meter.incr(keys::UPDATES);
+        meter.add(keys::UPDATE_WORK, self.work);
+        meter.record_max(keys::MAX_UPDATE_WORK, self.work);
+    }
 }
 
 /// Fully dynamic `(1+ε)`-approximate maximum matching over a fixed vertex
@@ -135,14 +147,22 @@ impl DynamicMatcher {
                 self.output = p;
             }
             let static_work = self.start_background();
-            let window = ((self.params.eps / 4.0) * self.output.len().max(1) as f64).floor()
-                as usize;
+            let window =
+                ((self.params.eps / 4.0) * self.output.len().max(1) as f64).floor() as usize;
             let window = window.max(1);
             self.window_left = window;
             self.share = static_work.div_ceil(window as u64);
             swapped = true;
         }
         UpdateReport { work, swapped }
+    }
+
+    /// [`DynamicMatcher::apply`] that also mirrors the report into a
+    /// [`WorkMeter`].
+    pub fn apply_metered(&mut self, update: Update, meter: &mut WorkMeter) -> UpdateReport {
+        let report = self.apply(update);
+        report.mirror_into(meter);
+        report
     }
 
     /// Run the static `(1+ε/4)` pipeline on a snapshot of the current
@@ -325,6 +345,23 @@ mod tests {
             max_work <= 4 * bound,
             "max work {max_work} vs theory shape {bound}"
         );
+    }
+
+    #[test]
+    fn metered_updates_mirror_work() {
+        let params = SparsifierParams::practical(1, 0.5);
+        let mut dm = DynamicMatcher::new(10, params, 17);
+        let mut meter = WorkMeter::new();
+        let mut total = 0u64;
+        let mut worst = 0u64;
+        for i in 0..60 {
+            let r = dm.apply_metered(insert(i % 9, (i + 1) % 9), &mut meter);
+            total += r.work;
+            worst = worst.max(r.work);
+        }
+        assert_eq!(meter.get(keys::UPDATES), 60);
+        assert_eq!(meter.get(keys::UPDATE_WORK), total);
+        assert_eq!(meter.get_max(keys::MAX_UPDATE_WORK), worst);
     }
 
     #[test]

@@ -125,16 +125,15 @@ impl SlicedComputation {
                         &mut indices,
                     );
                     for &i in &indices {
-                        self.marks.push((v.0, self.snapshot.neighbor(v, i as usize).0));
+                        self.marks
+                            .push((v.0, self.snapshot.neighbor(v, i as usize).0));
                     }
                     spent += deg.min(self.params.mark_cap()) as u64 + 1;
                 }
                 Phase::Build => {
                     // Atomic quantum: lay out the sparsifier CSR.
-                    let mut b = GraphBuilder::with_capacity(
-                        self.snapshot.num_vertices(),
-                        self.marks.len(),
-                    );
+                    let mut b =
+                        GraphBuilder::with_capacity(self.snapshot.num_vertices(), self.marks.len());
                     for &(u, v) in &self.marks {
                         b.add_edge(VertexId(u), VertexId(v));
                     }
@@ -156,8 +155,7 @@ impl SlicedComputation {
                     let m = sparse.num_edges();
                     let end = (*next_edge + (budget - spent) as usize).min(m);
                     for e in *next_edge..end {
-                        let (u, v) =
-                            sparse.edge_endpoints(sparsimatch_graph::ids::EdgeId::new(e));
+                        let (u, v) = sparse.edge_endpoints(sparsimatch_graph::ids::EdgeId::new(e));
                         matching.add_pair(u, v);
                     }
                     spent += (end - *next_edge) as u64;
@@ -218,8 +216,11 @@ impl SlicedComputation {
                                 *certify_progress = false;
                                 continue;
                             }
-                            let m = std::mem::replace(searcher, BlossomSearcher::new(&Matching::new(0)))
-                                .into_matching();
+                            let m = std::mem::replace(
+                                searcher,
+                                BlossomSearcher::new(&Matching::new(0)),
+                            )
+                            .into_matching();
                             self.phase = Phase::Done(m);
                             continue;
                         }

@@ -28,12 +28,8 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 
 fn to_update(op: &Op) -> Option<Update> {
     match *op {
-        Op::Insert(u, v) if u != v => {
-            Some(Update::Insert(VertexId::new(u), VertexId::new(v)))
-        }
-        Op::Delete(u, v) if u != v => {
-            Some(Update::Delete(VertexId::new(u), VertexId::new(v)))
-        }
+        Op::Insert(u, v) if u != v => Some(Update::Insert(VertexId::new(u), VertexId::new(v))),
+        Op::Delete(u, v) if u != v => Some(Update::Delete(VertexId::new(u), VertexId::new(v))),
         _ => None,
     }
 }

@@ -74,9 +74,9 @@ pub fn degeneracy(g: &CsrGraph) -> usize {
 /// `s →(b) e → u, v (∞)`, `u →(a) t` for every edge node `e = {u,v}` and
 /// vertex node `u`; then `min-cut < m·b` iff some subgraph has density
 /// > `a/b`. Distinct densities differ by ≥ `1/(n(n−1))`, so a binary
-/// search on integers `a` with fixed denominator `b = n(n−1)` pins the
-/// optimum, after which the cut's vertex side identifies `U*` and we read
-/// off the exact fraction.
+/// > search on integers `a` with fixed denominator `b = n(n−1)` pins the
+/// > optimum, after which the cut's vertex side identifies `U*` and we read
+/// > off the exact fraction.
 pub fn max_density(g: &CsrGraph) -> (u64, u64) {
     let n = g.num_vertices() as u64;
     let m = g.num_edges() as u64;
@@ -86,8 +86,8 @@ pub fn max_density(g: &CsrGraph) -> (u64, u64) {
     let b = n * (n - 1); // common denominator
     let mut lo = 0u64; // density > lo/b is known achievable
     let mut hi = m * b; // density > hi/b is known unachievable (ρ* ≤ m)
-    // Invariant: exists U with density > lo/b (density ≥ smallest positive
-    // density > 0 = lo/b initially since m ≥ 1); no U has density > hi/b.
+                        // Invariant: exists U with density > lo/b (density ≥ smallest positive
+                        // density > 0 = lo/b initially since m ≥ 1); no U has density > hi/b.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         if denser_than(g, mid, b) {

@@ -63,7 +63,12 @@ impl Bits {
     #[inline]
     fn and(&self, o: &Bits) -> Bits {
         Bits {
-            words: self.words.iter().zip(&o.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&o.words)
+                .map(|(a, b)| a & b)
+                .collect(),
         }
     }
     #[inline]
@@ -209,7 +214,11 @@ mod tests {
     fn path_and_cycle() {
         assert_eq!(diversity(&path(6), BUDGET), Some(2));
         assert_eq!(diversity(&cycle(6), BUDGET), Some(2));
-        assert_eq!(diversity(&cycle(3), BUDGET), Some(1), "triangle is a clique");
+        assert_eq!(
+            diversity(&cycle(3), BUDGET),
+            Some(1),
+            "triangle is a clique"
+        );
     }
 
     #[test]

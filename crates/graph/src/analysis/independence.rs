@@ -176,11 +176,7 @@ pub fn neighborhood_mis(g: &CsrGraph, v: VertexId) -> usize {
 /// sizing Δ safely one wants an *upper* bound, e.g. the diversity bound
 /// of [`crate::analysis::diversity::diversity`], and this sampler only certifies
 /// "β is at least this".
-pub fn estimate_beta_sampled(
-    g: &CsrGraph,
-    samples: usize,
-    rng: &mut impl rand::Rng,
-) -> usize {
+pub fn estimate_beta_sampled(g: &CsrGraph, samples: usize, rng: &mut impl rand::Rng) -> usize {
     let n = g.num_vertices();
     if n == 0 {
         return 0;
@@ -242,7 +238,10 @@ mod tests {
     #[test]
     fn complete_bipartite_beta() {
         // N(left vertex) = right side, an independent set of size b.
-        assert_eq!(neighborhood_independence_exact(&complete_bipartite(3, 5)), 5);
+        assert_eq!(
+            neighborhood_independence_exact(&complete_bipartite(3, 5)),
+            5
+        );
     }
 
     #[test]

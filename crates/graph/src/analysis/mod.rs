@@ -14,6 +14,4 @@ pub mod independence;
 
 pub use arboricity::{arboricity_bounds, degeneracy, max_density, pseudoarboricity};
 pub use diversity::{clique_report, diversity, CliqueReport};
-pub use independence::{
-    neighborhood_independence_at_most, neighborhood_independence_exact,
-};
+pub use independence::{neighborhood_independence_at_most, neighborhood_independence_exact};

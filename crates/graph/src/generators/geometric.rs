@@ -137,7 +137,12 @@ impl DiskConfig {
 pub fn disk_graph(cfg: DiskConfig, rng: &mut impl Rng) -> CsrGraph {
     assert!(cfg.ratio >= 1.0 && cfg.r_min > 0.0);
     let centers: Vec<(f64, f64)> = (0..cfg.n)
-        .map(|_| (rng.random_range(0.0..cfg.side), rng.random_range(0.0..cfg.side)))
+        .map(|_| {
+            (
+                rng.random_range(0.0..cfg.side),
+                rng.random_range(0.0..cfg.side),
+            )
+        })
         .collect();
     let radii: Vec<f64> = (0..cfg.n)
         .map(|_| rng.random_range(cfg.r_min..=cfg.r_min * cfg.ratio))
@@ -214,13 +219,7 @@ mod tests {
 
     #[test]
     fn matches_bruteforce_on_fixed_points() {
-        let pts = [
-            (0.0, 0.0),
-            (0.5, 0.0),
-            (1.2, 0.0),
-            (0.0, 0.9),
-            (3.0, 3.0),
-        ];
+        let pts = [(0.0, 0.0), (0.5, 0.0), (1.2, 0.0), (0.0, 0.9), (3.0, 3.0)];
         let g = build_disk_graph(&pts, 1.0);
         // Brute force distances.
         let mut expected = Vec::new();
@@ -302,8 +301,8 @@ mod tests {
         let g = build_disk_intersection_graph(&centers, &radii);
         for i in 0..120 {
             for j in (i + 1)..120 {
-                let d2 = (centers[i].0 - centers[j].0).powi(2)
-                    + (centers[i].1 - centers[j].1).powi(2);
+                let d2 =
+                    (centers[i].0 - centers[j].0).powi(2) + (centers[i].1 - centers[j].1).powi(2);
                 let rr = radii[i] + radii[j];
                 assert_eq!(
                     g.has_edge(VertexId::new(i), VertexId::new(j)),

@@ -70,7 +70,16 @@ mod tests {
         // a pendant path.
         let base = from_edges(
             7,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5), (5, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 2),
+                (4, 5),
+                (5, 6),
+            ],
         );
         let lg = line_graph(&base);
         assert!(neighborhood_independence_exact(&lg) <= 2);

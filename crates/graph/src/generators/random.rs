@@ -77,12 +77,8 @@ pub fn bipartite_gnp(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> CsrGraph
 /// `(2i, 2i+1)` plus `extra_per_vertex` random noise edges per vertex.
 /// Returns the graph; by construction `MCM = n/2`, giving matching tests a
 /// known optimum without running an exact solver.
-pub fn random_matching_instance(
-    n: usize,
-    extra_per_vertex: usize,
-    rng: &mut impl Rng,
-) -> CsrGraph {
-    assert!(n % 2 == 0, "planted perfect matching needs even n");
+pub fn random_matching_instance(n: usize, extra_per_vertex: usize, rng: &mut impl Rng) -> CsrGraph {
+    assert!(n.is_multiple_of(2), "planted perfect matching needs even n");
     let mut b = GraphBuilder::new(n);
     for i in 0..n / 2 {
         b.add_edge(VertexId::new(2 * i), VertexId::new(2 * i + 1));

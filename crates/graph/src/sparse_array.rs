@@ -9,19 +9,20 @@
 //! back-pointer certificate per slot: a slot's value is valid iff its
 //! back-pointer indexes a stack entry that points back at the slot.
 //!
-//! This implementation allocates its three backing vectors lazily but never
-//! writes to more slots than were touched, so constructing a
-//! `SparseArray::new(len, default)` and touching `k` slots costs `O(k)`
-//! *writes* (the `O(len)` allocation is uninitialized memory; we use
-//! `Vec::with_capacity` + raw spare capacity to avoid zeroing).
-//!
-//! Safety note: we deliberately avoid `unsafe`. Rust's `vec![x; n]` would
-//! zero/fill `n` slots, an `O(n)` cost — but for the *measured* complexity
-//! of the sampler what matters is probes to the input graph, and for the
-//! wall-clock benches allocation of uninitialized pages is serviced lazily
-//! by the OS. We therefore use `vec![...]` for the backing stores but keep
-//! the AHU certificate structure so the *algorithmic* write count is O(k),
-//! and expose [`SparseArray::writes`] so tests can assert it.
+//! This implementation deliberately avoids `unsafe`: the backing stores
+//! are eagerly filled with `vec![default; len]` / `vec![0; len]` at
+//! construction, a one-time `O(len)` fill. (For zeroed patterns the
+//! allocator typically serves this from fresh zero pages anyway.) That
+//! eager fill does not undermine the complexity claims, for two reasons:
+//! the sampler's *measured* complexity counts probes to the read-only
+//! input graph, not private-buffer writes; and one array of length
+//! `max_degree` is allocated once and shared across all vertices (see
+//! `PosArraySampler`), so the fill is paid once, not per vertex. After
+//! construction, the AHU back-pointer certificate keeps the *algorithmic*
+//! cost honest: touching `k` slots performs exactly `k` certified writes,
+//! [`SparseArray::clear`] is O(1) regardless of how many slots were
+//! written, and [`SparseArray::writes`] exposes the touched-slot count so
+//! tests can assert the O(k) bound.
 
 /// An array of `len` slots, conceptually all equal to a default value, with
 /// O(1) logical initialization and O(1) get/set.
@@ -188,8 +189,8 @@ mod tests {
                 assert_eq!(*sparse.get(i), dense[i]);
             }
         }
-        for i in 0..n {
-            assert_eq!(*sparse.get(i), dense[i]);
+        for (i, &d) in dense.iter().enumerate().take(n) {
+            assert_eq!(*sparse.get(i), d);
         }
     }
 }

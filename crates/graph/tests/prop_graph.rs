@@ -34,7 +34,7 @@ proptest! {
     #[test]
     fn sparse_array_matches_dense_model(ops in arb_ops()) {
         let mut sparse = SparseArray::new(32, 0u32);
-        let mut dense = vec![0u32; 32];
+        let mut dense = [0u32; 32];
         for op in ops {
             match op {
                 ArrayOp::Set(i, v) => {
@@ -47,8 +47,8 @@ proptest! {
                 }
             }
         }
-        for i in 0..32 {
-            prop_assert_eq!(*sparse.get(i), dense[i]);
+        for (i, &d) in dense.iter().enumerate().take(32) {
+            prop_assert_eq!(*sparse.get(i), d);
         }
     }
 

@@ -61,8 +61,8 @@ pub fn assadi_solomon_maximal(
     if n == 0 {
         return m;
     }
-    let budget = ((cfg.sample_factor * cfg.beta as f64 * (n.max(2) as f64).ln()).ceil() as usize)
-        .max(1);
+    let budget =
+        ((cfg.sample_factor * cfg.beta as f64 * (n.max(2) as f64).ln()).ceil() as usize).max(1);
 
     // Phase 1: sampling passes.
     for _pass in 0..cfg.max_passes {

@@ -121,9 +121,7 @@ impl BlossomSearcher {
             self.work += deg as u64;
             for i in 0..deg {
                 let to = g.neighbor(VertexId(v), i).0;
-                if self.base[v as usize] == self.base[to as usize]
-                    || self.mate[v as usize] == to
-                {
+                if self.base[v as usize] == self.base[to as usize] || self.mate[v as usize] == to {
                     continue;
                 }
                 let to_is_even = to == root.0
@@ -199,9 +197,7 @@ impl BlossomSearcher {
             self.work += deg as u64;
             for i in 0..deg {
                 let to = g.neighbor(VertexId(v), i).0;
-                if self.base[v as usize] == self.base[to as usize]
-                    || self.mate[v as usize] == to
-                {
+                if self.base[v as usize] == self.base[to as usize] || self.mate[v as usize] == to {
                     continue;
                 }
                 if self.even[to as usize] {
@@ -388,9 +384,21 @@ mod tests {
         let g = from_edges(
             10,
             [
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer cycle
-                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner pentagram
-                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0), // outer cycle
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5), // inner pentagram
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9), // spokes
             ],
         );
         assert_eq!(maximum_matching(&g).len(), 5);
@@ -402,7 +410,16 @@ mod tests {
         // Triangle A: 0-1-2, triangle B: 4-5-6, bridge 2-3, 3-4.
         let g = from_edges(
             7,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
         );
         assert_eq!(maximum_matching(&g).len(), 3);
     }

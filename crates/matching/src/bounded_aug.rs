@@ -203,7 +203,6 @@ mod tests {
         let exact = maximum_matching(&g).len();
         let m = approx_maximum_matching(&g, 0.2);
         assert!(m.len() * 6 >= exact * 5);
-
     }
 
     #[test]

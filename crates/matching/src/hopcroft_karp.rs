@@ -71,7 +71,8 @@ pub fn hopcroft_karp_phases(g: &CsrGraph, side: &[bool], max_phases: usize) -> H
     let n = g.num_vertices();
     assert_eq!(side.len(), n);
     debug_assert!(
-        g.edges().all(|(_, u, v)| side[u.index()] != side[v.index()]),
+        g.edges()
+            .all(|(_, u, v)| side[u.index()] != side[v.index()]),
         "side[] must be a proper bipartition"
     );
     let lefts: Vec<u32> = (0..n as u32).filter(|&v| side[v as usize]).collect();
@@ -271,8 +272,7 @@ mod tests {
             // König: |VC| = |M| for maximum bipartite matchings.
             assert_eq!(cover.len(), m.len());
             // ... and it is a vertex cover.
-            let in_cover: std::collections::HashSet<u32> =
-                cover.iter().map(|v| v.0).collect();
+            let in_cover: std::collections::HashSet<u32> = cover.iter().map(|v| v.0).collect();
             for (_, u, v) in g.edges() {
                 assert!(
                     in_cover.contains(&u.0) || in_cover.contains(&v.0),

@@ -39,10 +39,7 @@ pub fn karp_sipser_matching(g: &CsrGraph, rng: &mut impl Rng) -> Matching {
     edge_order.shuffle(rng);
     let mut cursor = 0usize;
 
-    let kill = |v: usize,
-                    alive: &mut [bool],
-                    degree: &mut [usize],
-                    ones: &mut Vec<u32>| {
+    let kill = |v: usize, alive: &mut [bool], degree: &mut [usize], ones: &mut Vec<u32>| {
         alive[v] = false;
         for u in g.neighbors(VertexId::new(v)) {
             if alive[u.index()] {

@@ -116,9 +116,11 @@ impl Matching {
 
     /// The matched pairs `(u, v)` with `u < v`.
     pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.mate.iter().enumerate().filter_map(|(u, &m)| {
-            (m != UNMATCHED && (u as u32) < m).then(|| (VertexId::new(u), VertexId(m)))
-        })
+        self.mate
+            .iter()
+            .enumerate()
+            .filter(|&(u, &m)| m != UNMATCHED && (u as u32) < m)
+            .map(|(u, &m)| (VertexId::new(u), VertexId(m)))
     }
 
     /// The matched vertices (the paper's `V_M`).
@@ -126,7 +128,8 @@ impl Matching {
         self.mate
             .iter()
             .enumerate()
-            .filter_map(|(v, &m)| (m != UNMATCHED).then(|| VertexId::new(v)))
+            .filter(|&(_v, &m)| m != UNMATCHED)
+            .map(|(v, &_m)| VertexId::new(v))
     }
 
     /// The free vertices (the paper's `V_F`).
@@ -134,7 +137,8 @@ impl Matching {
         self.mate
             .iter()
             .enumerate()
-            .filter_map(|(v, &m)| (m == UNMATCHED).then(|| VertexId::new(v)))
+            .filter(|&(_v, &m)| m == UNMATCHED)
+            .map(|(v, &_m)| VertexId::new(v))
     }
 
     /// Is every matched pair an edge of `g` (and the mate array coherent)?
@@ -202,7 +206,8 @@ mod tests {
 
     #[test]
     fn rematch_flips() {
-        let mut m = Matching::from_pairs(6, [(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]);
+        let mut m =
+            Matching::from_pairs(6, [(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]);
         // Augment 4 - (1,0 flip) style: rematch 1 with 2.
         m.rematch(VertexId(1), VertexId(2));
         assert_eq!(m.mate(VertexId(1)), Some(VertexId(2)));
@@ -238,7 +243,8 @@ mod tests {
     fn prune_after_deletions() {
         let g_before = from_edges(4, [(0, 1), (2, 3)]);
         let g_after = from_edges(4, [(0, 1)]);
-        let mut m = Matching::from_pairs(4, [(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]);
+        let mut m =
+            Matching::from_pairs(4, [(VertexId(0), VertexId(1)), (VertexId(2), VertexId(3))]);
         assert!(m.is_valid_for(&g_before));
         assert_eq!(m.prune_to(&g_after), 1);
         assert!(m.is_valid_for(&g_after));

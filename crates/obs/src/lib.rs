@@ -1,0 +1,29 @@
+//! Unified work-accounting and observability layer for `sparsimatch`.
+//!
+//! The paper's guarantees are stated in discrete units — adjacency probes,
+//! CONGEST messages and rounds, worst-case per-update work — and the rest
+//! of the workspace verifies those bounds by counting. Before this crate,
+//! each layer counted with its own ad-hoc struct (`ProbeCounts`,
+//! `Metrics`, `UpdateReport`, `StreamStats`); this crate gives them one
+//! sink and one export format:
+//!
+//! * [`WorkMeter`] — named monotonic counters (see [`meter::keys`] for the
+//!   shared names), high-water maxima, and wall-clock span timers.
+//! * [`Json`] — a dependency-free JSON value with a byte-deterministic
+//!   serializer and a strict parser, used for `--metrics-json` files and
+//!   the experiment harness's `results/<exp>.json` outputs.
+//!
+//! Counter values are deterministic for a fixed seed; wall-clock timings
+//! are segregated (see [`WorkMeter::snapshot_counters`] vs.
+//! [`WorkMeter::snapshot_full`]) so metric files can be byte-stable.
+//!
+//! This crate deliberately has no dependencies, so every other crate in
+//! the workspace can depend on it without cycles.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod meter;
+
+pub use json::{Json, ParseError};
+pub use meter::{keys, SpanStats, WorkMeter};

@@ -1,0 +1,471 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! path-replaces the `proptest` dev-dependency with this crate. It keeps
+//! the property-test *sources* unchanged while swapping the engine for a
+//! small deterministic one:
+//!
+//! - each `#[test]` inside [`proptest!`] runs `cases` times (default 256,
+//!   overridable with `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! - inputs are drawn from a [`Strategy`] using a per-(test, case) seeded
+//!   [`rand::rngs::StdRng`], so failures are reproducible by rerunning the
+//!   same test binary,
+//! - `prop_assert!`/`prop_assert_eq!` short-circuit the case with an error
+//!   that the runner reports alongside the case number,
+//! - there is **no shrinking**: a failing case reports the case index and
+//!   message only.
+
+use std::fmt::Debug;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Error carried out of a failing test case body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failed assertion/requirement with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// Result type of a test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (only the knobs this workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test inputs.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply produces one value per case from the runner's RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// A union of the given non-empty strategy list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Full-domain strategies for primitive types (backs [`any`]).
+pub trait Arbitrary: Debug + Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::RngCore;
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                     u64 => next_u64, usize => next_u64, i32 => next_u32,
+                     i64 => next_u64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random_bool(0.5)
+    }
+}
+
+/// Strategy over the full domain of `T`.
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of type `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Vector length specification: an exact length or a half-open range
+    /// (mirrors the `Into<SizeRange>` forms this workspace uses).
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(core::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange(exact..exact + 1)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing vectors with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let r = &self.len.0;
+            let len = if r.end <= r.start + 1 {
+                r.start
+            } else {
+                rng.random_range(r.clone())
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of values from `elem` with length in `len`
+    /// (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+}
+
+/// Derive a per-(test, case) RNG seed: FNV-1a over the test name mixed
+/// with the case index, so every test gets an independent deterministic
+/// stream.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Run one property test: `cases` iterations of `body` on fresh inputs.
+pub fn run<F: FnMut(&mut TestRng) -> TestCaseResult>(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut body: F,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(case_seed(test_name, case));
+        if let Err(TestCaseError(msg)) = body(&mut rng) {
+            panic!(
+                "proptest case {case}/{total} of `{test_name}` failed: {msg}",
+                total = config.cases
+            );
+        }
+    }
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "prop_assert_eq: left = {:?}, right = {:?}", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "prop_assert_eq: left = {:?}, right = {:?}: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "prop_assert_ne: both sides = {:?}", l);
+    }};
+}
+
+/// Skip the rest of the case unless `cond` holds (counts as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The property-test entry point; mirrors `proptest::proptest!` for the
+/// forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run(stringify!($name), &config, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                (move || -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 0u32..5), c in any::<u64>()) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 5);
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_and_oneof(v in crate::collection::vec(prop_oneof![0usize..3, Just(9usize)], 0..20)) {
+            prop_assert!(v.len() < 20);
+            for x in v {
+                prop_assert!(x < 3 || x == 9, "unexpected {}", x);
+            }
+        }
+
+        #[test]
+        fn map_works(v in (0usize..4, 0usize..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 6);
+            if v == 0 {
+                return Ok(());
+            }
+            prop_assert!(v >= 1);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_tests_and_cases() {
+        assert_ne!(super::case_seed("a", 0), super::case_seed("b", 0));
+        assert_ne!(super::case_seed("a", 0), super::case_seed("a", 1));
+    }
+}

@@ -9,6 +9,7 @@ use sparsimatch_graph::ids::VertexId;
 use sparsimatch_matching::bounded_aug::approx_maximum_matching_from;
 use sparsimatch_matching::greedy::greedy_maximal_matching;
 use sparsimatch_matching::Matching;
+use sparsimatch_obs::{keys, WorkMeter};
 
 /// Memory and stream accounting.
 #[derive(Clone, Copy, Debug, Default)]
@@ -17,6 +18,14 @@ pub struct StreamStats {
     pub edges_seen: u64,
     /// Distinct edges retained at end of stream (the memory footprint).
     pub edges_retained: usize,
+}
+
+impl StreamStats {
+    /// Mirror into the unified [`WorkMeter`] accounting.
+    pub fn mirror_into(&self, meter: &mut WorkMeter) {
+        meter.add(keys::EDGES_SEEN, self.edges_seen);
+        meter.add(keys::EDGES_RETAINED, self.edges_retained as u64);
+    }
 }
 
 /// One-pass `(1+ε)`-style matcher: per-vertex reservoirs of Δ incident
@@ -149,10 +158,7 @@ mod tests {
     use sparsimatch_graph::generators::{clique, clique_union, CliqueUnionConfig};
     use sparsimatch_matching::blossom::maximum_matching;
 
-    fn stream_in_random_order(
-        g: &CsrGraph,
-        rng: &mut StdRng,
-    ) -> Vec<(VertexId, VertexId)> {
+    fn stream_in_random_order(g: &CsrGraph, rng: &mut StdRng) -> Vec<(VertexId, VertexId)> {
         let mut edges: Vec<(VertexId, VertexId)> = g.edges().map(|(_, u, v)| (u, v)).collect();
         edges.shuffle(rng);
         edges
@@ -168,7 +174,10 @@ mod tests {
             sm.push_edge(u, v, &mut rng);
         }
         let (m, stats) = sm.finish();
-        assert!(m.is_valid_for(&g), "retained edges must come from the stream");
+        assert!(
+            m.is_valid_for(&g),
+            "retained edges must come from the stream"
+        );
         let exact = maximum_matching(&g).len();
         assert!(
             m.len() as f64 * 1.3 >= exact as f64,
@@ -241,6 +250,22 @@ mod tests {
         }
         // High-degree vertices hold exactly mark_cap reservoir slots.
         assert!(retained.num_edges() <= 60 * params.mark_cap());
+    }
+
+    #[test]
+    fn stats_mirror_into_meter() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = clique(40);
+        let params = SparsifierParams::practical(1, 0.5);
+        let mut sm = StreamingSparsifierMatcher::new(40, params);
+        for (_, u, v) in g.edges() {
+            sm.push_edge(u, v, &mut rng);
+        }
+        let (_, stats) = sm.finish();
+        let mut meter = WorkMeter::new();
+        stats.mirror_into(&mut meter);
+        assert_eq!(meter.get(keys::EDGES_SEEN), g.num_edges() as u64);
+        assert_eq!(meter.get(keys::EDGES_RETAINED), stats.edges_retained as u64);
     }
 
     #[test]

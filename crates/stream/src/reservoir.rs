@@ -89,7 +89,7 @@ mod tests {
     fn uniform_marginals() {
         // Each of 20 items should survive with probability 4/20 = 0.2.
         let trials = 30_000;
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..trials {
             let mut r = EdgeReservoir::new(4);

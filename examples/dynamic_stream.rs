@@ -39,8 +39,7 @@ fn main() {
         // The paper's window scheme.
         let params = SparsifierParams::practical(2, 0.5);
         let mut dm = DynamicMatcher::new(n, params, 1);
-        let mut adv =
-            StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 0.7 });
+        let mut adv = StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 0.7 });
         let s = run_dynamic(&mut dm, &mut adv, steps, steps / 6, &mut rng);
         println!(
             "{:>6}  {:>22}  {:>10} {:>10} {:>10.1}  {:>11.3}",
@@ -49,8 +48,7 @@ fn main() {
 
         // The √(βn) baseline.
         let mut tm = ThresholdMaximalMatching::new(n, 2);
-        let mut adv =
-            StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 0.7 });
+        let mut adv = StreamAdversary::new(&host, Policy::AdaptiveDeleteMatched { p_insert: 0.7 });
         let mut max_w = 0u64;
         let mut sum_w = 0u64;
         for _ in 0..steps {

@@ -52,9 +52,7 @@ fn main() {
             .copied()
             .expect("matched talks share a speaker");
         if shown < 5 {
-            println!(
-                "  block: talk({a1},{a2}) + talk({b1},{b2})  — shared speaker {shared}"
-            );
+            println!("  block: talk({a1},{a2}) + talk({b1},{b2})  — shared speaker {shared}");
             shown += 1;
         }
     }

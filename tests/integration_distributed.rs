@@ -36,7 +36,10 @@ fn distributed_matching_is_valid_and_accurate() {
 fn augmented_pipeline_beats_maximal_baseline() {
     let mut rng = StdRng::seed_from_u64(0x22);
     // A graph where maximal matchings can be ~half of maximum: long paths.
-    let g = unit_disk(UnitDiskConfig::with_expected_degree(500, 1.0, 6.0), &mut rng);
+    let g = unit_disk(
+        UnitDiskConfig::with_expected_degree(500, 1.0, 6.0),
+        &mut rng,
+    );
     let params = SparsifierParams::with_delta(5, 0.34, 10);
     let full = distributed_approx_mcm(&g, &params, 3);
     let base = distributed_maximal_baseline(&g, &params, 3);
@@ -64,9 +67,8 @@ fn message_bits_account_one_bit_sparsifier_marks() {
     let g = clique(120);
     let mut net = sparsimatch::distsim::Network::new(&g);
     let params = SparsifierParams::with_delta(1, 0.5, 4);
-    let _ = sparsimatch::distsim::algorithms::sparsify::distributed_sparsifier(
-        &mut net, &params, 5,
-    );
+    let _ =
+        sparsimatch::distsim::algorithms::sparsify::distributed_sparsifier(&mut net, &params, 5);
     let m = net.metrics();
     assert_eq!(m.messages, m.bits, "sparsifier messages are exactly 1 bit");
     assert_eq!(m.messages, 120 * 4);

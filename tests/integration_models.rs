@@ -26,7 +26,7 @@ fn all_three_models_meet_the_guarantee_on_one_input() {
     let eps = 0.3;
     let params = SparsifierParams::practical(2, eps);
     let exact = maximum_matching(&g).len();
-    let bound = (1.0 + eps) as f64;
+    let bound = 1.0 + eps;
 
     // Sequential.
     let seq = approx_mcm_via_sparsifier(&g, &params, &mut rng);
@@ -65,7 +65,11 @@ fn mpc_memory_errors_are_reported_not_silent() {
         memory_words: 100,
     };
     match mpc_approx_mcm(&g, &params, &cfg, 1) {
-        Err(MpcError::MemoryExceeded { round: 1, load, cap }) => {
+        Err(MpcError::MemoryExceeded {
+            round: 1,
+            load,
+            cap,
+        }) => {
             assert!(load > cap);
         }
         other => panic!("expected a round-1 memory error, got {other:?}"),

@@ -41,7 +41,11 @@ fn distributed_pipeline_at_twenty_thousand_nodes() {
     let out = distributed_approx_mcm(&g, &params, 0x52);
     assert!(out.matching.is_valid_for(&g));
     // Rounds must stay in the hundreds even at this n (log* flat).
-    assert!(out.metrics.rounds < 1_000, "rounds = {}", out.metrics.rounds);
+    assert!(
+        out.metrics.rounds < 1_000,
+        "rounds = {}",
+        out.metrics.rounds
+    );
 }
 
 #[test]

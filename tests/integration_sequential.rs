@@ -2,9 +2,9 @@
 //! the exact blossom ground truth on every benchmark family.
 
 use rand::{rngs::StdRng, SeedableRng};
-use sparsimatch::prelude::*;
 use sparsimatch::core::lower_bounds::build_plain_sparsifier;
 use sparsimatch::graph::analysis::independence::neighborhood_independence_at_most;
+use sparsimatch::prelude::*;
 
 fn families(n: usize, rng: &mut StdRng) -> Vec<(&'static str, CsrGraph, usize)> {
     vec![
@@ -26,7 +26,11 @@ fn families(n: usize, rng: &mut StdRng) -> Vec<(&'static str, CsrGraph, usize)> 
             unit_disk(UnitDiskConfig::with_expected_degree(n, 1.0, 14.0), rng),
             5,
         ),
-        ("line-graph", line_graph(&gnp(n / 4, 16.0 / (n / 4) as f64, rng)), 2),
+        (
+            "line-graph",
+            line_graph(&gnp(n / 4, 16.0 / (n / 4) as f64, rng)),
+            2,
+        ),
     ]
 }
 
