@@ -27,10 +27,10 @@ fn bench_sequential(c: &mut Criterion) {
         let label = format!("n={n},m={}", g.num_edges());
         let params = SparsifierParams::practical(2, 0.3);
         group.bench_with_input(BenchmarkId::new("sparsify+match", &label), &g, |b, g| {
-            let mut rng = StdRng::seed_from_u64(5);
             b.iter(|| {
                 black_box(
-                    approx_mcm_via_sparsifier(g, &params, &mut rng)
+                    approx_mcm_via_sparsifier(g, &params, 5, 1)
+                        .unwrap()
                         .matching
                         .len(),
                 )

@@ -1,0 +1,210 @@
+//! Pipeline throughput baseline: the end-to-end sparsify-and-match hot
+//! path across `{clique, bounded-β clique-union, bipartite} × {1,2,4,8}`
+//! threads, written as `BENCH_pipeline.json` so future changes have a
+//! recorded trajectory to beat.
+//!
+//! Unlike the `exp_*` binaries this measures *wall-clock*, not unit
+//! counts, so the output varies by host; the `host_parallelism` field
+//! records how many hardware threads were available (speedups are only
+//! meaningful when it exceeds the thread count). Output correctness is
+//! still asserted: the matching and sparsifier must be identical for
+//! every thread count, and any mismatch exits nonzero.
+//!
+//! Usage: `bench_baseline [--full]`; the output path defaults to
+//! `BENCH_pipeline.json` in the current directory and can be overridden
+//! with the `SPARSIMATCH_BENCH_OUT` environment variable. The schema is
+//! documented in EXPERIMENTS.md ("Benchmark baseline").
+
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_bench::{scale_from_args, Scale, Violations};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_metered;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::generators::{bipartite_gnp, clique, clique_union, CliqueUnionConfig};
+use sparsimatch_obs::{keys, Json, WorkMeter};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Family {
+    name: &'static str,
+    graph: CsrGraph,
+    beta: usize,
+    eps: f64,
+}
+
+fn families(scale: Scale) -> Vec<Family> {
+    let mut rng = StdRng::seed_from_u64(0xBE);
+    let (clique_n, union_n, union_size, bip_side, bip_deg) = match scale {
+        Scale::Quick => (300usize, 5_000usize, 50usize, 2_000usize, 10.0f64),
+        // The union instance is the headline: 1e5 vertices, ~6M edges,
+        // β ≤ 2 — the regime the paper targets.
+        Scale::Full => (2_000, 100_000, 64, 50_000, 20.0),
+    };
+    vec![
+        Family {
+            name: "clique",
+            graph: clique(clique_n),
+            beta: 1,
+            eps: 0.3,
+        },
+        Family {
+            name: "clique-union",
+            graph: clique_union(
+                CliqueUnionConfig {
+                    n: union_n,
+                    diversity: 2,
+                    clique_size: union_size,
+                },
+                &mut rng,
+            ),
+            beta: 2,
+            eps: 0.3,
+        },
+        Family {
+            name: "bipartite",
+            graph: bipartite_gnp(bip_side, bip_side, bip_deg / bip_side as f64, &mut rng),
+            beta: 4,
+            eps: 0.3,
+        },
+    ]
+}
+
+struct Run {
+    threads: usize,
+    total_nanos: u64,
+    mark_nanos: u64,
+    extract_nanos: u64,
+    match_nanos: u64,
+    matching_size: usize,
+    sparsifier_edges: usize,
+}
+
+fn bench_family(f: &Family, reps: usize, violations: &mut Violations) -> Vec<Run> {
+    let params = SparsifierParams::practical(f.beta, f.eps);
+    let mut runs = Vec::new();
+    let mut reference: Option<Vec<(u32, u32)>> = None;
+    for &threads in &THREADS {
+        let mut best: Option<(u64, WorkMeter, usize, usize)> = None;
+        for _ in 0..reps {
+            let mut meter = WorkMeter::new();
+            let r = approx_mcm_via_sparsifier_metered(&f.graph, &params, 7, threads, &mut meter)
+                .expect("thread counts 1..=8 are always accepted");
+            let total = meter.span_stats(keys::PIPELINE_TOTAL).total_nanos as u64;
+            let pairs: Vec<(u32, u32)> = r.matching.pairs().map(|(u, v)| (u.0, v.0)).collect();
+            match &reference {
+                None => reference = Some(pairs),
+                Some(expect) => violations.check(*expect == pairs, || {
+                    format!(
+                        "{}: matching differs at {} threads (thread-count invariance broken)",
+                        f.name, threads
+                    )
+                }),
+            }
+            if best.as_ref().is_none_or(|(t, ..)| total < *t) {
+                best = Some((total, meter, r.matching.len(), r.sparsifier.edges));
+            }
+        }
+        let (total, meter, matching_size, sparsifier_edges) = best.unwrap();
+        let span = |key: &str| meter.span_stats(key).total_nanos as u64;
+        runs.push(Run {
+            threads,
+            total_nanos: total,
+            mark_nanos: span(keys::STAGE_MARK),
+            extract_nanos: span(keys::STAGE_EXTRACT),
+            match_nanos: span(keys::STAGE_MATCH),
+            matching_size,
+            sparsifier_edges,
+        });
+    }
+    runs
+}
+
+fn family_json(f: &Family, runs: &[Run]) -> Json {
+    let t1 = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .expect("thread count 1 is always benched")
+        .total_nanos;
+    let mut doc = Json::object();
+    doc.set("family", f.name);
+    doc.set("vertices", f.graph.num_vertices());
+    doc.set("edges", f.graph.num_edges());
+    doc.set("beta", f.beta);
+    doc.set("eps", f.eps);
+    let runs_json: Vec<Json> = runs
+        .iter()
+        .map(|r| {
+            let mut stage = Json::object();
+            stage.set("mark", r.mark_nanos);
+            stage.set("extract", r.extract_nanos);
+            stage.set("match", r.match_nanos);
+            let mut run = Json::object();
+            run.set("threads", r.threads);
+            run.set("total_nanos", r.total_nanos);
+            run.set("stage_nanos", stage);
+            run.set("matching_size", r.matching_size);
+            run.set("sparsifier_edges", r.sparsifier_edges);
+            run.set("speedup_vs_t1", t1 as f64 / r.total_nanos.max(1) as f64);
+            run
+        })
+        .collect();
+    doc.set("runs", Json::Array(runs_json));
+    doc
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let reps = match scale {
+        Scale::Quick => 1,
+        Scale::Full => 3,
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut violations = Violations::new();
+    let mut family_docs = Vec::new();
+
+    println!("pipeline throughput baseline ({})", scale.name());
+    println!("host parallelism: {host_parallelism} hardware threads\n");
+    for f in families(scale) {
+        println!(
+            "{:>14}: n = {}, m = {}, beta = {}",
+            f.name,
+            f.graph.num_vertices(),
+            f.graph.num_edges(),
+            f.beta
+        );
+        let runs = bench_family(&f, reps, &mut violations);
+        let t1 = runs[0].total_nanos;
+        for r in &runs {
+            println!(
+                "      threads {}: {:>10.3} ms  (mark {:.3} / extract {:.3} / match {:.3})  x{:.2}",
+                r.threads,
+                r.total_nanos as f64 / 1e6,
+                r.mark_nanos as f64 / 1e6,
+                r.extract_nanos as f64 / 1e6,
+                r.match_nanos as f64 / 1e6,
+                t1 as f64 / r.total_nanos.max(1) as f64
+            );
+        }
+        family_docs.push(family_json(&f, &runs));
+    }
+
+    let mut doc = Json::object();
+    doc.set("benchmark", "bench_pipeline");
+    doc.set("scale", scale.name());
+    doc.set("host_parallelism", host_parallelism);
+    doc.set(
+        "threads",
+        Json::Array(THREADS.iter().map(|&t| Json::from(t)).collect()),
+    );
+    doc.set("families", Json::Array(family_docs));
+
+    let out = std::env::var_os("SPARSIMATCH_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_pipeline.json"));
+    if let Err(e) = std::fs::write(&out, doc.to_pretty()) {
+        eprintln!("FAILED to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!("\nbaseline written to {}", out.display());
+    violations.finish("bench_baseline");
+}

@@ -65,7 +65,7 @@ fn main() {
         // (1) This paper.
         let params = SparsifierParams::practical(beta, eps);
         let t0 = Instant::now();
-        let r = approx_mcm_via_sparsifier(&g, &params, &mut rng);
+        let r = approx_mcm_via_sparsifier(&g, &params, n as u64, 1).unwrap();
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         let ratio = exact as f64 / r.matching.len().max(1) as f64;
         violations.check(ratio <= 1.0 + eps, || {

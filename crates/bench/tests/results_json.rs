@@ -50,3 +50,80 @@ fn quick_run_writes_valid_results_json() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn bench_baseline_writes_valid_schema() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bench-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_pipeline.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_bench_baseline"))
+        .env("SPARSIMATCH_BENCH_OUT", &out)
+        .env("SPARSIMATCH_METRICS_TIMINGS", "1")
+        .status()
+        .expect("bench binary runs");
+    assert!(status.success(), "bench_baseline exited nonzero");
+
+    let text = std::fs::read_to_string(&out).expect("baseline JSON written");
+    let doc = Json::parse(&text).expect("baseline JSON parses");
+
+    assert_eq!(
+        doc.get("benchmark").unwrap().as_str(),
+        Some("bench_pipeline")
+    );
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("quick"));
+    assert!(doc.get("host_parallelism").unwrap().as_u64().unwrap() >= 1);
+
+    // The benched thread list is strictly increasing.
+    let threads: Vec<u64> = doc
+        .get("threads")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|t| t.as_u64().unwrap())
+        .collect();
+    assert!(
+        threads.windows(2).all(|w| w[0] < w[1]),
+        "thread list not monotone: {threads:?}"
+    );
+
+    // Every family carries one run per benched thread count, with non-zero
+    // stage spans and thread-count-invariant outputs.
+    let families = doc.get("families").unwrap().as_array().unwrap();
+    let names: Vec<&str> = families
+        .iter()
+        .map(|f| f.get("family").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["clique", "clique-union", "bipartite"]);
+    for f in families {
+        let name = f.get("family").unwrap().as_str().unwrap();
+        assert!(f.get("vertices").unwrap().as_u64().unwrap() > 0);
+        assert!(f.get("edges").unwrap().as_u64().unwrap() > 0);
+        let runs = f.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), threads.len(), "{name}");
+        let mut sizes = Vec::new();
+        for (run, &t) in runs.iter().zip(&threads) {
+            assert_eq!(run.get("threads").unwrap().as_u64(), Some(t), "{name}");
+            assert!(run.get("total_nanos").unwrap().as_u64().unwrap() > 0);
+            let stages = run.get("stage_nanos").unwrap();
+            for key in ["mark", "extract", "match"] {
+                assert!(
+                    stages.get(key).unwrap().as_u64().unwrap() > 0,
+                    "{name}: zero {key} span at {t} threads"
+                );
+            }
+            assert!(run.get("speedup_vs_t1").unwrap().as_f64().unwrap() > 0.0);
+            sizes.push((
+                run.get("matching_size").unwrap().as_u64().unwrap(),
+                run.get("sparsifier_edges").unwrap().as_u64().unwrap(),
+            ));
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "{name}: outputs vary with the thread count: {sizes:?}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -23,14 +23,15 @@ Graphs are plain-text edge lists: a `n m` header line followed by one
 `u v` line per edge (0-based ids, `#` comments allowed). Omitting --out
 writes the graph to stdout.
 
---threads 1 (the default) runs the sequential sparsifier and reproduces
-the historical output for a given --seed; --threads 2..=64 uses the
-parallel builder with deterministic per-vertex seeding, whose output
-depends only on --seed, not on the thread count. --metrics-json writes
-the unified work counters (probes, RNG draws, overlay writes, ...) as
-JSON; the file is byte-stable for a fixed seed unless the
-SPARSIMATCH_METRICS_TIMINGS=1 environment variable adds wall-clock span
-timings.";
+--threads <T> (1..=64, default 1) sets the worker count for every
+pipeline stage — marking, sparsifier CSR extraction, and greedy
+matching. Marking draws from deterministic per-vertex RNG streams, so
+the output depends only on --seed and is byte-identical for every
+thread count. --metrics-json writes the unified work counters (probes,
+RNG draws, overlay writes, ...) as JSON; the file is byte-stable for a
+fixed seed unless the SPARSIMATCH_METRICS_TIMINGS=1 environment
+variable adds wall-clock span timings (including per-stage
+stage.mark / stage.extract / stage.match spans).";
 
 /// The `generate` subcommand.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,8 +73,8 @@ pub struct SparsifyArgs {
     pub seed: u64,
     /// Output path (stdout if absent).
     pub out: Option<PathBuf>,
-    /// Sparsifier build threads: 1 = sequential (historical output),
-    /// 2..=64 = parallel with thread-count-invariant output.
+    /// Worker threads (1..=64); the sparsifier output is byte-identical
+    /// for every accepted value.
     pub threads: usize,
     /// Write work-counter metrics as JSON to this path.
     pub metrics_json: Option<PathBuf>,
@@ -106,8 +107,9 @@ pub struct MatchArgs {
     pub seed: u64,
     /// Print the matched pairs, not just the size.
     pub pairs: bool,
-    /// Sparsifier build threads (only meaningful with the sparsify algo):
-    /// 1 = sequential, 2..=64 = parallel.
+    /// Worker threads (1..=64) for every stage of the sparsify-and-match
+    /// pipeline (only meaningful with the sparsify algo); the matching is
+    /// identical for every accepted value.
     pub threads: usize,
     /// Write work-counter metrics as JSON to this path.
     pub metrics_json: Option<PathBuf>,

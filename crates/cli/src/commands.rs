@@ -4,10 +4,8 @@
 use crate::args::{AnalyzeArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs};
 use rand::{rngs::StdRng, SeedableRng};
 use sparsimatch_core::params::SparsifierParams;
-use sparsimatch_core::pipeline::{
-    approx_mcm_via_sparsifier_metered, approx_mcm_via_sparsifier_parallel,
-};
-use sparsimatch_core::sparsifier::{build_sparsifier_metered, build_sparsifier_parallel_metered};
+use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_metered;
+use sparsimatch_core::sparsifier::build_sparsifier_parallel_metered;
 use sparsimatch_graph::analysis::arboricity::{arboricity_bounds, degeneracy};
 use sparsimatch_graph::analysis::independence::neighborhood_independence_exact;
 use sparsimatch_graph::csr::CsrGraph;
@@ -191,18 +189,13 @@ pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
     let g = read_edge_list_file(&args.input).map_err(io_err)?;
     let params = SparsifierParams::scaled(args.beta, args.eps, args.scale);
     let mut meter = WorkMeter::new();
-    let s = if args.threads == 1 {
-        let mut rng = StdRng::seed_from_u64(args.seed);
-        meter.time("sparsify", |m| {
-            build_sparsifier_metered(&g, &params, &mut rng, m)
+    // Every thread count (including 1) takes the seeded per-vertex path,
+    // so the output depends only on the seed, never on `--threads`.
+    let s = meter
+        .time("sparsify", |m| {
+            build_sparsifier_parallel_metered(&g, &params, args.seed, args.threads, m)
         })
-    } else {
-        meter
-            .time("sparsify", |m| {
-                build_sparsifier_parallel_metered(&g, &params, args.seed, args.threads, m)
-            })
-            .map_err(|e| e.to_string())?
-    };
+        .map_err(|e| e.to_string())?;
     emit_graph(&s.graph, &args.out, out)?;
     if let Some(path) = &args.metrics_json {
         let mut doc = metrics_doc("sparsify", &g);
@@ -230,7 +223,6 @@ pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
 /// `sparsimatch match`.
 pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
     let g = read_edge_list_file(&args.input).map_err(io_err)?;
-    let mut rng = StdRng::seed_from_u64(args.seed);
     let mut meter = WorkMeter::new();
     let (label, matching): (&str, Matching) = match args.algo {
         MatchAlgo::Exact => (
@@ -243,17 +235,14 @@ pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
         ),
         MatchAlgo::Sparsify { beta, eps } => {
             let params = SparsifierParams::practical(beta, eps);
-            let r = if args.threads == 1 {
-                meter.time("match", |m| {
-                    approx_mcm_via_sparsifier_metered(&g, &params, &mut rng, m)
+            // One seeded pipeline for every thread count: `--threads`
+            // accelerates marking, extraction, and matching without
+            // changing a single output byte.
+            let r = meter
+                .time("match", |m| {
+                    approx_mcm_via_sparsifier_metered(&g, &params, args.seed, args.threads, m)
                 })
-            } else {
-                meter
-                    .time("match", |m| {
-                        approx_mcm_via_sparsifier_parallel(&g, &params, args.seed, args.threads, m)
-                    })
-                    .map_err(|e| e.to_string())?
-            };
+                .map_err(|e| e.to_string())?;
             writeln!(out, "probes: {} (m = {})", r.probes.total(), g.num_edges())
                 .map_err(io_err)?;
             ("sparsify+match", r.matching)
@@ -425,12 +414,14 @@ mod tests {
             file.display()
         ))
         .unwrap();
-        // sparsify: identical sparsifier (and metrics) for 2 vs 4 threads.
-        let out2 = dir.join("par2.el");
-        let out4 = dir.join("par4.el");
-        let met2 = dir.join("par2.json");
-        let met4 = dir.join("par4.json");
-        for (threads, o, m) in [(2, &out2, &met2), (4, &out4, &met4)] {
+        // sparsify: byte-identical sparsifier (and metrics) for every
+        // thread count, including 1.
+        let mut cleanup = vec![file.clone()];
+        let mut sparsifier_bytes: Vec<Vec<u8>> = Vec::new();
+        let mut metrics_text: Vec<String> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let o = dir.join(format!("par{threads}.el"));
+            let m = dir.join(format!("par{threads}.json"));
             run_line(&format!(
                 "sparsify {} --beta 1 --eps 0.4 --seed 8 --threads {threads} --out {} --metrics-json {}",
                 file.display(),
@@ -438,30 +429,38 @@ mod tests {
                 m.display()
             ))
             .unwrap();
-        }
-        assert_eq!(
-            std::fs::read(&out2).unwrap(),
-            std::fs::read(&out4).unwrap(),
-            "sparsifier output must not depend on the thread count"
-        );
-        assert_eq!(std::fs::read(&met2).unwrap(), {
+            sparsifier_bytes.push(std::fs::read(&o).unwrap());
             // The metrics differ only in the recorded thread count.
-            let t4 = String::from_utf8(std::fs::read(&met4).unwrap()).unwrap();
-            t4.replace("\"threads\": 4", "\"threads\": 2").into_bytes()
-        });
-        // match through the parallel pipeline: same matching for 2 vs 4.
-        let t2 = run_line(&format!(
-            "match {} --beta 1 --eps 0.4 --seed 8 --threads 2 --pairs",
+            metrics_text.push(
+                String::from_utf8(std::fs::read(&m).unwrap())
+                    .unwrap()
+                    .replace(&format!("\"threads\": {threads}"), "\"threads\": T"),
+            );
+            cleanup.push(o);
+            cleanup.push(m);
+        }
+        for (i, b) in sparsifier_bytes.iter().enumerate().skip(1) {
+            assert_eq!(
+                &sparsifier_bytes[0], b,
+                "sparsifier output must not depend on the thread count (run {i})"
+            );
+            assert_eq!(metrics_text[0], metrics_text[i], "metrics (run {i})");
+        }
+        // match through the pipeline: same matching for every thread count.
+        let reference = run_line(&format!(
+            "match {} --beta 1 --eps 0.4 --seed 8 --threads 1 --pairs",
             file.display()
         ))
         .unwrap();
-        let t4 = run_line(&format!(
-            "match {} --beta 1 --eps 0.4 --seed 8 --threads 4 --pairs",
-            file.display()
-        ))
-        .unwrap();
-        assert_eq!(t2, t4);
-        for p in [&file, &out2, &out4, &met2, &met4] {
+        for threads in [2usize, 4, 8] {
+            let t = run_line(&format!(
+                "match {} --beta 1 --eps 0.4 --seed 8 --threads {threads} --pairs",
+                file.display()
+            ))
+            .unwrap();
+            assert_eq!(reference, t, "threads = {threads}");
+        }
+        for p in &cleanup {
             std::fs::remove_file(p).ok();
         }
     }

@@ -78,6 +78,81 @@ fn generate_analyze_match_roundtrip() {
 }
 
 #[test]
+fn metrics_timings_env_exposes_stage_spans() {
+    // Runs the binary in a subprocess so the env var cannot race other
+    // in-process tests that rely on timings staying off.
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-spans-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("spans.el");
+    let metrics = dir.join("spans.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "clique",
+            "--n",
+            "200",
+            "--out",
+            file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let out = bin()
+        .args([
+            "match",
+            file.to_str().unwrap(),
+            "--beta",
+            "1",
+            "--eps",
+            "0.4",
+            "--seed",
+            "3",
+            "--threads",
+            "2",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ])
+        .env("SPARSIMATCH_METRICS_TIMINGS", "1")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let doc = sparsimatch_obs::Json::parse(&text).unwrap();
+    let spans = doc
+        .get("meter")
+        .unwrap()
+        .get("spans")
+        .expect("timings env must add the spans section");
+    let nanos = |key: &str| -> u64 {
+        spans
+            .get(key)
+            .unwrap_or_else(|| panic!("span {key} missing"))
+            .get("total_nanos")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+    };
+    let mark = nanos("stage.mark");
+    let extract = nanos("stage.extract");
+    let matching = nanos("stage.match");
+    let total = nanos("pipeline.total");
+    assert!(mark > 0 && extract > 0 && matching > 0 && total > 0);
+    let stage_sum = mark + extract + matching;
+    assert!(stage_sum <= total, "stages {stage_sum} > total {total}");
+    assert!(
+        stage_sum as f64 >= 0.9 * total as f64,
+        "stages {stage_sum} fall short of 90% of total {total}"
+    );
+
+    for p in [&file, &metrics] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn missing_file_is_reported() {
     let out = bin()
         .args(["analyze", "/nonexistent/definitely-not-here.el"])

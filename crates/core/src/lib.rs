@@ -36,10 +36,7 @@ pub mod solomon;
 pub mod sparsifier;
 
 pub use params::SparsifierParams;
-pub use pipeline::{
-    approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_metered,
-    approx_mcm_via_sparsifier_parallel, PipelineResult,
-};
+pub use pipeline::{approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_metered, PipelineResult};
 pub use sparsifier::{
     build_sparsifier, build_sparsifier_metered, build_sparsifier_parallel,
     build_sparsifier_parallel_metered, Sparsifier, SparsifierStats, ThreadCountError, MAX_THREADS,

@@ -1,26 +1,33 @@
-//! Theorem 3.1 end-to-end: the sequential `(1+ε)`-approximate maximum
-//! matching in time sublinear in `|E(G)|`.
+//! Theorem 3.1 end-to-end: the `(1+ε)`-approximate maximum matching in
+//! time sublinear in `|E(G)|`.
 //!
-//! Pipeline: (1) build `G_Δ` with the deterministic-time sampler — `O(n·Δ)`
-//! probes; (2) run the `(1+ε')`-approximate matching of
-//! [`sparsimatch_matching::bounded_aug`] on the sparsifier — linear in
+//! Pipeline: (1) **mark** — every vertex marks Δ uniform incident edges
+//! with the deterministic-time sampler, `O(n·Δ)` probes; (2) **extract** —
+//! lay out the marked edges as the sparsifier CSR `G_Δ`; (3) **match** —
+//! run greedy initialization plus the `(1+ε')`-approximate matching of
+//! [`sparsimatch_matching::bounded_aug`] on the sparsifier, linear in
 //! `|E(G_Δ)| = O(n·Δ)` per phase. The accuracy budget is split between the
 //! two `(1+·)` factors so the end-to-end guarantee is `1 + ε`:
 //! `(1 + ε/2.5)² ≤ 1 + ε` for `ε ≤ 1`.
+//!
+//! All three stages honor the requested thread count and are deterministic
+//! for a fixed seed: the output is byte-identical for any accepted thread
+//! count (marking uses per-vertex seeded RNG streams, extraction produces
+//! the sequential CSR layout, and the parallel greedy computes the
+//! lexicographically-first maximal matching).
 
 use crate::params::SparsifierParams;
-use crate::sparsifier::{
-    build_sparsifier, build_sparsifier_parallel_metered, SparsifierStats, ThreadCountError,
-};
+use crate::sparsifier::{mark_edges_parallel, SparsifierStats, ThreadCountError};
 use rand::Rng;
-use sparsimatch_graph::adjacency::{CountingOracle, ProbeCounts};
-use sparsimatch_graph::csr::{CsrGraph, GraphBuilder};
+use sparsimatch_graph::adjacency::ProbeCounts;
+use sparsimatch_graph::csr::{from_marked_edges, CsrGraph};
 use sparsimatch_matching::bounded_aug::{approx_maximum_matching_from, AugStats};
-use sparsimatch_matching::greedy::greedy_maximal_matching;
+use sparsimatch_matching::greedy::{greedy_maximal_matching, greedy_maximal_matching_parallel};
 use sparsimatch_matching::Matching;
 use sparsimatch_obs::{keys, WorkMeter};
+use std::time::Instant;
 
-/// Everything the sequential pipeline measured while running.
+/// Everything the pipeline measured while running.
 #[derive(Clone, Debug)]
 pub struct PipelineResult {
     /// The `(1+ε)`-approximate matching — valid for the *original* graph.
@@ -42,34 +49,47 @@ pub fn stage_eps(eps: f64) -> f64 {
 /// Theorem 3.1: compute a `(1+ε)`-approximate MCM of `g` by sparsifying
 /// and matching on the sparsifier. `params.eps` is the *end-to-end* target;
 /// both stages run at [`stage_eps`].
+///
+/// Marking draws from deterministically seeded per-vertex RNG streams, so
+/// the result depends only on `seed` — never on `threads`, which sets the
+/// worker count for *every* stage (marking, CSR extraction, and greedy
+/// matching). Rejects `threads` outside
+/// `1..=`[`crate::sparsifier::MAX_THREADS`] with a [`ThreadCountError`].
 pub fn approx_mcm_via_sparsifier(
     g: &CsrGraph,
     params: &SparsifierParams,
-    rng: &mut impl Rng,
-) -> PipelineResult {
-    approx_mcm_via_sparsifier_impl(g, params, rng, None)
+    seed: u64,
+    threads: usize,
+) -> Result<PipelineResult, ThreadCountError> {
+    approx_mcm_via_sparsifier_impl(g, params, seed, threads, None)
 }
 
 /// [`approx_mcm_via_sparsifier`] with unified work accounting: adjacency
 /// probes, sampler RNG draws and overlay writes, sparsifier size, and
 /// augmentation work are mirrored into `meter` under the shared
-/// [`sparsimatch_obs::keys`] names. The result is identical to the
-/// unmetered pipeline for the same RNG state.
+/// [`sparsimatch_obs::keys`] names, and per-stage wall-clock spans are
+/// recorded under [`keys::STAGE_MARK`], [`keys::STAGE_EXTRACT`],
+/// [`keys::STAGE_MATCH`], and [`keys::PIPELINE_TOTAL`]. The result is
+/// identical to the unmetered pipeline for the same seed and any thread
+/// count.
 pub fn approx_mcm_via_sparsifier_metered(
     g: &CsrGraph,
     params: &SparsifierParams,
-    rng: &mut impl Rng,
+    seed: u64,
+    threads: usize,
     meter: &mut WorkMeter,
-) -> PipelineResult {
-    approx_mcm_via_sparsifier_impl(g, params, rng, Some(meter))
+) -> Result<PipelineResult, ThreadCountError> {
+    approx_mcm_via_sparsifier_impl(g, params, seed, threads, Some(meter))
 }
 
 fn approx_mcm_via_sparsifier_impl(
     g: &CsrGraph,
     params: &SparsifierParams,
-    rng: &mut impl Rng,
-    mut meter: Option<&mut WorkMeter>,
-) -> PipelineResult {
+    seed: u64,
+    threads: usize,
+    meter: Option<&mut WorkMeter>,
+) -> Result<PipelineResult, ThreadCountError> {
+    let total_start = Instant::now();
     let eps_stage = stage_eps(params.eps);
     // Size Δ for the stage accuracy, keeping the caller's scaling choice
     // relative to the paper constant.
@@ -77,98 +97,55 @@ fn approx_mcm_via_sparsifier_impl(
         / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
     let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
 
-    // Stage 1: sparsify, counting probes.
-    let counter = CountingOracle::new(g);
-    let marks = match meter.as_deref_mut() {
-        Some(m) => crate::sparsifier::mark_edges_oracle_metered(&counter, &stage_params, rng, m),
-        None => crate::sparsifier::mark_edges_oracle(&counter, &stage_params, rng),
-    };
-    let probes = counter.counts();
-    let mut b = GraphBuilder::with_capacity(g.num_vertices(), marks.len());
-    for (u, v) in marks {
-        b.add_edge(u, v);
-    }
-    let sparse = b.build();
-    let sparsifier = SparsifierStats {
-        delta: stage_params.delta,
-        mark_cap: stage_params.mark_cap(),
-        low_degree_vertices: 0, // not tracked through the oracle path
-        marks_placed: 0,
-        edges: sparse.num_edges(),
+    // Stage 1: mark edges across `threads` workers.
+    let mark_start = Instant::now();
+    let marks = mark_edges_parallel(g, &stage_params, seed, threads)?;
+    let mark_nanos = mark_start.elapsed().as_nanos();
+
+    // Stage 2: extract the sparsifier CSR (byte-identical to the
+    // sequential layout for any thread count).
+    let extract_start = Instant::now();
+    let sparse = from_marked_edges(g, &marks.ids, threads);
+    let extract_nanos = extract_start.elapsed().as_nanos();
+
+    let mut sparsifier = marks.stats;
+    sparsifier.edges = sparse.num_edges();
+    // The CSR fast path reads the graph directly, so probes are accounted
+    // analytically: two degree reads per vertex (the low-degree check and
+    // the one inside the sampler) and one adjacency-entry read per mark.
+    let probes = ProbeCounts {
+        degree_probes: 2 * g.num_vertices() as u64,
+        neighbor_probes: sparsifier.marks_placed as u64,
     };
 
-    // Stage 2: (1+eps')-approximate matching on the sparsifier.
-    let init = greedy_maximal_matching(&sparse);
+    // Stage 3: greedy init + bounded augmentation on the sparsifier.
+    let match_start = Instant::now();
+    let init = greedy_maximal_matching_parallel(&sparse, threads);
     let (matching, aug) = approx_maximum_matching_from(&sparse, init, eps_stage);
+    let match_nanos = match_start.elapsed().as_nanos();
     debug_assert!(matching.is_valid_for(g), "sparsifier must be a subgraph");
 
     if let Some(meter) = meter {
-        mirror_pipeline(meter, &probes, &sparsifier, &aug);
+        meter.add(keys::DEGREE_PROBES, probes.degree_probes);
+        meter.add(keys::NEIGHBOR_PROBES, probes.neighbor_probes);
+        meter.add(keys::SPARSIFIER_EDGES, sparsifier.edges as u64);
+        meter.add(keys::RNG_DRAWS, marks.rng_draws);
+        meter.add(keys::OVERLAY_WRITES, marks.overlay_writes);
+        meter.add(keys::EDGE_VISITS, aug.edge_visits);
+        meter.add(keys::AUG_SEARCHES, aug.searches as u64);
+        meter.add(keys::AUGMENTATIONS, aug.augmentations as u64);
+        meter.add_span(keys::STAGE_MARK, 1, mark_nanos);
+        meter.add_span(keys::STAGE_EXTRACT, 1, extract_nanos);
+        meter.add_span(keys::STAGE_MATCH, 1, match_nanos);
+        meter.add_span(keys::PIPELINE_TOTAL, 1, total_start.elapsed().as_nanos());
     }
 
-    PipelineResult {
+    Ok(PipelineResult {
         matching,
         sparsifier,
         probes,
         aug,
-    }
-}
-
-/// Theorem 3.1 pipeline with the parallel sparsifier stage: stage 1 runs
-/// [`build_sparsifier_parallel_metered`]'s deterministic per-vertex
-/// seeding across `threads` workers, stage 2 is unchanged. The result is
-/// identical for any accepted thread count (including 1), though it
-/// differs from the single-RNG sequential pipeline because vertices draw
-/// from independent streams. Rejects out-of-range `threads` like
-/// [`crate::sparsifier::build_sparsifier_parallel`].
-pub fn approx_mcm_via_sparsifier_parallel(
-    g: &CsrGraph,
-    params: &SparsifierParams,
-    seed: u64,
-    threads: usize,
-    meter: &mut WorkMeter,
-) -> Result<PipelineResult, ThreadCountError> {
-    let eps_stage = stage_eps(params.eps);
-    let scale = params.delta as f64
-        / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
-    let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
-
-    let mut stage_meter = WorkMeter::new();
-    let s = build_sparsifier_parallel_metered(g, &stage_params, seed, threads, &mut stage_meter)?;
-    let probes = ProbeCounts {
-        degree_probes: stage_meter.get(keys::DEGREE_PROBES),
-        neighbor_probes: stage_meter.get(keys::NEIGHBOR_PROBES),
-    };
-
-    let init = greedy_maximal_matching(&s.graph);
-    let (matching, aug) = approx_maximum_matching_from(&s.graph, init, eps_stage);
-    debug_assert!(matching.is_valid_for(g), "sparsifier must be a subgraph");
-
-    meter.absorb(&stage_meter);
-    meter.add(keys::EDGE_VISITS, aug.edge_visits);
-    meter.add(keys::AUG_SEARCHES, aug.searches as u64);
-    meter.add(keys::AUGMENTATIONS, aug.augmentations as u64);
-
-    Ok(PipelineResult {
-        matching,
-        sparsifier: s.stats,
-        probes,
-        aug,
     })
-}
-
-fn mirror_pipeline(
-    meter: &mut WorkMeter,
-    probes: &ProbeCounts,
-    sparsifier: &SparsifierStats,
-    aug: &AugStats,
-) {
-    meter.add(keys::DEGREE_PROBES, probes.degree_probes);
-    meter.add(keys::NEIGHBOR_PROBES, probes.neighbor_probes);
-    meter.add(keys::SPARSIFIER_EDGES, sparsifier.edges as u64);
-    meter.add(keys::EDGE_VISITS, aug.edge_visits);
-    meter.add(keys::AUG_SEARCHES, aug.searches as u64);
-    meter.add(keys::AUGMENTATIONS, aug.augmentations as u64);
 }
 
 /// The same pipeline on a pre-built sparsifier (used by the dynamic
@@ -179,14 +156,15 @@ pub fn approx_mcm_on_sparsifier(sparse: &CsrGraph, eps: f64) -> (Matching, AugSt
 }
 
 /// Convenience wrapper returning a [`crate::sparsifier::Sparsifier`] plus
-/// the matching (CSR path with full stats, no probe counting).
+/// the matching (CSR path with full stats, caller-supplied RNG stream, no
+/// probe counting).
 pub fn approx_mcm_with_stats(
     g: &CsrGraph,
     params: &SparsifierParams,
     rng: &mut impl Rng,
 ) -> (crate::sparsifier::Sparsifier, Matching) {
     let eps_stage = stage_eps(params.eps);
-    let s = build_sparsifier(g, params, rng);
+    let s = crate::sparsifier::build_sparsifier(g, params, rng);
     let (m, _) = approx_mcm_on_sparsifier(&s.graph, eps_stage);
     (s, m)
 }
@@ -210,12 +188,11 @@ mod tests {
 
     #[test]
     fn end_to_end_accuracy_on_clique() {
-        let mut rng = StdRng::seed_from_u64(1);
         let g = clique(200);
         let p = SparsifierParams::practical(1, 0.3);
         let exact = maximum_matching(&g).len(); // 100
-        for _ in 0..3 {
-            let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        for seed in [1u64, 2, 3] {
+            let r = approx_mcm_via_sparsifier(&g, &p, seed, 1).unwrap();
             assert!(r.matching.is_valid_for(&g));
             assert!(
                 r.matching.len() as f64 * 1.3 >= exact as f64,
@@ -238,16 +215,15 @@ mod tests {
         );
         let p = SparsifierParams::practical(3, 0.4);
         let exact = maximum_matching(&g).len();
-        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        let r = approx_mcm_via_sparsifier(&g, &p, 2, 2).unwrap();
         assert!(r.matching.len() as f64 * 1.4 >= exact as f64);
     }
 
     #[test]
     fn probes_sublinear_on_dense_graph() {
-        let mut rng = StdRng::seed_from_u64(3);
         let g = clique(500); // m ≈ 125k
         let p = SparsifierParams::practical(1, 0.5);
-        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        let r = approx_mcm_via_sparsifier(&g, &p, 3, 2).unwrap();
         let m = g.num_edges() as u64;
         assert!(
             r.probes.total() < m / 2,
@@ -266,7 +242,7 @@ mod tests {
         }
         let p = SparsifierParams::practical(2, 0.4);
         let exact = maximum_matching(&g).len();
-        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        let r = approx_mcm_via_sparsifier(&g, &p, 4, 1).unwrap();
         assert!(r.matching.len() as f64 * 1.4 >= exact as f64);
     }
 
@@ -279,7 +255,7 @@ mod tests {
         );
         let p = SparsifierParams::practical(5, 0.4);
         let exact = maximum_matching(&g).len();
-        let r = approx_mcm_via_sparsifier(&g, &p, &mut rng);
+        let r = approx_mcm_via_sparsifier(&g, &p, 5, 4).unwrap();
         assert!(r.matching.len() as f64 * 1.4 >= exact as f64);
     }
 
@@ -287,12 +263,12 @@ mod tests {
     fn metered_pipeline_matches_unmetered() {
         let g = clique(120);
         let p = SparsifierParams::practical(1, 0.4);
-        let mut rng1 = StdRng::seed_from_u64(7);
-        let mut rng2 = StdRng::seed_from_u64(7);
         let mut meter = WorkMeter::new();
-        let plain = approx_mcm_via_sparsifier(&g, &p, &mut rng1);
-        let metered = approx_mcm_via_sparsifier_metered(&g, &p, &mut rng2, &mut meter);
-        assert_eq!(plain.matching.len(), metered.matching.len());
+        let plain = approx_mcm_via_sparsifier(&g, &p, 7, 2).unwrap();
+        let metered = approx_mcm_via_sparsifier_metered(&g, &p, 7, 2, &mut meter).unwrap();
+        let e1: Vec<_> = plain.matching.pairs().collect();
+        let e2: Vec<_> = metered.matching.pairs().collect();
+        assert_eq!(e1, e2, "metering must not perturb the pipeline");
         assert_eq!(plain.probes, metered.probes);
         assert_eq!(meter.get(keys::DEGREE_PROBES), metered.probes.degree_probes);
         assert_eq!(
@@ -305,25 +281,42 @@ mod tests {
         );
         assert_eq!(meter.get(keys::EDGE_VISITS), metered.aug.edge_visits);
         assert!(meter.get(keys::RNG_DRAWS) > 0);
+        // Per-stage spans recorded exactly once each.
+        for key in [
+            keys::STAGE_MARK,
+            keys::STAGE_EXTRACT,
+            keys::STAGE_MATCH,
+            keys::PIPELINE_TOTAL,
+        ] {
+            assert_eq!(meter.span_stats(key).count, 1, "span {key}");
+        }
+        let stage_sum = meter.span_stats(keys::STAGE_MARK).total_nanos
+            + meter.span_stats(keys::STAGE_EXTRACT).total_nanos
+            + meter.span_stats(keys::STAGE_MATCH).total_nanos;
+        assert!(stage_sum <= meter.span_stats(keys::PIPELINE_TOTAL).total_nanos);
     }
 
     #[test]
-    fn parallel_pipeline_is_thread_count_invariant() {
+    fn pipeline_is_thread_count_invariant() {
         let g = clique(150);
         let p = SparsifierParams::practical(1, 0.4);
-        let mut m2 = WorkMeter::new();
-        let mut m4 = WorkMeter::new();
-        let r2 = approx_mcm_via_sparsifier_parallel(&g, &p, 13, 2, &mut m2).unwrap();
-        let r4 = approx_mcm_via_sparsifier_parallel(&g, &p, 13, 4, &mut m4).unwrap();
-        let e2: Vec<_> = r2.matching.pairs().collect();
-        let e4: Vec<_> = r4.matching.pairs().collect();
-        assert_eq!(e2, e4);
-        assert_eq!(r2.probes, r4.probes);
-        let c2: Vec<_> = m2.counters().map(|(k, v)| (k.to_string(), v)).collect();
-        let c4: Vec<_> = m4.counters().map(|(k, v)| (k.to_string(), v)).collect();
-        assert_eq!(c2, c4);
-        assert!(r2.matching.is_valid_for(&g));
-        assert!(approx_mcm_via_sparsifier_parallel(&g, &p, 13, 0, &mut WorkMeter::new()).is_err());
+        let reference = approx_mcm_via_sparsifier(&g, &p, 13, 1).unwrap();
+        let e1: Vec<_> = reference.matching.pairs().collect();
+        let mut m1 = WorkMeter::new();
+        approx_mcm_via_sparsifier_metered(&g, &p, 13, 1, &mut m1).unwrap();
+        let c1: Vec<_> = m1.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        for threads in [2usize, 4, 8] {
+            let mut m = WorkMeter::new();
+            let r = approx_mcm_via_sparsifier_metered(&g, &p, 13, threads, &mut m).unwrap();
+            let e: Vec<_> = r.matching.pairs().collect();
+            assert_eq!(e1, e, "threads = {threads}");
+            assert_eq!(reference.probes, r.probes);
+            let c: Vec<_> = m.counters().map(|(k, v)| (k.to_string(), v)).collect();
+            assert_eq!(c1, c, "metered totals, threads = {threads}");
+        }
+        assert!(reference.matching.is_valid_for(&g));
+        assert!(approx_mcm_via_sparsifier(&g, &p, 13, 0).is_err());
+        assert!(approx_mcm_via_sparsifier(&g, &p, 13, 65).is_err());
     }
 
     #[test]

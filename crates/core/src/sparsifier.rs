@@ -16,10 +16,13 @@ use sparsimatch_obs::{keys, WorkMeter};
 
 /// Maximum accepted thread count for [`build_sparsifier_parallel`].
 ///
-/// The cap exists because each worker allocates a `max_degree`-sized
-/// sampler overlay, so thread counts far beyond the host's parallelism
-/// only cost memory. Requests outside `1..=MAX_THREADS` are rejected with
-/// [`ThreadCountError`] rather than silently clamped.
+/// The cap is a sanity bound, not a memory-safety requirement: each worker
+/// allocates only a sampler overlay sized to the largest degree in its own
+/// vertex range plus a mark buffer proportional to the marks it places, so
+/// oversubscribing the host merely wastes scheduling — it cannot blow up
+/// memory. Requests outside `1..=MAX_THREADS` are still rejected with
+/// [`ThreadCountError`] rather than silently clamped, because a wildly
+/// out-of-range request is almost certainly a caller bug.
 pub const MAX_THREADS: usize = 64;
 
 /// An out-of-range thread count passed to [`build_sparsifier_parallel`].
@@ -108,7 +111,7 @@ fn build_sparsifier_impl(
     meter: Option<&mut WorkMeter>,
 ) -> Sparsifier {
     let n = g.num_vertices();
-    let mut marked = vec![false; g.num_edges()];
+    let mut keep: Vec<EdgeId> = Vec::new();
     let mut sampler = PosArraySampler::new(g.max_degree());
     let mut indices: Vec<u32> = Vec::with_capacity(params.mark_cap());
     let mut stats = SparsifierStats {
@@ -133,15 +136,14 @@ fn build_sparsifier_impl(
         );
         stats.marks_placed += indices.len();
         for &i in &indices {
-            marked[g.incident_edge(v, i as usize).index()] = true;
+            keep.push(g.incident_edge(v, i as usize));
         }
     }
-    let keep = marked
-        .iter()
-        .enumerate()
-        .filter(|&(_e, &keep)| keep)
-        .map(|(e, &_keep)| EdgeId::new(e));
-    let graph = g.edge_subgraph(keep);
+    // The mark buffer holds O(marks_placed) ids, never O(|E(G)|) — keeping
+    // construction linear in the *output* as Theorem 3.1 promises.
+    keep.sort_unstable();
+    keep.dedup();
+    let graph = sparsimatch_graph::csr::from_marked_edges(g, &keep, 1);
     stats.edges = graph.num_edges();
     if let Some(meter) = meter {
         // The CSR fast path reads the graph directly, so probes are
@@ -187,20 +189,40 @@ pub fn build_sparsifier_parallel_metered(
 }
 
 struct ShardResult {
-    keep: Vec<EdgeId>,
+    /// Edge ids marked by this worker's vertex range, sorted and deduped
+    /// locally (an edge can still appear in two different shards when its
+    /// endpoints land in different ranges).
+    keep: Vec<u32>,
     marks_placed: usize,
     low_degree: usize,
     rng_draws: u64,
     overlay_writes: u64,
 }
 
-fn build_sparsifier_parallel_impl(
+/// The sorted, deduplicated marked-edge list plus marking statistics —
+/// stage 1 of the pipeline, before any CSR is materialized. Exposed to the
+/// pipeline so stage timings can bracket marking and extraction separately.
+pub(crate) struct ParallelMarks {
+    /// Globally sorted, strictly increasing marked edge ids.
+    pub ids: Vec<EdgeId>,
+    /// Marking statistics; `edges` is already set to `ids.len()`.
+    pub stats: SparsifierStats,
+    /// Total RNG draws across workers (thread-count invariant).
+    pub rng_draws: u64,
+    /// Total sampler-overlay writes across workers (thread-count invariant).
+    pub overlay_writes: u64,
+}
+
+/// Run the marking stage across `threads` workers over disjoint vertex
+/// ranges, then merge the per-worker mark buffers into one sorted,
+/// deduplicated edge-id list. Deterministic for a fixed `seed` regardless
+/// of `threads`.
+pub(crate) fn mark_edges_parallel(
     g: &CsrGraph,
     params: &SparsifierParams,
     seed: u64,
     threads: usize,
-    meter: Option<&mut WorkMeter>,
-) -> Result<Sparsifier, ThreadCountError> {
+) -> Result<ParallelMarks, ThreadCountError> {
     use rand::SeedableRng;
     if threads == 0 || threads > MAX_THREADS {
         return Err(ThreadCountError { requested: threads });
@@ -213,9 +235,17 @@ fn build_sparsifier_parallel_impl(
             .chunks(chunk)
             .map(|ch| {
                 s.spawn(move || {
-                    let mut sampler = PosArraySampler::new(g.max_degree().max(1));
+                    // Size the sampler overlay to this worker's own range,
+                    // not the global max degree: a star hub inflates one
+                    // worker's overlay, not all of them.
+                    let local_max_deg = ch
+                        .iter()
+                        .map(|&v| g.degree(VertexId::new(v)))
+                        .max()
+                        .unwrap_or(0);
+                    let mut sampler = PosArraySampler::new(local_max_deg.max(1));
                     let mut indices = Vec::new();
-                    let mut keep = Vec::new();
+                    let mut keep: Vec<u32> = Vec::new();
                     let mut marks_placed = 0usize;
                     let mut low_degree = 0usize;
                     for &v in ch {
@@ -238,9 +268,11 @@ fn build_sparsifier_parallel_impl(
                         );
                         marks_placed += indices.len();
                         for &i in &indices {
-                            keep.push(g.incident_edge(vid, i as usize));
+                            keep.push(g.incident_edge(vid, i as usize).0);
                         }
                     }
+                    keep.sort_unstable();
+                    keep.dedup();
                     ShardResult {
                         keep,
                         marks_placed,
@@ -261,26 +293,106 @@ fn build_sparsifier_parallel_impl(
         mark_cap: params.mark_cap(),
         ..Default::default()
     };
-    let mut keep = Vec::new();
     let mut rng_draws = 0u64;
     let mut overlay_writes = 0u64;
-    for shard in shards {
-        keep.extend(shard.keep);
+    for shard in &shards {
         stats.marks_placed += shard.marks_placed;
         stats.low_degree_vertices += shard.low_degree;
         rng_draws += shard.rng_draws;
         overlay_writes += shard.overlay_writes;
     }
-    let graph = g.edge_subgraph(keep.into_iter());
+    let shard_bufs: Vec<Vec<u32>> = shards.into_iter().map(|s| s.keep).collect();
+    let ids = merge_mark_shards(&shard_bufs, g.num_edges(), threads);
+    stats.edges = ids.len();
+    Ok(ParallelMarks {
+        ids,
+        stats,
+        rng_draws,
+        overlay_writes,
+    })
+}
+
+/// Merge per-worker sorted mark buffers into one globally sorted,
+/// deduplicated edge-id list with a two-pass count/prefix-sum: pass one
+/// merges each edge-id *bucket* independently in parallel (every worker's
+/// contribution to a bucket is a contiguous subrange found by binary
+/// search), the count/prefix-sum over bucket lengths fixes each bucket's
+/// output offset, and pass two scatters the buckets into place in parallel.
+fn merge_mark_shards(shards: &[Vec<u32>], num_edges: usize, threads: usize) -> Vec<EdgeId> {
+    if num_edges == 0 || shards.is_empty() {
+        return Vec::new();
+    }
+    if shards.len() == 1 {
+        // Already sorted and deduplicated by the lone worker.
+        return shards[0].iter().map(|&e| EdgeId(e)).collect();
+    }
+    let bucket_width = num_edges.div_ceil(threads).max(1);
+    let buckets: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|b| {
+                let lo = (b * bucket_width).min(num_edges) as u32;
+                let hi = ((b + 1) * bucket_width).min(num_edges) as u32;
+                s.spawn(move || {
+                    let mut merged: Vec<u32> = Vec::new();
+                    for shard in shards {
+                        let start = shard.partition_point(|&e| e < lo);
+                        let end = shard.partition_point(|&e| e < hi);
+                        merged.extend_from_slice(&shard[start..end]);
+                    }
+                    merged.sort_unstable();
+                    merged.dedup();
+                    merged
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mark-merge worker panicked"))
+            .collect()
+    });
+    let total: usize = buckets.iter().map(Vec::len).sum();
+    let mut out: Vec<EdgeId> = Vec::with_capacity(total);
+    {
+        // Scatter pass: each bucket owns a disjoint window of the output,
+        // handed out by `split_at_mut` in prefix-sum order.
+        let mut rest = out.spare_capacity_mut();
+        std::thread::scope(|s| {
+            for bucket in &buckets {
+                let (window, tail) = rest.split_at_mut(bucket.len());
+                rest = tail;
+                s.spawn(move || {
+                    for (slot, &e) in window.iter_mut().zip(bucket) {
+                        slot.write(EdgeId(e));
+                    }
+                });
+            }
+        });
+    }
+    // SAFETY: `total` slots were reserved and every one of them was
+    // initialized by exactly one scatter worker above.
+    unsafe { out.set_len(total) };
+    out
+}
+
+fn build_sparsifier_parallel_impl(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    threads: usize,
+    meter: Option<&mut WorkMeter>,
+) -> Result<Sparsifier, ThreadCountError> {
+    let marks = mark_edges_parallel(g, params, seed, threads)?;
+    let graph = sparsimatch_graph::csr::from_marked_edges(g, &marks.ids, threads);
+    let mut stats = marks.stats;
     stats.edges = graph.num_edges();
     if let Some(meter) = meter {
         // Same analytic probe accounting as the sequential CSR path:
         // two degree reads per vertex, one adjacency-entry read per mark.
-        meter.add(keys::DEGREE_PROBES, 2 * n as u64);
+        meter.add(keys::DEGREE_PROBES, 2 * g.num_vertices() as u64);
         meter.add(keys::NEIGHBOR_PROBES, stats.marks_placed as u64);
         meter.add(keys::SPARSIFIER_EDGES, stats.edges as u64);
-        meter.add(keys::RNG_DRAWS, rng_draws);
-        meter.add(keys::OVERLAY_WRITES, overlay_writes);
+        meter.add(keys::RNG_DRAWS, marks.rng_draws);
+        meter.add(keys::OVERLAY_WRITES, marks.overlay_writes);
     }
     Ok(Sparsifier { graph, stats })
 }
@@ -589,5 +701,63 @@ mod tests {
         let s = build_sparsifier(&g, &params(1, 0.5, 2), &mut rng);
         assert_eq!(s.graph.num_edges(), 0);
         assert_eq!(s.stats.marks_placed, 0);
+    }
+
+    fn assert_thread_count_invariant(g: &CsrGraph, p: &SparsifierParams, label: &str) {
+        let reference = build_sparsifier_parallel(g, p, 42, 1).unwrap();
+        let e1: Vec<_> = reference
+            .graph
+            .edges()
+            .map(|(_, u, v)| (u.0, v.0))
+            .collect();
+        for threads in [2usize, 4, 8] {
+            let s = build_sparsifier_parallel(g, p, 42, threads).unwrap();
+            let e2: Vec<_> = s.graph.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+            assert_eq!(e1, e2, "{label}: threads = {threads}");
+            assert_eq!(
+                s.stats.marks_placed, reference.stats.marks_placed,
+                "{label}"
+            );
+            assert_eq!(s.stats.edges, reference.stats.edges, "{label}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_invariant_on_adversarial_families() {
+        use sparsimatch_graph::generators::clique_minus_edge;
+        // Star: one hub whose degree dwarfs every per-worker range — the
+        // worker holding the hub sizes its overlay up, the rest stay tiny.
+        assert_thread_count_invariant(&star(5_000), &params(1, 0.5, 3), "star");
+        // Lemma 2.13's clique-minus-edge instance.
+        assert_thread_count_invariant(
+            &clique_minus_edge(120, (0, 119)),
+            &params(1, 0.5, 4),
+            "clique-minus-edge",
+        );
+    }
+
+    #[test]
+    fn parallel_build_invariant_on_degenerate_graphs() {
+        let empty = sparsimatch_graph::csr::from_edges(0, []);
+        assert_thread_count_invariant(&empty, &params(1, 0.5, 2), "empty");
+        let singleton = sparsimatch_graph::csr::from_edges(1, []);
+        assert_thread_count_invariant(&singleton, &params(1, 0.5, 2), "singleton");
+        let one_edge = sparsimatch_graph::csr::from_edges(2, [(0, 1)]);
+        assert_thread_count_invariant(&one_edge, &params(1, 0.5, 2), "one-edge");
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_marked_edge_sets_shape() {
+        // The sequential RNG-stream build and the seeded parallel build use
+        // different randomness, but both must respect the per-vertex mark
+        // budget; compare the deterministic consequences.
+        let g = clique(90);
+        let p = params(1, 0.5, 4);
+        let mut rng = StdRng::seed_from_u64(13);
+        let seq = build_sparsifier(&g, &p, &mut rng);
+        let par = build_sparsifier_parallel(&g, &p, 13, 4).unwrap();
+        assert_eq!(seq.stats.marks_placed, par.stats.marks_placed);
+        assert_eq!(seq.stats.low_degree_vertices, par.stats.low_degree_vertices);
+        assert!(par.stats.edges <= p.naive_size_bound(90));
     }
 }

@@ -238,55 +238,267 @@ impl GraphBuilder {
     pub fn build(mut self) -> CsrGraph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        let n = self.num_vertices;
-        let m = self.edges.len();
-
-        let mut degree = vec![0usize; n];
-        for &(u, v) in &self.edges {
-            degree[u as usize] += 1;
-            degree[v as usize] += 1;
-        }
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        for v in 0..n {
-            offsets.push(offsets[v] + degree[v]);
-        }
-
-        let mut targets = vec![0u32; 2 * m];
-        let mut half_edge_ids = vec![0u32; 2 * m];
-        let mut cursor = offsets[..n].to_vec();
-        for (eid, &(u, v)) in self.edges.iter().enumerate() {
-            let eid = eid as u32;
-            targets[cursor[u as usize]] = v;
-            half_edge_ids[cursor[u as usize]] = eid;
-            cursor[u as usize] += 1;
-            targets[cursor[v as usize]] = u;
-            half_edge_ids[cursor[v as usize]] = eid;
-            cursor[v as usize] += 1;
-        }
-        // Sort each adjacency window by neighbor id, carrying edge ids along.
-        for v in 0..n {
-            let lo = offsets[v];
-            let hi = offsets[v + 1];
-            let mut window: Vec<(u32, u32)> = targets[lo..hi]
-                .iter()
-                .copied()
-                .zip(half_edge_ids[lo..hi].iter().copied())
-                .collect();
-            window.sort_unstable();
-            for (i, (t, e)) in window.into_iter().enumerate() {
-                targets[lo + i] = t;
-                half_edge_ids[lo + i] = e;
-            }
-        }
-
-        CsrGraph {
-            offsets,
-            targets,
-            half_edge_ids,
-            endpoints: self.edges,
-        }
+        layout_sorted(self.num_vertices, self.edges)
     }
+
+    /// Finalize into a [`CsrGraph`] using up to `threads` workers for the
+    /// CSR layout (degree counting, offset prefix sums, and the half-edge
+    /// scatter). The output is byte-identical to [`GraphBuilder::build`]
+    /// for any thread count; `threads == 1` (or a small edge list) takes
+    /// the sequential path.
+    pub fn build_parallel(mut self, threads: usize) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        layout_sorted_parallel(self.num_vertices, self.edges, threads)
+    }
+}
+
+/// Lay out CSR arrays from a lex-sorted, deduplicated edge list with
+/// `u < v` per edge. Because the list is globally sorted, scattering the
+/// half-edges in edge order leaves every adjacency window already sorted
+/// by neighbor id: for a vertex `v`, all edges `(a, v)` with `a < v`
+/// precede all edges `(v, b)` with `b > v`, each group in ascending order.
+fn layout_sorted(n: usize, edges: Vec<(u32, u32)>) -> CsrGraph {
+    let m = edges.len();
+    debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges not sorted");
+
+    let mut degree = vec![0u32; n];
+    for &(u, v) in &edges {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for v in 0..n {
+        offsets.push(offsets[v] + degree[v] as usize);
+    }
+
+    let mut targets = vec![0u32; 2 * m];
+    let mut half_edge_ids = vec![0u32; 2 * m];
+    let mut cursor = offsets[..n].to_vec();
+    for (eid, &(u, v)) in edges.iter().enumerate() {
+        let eid = eid as u32;
+        targets[cursor[u as usize]] = v;
+        half_edge_ids[cursor[u as usize]] = eid;
+        cursor[u as usize] += 1;
+        targets[cursor[v as usize]] = u;
+        half_edge_ids[cursor[v as usize]] = eid;
+        cursor[v as usize] += 1;
+    }
+
+    CsrGraph {
+        offsets,
+        targets,
+        half_edge_ids,
+        endpoints: edges,
+    }
+}
+
+/// A `&[T]` that hands out raw write access across threads. Safety rests
+/// entirely on the caller writing disjoint index sets from each thread.
+struct SharedSlots<T>(*mut T);
+unsafe impl<T: Send> Send for SharedSlots<T> {}
+unsafe impl<T: Send> Sync for SharedSlots<T> {}
+
+impl<T> SharedSlots<T> {
+    /// # Safety
+    /// `idx` must be in bounds and no other thread may read or write it
+    /// concurrently.
+    #[inline(always)]
+    unsafe fn write(&self, idx: usize, val: T) {
+        unsafe { *self.0.add(idx) = val };
+    }
+}
+
+/// Parallel CSR layout below this edge count is not worth the thread
+/// spawns; take the sequential path instead.
+const PARALLEL_LAYOUT_CUTOFF: usize = 1 << 14;
+
+/// Parallel [`layout_sorted`]: per-thread degree counting over edge
+/// chunks, exclusive prefix sums over vertex ranges, then a scatter where
+/// each thread owns a disjoint slot range per vertex. Byte-identical to
+/// the sequential layout: thread `t` handles a contiguous chunk of the
+/// sorted edge list, so within each adjacency window the per-thread slot
+/// groups concatenate in exactly the sequential scatter order.
+fn layout_sorted_parallel(n: usize, edges: Vec<(u32, u32)>, threads: usize) -> CsrGraph {
+    let m = edges.len();
+    let threads = threads.clamp(1, m.max(1));
+    if threads == 1 || m < PARALLEL_LAYOUT_CUTOFF {
+        return layout_sorted(n, edges);
+    }
+    debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges not sorted");
+
+    let edge_chunk = m.div_ceil(threads);
+    // Per-thread degree counts over that thread's edge chunk.
+    let mut per_thread_degree: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = edges
+            .chunks(edge_chunk)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut deg = vec![0u32; n];
+                    for &(u, v) in chunk {
+                        deg[u as usize] += 1;
+                        deg[v as usize] += 1;
+                    }
+                    deg
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let t_actual = per_thread_degree.len();
+
+    // Exclusive prefix sums over vertex ranges: per-range totals first,
+    // then a short sequential prefix over ranges, then a parallel fill of
+    // `offsets` and of the per-thread start cursors. The cursor for
+    // thread t at vertex v is offsets[v] plus what threads 0..t write
+    // there, mirroring the sequential edge-order scatter.
+    let vertex_chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(vertex_chunk.max(1))
+        .map(|lo| (lo, (lo + vertex_chunk).min(n)))
+        .collect();
+    let range_totals: Vec<usize> = std::thread::scope(|s| {
+        let per_thread_degree = &per_thread_degree;
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move || {
+                    let mut total = 0usize;
+                    for deg in per_thread_degree {
+                        total += deg[lo..hi].iter().map(|&d| d as usize).sum::<usize>();
+                    }
+                    total
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut range_starts = Vec::with_capacity(ranges.len() + 1);
+    range_starts.push(0usize);
+    for (i, &t) in range_totals.iter().enumerate() {
+        range_starts.push(range_starts[i] + t);
+    }
+
+    let mut offsets = vec![0usize; n + 1];
+    offsets[n] = 2 * m;
+    // Reuse the per-thread degree arrays as scatter start cursors in
+    // place: after this pass, per_thread_degree[t][v] holds the first
+    // slot thread t writes for vertex v.
+    std::thread::scope(|s| {
+        let mut offsets_rest: &mut [usize] = &mut offsets[..n];
+        let mut degree_rest: Vec<&mut [u32]> = per_thread_degree
+            .iter_mut()
+            .map(|d| d.as_mut_slice())
+            .collect();
+        for (r, &(lo, hi)) in ranges.iter().enumerate() {
+            let (offsets_here, rest) = offsets_rest.split_at_mut(hi - lo);
+            offsets_rest = rest;
+            let mut degree_here = Vec::with_capacity(t_actual);
+            degree_rest = degree_rest
+                .into_iter()
+                .map(|d| {
+                    let (here, rest) = d.split_at_mut(hi - lo);
+                    degree_here.push(here);
+                    rest
+                })
+                .collect();
+            let start = range_starts[r];
+            s.spawn(move || {
+                let mut running = start;
+                for (i, slot) in offsets_here.iter_mut().enumerate() {
+                    *slot = running;
+                    for deg in degree_here.iter_mut() {
+                        let d = deg[i];
+                        deg[i] = running as u32;
+                        running += d as usize;
+                    }
+                }
+            });
+        }
+    });
+
+    // Scatter: thread t writes exactly the slots its cursors span, which
+    // are disjoint from every other thread's by construction.
+    let mut targets = vec![0u32; 2 * m];
+    let mut half_edge_ids = vec![0u32; 2 * m];
+    {
+        let target_slots = SharedSlots(targets.as_mut_ptr());
+        let half_edge_slots = SharedSlots(half_edge_ids.as_mut_ptr());
+        std::thread::scope(|s| {
+            for (t, chunk) in edges.chunks(edge_chunk).enumerate() {
+                let mut cursor = std::mem::take(&mut per_thread_degree[t]);
+                let base_eid = (t * edge_chunk) as u32;
+                let target_slots = &target_slots;
+                let half_edge_slots = &half_edge_slots;
+                s.spawn(move || {
+                    for (i, &(u, v)) in chunk.iter().enumerate() {
+                        let eid = base_eid + i as u32;
+                        // SAFETY: cursor[u]/cursor[v] walk slot ranges
+                        // owned exclusively by this thread (see the
+                        // prefix-sum pass above) and stay within 2m.
+                        unsafe {
+                            target_slots.write(cursor[u as usize] as usize, v);
+                            half_edge_slots.write(cursor[u as usize] as usize, eid);
+                            cursor[u as usize] += 1;
+                            target_slots.write(cursor[v as usize] as usize, u);
+                            half_edge_slots.write(cursor[v as usize] as usize, eid);
+                            cursor[v as usize] += 1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    CsrGraph {
+        offsets,
+        targets,
+        half_edge_ids,
+        endpoints: edges,
+    }
+}
+
+/// Build the subgraph of `parent` consisting of the given marked edges,
+/// in parallel. `sorted_ids` must be strictly increasing (sorted and
+/// deduplicated) — exactly what the sharded sparsifier merge produces.
+/// Because [`EdgeId`]s are dense in lexicographic endpoint order, the
+/// mapped endpoint list is already lex-sorted and feeds straight into the
+/// parallel layout; the result is byte-identical to
+/// `parent.edge_subgraph(sorted_ids.iter().copied())`.
+pub fn from_marked_edges(parent: &CsrGraph, sorted_ids: &[EdgeId], threads: usize) -> CsrGraph {
+    debug_assert!(
+        sorted_ids.windows(2).all(|w| w[0].index() < w[1].index()),
+        "marked edge ids must be sorted and distinct"
+    );
+    let m = sorted_ids.len();
+    let threads = threads.clamp(1, m.max(1));
+    let edges: Vec<(u32, u32)> = if threads == 1 || m < PARALLEL_LAYOUT_CUTOFF {
+        sorted_ids
+            .iter()
+            .map(|&e| parent.endpoints[e.index()])
+            .collect()
+    } else {
+        let chunk = m.div_ceil(threads);
+        let mut edges = Vec::with_capacity(m);
+        std::thread::scope(|s| {
+            let mut out_rest = edges.spare_capacity_mut();
+            for ids in sorted_ids.chunks(chunk) {
+                let (out_here, rest) = out_rest.split_at_mut(ids.len());
+                out_rest = rest;
+                s.spawn(move || {
+                    for (slot, &e) in out_here.iter_mut().zip(ids) {
+                        slot.write(parent.endpoints[e.index()]);
+                    }
+                });
+            }
+        });
+        // SAFETY: every one of the m spare slots was initialized by
+        // exactly one worker above.
+        unsafe { edges.set_len(m) };
+        edges
+    };
+    layout_sorted_parallel(parent.num_vertices(), edges, threads)
 }
 
 /// Build a graph directly from an iterator of `(u, v)` index pairs.
@@ -399,6 +611,108 @@ mod tests {
             for (i, &u) in via_iter.iter().enumerate() {
                 assert_eq!(g.neighbor(v, i), u);
             }
+        }
+    }
+
+    fn assert_byte_identical(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.half_edge_ids, b.half_edge_ids);
+        assert_eq!(a.endpoints, b.endpoints);
+    }
+
+    /// All-pairs edge list on `n` vertices — big enough to push the
+    /// parallel layout past [`PARALLEL_LAYOUT_CUTOFF`].
+    fn dense_edges(n: usize) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let n = 200; // C(200, 2) = 19 900 > PARALLEL_LAYOUT_CUTOFF
+        let edges = dense_edges(n);
+        assert!(edges.len() >= PARALLEL_LAYOUT_CUTOFF);
+        let mut seq = GraphBuilder::new(n);
+        seq.extend_edges(edges.iter().copied());
+        let seq = seq.build();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut par = GraphBuilder::new(n);
+            // Insert in a scrambled order with duplicates to exercise the
+            // sort + dedup path too.
+            par.extend_edges(edges.iter().rev().copied());
+            par.extend_edges(edges.iter().skip(7).step_by(13).copied());
+            let par = par.build_parallel(threads);
+            assert_byte_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_tiny_and_empty_graphs() {
+        for threads in [1usize, 2, 8] {
+            let empty = GraphBuilder::new(0).build_parallel(threads);
+            assert_eq!(empty.num_vertices(), 0);
+            assert_eq!(empty.num_edges(), 0);
+            let singleton = GraphBuilder::new(1).build_parallel(threads);
+            assert_eq!(singleton.num_vertices(), 1);
+            assert_eq!(singleton.degree(VertexId(0)), 0);
+            let mut b = GraphBuilder::new(4);
+            b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+            assert_byte_identical(&triangle_plus_pendant(), &b.build_parallel(threads));
+        }
+    }
+
+    #[test]
+    fn parallel_build_on_star_hub() {
+        // One huge-degree hub: the degenerate load-balance case for
+        // per-vertex-range prefix sums.
+        let n = 20_000;
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+        let mut seq = GraphBuilder::new(n);
+        seq.extend_edges(edges.iter().copied());
+        let seq = seq.build();
+        for threads in [2usize, 5, 8] {
+            let mut par = GraphBuilder::new(n);
+            par.extend_edges(edges.iter().copied());
+            let par = par.build_parallel(threads);
+            assert_byte_identical(&seq, &par);
+        }
+        assert_eq!(seq.degree(VertexId(0)), n - 1);
+    }
+
+    #[test]
+    fn from_marked_edges_matches_edge_subgraph() {
+        let n = 220;
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(dense_edges(n));
+        let g = b.build();
+        // Keep a deterministic pseudo-random subset of edge ids (sorted).
+        let keep: Vec<EdgeId> = (0..g.num_edges())
+            .filter(|e| (e * 2_654_435_761) % 7 < 5)
+            .map(EdgeId::new)
+            .collect();
+        assert!(keep.len() >= PARALLEL_LAYOUT_CUTOFF);
+        let reference = g.edge_subgraph(keep.iter().copied());
+        for threads in [1usize, 2, 4, 8] {
+            let sub = from_marked_edges(&g, &keep, threads);
+            assert_byte_identical(&reference, &sub);
+        }
+    }
+
+    #[test]
+    fn from_marked_edges_empty_and_full() {
+        let g = triangle_plus_pendant();
+        for threads in [1usize, 4] {
+            let none = from_marked_edges(&g, &[], threads);
+            assert_eq!(none.num_edges(), 0);
+            assert_eq!(none.num_vertices(), 4);
+            let all: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect();
+            assert_byte_identical(&g, &from_marked_edges(&g, &all, threads));
         }
     }
 }

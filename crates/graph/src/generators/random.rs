@@ -60,15 +60,35 @@ fn unrank_pair(mut k: usize, n: usize) -> (usize, usize) {
 
 /// Random bipartite graph: left side `0..a`, right side `a..a+b`, each of
 /// the `a·b` cross pairs included independently with probability `p`.
+/// Runs in `O(a + b + p·a·b)` expected time via geometric gap skipping,
+/// like [`gnp`] — not `O(a·b)`.
 pub fn bipartite_gnp(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> CsrGraph {
     assert!((0.0..=1.0).contains(&p));
     let mut builder = GraphBuilder::new(a + b);
-    for u in 0..a {
-        for v in 0..b {
-            if rng.random_bool(p) {
+    if p == 0.0 || a == 0 || b == 0 {
+        return builder.build();
+    }
+    if p >= 1.0 {
+        for u in 0..a {
+            for v in 0..b {
                 builder.add_edge(VertexId::new(u), VertexId::new(a + v));
             }
         }
+        return builder.build();
+    }
+    // Walk the a·b cross pairs in row-major order, skipping ahead by
+    // geometrically distributed gaps; pair k is (k / b, a + k % b).
+    let log_q = (1.0 - p).ln();
+    let total = a * b;
+    let advance = |rng: &mut dyn rand::RngCore| -> usize {
+        let u: f64 = rand::Rng::random_range(&mut *rng, f64::MIN_POSITIVE..1.0);
+        (u.ln() / log_q).floor() as usize + 1
+    };
+    let mut idx: usize = advance(rng);
+    while idx <= total {
+        let k = idx - 1;
+        builder.add_edge(VertexId::new(k / b), VertexId::new(a + k % b));
+        idx += advance(rng);
     }
     builder.build()
 }

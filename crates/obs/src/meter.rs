@@ -51,6 +51,14 @@ pub mod keys {
     pub const EDGES_SEEN: &str = "stream.edges_seen";
     /// Edges retained by a streaming matcher.
     pub const EDGES_RETAINED: &str = "stream.edges_retained";
+    /// Span: pipeline stage 1, marking edges for the sparsifier.
+    pub const STAGE_MARK: &str = "stage.mark";
+    /// Span: pipeline stage 2, extracting the sparsifier CSR.
+    pub const STAGE_EXTRACT: &str = "stage.extract";
+    /// Span: pipeline stage 3, matching on the sparsifier.
+    pub const STAGE_MATCH: &str = "stage.match";
+    /// Span: the whole sparsify-and-match pipeline.
+    pub const PIPELINE_TOTAL: &str = "pipeline.total";
 }
 
 /// Accumulated wall-clock time for one named span.
@@ -118,6 +126,15 @@ impl WorkMeter {
     /// Iterate all counters in lexicographic name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fold an externally measured duration into span `name`. Used by code
+    /// that times with its own `Instant` (e.g. pipeline stages timed
+    /// whether or not a meter is attached) and only reports when one is.
+    pub fn add_span(&mut self, name: &str, count: u64, nanos: u128) {
+        let span = self.spans.entry(name.to_string()).or_default();
+        span.count += count;
+        span.total_nanos += nanos;
     }
 
     /// Time `body`, folding the elapsed wall-clock time into span `name`.
@@ -217,6 +234,19 @@ mod tests {
         let s = m.span_stats("stage");
         assert_eq!(s.count, 2);
         assert_eq!(m.get("inner"), 1);
+    }
+
+    #[test]
+    fn add_span_folds_external_timings() {
+        let mut m = WorkMeter::new();
+        m.add_span(keys::STAGE_MARK, 1, 500);
+        m.add_span(keys::STAGE_MARK, 2, 250);
+        let s = m.span_stats(keys::STAGE_MARK);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_nanos, 750);
+        // Folds with `time` spans under the same name.
+        m.time(keys::STAGE_MARK, |_| {});
+        assert_eq!(m.span_stats(keys::STAGE_MARK).count, 4);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() {
     );
 
     let params = SparsifierParams::practical(2, 0.4);
-    let result = approx_mcm_via_sparsifier(&talks, &params, &mut rng);
+    let result = approx_mcm_via_sparsifier(&talks, &params, 7, 2).unwrap();
     println!(
         "paired {} talk blocks, probing {} adjacency entries ({}% of the compatibility graph)",
         result.matching.len(),

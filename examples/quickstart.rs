@@ -37,8 +37,10 @@ fn main() {
     );
 
     // The whole Theorem 3.1 pipeline: build G_Δ in O(n·Δ) adjacency-array
-    // probes, then run the (1+ε) matching algorithm on it.
-    let result = approx_mcm_via_sparsifier(&g, &params, &mut rng);
+    // probes, then run the (1+ε) matching algorithm on it. All three
+    // stages run on the requested worker count; the output depends only
+    // on the seed.
+    let result = approx_mcm_via_sparsifier(&g, &params, 42, 4).unwrap();
     println!(
         "sparsifier edges: {} ({}% of m), probes: {} ({}% of m)",
         result.sparsifier.edges,

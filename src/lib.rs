@@ -34,8 +34,9 @@
 //! let g = clique_union(CliqueUnionConfig { n: 400, diversity: 2, clique_size: 100 }, &mut rng);
 //!
 //! // Build the sparsifier and a (1+eps)-approximate matching on it.
+//! // Seed 1, four worker threads — the result depends only on the seed.
 //! let params = SparsifierParams::practical(2, 0.2);
-//! let result = approx_mcm_via_sparsifier(&g, &params, &mut rng);
+//! let result = approx_mcm_via_sparsifier(&g, &params, 1, 4).unwrap();
 //!
 //! let exact = maximum_matching(&g).len();
 //! assert!(result.matching.len() as f64 >= exact as f64 / 1.2);

@@ -29,7 +29,7 @@ fn all_three_models_meet_the_guarantee_on_one_input() {
     let bound = 1.0 + eps;
 
     // Sequential.
-    let seq = approx_mcm_via_sparsifier(&g, &params, &mut rng);
+    let seq = approx_mcm_via_sparsifier(&g, &params, 11, 2).unwrap();
     assert!(exact as f64 <= bound * seq.matching.len() as f64);
 
     // Streaming (random arrival order).
