@@ -67,6 +67,16 @@ impl Violations {
         }
     }
 
+    /// The violation messages recorded so far.
+    pub fn items(&self) -> &[String] {
+        &self.items
+    }
+
+    /// True while every checked bound has held.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
     /// Print any violations and exit nonzero if there were some.
     pub fn finish(self, experiment: &str) -> ! {
         if self.items.is_empty() {

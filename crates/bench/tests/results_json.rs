@@ -52,6 +52,84 @@ fn quick_run_writes_valid_results_json() {
 }
 
 #[test]
+fn fault_sweep_writes_valid_monotone_schema() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-sweep-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let status = Command::new(env!("CARGO_BIN_EXE_exp_fault_sweep"))
+        .env("SPARSIMATCH_RESULTS_DIR", &dir)
+        .status()
+        .expect("sweep binary runs");
+    assert!(status.success(), "exp_fault_sweep exited nonzero");
+
+    let path = dir.join("fault_sweep.json");
+    let text = std::fs::read_to_string(&path).expect("sweep JSON written");
+    let doc = Json::parse(&text).expect("sweep JSON parses");
+
+    assert_eq!(doc.get("experiment").unwrap().as_str(), Some("fault_sweep"));
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("quick"));
+    assert_eq!(doc.get("bounds_ok").unwrap().as_bool(), Some(true));
+    assert!(doc
+        .get("violations")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    assert!(
+        doc.get("graph")
+            .unwrap()
+            .get("vertices")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    assert!(doc.get("seeds_per_rate").unwrap().as_u64().unwrap() >= 2);
+    let baseline = doc.get("baseline_matching").unwrap().as_u64().unwrap() as f64;
+    assert!(baseline > 0.0);
+
+    let rows = doc.get("rows").unwrap().as_array().unwrap();
+    assert!(
+        rows.len() >= 3,
+        "need a real sweep, got {} rows",
+        rows.len()
+    );
+    let field = |row: &Json, key: &str| -> f64 {
+        row.get(key)
+            .unwrap_or_else(|| panic!("row missing {key}"))
+            .as_f64()
+            .unwrap()
+    };
+    // Rows are sorted by rate; the first is the exact fault-free anchor.
+    assert_eq!(field(&rows[0], "drop"), 0.0);
+    assert_eq!(
+        field(&rows[0], "mean_size"),
+        baseline,
+        "p = 0 must equal the baseline exactly"
+    );
+    assert_eq!(field(&rows[0], "mean_dropped"), 0.0);
+    let mut prev_drop = -1.0;
+    let mut prev_size = f64::INFINITY;
+    for row in rows {
+        let drop = field(row, "drop");
+        let size = field(row, "mean_size");
+        assert!((0.0..=1.0).contains(&drop));
+        assert!(drop > prev_drop, "rates not strictly increasing");
+        assert!(
+            size <= prev_size,
+            "mean size rose: {size} after {prev_size}"
+        );
+        assert!(field(row, "min_size") <= field(row, "max_size"));
+        // The hardened arm never does worse than the fragile one.
+        assert!(field(row, "hardened_mean_size") >= size);
+        prev_drop = drop;
+        prev_size = size;
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_baseline_writes_valid_schema() {
     let dir = std::env::temp_dir().join(format!("sparsimatch-bench-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -17,6 +17,10 @@ USAGE:
                        [--threads <T>] [--metrics-json <FILE>]
   sparsimatch match <FILE> (--eps <E> --beta <B> | --exact | --greedy) [--seed <S>] [--pairs]
                     [--threads <T>] [--metrics-json <FILE>]
+  sparsimatch distsim <FILE> [--algo approx|baseline|randomized] [--beta <B>] [--eps <E>]
+                      [--seed <S>] [--pairs] [--metrics-json <FILE>]
+                      [--fault-seed <S>] [--drop <P>] [--duplicate <P>] [--reorder <P>]
+                      [--crash <P>] [--crash-period <K>] [--fault-horizon <R>] [--retries <K>]
   sparsimatch help
 
 Graphs are plain-text edge lists: a `n m` header line followed by one
@@ -31,7 +35,15 @@ thread count. --metrics-json writes the unified work counters (probes,
 RNG draws, overlay writes, ...) as JSON; the file is byte-stable for a
 fixed seed unless the SPARSIMATCH_METRICS_TIMINGS=1 environment
 variable adds wall-clock span timings (including per-stage
-stage.mark / stage.extract / stage.match spans).";
+stage.mark / stage.extract / stage.match spans).
+
+distsim runs the synchronous message-passing pipeline on one machine
+and reports rounds/messages/bits. The --drop/--duplicate/--reorder/
+--crash probabilities (each in [0, 1], default 0) inject seeded,
+reproducible transport faults; --retries <K> arms a per-message
+ack/retry layer that re-sends up to K times. Fault counters
+(faults.dropped, faults.duplicated, faults.retries,
+faults.crashed_rounds) appear in --metrics-json.";
 
 /// The `generate` subcommand.
 #[derive(Clone, Debug, PartialEq)]
@@ -115,6 +127,53 @@ pub struct MatchArgs {
     pub metrics_json: Option<PathBuf>,
 }
 
+/// Which distributed pipeline variant `distsim` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistAlgo {
+    /// Sparsify → color → match → augment (the paper's pipeline).
+    Approx,
+    /// Sparsify → deterministic color-scheduled maximal matching.
+    Baseline,
+    /// Sparsify → randomized (Israeli–Itai) maximal matching.
+    Randomized,
+}
+
+/// The `distsim` subcommand: run a distributed pipeline on the
+/// simulator, optionally under seeded fault injection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistsimArgs {
+    /// Input graph.
+    pub input: PathBuf,
+    /// Pipeline variant.
+    pub algo: DistAlgo,
+    /// β bound for the sparsifier phase.
+    pub beta: usize,
+    /// Target ε.
+    pub eps: f64,
+    /// Algorithm RNG seed.
+    pub seed: u64,
+    /// Print the matched pairs, not just the size.
+    pub pairs: bool,
+    /// Seed for the fault plan (independent of the algorithm seed).
+    pub fault_seed: u64,
+    /// Per-message drop probability.
+    pub drop: f64,
+    /// Per-message duplication probability.
+    pub duplicate: f64,
+    /// Per-inbox reorder probability.
+    pub reorder: f64,
+    /// Per-window crash probability.
+    pub crash: f64,
+    /// Rounds per crash window.
+    pub crash_period: u64,
+    /// Faults only strike rounds `1..=horizon` (absent = forever).
+    pub fault_horizon: Option<u64>,
+    /// Ack/retry resend budget (0 = resilience layer off).
+    pub retries: u32,
+    /// Write work-counter + fault-counter metrics as JSON to this path.
+    pub metrics_json: Option<PathBuf>,
+}
+
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -126,6 +185,8 @@ pub enum Command {
     Sparsify(SparsifyArgs),
     /// Match on a graph file.
     Match(MatchArgs),
+    /// Run the distributed simulator (optionally with fault injection).
+    Distsim(DistsimArgs),
     /// Print usage.
     Help,
 }
@@ -285,6 +346,56 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics_json: flags.get("--metrics-json")?.map(PathBuf::from),
             }))
         }
+        "distsim" => {
+            let input = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("distsim needs an input file")?;
+            let flags = Flags { rest: &args[2..] };
+            flags.expect_known(&[
+                "--algo",
+                "--beta",
+                "--eps",
+                "--seed",
+                "--pairs",
+                "--fault-seed",
+                "--drop",
+                "--duplicate",
+                "--reorder",
+                "--crash",
+                "--crash-period",
+                "--fault-horizon",
+                "--retries",
+                "--metrics-json",
+            ])?;
+            let algo = match flags.get("--algo")?.unwrap_or("approx") {
+                "approx" => DistAlgo::Approx,
+                "baseline" => DistAlgo::Baseline,
+                "randomized" => DistAlgo::Randomized,
+                other => {
+                    return Err(format!(
+                        "--algo must be approx, baseline, or randomized, got {other:?}"
+                    ))
+                }
+            };
+            Ok(Command::Distsim(DistsimArgs {
+                input: PathBuf::from(input),
+                algo,
+                beta: flags.parse_opt("--beta")?.unwrap_or(2),
+                eps: flags.parse_opt("--eps")?.unwrap_or(0.5),
+                seed: flags.parse_opt("--seed")?.unwrap_or(0),
+                pairs: flags.has("--pairs"),
+                fault_seed: flags.parse_opt("--fault-seed")?.unwrap_or(0),
+                drop: flags.parse_opt("--drop")?.unwrap_or(0.0),
+                duplicate: flags.parse_opt("--duplicate")?.unwrap_or(0.0),
+                reorder: flags.parse_opt("--reorder")?.unwrap_or(0.0),
+                crash: flags.parse_opt("--crash")?.unwrap_or(0.0),
+                crash_period: flags.parse_opt("--crash-period")?.unwrap_or(8),
+                fault_horizon: flags.parse_opt("--fault-horizon")?,
+                retries: flags.parse_opt("--retries")?.unwrap_or(0),
+                metrics_json: flags.get("--metrics-json")?.map(PathBuf::from),
+            }))
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -395,6 +506,38 @@ mod tests {
         };
         assert_eq!(a.metrics_json, Some(PathBuf::from("a.json")));
         assert!(parse(&args("sparsify g.el --beta 3 --eps 0.5 --threads wat")).is_err());
+    }
+
+    #[test]
+    fn parses_distsim() {
+        let Command::Distsim(d) = parse(&args(
+            "distsim g.el --algo baseline --beta 3 --eps 0.4 --seed 5 \
+             --fault-seed 9 --drop 0.25 --duplicate 0.1 --reorder 0.5 \
+             --crash 0.05 --crash-period 4 --fault-horizon 32 --retries 2",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.algo, DistAlgo::Baseline);
+        assert_eq!(d.beta, 3);
+        assert_eq!(d.fault_seed, 9);
+        assert!((d.drop - 0.25).abs() < 1e-12);
+        assert_eq!(d.crash_period, 4);
+        assert_eq!(d.fault_horizon, Some(32));
+        assert_eq!(d.retries, 2);
+
+        // Defaults: approx variant, zero-fault plan, resilience off.
+        let Command::Distsim(d) = parse(&args("distsim g.el")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.algo, DistAlgo::Approx);
+        assert_eq!(d.drop, 0.0);
+        assert_eq!(d.fault_horizon, None);
+        assert_eq!(d.retries, 0);
+
+        assert!(parse(&args("distsim g.el --algo quantum")).is_err());
+        assert!(parse(&args("distsim")).is_err());
+        assert!(parse(&args("distsim g.el --drop zero")).is_err());
     }
 
     #[test]

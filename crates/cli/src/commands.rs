@@ -1,11 +1,19 @@
 //! Command implementations, parameterized over the output writer for
 //! testability.
 
-use crate::args::{AnalyzeArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs};
+use crate::args::{
+    AnalyzeArgs, DistAlgo, DistsimArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs,
+};
+use crate::error::CliError;
 use rand::{rngs::StdRng, SeedableRng};
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_metered;
 use sparsimatch_core::sparsifier::build_sparsifier_parallel_metered;
+use sparsimatch_distsim::algorithms::pipeline::{
+    distributed_approx_mcm_faulty, distributed_maximal_baseline_faulty,
+    distributed_randomized_maximal_faulty,
+};
+use sparsimatch_distsim::{FaultPlan, FaultRates, ResilienceParams};
 use sparsimatch_graph::analysis::arboricity::{arboricity_bounds, degeneracy};
 use sparsimatch_graph::analysis::independence::neighborhood_independence_exact;
 use sparsimatch_graph::csr::CsrGraph;
@@ -22,8 +30,31 @@ use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
 
-fn io_err(e: impl std::fmt::Display) -> String {
-    e.to_string()
+fn io_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Io(e.to_string())
+}
+
+/// Reject a flag value that must be a probability. Catches NaN and ±∞
+/// before they reach generator/fault-plan assertions deeper down.
+fn require_probability(name: &str, p: f64) -> Result<(), CliError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(CliError::InvalidParam(format!(
+            "{name} must be a probability in [0, 1], got {p}"
+        )))
+    }
+}
+
+/// Reject a flag value that must be a finite positive number.
+fn require_positive(name: &str, x: f64) -> Result<(), CliError> {
+    if x.is_finite() && x > 0.0 {
+        Ok(())
+    } else {
+        Err(CliError::InvalidParam(format!(
+            "{name} must be a finite positive number, got {x}"
+        )))
+    }
 }
 
 /// Start a metrics document: tool/command header plus input shape.
@@ -45,7 +76,7 @@ fn write_metrics_json(
     path: &std::path::Path,
     mut doc: Json,
     meter: &WorkMeter,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let with_timings = std::env::var("SPARSIMATCH_METRICS_TIMINGS").is_ok_and(|v| v == "1");
     doc.set(
         "meter",
@@ -59,13 +90,16 @@ fn write_metrics_json(
 }
 
 /// Build a graph from a family spec like `clique-union:2:100`.
-pub fn build_family(spec: &str, n: usize, rng: &mut StdRng) -> Result<CsrGraph, String> {
+pub fn build_family(spec: &str, n: usize, rng: &mut StdRng) -> Result<CsrGraph, CliError> {
+    let bad = |e: std::num::ParseIntError| CliError::InvalidParam(format!("family {spec:?}: {e}"));
+    let bad_f =
+        |e: std::num::ParseFloatError| CliError::InvalidParam(format!("family {spec:?}: {e}"));
     let parts: Vec<&str> = spec.split(':').collect();
     match parts.as_slice() {
         ["clique"] => Ok(clique(n)),
         ["clique-union", layers, size] => {
-            let diversity: usize = layers.parse().map_err(io_err)?;
-            let clique_size: usize = size.parse().map_err(io_err)?;
+            let diversity: usize = layers.parse().map_err(bad)?;
+            let clique_size: usize = size.parse().map_err(bad)?;
             Ok(clique_union(
                 CliqueUnionConfig {
                     n,
@@ -76,28 +110,31 @@ pub fn build_family(spec: &str, n: usize, rng: &mut StdRng) -> Result<CsrGraph, 
             ))
         }
         ["unit-disk", deg] => {
-            let avg: f64 = deg.parse().map_err(io_err)?;
+            let avg: f64 = deg.parse().map_err(bad_f)?;
+            require_positive("unit-disk average degree", avg)?;
             Ok(unit_disk(
                 UnitDiskConfig::with_expected_degree(n, 1.0, avg),
                 rng,
             ))
         }
         ["gnp", p] => {
-            let p: f64 = p.parse().map_err(io_err)?;
+            let p: f64 = p.parse().map_err(bad_f)?;
+            require_probability("gnp edge probability", p)?;
             Ok(gnp(n, p, rng))
         }
         ["line-gnp", p] => {
-            let p: f64 = p.parse().map_err(io_err)?;
+            let p: f64 = p.parse().map_err(bad_f)?;
+            require_probability("line-gnp edge probability", p)?;
             Ok(line_graph(&gnp(n, p, rng)))
         }
         ["path"] => Ok(path(n)),
         ["cycle"] => Ok(cycle(n)),
-        _ => Err(format!("unknown family {spec:?}")),
+        _ => Err(CliError::Usage(format!("unknown family {spec:?}"))),
     }
 }
 
 /// `sparsimatch generate`.
-pub fn generate(args: GenerateArgs, out: Out<'_>) -> Result<(), String> {
+pub fn generate(args: GenerateArgs, out: Out<'_>) -> Result<(), CliError> {
     let mut rng = StdRng::seed_from_u64(args.seed);
     let g = build_family(&args.family, args.n, &mut rng)?;
     emit_graph(&g, &args.out, out)?;
@@ -112,7 +149,11 @@ pub fn generate(args: GenerateArgs, out: Out<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn emit_graph(g: &CsrGraph, dest: &Option<std::path::PathBuf>, out: Out<'_>) -> Result<(), String> {
+fn emit_graph(
+    g: &CsrGraph,
+    dest: &Option<std::path::PathBuf>,
+    out: Out<'_>,
+) -> Result<(), CliError> {
     match dest {
         Some(path) => write_edge_list_file(g, path).map_err(io_err),
         None => write_edge_list(g, out).map_err(io_err),
@@ -120,8 +161,8 @@ fn emit_graph(g: &CsrGraph, dest: &Option<std::path::PathBuf>, out: Out<'_>) -> 
 }
 
 /// `sparsimatch analyze`.
-pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), String> {
-    let g = read_edge_list_file(&args.input).map_err(io_err)?;
+pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), CliError> {
+    let g = read_edge_list_file(&args.input)?;
     let mut meter = WorkMeter::new();
     let mut results = Json::object();
     writeln!(out, "vertices:      {}", g.num_vertices()).map_err(io_err)?;
@@ -185,8 +226,10 @@ pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), String> {
 }
 
 /// `sparsimatch sparsify`.
-pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
-    let g = read_edge_list_file(&args.input).map_err(io_err)?;
+pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), CliError> {
+    let g = read_edge_list_file(&args.input)?;
+    require_positive("--eps", args.eps)?;
+    require_positive("--scale", args.scale)?;
     let params = SparsifierParams::scaled(args.beta, args.eps, args.scale);
     let mut meter = WorkMeter::new();
     // Every thread count (including 1) takes the seeded per-vertex path,
@@ -195,7 +238,7 @@ pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
         .time("sparsify", |m| {
             build_sparsifier_parallel_metered(&g, &params, args.seed, args.threads, m)
         })
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::from)?;
     emit_graph(&s.graph, &args.out, out)?;
     if let Some(path) = &args.metrics_json {
         let mut doc = metrics_doc("sparsify", &g);
@@ -221,8 +264,11 @@ pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), String> {
 }
 
 /// `sparsimatch match`.
-pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
-    let g = read_edge_list_file(&args.input).map_err(io_err)?;
+pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), CliError> {
+    let g = read_edge_list_file(&args.input)?;
+    if let MatchAlgo::Sparsify { eps, .. } = args.algo {
+        require_positive("--eps", eps)?;
+    }
     let mut meter = WorkMeter::new();
     let (label, matching): (&str, Matching) = match args.algo {
         MatchAlgo::Exact => (
@@ -242,7 +288,7 @@ pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
                 .time("match", |m| {
                     approx_mcm_via_sparsifier_metered(&g, &params, args.seed, args.threads, m)
                 })
-                .map_err(|e| e.to_string())?;
+                .map_err(CliError::from)?;
             writeln!(out, "probes: {} (m = {})", r.probes.total(), g.num_edges())
                 .map_err(io_err)?;
             ("sparsify+match", r.matching)
@@ -268,6 +314,102 @@ pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), String> {
     Ok(())
 }
 
+/// `sparsimatch distsim`.
+pub fn distsim(args: DistsimArgs, out: Out<'_>) -> Result<(), CliError> {
+    // Validate every fault knob before FaultPlan::new, whose own
+    // validation is an assert (programming-error contract, not a CLI one).
+    require_probability("--drop", args.drop)?;
+    require_probability("--duplicate", args.duplicate)?;
+    require_probability("--reorder", args.reorder)?;
+    require_probability("--crash", args.crash)?;
+    require_positive("--eps", args.eps)?;
+    if args.crash_period == 0 {
+        return Err(CliError::InvalidParam(
+            "--crash-period must be at least 1".into(),
+        ));
+    }
+    let g = read_edge_list_file(&args.input)?;
+    let rates = FaultRates {
+        drop: args.drop,
+        duplicate: args.duplicate,
+        reorder: args.reorder,
+        crash: args.crash,
+    };
+    let mut plan = FaultPlan::new(args.fault_seed, rates).with_crash_period(args.crash_period);
+    if let Some(h) = args.fault_horizon {
+        plan = plan.with_horizon(h);
+    }
+    let resilience = if args.retries > 0 {
+        ResilienceParams::retry(args.retries)
+    } else {
+        ResilienceParams::off()
+    };
+    let params = SparsifierParams::practical(args.beta, args.eps);
+    type FaultyRun = fn(
+        &CsrGraph,
+        &SparsifierParams,
+        u64,
+        &FaultPlan,
+        ResilienceParams,
+    ) -> sparsimatch_distsim::algorithms::pipeline::DistributedOutcome;
+    let (label, run): (&str, FaultyRun) = match args.algo {
+        DistAlgo::Approx => ("distributed approx-mcm", distributed_approx_mcm_faulty),
+        DistAlgo::Baseline => (
+            "distributed maximal (color-scheduled)",
+            distributed_maximal_baseline_faulty,
+        ),
+        DistAlgo::Randomized => (
+            "distributed maximal (randomized)",
+            distributed_randomized_maximal_faulty,
+        ),
+    };
+    let mut meter = WorkMeter::new();
+    let outcome = meter.time("distsim", |_| {
+        run(&g, &params, args.seed, &plan, resilience)
+    });
+    writeln!(out, "algorithm: {label}").map_err(io_err)?;
+    writeln!(out, "matching size: {}", outcome.matching.len()).map_err(io_err)?;
+    writeln!(
+        out,
+        "rounds: {}  messages: {}  bits: {}",
+        outcome.metrics.rounds, outcome.metrics.messages, outcome.metrics.bits
+    )
+    .map_err(io_err)?;
+    writeln!(out, "faults: {}", outcome.faults).map_err(io_err)?;
+    if args.pairs {
+        for (u, v) in outcome.matching.pairs() {
+            writeln!(out, "{} {}", u.0, v.0).map_err(io_err)?;
+        }
+    }
+    if let Some(path) = &args.metrics_json {
+        outcome.faults.mirror_into(&mut meter);
+        let mut doc = metrics_doc("distsim", &g);
+        doc.set("algorithm", label);
+        doc.set("seed", args.seed);
+        let mut fault_cfg = Json::object();
+        fault_cfg.set("seed", args.fault_seed);
+        fault_cfg.set("drop", args.drop);
+        fault_cfg.set("duplicate", args.duplicate);
+        fault_cfg.set("reorder", args.reorder);
+        fault_cfg.set("crash", args.crash);
+        fault_cfg.set("crash_period", args.crash_period);
+        if let Some(h) = args.fault_horizon {
+            fault_cfg.set("horizon", h);
+        }
+        fault_cfg.set("retries", u64::from(args.retries));
+        doc.set("fault_plan", fault_cfg);
+        let mut results = Json::object();
+        results.set("matching_size", outcome.matching.len());
+        results.set("rounds", outcome.metrics.rounds);
+        results.set("messages", outcome.metrics.messages);
+        results.set("bits", outcome.metrics.bits);
+        results.set("composed_max_degree", outcome.composed_max_degree);
+        doc.set("results", results);
+        write_metrics_json(path, doc, &meter)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,7 +425,7 @@ mod tests {
         let argv: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
         let cmd = parse(&argv)?;
         let mut buf = Vec::new();
-        crate::run(cmd, &mut buf)?;
+        crate::run(cmd, &mut buf).map_err(|e| e.to_string())?;
         Ok(String::from_utf8(buf).unwrap())
     }
 

@@ -7,18 +7,22 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::{parse, Command};
+pub use error::CliError;
 
-/// Run a parsed command, writing human output to `out`.
-pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String> {
+/// Run a parsed command, writing human output to `out`. Each error class
+/// carries its own stable exit code ([`CliError::exit_code`]).
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     match cmd {
         Command::Generate(g) => commands::generate(g, out),
         Command::Analyze(a) => commands::analyze(a, out),
         Command::Sparsify(s) => commands::sparsify(s, out),
         Command::Match(m) => commands::do_match(m, out),
+        Command::Distsim(d) => commands::distsim(d, out),
         Command::Help => {
-            writeln!(out, "{}", args::USAGE).map_err(|e| e.to_string())?;
+            writeln!(out, "{}", args::USAGE)?;
             Ok(())
         }
     }

@@ -1,16 +1,21 @@
+use sparsimatch_cli::CliError;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match sparsimatch_cli::parse(&args) {
         Ok(cmd) => cmd,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("{}", sparsimatch_cli::args::USAGE);
-            std::process::exit(2);
-        }
+        Err(e) => fail(CliError::Usage(format!(
+            "{e} (run `sparsimatch help` for usage)"
+        ))),
     };
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = sparsimatch_cli::run(cmd, &mut stdout) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        fail(e);
     }
+}
+
+/// One line on stderr, then the error class's stable exit code.
+fn fail(e: CliError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(e.exit_code());
 }

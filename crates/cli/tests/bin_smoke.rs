@@ -152,11 +152,175 @@ fn metrics_timings_env_exposes_stage_spans() {
     }
 }
 
+/// One stderr line, the expected class message, and the class's stable
+/// exit code (see `crates/cli/src/error.rs` for the table).
+fn assert_fails(args: &[&str], code: i32, needle: &str) {
+    let out = bin().args(args).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(code),
+        "{args:?}: wrong exit code, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains(needle), "{args:?}: stderr {err:?}");
+    assert_eq!(
+        err.trim_end().lines().count(),
+        1,
+        "stderr must be one line: {err:?}"
+    );
+    assert!(err.starts_with("error: "), "{err:?}");
+}
+
 #[test]
-fn missing_file_is_reported() {
+fn missing_file_exits_three() {
+    assert_fails(
+        &["analyze", "/nonexistent/definitely-not-here.el"],
+        3,
+        "i/o error",
+    );
+}
+
+#[test]
+fn malformed_edge_list_exits_four() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let junk = dir.join("junk.el");
+    std::fs::write(&junk, "3 2\n0 1\nhello world\n").unwrap();
+    assert_fails(&["analyze", junk.to_str().unwrap()], 4, "line 3");
+
+    let dup = dir.join("dup.el");
+    std::fs::write(&dup, "3 2\n0 1\n1 0\n").unwrap();
+    assert_fails(
+        &["match", dup.to_str().unwrap(), "--exact"],
+        4,
+        "duplicate edge",
+    );
+
+    let looped = dir.join("loop.el");
+    std::fs::write(&looped, "3 1\n2 2\n").unwrap();
+    assert_fails(&["analyze", looped.to_str().unwrap()], 4, "self-loop");
+
+    for p in [&junk, &dup, &looped] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn oversized_header_exits_five() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-big-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let big = dir.join("big.el");
+    // A header demanding 2^60 vertices must die fast with "too large",
+    // not attempt the allocation.
+    std::fs::write(&big, "1152921504606846976 1\n0 1\n").unwrap();
+    assert_fails(&["analyze", big.to_str().unwrap()], 5, "too large");
+    std::fs::remove_file(&big).ok();
+}
+
+#[test]
+fn bad_thread_count_exits_six() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-thr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("thr.el");
+    std::fs::write(&file, "4 2\n0 1\n2 3\n").unwrap();
+    assert_fails(
+        &[
+            "sparsify",
+            file.to_str().unwrap(),
+            "--beta",
+            "1",
+            "--eps",
+            "0.5",
+            "--threads",
+            "65",
+        ],
+        6,
+        "between 1 and 64",
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn invalid_parameter_exits_seven() {
+    // NaN / out-of-range probabilities are caught by CLI validation
+    // before any generator or fault-plan assertion can fire.
+    assert_fails(&["generate", "gnp:NaN", "--n", "10"], 7, "probability");
+    assert_fails(&["generate", "gnp:1.5", "--n", "10"], 7, "probability");
+
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-param-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("param.el");
+    std::fs::write(&file, "4 2\n0 1\n2 3\n").unwrap();
+    assert_fails(
+        &["distsim", file.to_str().unwrap(), "--drop", "2.0"],
+        7,
+        "--drop must be a probability",
+    );
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn distsim_runs_and_reports_faults() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-dist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("dist.el");
+    let metrics = dir.join("dist.json");
+
     let out = bin()
-        .args(["analyze", "/nonexistent/definitely-not-here.el"])
+        .args([
+            "generate",
+            "clique-union:2:20",
+            "--n",
+            "80",
+            "--seed",
+            "4",
+            "--out",
+            file.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert!(out.status.success(), "{out:?}");
+
+    let out = bin()
+        .args([
+            "distsim",
+            file.to_str().unwrap(),
+            "--algo",
+            "baseline",
+            "--drop",
+            "0.3",
+            "--fault-horizon",
+            "40",
+            "--retries",
+            "1",
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("matching size:"), "{text}");
+    assert!(text.contains("faults:"), "{text}");
+
+    let doc = sparsimatch_obs::Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(doc.get("command").unwrap().as_str(), Some("distsim"));
+    let counters = doc.get("meter").unwrap().get("counters").unwrap();
+    let dropped = counters
+        .get(sparsimatch_obs::keys::FAULTS_DROPPED)
+        .expect("faults.dropped counter missing")
+        .as_u64()
+        .unwrap();
+    assert!(dropped > 0, "a 30% drop plan must drop something");
+    assert!(counters
+        .get(sparsimatch_obs::keys::FAULTS_RETRIES)
+        .is_some());
+    let plan = doc.get("fault_plan").unwrap();
+    assert_eq!(plan.get("horizon").unwrap().as_u64(), Some(40));
+
+    for p in [&file, &metrics] {
+        std::fs::remove_file(p).ok();
+    }
 }

@@ -285,6 +285,8 @@ pub(crate) fn mark_edges_parallel(
             .collect();
         handles
             .into_iter()
+            // Safety: join() only errs if the worker panicked; propagating
+            // that as a panic here is the intended failure mode.
             .map(|h| h.join().expect("sparsifier worker panicked"))
             .collect()
     });
@@ -347,6 +349,7 @@ fn merge_mark_shards(shards: &[Vec<u32>], num_edges: usize, threads: usize) -> V
             .collect();
         handles
             .into_iter()
+            // Safety: as above — a join error means the worker panicked.
             .map(|h| h.join().expect("mark-merge worker panicked"))
             .collect()
     });

@@ -12,7 +12,7 @@
 //! to `q² = O((dΔ)²)`; iterating is the classic `log* n`-round schedule.
 //! A final greedy phase retires one color class per round down to `Δ+1`.
 
-use crate::network::Network;
+use crate::network::Net;
 
 /// A proper vertex coloring computed by the protocol.
 #[derive(Clone, Debug)]
@@ -82,7 +82,14 @@ pub fn log_star(n: usize) -> u32 {
 /// Compute a proper coloring with at most `target` colors, where
 /// `target ≥ max_degree + 1`. Returns the coloring; rounds/messages are
 /// charged to `net`.
-pub fn linial_coloring(net: &mut Network<'_>, target: u64) -> Coloring {
+///
+/// On a faulty transport the round budget is unchanged (every loop is
+/// bounded by palette arithmetic, not by convergence), the palette bound
+/// `num_colors ≤ max(target, n)` still holds, but properness can be lost:
+/// a dropped color broadcast removes a constraint, so two neighbors may
+/// pick the same color. Properness is guaranteed only when
+/// [`Net::lossless`] holds; validate with [`validate_coloring`].
+pub fn linial_coloring<'g>(net: &mut impl Net<'g>, target: u64) -> Coloring {
     let g = net.graph();
     let n = g.num_vertices();
     let max_deg = g.max_degree() as u64;
@@ -178,14 +185,14 @@ pub fn linial_coloring(net: &mut Network<'_>, target: u64) -> Coloring {
         k = k.div_ceil(two_t) * t;
     }
 
-    debug_assert!(is_proper(net, &colors));
+    debug_assert!(!net.lossless() || is_proper(net, &colors));
     Coloring {
         colors,
         num_colors: k,
     }
 }
 
-fn is_proper(net: &Network<'_>, colors: &[u64]) -> bool {
+fn is_proper<'g>(net: &impl Net<'g>, colors: &[u64]) -> bool {
     net.graph()
         .edges()
         .all(|(_, u, v)| colors[u.index()] != colors[v.index()])
@@ -193,7 +200,7 @@ fn is_proper(net: &Network<'_>, colors: &[u64]) -> bool {
 
 /// Validate that a coloring is proper and within its declared palette
 /// (exposed for tests and experiment audits).
-pub fn validate_coloring(net: &Network<'_>, c: &Coloring) -> bool {
+pub fn validate_coloring<'g>(net: &impl Net<'g>, c: &Coloring) -> bool {
     c.colors.len() == net.num_nodes()
         && c.colors.iter().all(|&x| x < c.num_colors)
         && is_proper(net, &c.colors)
@@ -201,13 +208,14 @@ pub fn validate_coloring(net: &Network<'_>, c: &Coloring) -> bool {
 
 /// Degree of each vertex as a helper for palette sizing: `max_degree + 1`
 /// is the canonical target.
-pub fn canonical_target(net: &Network<'_>) -> u64 {
+pub fn canonical_target<'g>(net: &impl Net<'g>) -> u64 {
     net.graph().max_degree() as u64 + 1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::Network;
     use sparsimatch_graph::generators::{cycle, gnp, path, star};
 
     #[test]

@@ -22,7 +22,7 @@
 //! while keeping simulated round counts readable — see DESIGN.md §4.2.)
 
 use crate::algorithms::coloring::Coloring;
-use crate::network::{Network, Outgoing};
+use crate::network::{Net, Outgoing};
 use sparsimatch_graph::csr::GraphBuilder;
 use sparsimatch_graph::ids::VertexId;
 use sparsimatch_matching::blossom::BlossomSearcher;
@@ -32,7 +32,12 @@ use sparsimatch_matching::Matching;
 /// Greedy maximal matching scheduled by a proper coloring. Every round of
 /// communication goes through the network (status broadcast, proposal,
 /// accept: 3 rounds per color class per sweep).
-pub fn color_scheduled_mm(net: &mut Network<'_>, coloring: &Coloring) -> Matching {
+///
+/// On a faulty transport (possibly with an improper coloring from a faulty
+/// [`linial_coloring`](crate::algorithms::coloring::linial_coloring) run)
+/// the result is still a valid matching — `add_pair` refuses conflicting
+/// commits — but maximality requires lossless delivery.
+pub fn color_scheduled_mm<'g>(net: &mut impl Net<'g>, coloring: &Coloring) -> Matching {
     let g = net.graph();
     let n = g.num_vertices();
     let mut matching = Matching::new(n);
@@ -101,7 +106,7 @@ pub fn color_scheduled_mm(net: &mut Network<'_>, coloring: &Coloring) -> Matchin
         }
     }
     debug_assert!(matching.is_valid_for(net.graph()));
-    debug_assert!(matching.is_maximal_in(net.graph()));
+    debug_assert!(!net.lossless() || matching.is_maximal_in(net.graph()));
     matching
 }
 
@@ -116,8 +121,8 @@ pub struct AugmentationStats {
 
 /// Eliminate augmenting paths of length ≤ `2⌈1/ε⌉−1` from `matching`
 /// using local ball computations with id-priority conflict resolution.
-pub fn distributed_augmentation(
-    net: &mut Network<'_>,
+pub fn distributed_augmentation<'g>(
+    net: &mut impl Net<'g>,
     matching: &mut Matching,
     eps: f64,
 ) -> AugmentationStats {
@@ -214,7 +219,10 @@ pub fn distributed_augmentation(
 
 /// Full distributed `(1+ε)`-approximate matching on a bounded-degree
 /// graph: coloring + color-scheduled MM + bounded augmentation.
-pub fn bounded_degree_matching(net: &mut Network<'_>, eps: f64) -> (Matching, AugmentationStats) {
+pub fn bounded_degree_matching<'g>(
+    net: &mut impl Net<'g>,
+    eps: f64,
+) -> (Matching, AugmentationStats) {
     let target = net.graph().max_degree() as u64 + 1;
     let coloring = crate::algorithms::coloring::linial_coloring(net, target.max(2));
     let mut m = color_scheduled_mm(net, &coloring);
@@ -231,8 +239,8 @@ struct Candidate {
 
 /// Search `leader`'s radius ball for an augmenting path of length ≤ cap;
 /// return the flip as add/remove pair lists without applying it.
-fn local_augment(
-    net: &Network<'_>,
+fn local_augment<'g>(
+    net: &impl Net<'g>,
     matching: &Matching,
     leader: VertexId,
     cap: u32,
@@ -349,7 +357,7 @@ fn resolve_conflicts(candidates: &[Candidate], n: usize) -> Vec<usize> {
 
 /// Convenience: run MM only (the `(2+ε)`-style baseline of [Barenboim–
 /// Oren]: same sparsifier rounds, no augmentation).
-pub fn maximal_matching_only(net: &mut Network<'_>) -> Matching {
+pub fn maximal_matching_only<'g>(net: &mut impl Net<'g>) -> Matching {
     let target = net.graph().max_degree() as u64 + 1;
     let coloring = crate::algorithms::coloring::linial_coloring(net, target.max(2));
     color_scheduled_mm(net, &coloring)
@@ -359,6 +367,7 @@ pub fn maximal_matching_only(net: &mut Network<'_>) -> Matching {
 mod tests {
     use super::*;
     use crate::algorithms::coloring::linial_coloring;
+    use crate::network::Network;
     use sparsimatch_graph::csr::CsrGraph;
     use sparsimatch_graph::generators::{cycle, gnp, path};
     use sparsimatch_matching::blossom::maximum_matching;

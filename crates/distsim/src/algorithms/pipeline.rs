@@ -11,11 +11,13 @@
 use crate::algorithms::matching::{bounded_degree_matching, maximal_matching_only};
 use crate::algorithms::solomon::distributed_solomon;
 use crate::algorithms::sparsify::distributed_sparsifier;
+use crate::faults::{FaultPlan, FaultStats, FaultyNetwork, ResilienceParams};
 use crate::metrics::Metrics;
-use crate::network::Network;
+use crate::network::{Incoming, Net, Network, Outgoing};
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_core::solomon::degree_cap_for;
 use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::VertexId;
 use sparsimatch_matching::Matching;
 
 /// Outcome of the full distributed pipeline.
@@ -29,6 +31,82 @@ pub struct DistributedOutcome {
     pub phase_rounds: (u64, u64, u64),
     /// Maximum degree of the composed sparsifier the matcher ran on.
     pub composed_max_degree: usize,
+    /// Fault counters across all phases (all zero on a perfect network).
+    pub faults: FaultStats,
+}
+
+/// Fault configuration threaded through a pipeline run: the plan is
+/// re-instantiated for each phase network (each phase restarts its round
+/// counter, so one plan describes each phase's disruption window).
+type FaultCfg<'a> = Option<(&'a FaultPlan, ResilienceParams)>;
+
+/// Per-phase transport: a perfect [`Network`] or a [`FaultyNetwork`],
+/// chosen at runtime so `run_pipeline` stays monomorphic.
+enum PhaseNet<'g> {
+    Plain(Network<'g>),
+    Faulty(FaultyNetwork<'g>),
+}
+
+impl<'g> PhaseNet<'g> {
+    fn build(g: &'g CsrGraph, cfg: FaultCfg<'_>) -> Self {
+        match cfg {
+            None => PhaseNet::Plain(Network::new(g)),
+            Some((plan, res)) => {
+                PhaseNet::Faulty(FaultyNetwork::with_resilience(g, plan.clone(), res))
+            }
+        }
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        match self {
+            PhaseNet::Plain(_) => FaultStats::default(),
+            PhaseNet::Faulty(n) => n.fault_stats(),
+        }
+    }
+}
+
+impl<'g> Net<'g> for PhaseNet<'g> {
+    fn graph(&self) -> &'g CsrGraph {
+        match self {
+            PhaseNet::Plain(n) => n.graph(),
+            PhaseNet::Faulty(n) => Net::graph(n),
+        }
+    }
+
+    fn metrics(&self) -> Metrics {
+        match self {
+            PhaseNet::Plain(n) => n.metrics(),
+            PhaseNet::Faulty(n) => Net::metrics(n),
+        }
+    }
+
+    fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
+        match self {
+            PhaseNet::Plain(n) => n.exchange(outboxes),
+            PhaseNet::Faulty(n) => Net::exchange(n, outboxes),
+        }
+    }
+
+    fn charge_gather(&mut self, radius: usize, bits_per_message: u64) {
+        match self {
+            PhaseNet::Plain(n) => n.charge_gather(radius, bits_per_message),
+            PhaseNet::Faulty(n) => Net::charge_gather(n, radius, bits_per_message),
+        }
+    }
+
+    fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId> {
+        match self {
+            PhaseNet::Plain(n) => n.ball(v, radius),
+            PhaseNet::Faulty(n) => Net::ball(n, v, radius),
+        }
+    }
+
+    fn lossless(&self) -> bool {
+        match self {
+            PhaseNet::Plain(_) => true,
+            PhaseNet::Faulty(n) => Net::lossless(n),
+        }
+    }
 }
 
 /// Theorem 3.2/3.3: distributed `(1+ε)`-approximate MCM on a graph of
@@ -38,7 +116,23 @@ pub fn distributed_approx_mcm(
     params: &SparsifierParams,
     seed: u64,
 ) -> DistributedOutcome {
-    run_pipeline(g, params, seed, true)
+    run_pipeline(g, params, seed, true, None)
+}
+
+/// [`distributed_approx_mcm`] under fault injection: every phase runs on
+/// a [`FaultyNetwork`] instantiated from `plan` and `resilience`. The
+/// returned matching is valid for `g` under *any* plan; its size degrades
+/// gracefully with the fault rates (experiment `exp_fault_sweep`). With
+/// [`FaultPlan::none`] and [`ResilienceParams::off`] the outcome is
+/// identical to the perfect-network pipeline, fault counters included.
+pub fn distributed_approx_mcm_faulty(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    plan: &FaultPlan,
+    resilience: ResilienceParams,
+) -> DistributedOutcome {
+    run_pipeline(g, params, seed, true, Some((plan, resilience)))
 }
 
 /// The `(2+ε)`-style comparator (Barenboim–Oren shape): identical
@@ -48,7 +142,19 @@ pub fn distributed_maximal_baseline(
     params: &SparsifierParams,
     seed: u64,
 ) -> DistributedOutcome {
-    run_pipeline(g, params, seed, false)
+    run_pipeline(g, params, seed, false, None)
+}
+
+/// [`distributed_maximal_baseline`] under fault injection (see
+/// [`distributed_approx_mcm_faulty`] for the guarantees).
+pub fn distributed_maximal_baseline_faulty(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    plan: &FaultPlan,
+    resilience: ResilienceParams,
+) -> DistributedOutcome {
+    run_pipeline(g, params, seed, false, Some((plan, resilience)))
 }
 
 /// Randomized variant: sparsifiers as usual, then Israeli–Itai randomized
@@ -60,22 +166,48 @@ pub fn distributed_randomized_maximal(
     params: &SparsifierParams,
     seed: u64,
 ) -> DistributedOutcome {
+    run_randomized(g, params, seed, None)
+}
+
+/// [`distributed_randomized_maximal`] under fault injection (see
+/// [`distributed_approx_mcm_faulty`] for the guarantees).
+pub fn distributed_randomized_maximal_faulty(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    plan: &FaultPlan,
+    resilience: ResilienceParams,
+) -> DistributedOutcome {
+    run_randomized(g, params, seed, Some((plan, resilience)))
+}
+
+fn run_randomized(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    cfg: FaultCfg<'_>,
+) -> DistributedOutcome {
     let mut totals = Metrics::new();
-    let mut net1 = Network::new(g);
+    let mut faults = FaultStats::default();
+
+    let mut net1 = PhaseNet::build(g, cfg);
     let g_delta = distributed_sparsifier(&mut net1, params, seed);
     let sparsify_rounds = net1.metrics().rounds;
     totals.absorb(net1.metrics());
+    faults.absorb(net1.fault_stats());
 
-    let mut net2 = Network::new(&g_delta);
+    let mut net2 = PhaseNet::build(&g_delta, cfg);
     let cap = degree_cap_for(params.arboricity_bound(), params.eps);
     let composed = distributed_solomon(&mut net2, cap);
     let solomon_rounds = net2.metrics().rounds;
     totals.absorb(net2.metrics());
+    faults.absorb(net2.fault_stats());
 
-    let mut net3 = Network::new(&composed);
+    let mut net3 = PhaseNet::build(&composed, cfg);
     let (matching, _) = crate::algorithms::israeli_itai::israeli_itai_matching(&mut net3, seed);
     let matching_rounds = net3.metrics().rounds;
     totals.absorb(net3.metrics());
+    faults.absorb(net3.fault_stats());
 
     debug_assert!(matching.is_valid_for(g));
     DistributedOutcome {
@@ -83,6 +215,7 @@ pub fn distributed_randomized_maximal(
         metrics: totals,
         phase_rounds: (sparsify_rounds, solomon_rounds, matching_rounds),
         composed_max_degree: composed.max_degree(),
+        faults,
     }
 }
 
@@ -91,24 +224,28 @@ fn run_pipeline(
     params: &SparsifierParams,
     seed: u64,
     augment: bool,
+    cfg: FaultCfg<'_>,
 ) -> DistributedOutcome {
     let mut totals = Metrics::new();
+    let mut faults = FaultStats::default();
 
     // Phase 1: one-round random sparsifier on the physical network.
-    let mut net1 = Network::new(g);
+    let mut net1 = PhaseNet::build(g, cfg);
     let g_delta = distributed_sparsifier(&mut net1, params, seed);
     let sparsify_rounds = net1.metrics().rounds;
     totals.absorb(net1.metrics());
+    faults.absorb(net1.fault_stats());
 
     // Phase 2: one-round bounded-degree sparsifier on G_Δ.
-    let mut net2 = Network::new(&g_delta);
+    let mut net2 = PhaseNet::build(&g_delta, cfg);
     let cap = degree_cap_for(params.arboricity_bound(), params.eps);
     let composed = distributed_solomon(&mut net2, cap);
     let solomon_rounds = net2.metrics().rounds;
     totals.absorb(net2.metrics());
+    faults.absorb(net2.fault_stats());
 
     // Phase 3: bounded-degree matching on the composed sparsifier.
-    let mut net3 = Network::new(&composed);
+    let mut net3 = PhaseNet::build(&composed, cfg);
     let matching = if augment {
         bounded_degree_matching(&mut net3, params.eps).0
     } else {
@@ -116,6 +253,7 @@ fn run_pipeline(
     };
     let matching_rounds = net3.metrics().rounds;
     totals.absorb(net3.metrics());
+    faults.absorb(net3.fault_stats());
 
     debug_assert!(matching.is_valid_for(g), "composed sparsifier ⊆ G");
     DistributedOutcome {
@@ -123,6 +261,7 @@ fn run_pipeline(
         metrics: totals,
         phase_rounds: (sparsify_rounds, solomon_rounds, matching_rounds),
         composed_max_degree: composed.max_degree(),
+        faults,
     }
 }
 

@@ -6,13 +6,14 @@
 //! along each; an edge survives iff **both** endpoints marked it, which a
 //! node detects locally by intersecting its sent and received marks.
 
-use crate::network::{Network, Outgoing};
+use crate::network::{Net, Outgoing};
 use sparsimatch_graph::csr::CsrGraph;
 use sparsimatch_graph::ids::VertexId;
 
 /// Run the one-round mutual-marking protocol. The result has maximum
-/// degree at most `degree_cap`.
-pub fn distributed_solomon(net: &mut Network<'_>, degree_cap: usize) -> CsrGraph {
+/// degree at most `degree_cap` — on any transport: faults can only lose
+/// marks, and losing marks only removes edges, never adds them.
+pub fn distributed_solomon<'g>(net: &mut impl Net<'g>, degree_cap: usize) -> CsrGraph {
     let g = net.graph();
     let n = g.num_vertices();
     let outboxes: Vec<Vec<Outgoing<()>>> = (0..n)
@@ -45,6 +46,7 @@ pub fn distributed_solomon(net: &mut Network<'_>, degree_cap: usize) -> CsrGraph
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::Network;
     use sparsimatch_core::solomon::solomon_sparsifier;
     use sparsimatch_graph::generators::{gnp, path};
 

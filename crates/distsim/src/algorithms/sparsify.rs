@@ -7,7 +7,7 @@
 //! in either direction. No ids are exchanged, so the construction runs in
 //! the `KT_0` model.
 
-use crate::network::{Network, Outgoing};
+use crate::network::{Net, Outgoing};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
@@ -18,8 +18,13 @@ use sparsimatch_graph::ids::VertexId;
 /// Run the one-round sparsifier protocol. Returns the sparsified graph
 /// (same vertex set). Nodes draw their randomness from per-node seeds
 /// derived from `seed` (independent across nodes, as the analysis needs).
-pub fn distributed_sparsifier(
-    net: &mut Network<'_>,
+///
+/// On a faulty transport a dropped mark shrinks the sparsifier (the edge
+/// survives only if the sender's own mark is kept) and a duplicated mark
+/// is harmless — the keep-set is a union, so the result is always a
+/// subgraph of `G` and downstream matchings stay valid.
+pub fn distributed_sparsifier<'g>(
+    net: &mut impl Net<'g>,
     params: &SparsifierParams,
     seed: u64,
 ) -> CsrGraph {
@@ -66,8 +71,8 @@ pub fn distributed_sparsifier(
 /// `Δ·⌈log₂ deg⌉` bits. Same sparsifier, very different communication
 /// profile: `2m` messages instead of `n·Δ`, and `O(Δ·log n)`-bit payloads
 /// instead of 1 bit. Experiment E9 contrasts the two.
-pub fn distributed_sparsifier_broadcast(
-    net: &mut Network<'_>,
+pub fn distributed_sparsifier_broadcast<'g>(
+    net: &mut impl Net<'g>,
     params: &SparsifierParams,
     seed: u64,
 ) -> CsrGraph {
@@ -133,6 +138,7 @@ pub fn distributed_sparsifier_broadcast(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::Network;
     use sparsimatch_graph::generators::{clique, clique_union, star, CliqueUnionConfig};
     use sparsimatch_matching::blossom::maximum_matching;
 

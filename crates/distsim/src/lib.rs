@@ -32,9 +32,11 @@
 
 pub mod algorithms;
 pub mod dynamic_net;
+pub mod faults;
 pub mod metrics;
 pub mod mpc;
 pub mod network;
 
+pub use faults::{FaultPlan, FaultRates, FaultStats, FaultyNetwork, ResilienceParams};
 pub use metrics::Metrics;
-pub use network::Network;
+pub use network::{Net, Network};

@@ -17,6 +17,77 @@ pub type Outgoing<M> = (usize, M, u64);
 /// A message received by a node: (in-port, payload).
 pub type Incoming<M> = (usize, M);
 
+/// The common interface of the perfect [`Network`] and the fault-injecting
+/// [`crate::faults::FaultyNetwork`].
+///
+/// Algorithms written against this trait run unmodified over either
+/// transport: a perfect network delivers every message exactly once per
+/// round, a faulty one may drop, duplicate, or reorder messages and take
+/// extra (accounted) rounds for ack/retry resilience. The `'g` parameter
+/// is the lifetime of the underlying topology, so `graph()` borrows the
+/// graph rather than the network and callers can hold topology references
+/// across accounted rounds.
+///
+/// `Sync` is a supertrait because the LOCAL augmentation phase fans its
+/// per-node ball computations out over threads holding `&N`.
+pub trait Net<'g>: Sync {
+    /// The underlying topology.
+    fn graph(&self) -> &'g CsrGraph;
+
+    /// Communication metrics accumulated so far.
+    fn metrics(&self) -> Metrics;
+
+    /// One logical synchronous round: every node's outbox is handed to the
+    /// transport for delivery. `outboxes[v]` lists `(port, payload, bits)`.
+    ///
+    /// # Panics
+    /// Panics if `outboxes.len() != num_nodes()` or any entry names a port
+    /// `>= deg(v)` — a malformed outbox is an algorithm bug, not a network
+    /// fault, so every transport rejects it identically.
+    fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>>;
+
+    /// Charge the canonical LOCAL "gather your radius-`r` ball" primitive
+    /// (see [`Network::charge_gather`]).
+    fn charge_gather(&mut self, radius: usize, bits_per_message: u64);
+
+    /// Collect the radius-`r` ball around `v` as the transport would
+    /// deliver it (a faulty transport omits crashed nodes).
+    fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId>;
+
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize {
+        self.graph().num_vertices()
+    }
+
+    /// The neighbor reached through `(v, port)`.
+    fn peer(&self, v: VertexId, port: usize) -> VertexId {
+        self.graph().neighbor(v, port)
+    }
+
+    /// Broadcast convenience: every node sends the same payload on all its
+    /// ports (the broadcast transmission mode of Section 3.2).
+    fn broadcast_exchange<M: Clone>(&mut self, payloads: Vec<(M, u64)>) -> Vec<Vec<Incoming<M>>> {
+        let graph = self.graph();
+        let outboxes = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(v, (payload, bits))| {
+                let deg = graph.degree(VertexId::new(v));
+                (0..deg).map(|p| (p, payload.clone(), bits)).collect()
+            })
+            .collect();
+        self.exchange(outboxes)
+    }
+
+    /// Whether this transport guarantees exactly-once, in-order delivery
+    /// to every node. Algorithms use it to gate *optional* self-checks
+    /// (maximality, properness) that only hold under perfect delivery;
+    /// their safety invariants (matching validity) never depend on it.
+    fn lossless(&self) -> bool {
+        true
+    }
+}
+
 /// The simulated network over a fixed topology.
 ///
 /// ```
@@ -107,9 +178,31 @@ impl<'g> Network<'g> {
         self.graph.neighbor(v, port)
     }
 
+    /// The port index of the edge `(v, port)` at the *other* endpoint:
+    /// a message sent on `(v, port)` arrives tagged with this in-port.
+    ///
+    /// # Panics
+    /// Panics if `port >= deg(v)`.
+    pub fn in_port(&self, v: VertexId, port: usize) -> usize {
+        assert!(port < self.graph.degree(v), "port out of range");
+        self.peer_port[self.offsets[v.index()] + port] as usize
+    }
+
+    /// Global half-edge slot of `(v, port)` — a dense id in `0..2m`, used
+    /// by the fault layer to key deterministic per-message decisions.
+    pub(crate) fn slot_of(&self, v: VertexId, port: usize) -> usize {
+        self.offsets[v.index()] + port
+    }
+
     /// One synchronous round: every node's outbox is delivered to the
     /// corresponding peer's inbox (tagged with the receiving port).
     /// `outboxes[v]` lists `(port, payload, payload_bits)`.
+    ///
+    /// # Panics
+    /// Panics if `outboxes.len() != num_nodes()` or an entry names a port
+    /// `>= deg(v)`: outboxes are produced by the simulated algorithm, not
+    /// by the (possibly adversarial) environment, so a bad port is a
+    /// protocol bug and fails loudly instead of being dropped.
     pub fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
         assert_eq!(outboxes.len(), self.num_nodes());
         self.metrics.rounds += 1;
@@ -185,6 +278,40 @@ impl<'g> Network<'g> {
             }
         }
         out
+    }
+}
+
+impl<'g> Net<'g> for Network<'g> {
+    fn graph(&self) -> &'g CsrGraph {
+        Network::graph(self)
+    }
+
+    fn metrics(&self) -> Metrics {
+        Network::metrics(self)
+    }
+
+    fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
+        Network::exchange(self, outboxes)
+    }
+
+    fn charge_gather(&mut self, radius: usize, bits_per_message: u64) {
+        Network::charge_gather(self, radius, bits_per_message)
+    }
+
+    fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId> {
+        Network::ball(self, v, radius)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Network::num_nodes(self)
+    }
+
+    fn peer(&self, v: VertexId, port: usize) -> VertexId {
+        Network::peer(self, v, port)
+    }
+
+    fn broadcast_exchange<M: Clone>(&mut self, payloads: Vec<(M, u64)>) -> Vec<Vec<Incoming<M>>> {
+        Network::broadcast_exchange(self, payloads)
     }
 }
 
@@ -269,6 +396,55 @@ mod tests {
         assert_eq!(b2, [1u32, 2, 3, 4, 5].into_iter().collect());
         let ball_all = net.ball(VertexId(0), 10);
         assert_eq!(ball_all.len(), 7);
+    }
+
+    #[test]
+    fn empty_outboxes_still_advance_rounds() {
+        // A round in which nobody speaks is still a round: synchronous
+        // models charge for the barrier, not the traffic.
+        let g = path(4);
+        let mut net = Network::new(&g);
+        for expected in 1..=3u64 {
+            let inboxes = net.exchange(vec![Vec::<Outgoing<u8>>::new(); 4]);
+            assert!(inboxes.iter().all(|i| i.is_empty()));
+            assert_eq!(net.metrics().rounds, expected);
+        }
+        assert_eq!(net.metrics().messages, 0);
+        assert_eq!(net.metrics().bits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "port out of range")]
+    fn port_out_of_range_is_a_documented_panic() {
+        let g = path(3); // vertex 0 has degree 1
+        let mut net = Network::new(&g);
+        let mut out: Vec<Vec<Outgoing<u8>>> = vec![vec![]; 3];
+        out[0].push((1, 0u8, 8));
+        let _ = net.exchange(out);
+    }
+
+    #[test]
+    #[should_panic(expected = "port out of range")]
+    fn in_port_rejects_out_of_range() {
+        let g = path(3);
+        let net = Network::new(&g);
+        let _ = net.in_port(VertexId(0), 1);
+    }
+
+    #[test]
+    fn in_port_matches_delivery_tag() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut net = Network::new(&g);
+        for v in 0..5 {
+            let v = VertexId::new(v);
+            for port in 0..g.degree(v) {
+                let mut out: Vec<Vec<Outgoing<u8>>> = vec![vec![]; 5];
+                out[v.index()].push((port, 1u8, 1));
+                let inboxes = net.exchange(out);
+                let u = net.peer(v, port);
+                assert_eq!(inboxes[u.index()], vec![(net.in_port(v, port), 1u8)]);
+            }
+        }
     }
 
     #[test]

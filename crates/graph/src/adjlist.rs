@@ -123,6 +123,8 @@ impl AdjListGraph {
             // the stored position of v within the edge {v, w}.
             let w = VertexId(list[pos]);
             let key = Self::key(v, w);
+            // Safety: w is still in v's list, so the edge {v, w} was inserted
+            // and not yet removed — its position entry must exist.
             let entry = self
                 .positions
                 .get_mut(&key)

@@ -29,6 +29,7 @@ pub fn degeneracy(g: &CsrGraph) -> usize {
         return 0;
     }
     let mut deg: Vec<usize> = (0..n).map(|v| g.degree(VertexId::new(v))).collect();
+    // Safety: n > 0 here (guarded above), so `deg` is non-empty.
     let max_deg = *deg.iter().max().unwrap();
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
     for (v, &d) in deg.iter().enumerate() {
@@ -47,6 +48,9 @@ pub fn degeneracy(g: &CsrGraph) -> usize {
             while cursor <= max_deg && buckets[cursor].is_empty() {
                 cursor += 1;
             }
+            // Safety: the inner while loop advanced past empty buckets, and
+            // every live vertex sits in buckets[deg[v]] ≤ max_deg, so a
+            // non-empty bucket exists while any vertex remains unpeeled.
             let candidate = buckets[cursor].pop().unwrap();
             let cu = candidate as usize;
             if !removed[cu] && deg[cu] == cursor {

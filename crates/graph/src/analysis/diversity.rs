@@ -165,6 +165,8 @@ fn bron_kerbosch(
         .ones()
         .chain(x.ones())
         .max_by_key(|&u| adj[u].count_and(&p))
+        // Safety: the P = X = ∅ base case returned above, so the chained
+        // iterator yields at least one vertex.
         .expect("P ∪ X nonempty here");
     let mut p = p;
     let mut x = x;

@@ -344,7 +344,11 @@ fn layout_sorted_parallel(n: usize, edges: Vec<(u32, u32)>, threads: usize) -> C
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            // Safety: join() only errs on a worker panic — propagate it.
+            .map(|h| h.join().expect("degree-count worker panicked"))
+            .collect()
     });
     let t_actual = per_thread_degree.len();
 
@@ -372,7 +376,11 @@ fn layout_sorted_parallel(n: usize, edges: Vec<(u32, u32)>, threads: usize) -> C
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            // Safety: join() only errs on a worker panic — propagate it.
+            .map(|h| h.join().expect("range-total worker panicked"))
+            .collect()
     });
     let mut range_starts = Vec::with_capacity(ranges.len() + 1);
     range_starts.push(0usize);

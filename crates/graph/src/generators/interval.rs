@@ -23,7 +23,9 @@ pub fn proper_interval(n: usize, span: f64, rng: &mut impl Rng) -> CsrGraph {
 /// sorted in place; vertex `i` of the result is the interval with the
 /// `i`-th smallest left endpoint).
 pub fn build_unit_interval_graph(lefts: &mut [f64]) -> CsrGraph {
-    lefts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: callers may pass arbitrary floats (NaN included); a total
+    // order keeps the sort panic-free and deterministic.
+    lefts.sort_by(|a, b| a.total_cmp(b));
     let n = lefts.len();
     let mut b = GraphBuilder::new(n);
     // Sorted sweep: i overlaps j > i iff lefts[j] <= lefts[i] + 1.

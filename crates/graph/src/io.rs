@@ -12,17 +12,53 @@
 //! The header's `m` is validated against the body. Self-loops and
 //! duplicate edges are rejected on read (the in-memory representation
 //! does not admit them, so silently dropping would corrupt round-trips).
+//!
+//! Input is treated as **untrusted**: header counts are range-checked
+//! against [`MAX_VERTICES`] / [`MAX_EDGES`] and against each other
+//! (`m ≤ n·(n−1)/2`, computed in 128 bits) *before* any allocation is
+//! sized from them, and the edge-buffer preallocation is additionally
+//! capped so a lying header cannot reserve gigabytes up front. Every
+//! malformed-input path returns a typed [`ReadError`]; none panics.
 
 use crate::csr::{CsrGraph, GraphBuilder};
 use crate::ids::VertexId;
 use std::io::{BufRead, Write};
+
+/// Largest accepted vertex count (2²⁷ ≈ 134M: ids stay well inside `u32`
+/// and the CSR layout arrays stay addressable).
+pub const MAX_VERTICES: usize = 1 << 27;
+
+/// Largest accepted edge count (2²⁸ ≈ 268M half-gigabyte edge list).
+pub const MAX_EDGES: usize = 1 << 28;
+
+/// Upper bound on the edge-buffer capacity reserved from the (untrusted)
+/// header; the buffer still grows on demand for honest large inputs.
+const PREALLOC_EDGES: usize = 1 << 16;
 
 /// Errors from [`read_edge_list`].
 #[derive(Debug)]
 pub enum ReadError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Structural problem with the file contents.
+    /// A header count exceeds the hard input limits ([`MAX_VERTICES`],
+    /// [`MAX_EDGES`], or `m > n·(n−1)/2`).
+    TooLarge {
+        /// 1-based line number.
+        line: usize,
+        /// What was out of bounds and by how much.
+        message: String,
+    },
+    /// An edge line joins a vertex to itself.
+    SelfLoop {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An edge line repeats an earlier edge (in either orientation).
+    DuplicateEdge {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Any other structural problem with the file contents.
     Parse {
         /// 1-based line number.
         line: usize,
@@ -35,6 +71,11 @@ impl std::fmt::Display for ReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::TooLarge { line, message } => {
+                write!(f, "line {line}: input too large: {message}")
+            }
+            ReadError::SelfLoop { line } => write!(f, "line {line}: self-loop"),
+            ReadError::DuplicateEdge { line } => write!(f, "line {line}: duplicate edge"),
             ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
         }
     }
@@ -56,6 +97,10 @@ fn parse_error(line: usize, message: impl Into<String>) -> ReadError {
 }
 
 /// Read a graph from edge-list text.
+///
+/// Safe on untrusted input: header counts are validated against
+/// [`MAX_VERTICES`] / [`MAX_EDGES`] / `m ≤ n·(n−1)/2` before they size
+/// anything, and every malformed line maps to a typed [`ReadError`].
 pub fn read_edge_list(reader: impl BufRead) -> Result<CsrGraph, ReadError> {
     let mut header: Option<(usize, usize)> = None;
     let mut builder: Option<GraphBuilder> = None;
@@ -69,12 +114,14 @@ pub fn read_edge_list(reader: impl BufRead) -> Result<CsrGraph, ReadError> {
             continue;
         }
         let mut fields = content.split_whitespace();
-        let a: usize = fields
+        // Parse as u64 so a 32-bit usize cannot make huge counts wrap
+        // into "valid" small ones; range-check before narrowing.
+        let a: u64 = fields
             .next()
             .ok_or_else(|| parse_error(lineno, "missing first field"))?
             .parse()
             .map_err(|e| parse_error(lineno, format!("bad integer: {e}")))?;
-        let b: usize = fields
+        let b: u64 = fields
             .next()
             .ok_or_else(|| parse_error(lineno, "missing second field"))?
             .parse()
@@ -84,22 +131,48 @@ pub fn read_edge_list(reader: impl BufRead) -> Result<CsrGraph, ReadError> {
         }
         match (&header, &mut builder) {
             (None, _) => {
-                header = Some((a, b));
-                builder = Some(GraphBuilder::with_capacity(a, b));
+                if a > MAX_VERTICES as u64 {
+                    return Err(ReadError::TooLarge {
+                        line: lineno,
+                        message: format!("{a} vertices (max {MAX_VERTICES})"),
+                    });
+                }
+                if b > MAX_EDGES as u64 {
+                    return Err(ReadError::TooLarge {
+                        line: lineno,
+                        message: format!("{b} edges (max {MAX_EDGES})"),
+                    });
+                }
+                // A simple graph on n vertices has at most n(n-1)/2 edges;
+                // 128-bit arithmetic so the product cannot overflow.
+                let max_m = (a as u128) * (a as u128).saturating_sub(1) / 2;
+                if (b as u128) > max_m {
+                    return Err(ReadError::TooLarge {
+                        line: lineno,
+                        message: format!("{b} edges on {a} vertices (max {max_m})"),
+                    });
+                }
+                let (n, m) = (a as usize, b as usize);
+                header = Some((n, m));
+                // Cap the reserve: the header is untrusted, so it may
+                // promise far more edges than the file contains.
+                builder = Some(GraphBuilder::with_capacity(n, m.min(PREALLOC_EDGES)));
             }
             (Some((n, m)), Some(builder)) => {
                 let (n, m) = (*n, *m);
-                if a >= n || b >= n {
+                if a >= n as u64 || b >= n as u64 {
                     return Err(parse_error(
                         lineno,
                         format!("vertex out of range (n = {n})"),
                     ));
                 }
+                // In range => fits usize (n ≤ MAX_VERTICES).
+                let (a, b) = (a as usize, b as usize);
                 if a == b {
-                    return Err(parse_error(lineno, "self-loop"));
+                    return Err(ReadError::SelfLoop { line: lineno });
                 }
                 if !seen.insert((a.min(b), a.max(b))) {
-                    return Err(parse_error(lineno, "duplicate edge"));
+                    return Err(ReadError::DuplicateEdge { line: lineno });
                 }
                 edges_read += 1;
                 if edges_read > m {
@@ -122,6 +195,8 @@ pub fn read_edge_list(reader: impl BufRead) -> Result<CsrGraph, ReadError> {
             format!("declared {m} edges but found {edges_read}"),
         ));
     }
+    // Safety: edges_read == m implies the header line was parsed, and
+    // parsing the header is what constructs `builder`.
     Ok(builder.expect("header implies builder").build())
 }
 
@@ -195,6 +270,48 @@ mod tests {
                 msg.contains(needle),
                 "input {text:?}: expected {needle:?} in {msg:?}"
             );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_and_lying_headers() {
+        // (header, expect-TooLarge). None of these may allocate from the
+        // claimed sizes — TooLarge fires before the builder exists.
+        let too_large = [
+            format!("{} 1\n", MAX_VERTICES + 1),    // n over the cap
+            format!("3 {}\n", MAX_EDGES + 1),       // m over the cap
+            "18446744073709551615 1\n".to_string(), // u64::MAX vertices
+            "4 7\n".to_string(),                    // m > n(n-1)/2 = 6
+            "1 1\n".to_string(),                    // no edges fit n = 1
+            "0 1\n".to_string(),                    // ... or n = 0
+        ];
+        for text in &too_large {
+            match read_edge_list(std::io::Cursor::new(text.as_str())) {
+                Err(ReadError::TooLarge { line: 1, .. }) => {}
+                other => panic!("{text:?}: expected TooLarge, got {other:?}"),
+            }
+        }
+        // Beyond-u64 counts are a parse error, not a silent wrap.
+        let err = read_edge_list(std::io::Cursor::new("99999999999999999999999 0\n"));
+        assert!(
+            matches!(err, Err(ReadError::Parse { line: 1, .. })),
+            "{err:?}"
+        );
+        // Boundary acceptance: the largest legal n parses (with m = 0 the
+        // capped preallocation keeps this instant).
+        let ok = read_edge_list(std::io::Cursor::new(format!("{MAX_VERTICES} 0\n")));
+        assert_eq!(ok.unwrap().num_vertices(), MAX_VERTICES);
+    }
+
+    #[test]
+    fn typed_variants_carry_line_numbers() {
+        match read_edge_list(std::io::Cursor::new("3 2\n0 1\n2 2\n")) {
+            Err(ReadError::SelfLoop { line: 3 }) => {}
+            other => panic!("expected SelfLoop at line 3, got {other:?}"),
+        }
+        match read_edge_list(std::io::Cursor::new("3 2\n0 1\n1 0\n")) {
+            Err(ReadError::DuplicateEdge { line: 3 }) => {}
+            other => panic!("expected DuplicateEdge at line 3, got {other:?}"),
         }
     }
 

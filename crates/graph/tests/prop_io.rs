@@ -1,0 +1,83 @@
+//! Property tests for edge-list I/O: write→read round-trips exactly, and
+//! reading adversarial bytes never panics — every failure is a typed
+//! [`ReadError`] (ISSUE 3 satellite: untrusted-input hardening).
+
+use proptest::prelude::*;
+use sparsimatch_graph::csr::from_edges;
+use sparsimatch_graph::io::{read_edge_list, write_edge_list, ReadError};
+
+const N: usize = 24;
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..N, 0..N), 0..90)
+}
+
+/// Lines assembled from a small adversarial alphabet: numbers around the
+/// limits, negatives, floats, junk tokens, comments, blanks.
+fn arb_hostile_text() -> impl Strategy<Value = String> {
+    let token = proptest::collection::vec(0u8..14, 1..4).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|p| match p {
+                0 => "0".to_string(),
+                1 => "1".to_string(),
+                2 => "7".to_string(),
+                3 => "134217728".to_string(), // MAX_VERTICES + 1
+                4 => "268435457".to_string(), // MAX_EDGES + 1
+                5 => "18446744073709551615".to_string(), // u64::MAX
+                6 => "99999999999999999999999".to_string(), // > u64::MAX
+                7 => "-3".to_string(),
+                8 => "2.5".to_string(),
+                9 => "x".to_string(),
+                10 => "# c".to_string(),
+                11 => String::new(),
+                12 => "3 3".to_string(),
+                _ => "0 1".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    });
+    proptest::collection::vec(token, 0..12).prop_map(|lines| lines.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_read_round_trip_is_exact(edges in arb_edges()) {
+        let g = from_edges(N, edges);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write to Vec cannot fail");
+        let h = read_edge_list(std::io::Cursor::new(buf)).expect("own output must parse");
+        prop_assert_eq!(h.num_vertices(), g.num_vertices());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        let ge: Vec<_> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        let he: Vec<_> = h.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        prop_assert_eq!(ge, he);
+    }
+
+    #[test]
+    fn hostile_input_never_panics(text in arb_hostile_text()) {
+        // The assertion is the absence of a panic/abort: any outcome must
+        // be a normal return. Errors must also render (Display is part of
+        // the CLI contract).
+        match read_edge_list(std::io::Cursor::new(text)) {
+            Ok(g) => prop_assert!(g.num_vertices() <= sparsimatch_graph::io::MAX_VERTICES),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_without_allocation(
+        n in 134_217_729u64..u64::MAX / 4,
+        m in 268_435_457u64..u64::MAX / 4,
+    ) {
+        // Giant counts must fail fast with TooLarge — reaching this error
+        // at proptest speed is itself evidence nothing was sized from them.
+        let text = format!("{n} {m}\n");
+        match read_edge_list(std::io::Cursor::new(text)) {
+            Err(ReadError::TooLarge { line: 1, .. }) => {}
+            other => prop_assert!(false, "expected TooLarge, got {:?}", other.map(|g| g.num_vertices())),
+        }
+    }
+}

@@ -51,6 +51,15 @@ pub mod keys {
     pub const EDGES_SEEN: &str = "stream.edges_seen";
     /// Edges retained by a streaming matcher.
     pub const EDGES_RETAINED: &str = "stream.edges_retained";
+    /// Messages lost to injected drops or crashed endpoints.
+    pub const FAULTS_DROPPED: &str = "faults.dropped";
+    /// Extra message deliveries from injected duplication (or ack-loss
+    /// retransmits).
+    pub const FAULTS_DUPLICATED: &str = "faults.duplicated";
+    /// Message retransmissions performed by the ack/retry resilience layer.
+    pub const FAULTS_RETRIES: &str = "faults.retries";
+    /// Node-rounds spent crashed (summed over nodes and rounds).
+    pub const FAULTS_CRASHED_ROUNDS: &str = "faults.crashed_rounds";
     /// Span: pipeline stage 1, marking edges for the sparsifier.
     pub const STAGE_MARK: &str = "stage.mark";
     /// Span: pipeline stage 2, extracting the sparsifier CSR.

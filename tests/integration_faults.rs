@@ -1,0 +1,221 @@
+//! Cross-crate integration: the distributed pipeline under fault
+//! injection (ISSUE 3 tentpole). The per-algorithm chaos coverage lives
+//! in `crates/distsim/tests/chaos.rs`; this file pins the end-to-end
+//! pipeline contract: valid matchings under every standing plan,
+//! deterministic replay, zero-fault equality with the perfect-network
+//! pipeline, and the ack/retry resilience layer recovering matching size
+//! at a visible (and accounted) round cost.
+
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch::distsim::algorithms::pipeline::{
+    distributed_approx_mcm, distributed_approx_mcm_faulty, distributed_maximal_baseline,
+    distributed_maximal_baseline_faulty, distributed_randomized_maximal,
+    distributed_randomized_maximal_faulty, DistributedOutcome,
+};
+use sparsimatch::distsim::{FaultPlan, FaultRates, FaultStats, ResilienceParams};
+use sparsimatch::prelude::*;
+
+fn chaos_graph() -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    clique_union(
+        CliqueUnionConfig {
+            n: 120,
+            diversity: 2,
+            clique_size: 24,
+        },
+        &mut rng,
+    )
+}
+
+fn standing_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "drop",
+            FaultPlan::new(
+                seed,
+                FaultRates {
+                    drop: 0.3,
+                    ..Default::default()
+                },
+            )
+            .with_horizon(40),
+        ),
+        (
+            "mixed",
+            FaultPlan::new(
+                seed,
+                FaultRates {
+                    drop: 0.25,
+                    duplicate: 0.25,
+                    reorder: 0.5,
+                    ..Default::default()
+                },
+            )
+            .with_horizon(60),
+        ),
+        (
+            "crash",
+            FaultPlan::new(
+                seed,
+                FaultRates {
+                    crash: 0.15,
+                    ..Default::default()
+                },
+            )
+            .with_crash_period(4)
+            .with_horizon(48),
+        ),
+    ]
+}
+
+fn assert_outcomes_equal(a: &DistributedOutcome, b: &DistributedOutcome, ctx: &str) {
+    let pa: Vec<_> = a.matching.pairs().collect();
+    let pb: Vec<_> = b.matching.pairs().collect();
+    assert_eq!(pa, pb, "{ctx}: matchings differ");
+    assert_eq!(a.metrics, b.metrics, "{ctx}: metrics differ");
+    assert_eq!(a.phase_rounds, b.phase_rounds, "{ctx}: phase rounds differ");
+    assert_eq!(a.faults, b.faults, "{ctx}: fault counters differ");
+    assert_eq!(
+        a.composed_max_degree, b.composed_max_degree,
+        "{ctx}: composed degree differs"
+    );
+}
+
+#[test]
+fn pipeline_stays_valid_and_replayable_under_every_plan() {
+    let g = chaos_graph();
+    let params = SparsifierParams::with_delta(2, 0.5, 8);
+    type Variant =
+        fn(&CsrGraph, &SparsifierParams, u64, &FaultPlan, ResilienceParams) -> DistributedOutcome;
+    let variants: [(&str, Variant); 3] = [
+        ("approx_mcm", distributed_approx_mcm_faulty),
+        ("maximal_baseline", distributed_maximal_baseline_faulty),
+        ("randomized_maximal", distributed_randomized_maximal_faulty),
+    ];
+    for (vname, run) in variants {
+        for (pname, plan) in standing_plans(41) {
+            let ctx = format!("{vname}/{pname}");
+            let out = run(&g, &params, 7, &plan, ResilienceParams::off());
+            assert!(out.matching.is_valid_for(&g), "{ctx}: invalid matching");
+            let again = run(&g, &params, 7, &plan, ResilienceParams::off());
+            assert_outcomes_equal(&out, &again, &ctx);
+            // Faults actually happened — the plan is not a silent no-op.
+            assert!(
+                out.faults.dropped + out.faults.duplicated + out.faults.crashed_rounds > 0,
+                "{ctx}: plan injected nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_fault_pipeline_equals_perfect_network_exactly() {
+    let g = chaos_graph();
+    let params = SparsifierParams::with_delta(2, 0.5, 8);
+    let plan = FaultPlan::none();
+    let off = ResilienceParams::off();
+
+    let ctxs = [
+        (
+            distributed_approx_mcm(&g, &params, 7),
+            distributed_approx_mcm_faulty(&g, &params, 7, &plan, off),
+            "approx_mcm",
+        ),
+        (
+            distributed_maximal_baseline(&g, &params, 7),
+            distributed_maximal_baseline_faulty(&g, &params, 7, &plan, off),
+            "maximal_baseline",
+        ),
+        (
+            distributed_randomized_maximal(&g, &params, 7),
+            distributed_randomized_maximal_faulty(&g, &params, 7, &plan, off),
+            "randomized_maximal",
+        ),
+    ];
+    for (perfect, faulty, ctx) in &ctxs {
+        assert_outcomes_equal(perfect, faulty, ctx);
+        assert_eq!(faulty.faults, FaultStats::default(), "{ctx}");
+    }
+}
+
+#[test]
+fn resilience_recovers_matching_size_at_a_round_cost() {
+    let g = chaos_graph();
+    let params = SparsifierParams::with_delta(2, 0.5, 8);
+    // Heavy early losses: 60% drops in the first 3 rounds hit the
+    // one-round sparsifier phases hard.
+    let plan = FaultPlan::new(
+        2,
+        FaultRates {
+            drop: 0.6,
+            ..Default::default()
+        },
+    )
+    .with_horizon(3);
+
+    let fragile =
+        distributed_maximal_baseline_faulty(&g, &params, 7, &plan, ResilienceParams::off());
+    let hardened =
+        distributed_maximal_baseline_faulty(&g, &params, 7, &plan, ResilienceParams::retry(3));
+    let baseline = distributed_maximal_baseline(&g, &params, 7);
+
+    assert!(fragile.matching.is_valid_for(&g));
+    assert!(hardened.matching.is_valid_for(&g));
+    // Retries win back sparsifier edges the drops destroyed.
+    assert!(
+        hardened.matching.len() >= fragile.matching.len(),
+        "resilience made things worse: {} < {}",
+        hardened.matching.len(),
+        fragile.matching.len()
+    );
+    assert!(hardened.faults.retries > 0, "retry layer never fired");
+    // The recovery is paid for in accounted rounds and messages (acks).
+    assert!(hardened.metrics.rounds > fragile.metrics.rounds);
+    assert!(hardened.metrics.messages > fragile.metrics.messages);
+    // And with losses confined to 3 rounds + 3 retries each, the hardened
+    // run should land close to the fault-free baseline.
+    assert!(
+        hardened.matching.len() * 10 >= baseline.matching.len() * 9,
+        "hardened {} too far below baseline {}",
+        hardened.matching.len(),
+        baseline.matching.len()
+    );
+}
+
+#[test]
+fn drop_rate_degrades_matching_size_monotonically_in_expectation() {
+    // The sweep experiment's core claim, pinned at test scale: averaged
+    // over seeds, matching size does not increase when the drop rate does.
+    let g = chaos_graph();
+    let params = SparsifierParams::with_delta(2, 0.5, 8);
+    let exact = maximum_matching(&g).len();
+    let mut means = Vec::new();
+    for drop in [0.0, 0.4, 0.95] {
+        let mut total = 0usize;
+        for seed in 0..5u64 {
+            let plan = FaultPlan::new(
+                seed,
+                FaultRates {
+                    drop,
+                    ..Default::default()
+                },
+            )
+            .with_horizon(2); // both one-round sparsifier phases disrupted
+            let out = distributed_maximal_baseline_faulty(
+                &g,
+                &params,
+                seed,
+                &plan,
+                ResilienceParams::off(),
+            );
+            assert!(out.matching.is_valid_for(&g));
+            total += out.matching.len();
+        }
+        means.push(total as f64 / 5.0);
+    }
+    assert!(
+        means[0] >= means[1] && means[1] >= means[2],
+        "matching size not degrading with drop rate: {means:?}"
+    );
+    assert!(means[0] as usize * 2 >= exact, "p=0 sanity bound");
+}
