@@ -11,7 +11,11 @@
 
 pub mod stats;
 pub mod table;
-pub mod workloads;
+/// The β-certified instance families, re-exported from
+/// [`sparsimatch_graph::workloads`] (their canonical home, so the
+/// differential-testing harness `sparsimatch-check` can fuzz the exact
+/// same distributions the experiments report on).
+pub use sparsimatch_graph::workloads;
 
 use sparsimatch_obs::Json;
 

@@ -205,3 +205,26 @@ fn bench_baseline_writes_valid_schema() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The *committed* baseline (repo-root `BENCH_pipeline.json`) must record
+/// the bench host's hardware parallelism — speedup ratios are
+/// uninterpretable without it (see EXPERIMENTS.md "Benchmark baseline").
+#[test]
+fn committed_baseline_records_positive_host_parallelism() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pipeline.json");
+    let text = std::fs::read_to_string(&path).expect("committed BENCH_pipeline.json present");
+    let doc = Json::parse(&text).expect("committed baseline parses");
+    assert_eq!(
+        doc.get("benchmark").unwrap().as_str(),
+        Some("bench_pipeline")
+    );
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("full"));
+    let host = doc
+        .get("host_parallelism")
+        .expect("host_parallelism field missing from the committed baseline")
+        .as_u64()
+        .expect("host_parallelism is not an unsigned integer");
+    assert!(host >= 1, "host_parallelism must be positive, got {host}");
+}

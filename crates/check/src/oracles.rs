@@ -1,0 +1,465 @@
+//! Oracle comparators: run an algorithm on an instance and judge the
+//! output against ground truth computed the slow, trustworthy way.
+//!
+//! Every check here is a paper claim made executable at small `n`:
+//!
+//! * **static** — the Theorem 3.1 pipeline vs exact blossom MCM
+//!   (`|MCM(G)| ≤ (1+ε)·|pipeline(G)|`), the β certificate audited by
+//!   exact branch and bound, and the sparsifier invariants: subgraph-ness,
+//!   the Observation 2.10 size bound, the Observation 2.12 arboricity
+//!   bound, and the Theorem 2.1 sparsification ratio itself.
+//! * **dynamic** — the Theorem 3.5 window scheme replayed against a full
+//!   recompute (exact blossom on a reference graph) at periodic audits,
+//!   plus validity of the served matching at every audit and the
+//!   per-update work cap.
+//! * **distsim** — the Theorem 3.2/3.3 distributed pipeline vs the
+//!   sequential pipeline on the same seed, zero-fault transparency of the
+//!   faulty network (byte-identical outcome), and validity under a seeded
+//!   fault plan.
+//!
+//! Oracles return the *first* violation they find; messages embed the
+//! concrete numbers so a reproducer file doubles as a witness.
+
+use crate::instance::{CheckConfig, CheckInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparsimatch_core::pipeline::approx_mcm_via_sparsifier;
+use sparsimatch_core::sparsifier::build_sparsifier;
+use sparsimatch_distsim::algorithms::pipeline::{
+    distributed_approx_mcm, distributed_approx_mcm_faulty, DistributedOutcome,
+};
+use sparsimatch_distsim::{FaultPlan, FaultRates, ResilienceParams};
+use sparsimatch_dynamic::adversary::Update;
+use sparsimatch_dynamic::scheme::DynamicMatcher;
+use sparsimatch_graph::adjlist::AdjListGraph;
+use sparsimatch_graph::analysis::arboricity::arboricity_bounds;
+use sparsimatch_graph::analysis::independence::neighborhood_independence_at_most;
+use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::ids::VertexId;
+use sparsimatch_matching::blossom::maximum_matching;
+use sparsimatch_matching::Matching;
+
+/// Additive slack on the dynamic ratio check: the served matching may be
+/// one window stale (Gupta–Peng stability) and pruned by in-window
+/// deletions, which at these instance sizes is worth a couple of edges on
+/// top of the `(1+ε)` factor.
+pub const DYNAMIC_ABS_SLACK: f64 = 2.0;
+
+/// Additive slack on the distributed ratio checks: the whp guarantee is
+/// asymptotic, and a single unlucky vertex at `n ≤ 34` is one matched
+/// edge of noise.
+pub const DISTSIM_ABS_SLACK: f64 = 2.0;
+
+/// How often the dynamic oracle stops the stream and compares against a
+/// full recompute (every update would be O(steps · blossom); every 25th
+/// plus the final state keeps the sweep fast without losing the bug the
+/// audit exists to catch).
+const DYNAMIC_AUDIT_PERIOD: usize = 25;
+
+/// Tiny epsilon absorbing float rounding in ratio comparisons.
+const FLOAT_FUDGE: f64 = 1e-9;
+
+/// A failed check: which invariant broke, with a concrete witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable slug naming the invariant (e.g. `thm3.1-ratio`).
+    pub check: String,
+    /// Human-readable witness with the measured numbers.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(check: &str, message: String) -> Self {
+        Violation {
+            check: check.to_string(),
+            message,
+        }
+    }
+}
+
+/// Which oracle judges a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Sequential pipeline + sparsifier invariants + β audit.
+    Static,
+    /// Dynamic scheme vs full recompute under the recorded stream.
+    Dynamic,
+    /// Distributed pipeline (perfect + faulty) vs the sequential one.
+    Distsim,
+}
+
+impl OracleKind {
+    /// Stable name used in reproducer files.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Static => "static",
+            OracleKind::Dynamic => "dynamic",
+            OracleKind::Distsim => "distsim",
+        }
+    }
+
+    /// Parse a reproducer's oracle name.
+    pub fn from_name(name: &str) -> Result<OracleKind, String> {
+        match name {
+            "static" => Ok(OracleKind::Static),
+            "dynamic" => Ok(OracleKind::Dynamic),
+            "distsim" => Ok(OracleKind::Distsim),
+            other => Err(format!("unknown oracle {other:?}")),
+        }
+    }
+
+    /// Run this oracle on `inst`, returning the first violated invariant.
+    pub fn check(self, inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+        match self {
+            OracleKind::Static => check_static(inst, cfg),
+            OracleKind::Dynamic => check_dynamic(inst, cfg),
+            OracleKind::Distsim => check_distsim(inst, cfg),
+        }
+    }
+}
+
+fn ratio_exceeded(exact: usize, approx: usize, bound: f64) -> bool {
+    exact as f64 > bound * approx as f64 + FLOAT_FUDGE
+}
+
+fn check_static(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+    let g = inst.graph();
+    // β audit: the certificate every Δ sizing rests on, verified by exact
+    // branch and bound (cheap at these n).
+    if !neighborhood_independence_at_most(&g, inst.beta) {
+        return Some(Violation::new(
+            "beta-certificate",
+            format!(
+                "family {} certifies beta <= {} but a larger independent neighborhood set exists",
+                inst.family, inst.beta
+            ),
+        ));
+    }
+    if g.num_edges() == 0 {
+        return None;
+    }
+    let params = inst.params();
+    let bound = inst.ratio_bound(cfg);
+    let exact = maximum_matching(&g);
+
+    // Theorem 3.1: the end-to-end pipeline is a valid (1+ε)-approximation.
+    let r = match approx_mcm_via_sparsifier(&g, &params, inst.algo_seed, 1) {
+        Ok(r) => r,
+        Err(e) => {
+            return Some(Violation::new(
+                "pipeline-error",
+                format!("single-threaded pipeline rejected: {e}"),
+            ))
+        }
+    };
+    if !r.matching.is_valid_for(&g) {
+        return Some(Violation::new(
+            "pipeline-validity",
+            "pipeline output is not a valid matching of the input graph".to_string(),
+        ));
+    }
+    if ratio_exceeded(exact.len(), r.matching.len(), bound) {
+        return Some(Violation::new(
+            "thm3.1-ratio",
+            format!(
+                "exact MCM {} > {bound:.4} x pipeline matching {} (delta = {})",
+                exact.len(),
+                r.matching.len(),
+                params.delta
+            ),
+        ));
+    }
+
+    // Sparsifier invariants on an independently seeded construction.
+    let s = build_sparsifier(&g, &params, &mut StdRng::seed_from_u64(inst.algo_seed));
+    for (_, u, v) in s.graph.edges() {
+        if !g.has_edge(u, v) {
+            return Some(Violation::new(
+                "sparsifier-subgraph",
+                format!(
+                    "sparsifier contains ({}, {}) which is not an input edge",
+                    u.0, v.0
+                ),
+            ));
+        }
+    }
+    if s.stats.edges > params.size_bound(exact.len()) {
+        return Some(Violation::new(
+            "obs2.10-size",
+            format!(
+                "sparsifier has {} edges > 2·MCM·(cap+beta) = {}",
+                s.stats.edges,
+                params.size_bound(exact.len())
+            ),
+        ));
+    }
+    if s.stats.edges > params.naive_size_bound(g.num_vertices()) {
+        return Some(Violation::new(
+            "naive-size",
+            format!(
+                "sparsifier has {} edges > n·cap = {}",
+                s.stats.edges,
+                params.naive_size_bound(g.num_vertices())
+            ),
+        ));
+    }
+    if s.graph.num_edges() > 0 {
+        let (arb_lo, _) = arboricity_bounds(&s.graph);
+        if arb_lo > params.arboricity_bound() {
+            return Some(Violation::new(
+                "obs2.12-arboricity",
+                format!(
+                    "sparsifier arboricity >= {arb_lo} > 2·cap = {}",
+                    params.arboricity_bound()
+                ),
+            ));
+        }
+    }
+    // Theorem 2.1 proper: the sparsifier alone preserves the MCM.
+    let exact_sparse = maximum_matching(&s.graph).len();
+    if ratio_exceeded(exact.len(), exact_sparse, bound) {
+        return Some(Violation::new(
+            "thm2.1-ratio",
+            format!(
+                "exact MCM {} > {bound:.4} x sparsifier MCM {exact_sparse} (delta = {})",
+                exact.len(),
+                params.delta
+            ),
+        ));
+    }
+    None
+}
+
+fn check_dynamic(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+    let params = inst.params();
+    let bound = inst.ratio_bound(cfg);
+    let mut matcher = DynamicMatcher::new(inst.n, params, inst.algo_seed);
+    let work_cap = 4 * matcher.work_bound();
+    // Reference graph maintained the boring way; `maximum_matching` on its
+    // snapshots is the full-recompute oracle.
+    let mut reference = AdjListGraph::new(inst.n);
+    for (i, &update) in inst.updates.iter().enumerate() {
+        match update {
+            Update::Insert(u, v) => {
+                reference.insert_edge(u, v);
+            }
+            Update::Delete(u, v) => {
+                reference.delete_edge(u, v);
+            }
+        }
+        let report = matcher.apply(update);
+        if report.work > work_cap {
+            return Some(Violation::new(
+                "thm3.5-work",
+                format!(
+                    "update {i} charged {} work units > 4 x bound {} (O(Delta/eps^3))",
+                    report.work,
+                    matcher.work_bound()
+                ),
+            ));
+        }
+        let last = i + 1 == inst.updates.len();
+        if last || (i + 1) % DYNAMIC_AUDIT_PERIOD == 0 {
+            let snapshot = reference.to_csr();
+            if !matcher.matching().is_valid_for(&snapshot) {
+                return Some(Violation::new(
+                    "dynamic-validity",
+                    format!("served matching invalid after update {i}"),
+                ));
+            }
+            let exact = maximum_matching(&snapshot).len();
+            let served = matcher.matching().len();
+            if exact as f64 > bound * served as f64 + DYNAMIC_ABS_SLACK + FLOAT_FUDGE {
+                return Some(Violation::new(
+                    "thm3.5-ratio",
+                    format!(
+                        "after update {i}: exact MCM {exact} > {bound:.4} x served {served} + {DYNAMIC_ABS_SLACK} (delta = {})",
+                        params.delta
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// The seeded fault plan the distsim oracle stresses every instance with.
+fn stress_plan(inst: &CheckInstance) -> FaultPlan {
+    FaultPlan::new(
+        inst.algo_seed ^ 0xFA17_5EED,
+        FaultRates {
+            drop: 0.15,
+            duplicate: 0.08,
+            reorder: 0.2,
+            crash: 0.04,
+        },
+    )
+    .with_crash_period(4)
+}
+
+/// Everything a distsim run must keep bit-identical across replays:
+/// matching pairs, round/message/bit totals, and per-phase round counts.
+type OutcomeFingerprint = (Vec<(u32, u32)>, u64, u64, u64, (u64, u64, u64));
+
+fn outcome_fingerprint(o: &DistributedOutcome) -> OutcomeFingerprint {
+    (
+        matching_pairs(&o.matching),
+        o.metrics.rounds,
+        o.metrics.messages,
+        o.metrics.bits,
+        o.phase_rounds,
+    )
+}
+
+fn matching_pairs(m: &Matching) -> Vec<(u32, u32)> {
+    m.pairs()
+        .map(|(u, v): (VertexId, VertexId)| (u.0, v.0))
+        .collect()
+}
+
+fn check_distsim(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+    let g: CsrGraph = inst.graph();
+    if g.num_edges() == 0 {
+        return None;
+    }
+    let params = inst.params();
+    let bound = inst.ratio_bound(cfg);
+    let exact = maximum_matching(&g).len();
+
+    // Sequential pipeline on the same seed — the comparison baseline.
+    let seq = match approx_mcm_via_sparsifier(&g, &params, inst.algo_seed, 1) {
+        Ok(r) => r.matching,
+        Err(e) => {
+            return Some(Violation::new(
+                "pipeline-error",
+                format!("single-threaded pipeline rejected: {e}"),
+            ))
+        }
+    };
+
+    let perfect = distributed_approx_mcm(&g, &params, inst.algo_seed);
+    if !perfect.matching.is_valid_for(&g) {
+        return Some(Violation::new(
+            "distsim-validity",
+            "perfect-network distributed matching invalid for the input".to_string(),
+        ));
+    }
+
+    // Zero-fault transparency: a FaultyNetwork with the empty plan must be
+    // indistinguishable from the perfect network, metrics included.
+    let zero = distributed_approx_mcm_faulty(
+        &g,
+        &params,
+        inst.algo_seed,
+        &FaultPlan::none(),
+        ResilienceParams::off(),
+    );
+    if outcome_fingerprint(&zero) != outcome_fingerprint(&perfect)
+        || zero.faults != Default::default()
+    {
+        return Some(Violation::new(
+            "zero-fault-transparency",
+            format!(
+                "zero-fault run diverged from the perfect network: {} vs {} matched, {}/{} rounds",
+                zero.matching.len(),
+                perfect.matching.len(),
+                zero.metrics.rounds,
+                perfect.metrics.rounds
+            ),
+        ));
+    }
+
+    // A genuinely faulty network may lose matching size but never validity.
+    let faulty = distributed_approx_mcm_faulty(
+        &g,
+        &params,
+        inst.algo_seed,
+        &stress_plan(inst),
+        ResilienceParams::retry(1),
+    );
+    if !faulty.matching.is_valid_for(&g) {
+        return Some(Violation::new(
+            "faulty-validity",
+            "distributed matching under faults is invalid for the input".to_string(),
+        ));
+    }
+
+    // Theorem 3.2/3.3 ratio, and agreement with the sequential pipeline.
+    let slack = DISTSIM_ABS_SLACK + FLOAT_FUDGE;
+    if exact as f64 > bound * perfect.matching.len() as f64 + slack {
+        return Some(Violation::new(
+            "thm3.2-ratio",
+            format!(
+                "exact MCM {exact} > {bound:.4} x distributed matching {} + {DISTSIM_ABS_SLACK}",
+                perfect.matching.len()
+            ),
+        ));
+    }
+    if exact as f64 > bound * seq.len() as f64 + slack {
+        return Some(Violation::new(
+            "thm3.1-ratio",
+            format!(
+                "exact MCM {exact} > {bound:.4} x sequential pipeline {} + {DISTSIM_ABS_SLACK}",
+                seq.len()
+            ),
+        ));
+    }
+    let (lo, hi) = if seq.len() <= perfect.matching.len() {
+        (seq.len(), perfect.matching.len())
+    } else {
+        (perfect.matching.len(), seq.len())
+    };
+    if hi as f64 > bound * lo as f64 + slack {
+        return Some(Violation::new(
+            "seq-dist-agreement",
+            format!(
+                "sequential ({}) and distributed ({}) matchings diverge beyond {bound:.4}x + {DISTSIM_ABS_SLACK}",
+                seq.len(),
+                perfect.matching.len()
+            ),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Scenario;
+
+    #[test]
+    fn default_params_pass_a_seed_sample() {
+        let cfg = CheckConfig::default();
+        for seed in 0..9 {
+            let s = Scenario::generate(seed, &cfg);
+            assert_eq!(
+                s.oracle.check(&s.instance, &cfg),
+                None,
+                "seed {seed} ({})",
+                s.instance.family
+            );
+        }
+    }
+
+    #[test]
+    fn checks_are_deterministic() {
+        let cfg = CheckConfig {
+            bound_eps: Some(0.05),
+            delta: Some(1),
+        };
+        for seed in 0..6 {
+            let s = Scenario::generate(seed, &cfg);
+            let a = s.oracle.check(&s.instance, &cfg);
+            let b = s.oracle.check(&s.instance, &cfg);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oracle_names_roundtrip() {
+        for kind in [OracleKind::Static, OracleKind::Dynamic, OracleKind::Distsim] {
+            assert_eq!(OracleKind::from_name(kind.name()).unwrap(), kind);
+        }
+        assert!(OracleKind::from_name("quantum").is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property test for the shrinker contract: *whatever `shrink_instance`
+//! returns still violates*. The oracle here is a seeded known-bad stub —
+//! a per-case random "guilty" subset of edges and updates whose joint
+//! presence is the violation — so the test exercises the ddmin loop in
+//! isolation from the (much slower) real differential oracles. The
+//! replay step is a second, independent predicate evaluation on the
+//! shrunk instance, mirroring what `sparsimatch check --replay` does
+//! with a reproducer file.
+
+use proptest::prelude::*;
+use sparsimatch_check::shrink::DEFAULT_CALL_BUDGET;
+use sparsimatch_check::{shrink_instance, CheckInstance};
+use sparsimatch_dynamic::adversary::Update;
+use sparsimatch_graph::ids::VertexId;
+
+fn instance(n: usize, edges: Vec<(u32, u32)>, updates: Vec<Update>) -> CheckInstance {
+    CheckInstance {
+        family: "stub".to_string(),
+        n,
+        beta: 1,
+        eps: 0.5,
+        delta: None,
+        algo_seed: 0,
+        edges,
+        updates,
+    }
+}
+
+/// The known-bad stub: red iff every guilty edge and every guilty update
+/// is still present.
+fn is_red(inst: &CheckInstance, guilty_edges: &[(u32, u32)], guilty_updates: &[Update]) -> bool {
+    guilty_edges.iter().all(|e| inst.edges.contains(e))
+        && guilty_updates.iter().all(|u| inst.updates.contains(u))
+}
+
+fn dedup<T: Clone + PartialEq>(items: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
+    for x in items {
+        if !out.contains(x) {
+            out.push(x.clone());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn shrunk_output_still_violates_and_is_minimal(
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..40),
+        raw_updates in proptest::collection::vec((any::<bool>(), 0u32..30, 0u32..30), 0..40),
+        guilty_edge_count in 1usize..4,
+        guilty_update_count in 0usize..4,
+    ) {
+        let updates: Vec<Update> = raw_updates
+            .iter()
+            .map(|&(ins, u, v)| {
+                if ins {
+                    Update::Insert(VertexId(u), VertexId(v))
+                } else {
+                    Update::Delete(VertexId(u), VertexId(v))
+                }
+            })
+            .collect();
+        // Guilt is assigned to a prefix of the generated lists; ddmin has
+        // no notion of position, so which indices are guilty is
+        // irrelevant to the property.
+        let guilty_edges = dedup(&edges[..guilty_edge_count.min(edges.len())]);
+        let guilty_updates = dedup(&updates[..guilty_update_count.min(updates.len())]);
+        let inst = instance(30, edges, updates);
+        prop_assert!(is_red(&inst, &guilty_edges, &guilty_updates), "original must violate");
+
+        let (small, stats) = shrink_instance(
+            &inst,
+            |c| is_red(c, &guilty_edges, &guilty_updates),
+            DEFAULT_CALL_BUDGET,
+        );
+
+        // The core contract: shrink -> replay (fresh evaluation) -> still red.
+        prop_assert!(
+            is_red(&small, &guilty_edges, &guilty_updates),
+            "shrunk instance no longer violates: {small:?}"
+        );
+        // Never grows, and the recorded stats describe the actual output.
+        prop_assert!(small.edges.len() <= inst.edges.len());
+        prop_assert!(small.updates.len() <= inst.updates.len());
+        prop_assert_eq!(stats.edges_before as usize, inst.edges.len());
+        prop_assert_eq!(stats.edges_after as usize, small.edges.len());
+        prop_assert_eq!(stats.updates_before as usize, inst.updates.len());
+        prop_assert_eq!(stats.updates_after as usize, small.updates.len());
+        // With a conjunction-of-presence oracle and an ample budget the
+        // 1-minimal answer is exactly one copy of each guilty item.
+        prop_assert_eq!(small.edges.len(), guilty_edges.len());
+        prop_assert_eq!(small.updates.len(), guilty_updates.len());
+
+        // Determinism: shrinking again from the original reproduces the
+        // same instance, and the shrunk instance is a fixpoint.
+        let (again, _) = shrink_instance(
+            &inst,
+            |c| is_red(c, &guilty_edges, &guilty_updates),
+            DEFAULT_CALL_BUDGET,
+        );
+        prop_assert_eq!(&again, &small);
+        let (fix, fix_stats) = shrink_instance(
+            &small,
+            |c| is_red(c, &guilty_edges, &guilty_updates),
+            DEFAULT_CALL_BUDGET,
+        );
+        prop_assert_eq!(&fix, &small);
+        prop_assert_eq!(fix_stats.edges_before, fix_stats.edges_after);
+
+        // The shrunk instance survives the reproducer-file round trip
+        // losslessly — the property `--replay` byte-identity rests on.
+        let reparsed = CheckInstance::from_json(&small.to_json()).unwrap();
+        prop_assert_eq!(&reparsed, &small);
+        prop_assert_eq!(reparsed.to_json().to_pretty(), small.to_json().to_pretty());
+    }
+}

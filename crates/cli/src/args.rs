@@ -21,6 +21,7 @@ USAGE:
                       [--seed <S>] [--pairs] [--metrics-json <FILE>]
                       [--fault-seed <S>] [--drop <P>] [--duplicate <P>] [--reorder <P>]
                       [--crash <P>] [--crash-period <K>] [--fault-horizon <R>] [--retries <K>]
+  sparsimatch check --replay <FILE>
   sparsimatch help
 
 Graphs are plain-text edge lists: a `n m` header line followed by one
@@ -43,7 +44,14 @@ and reports rounds/messages/bits. The --drop/--duplicate/--reorder/
 reproducible transport faults; --retries <K> arms a per-message
 ack/retry layer that re-sends up to K times. Fault counters
 (faults.dropped, faults.duplicated, faults.retries,
-faults.crashed_rounds) appear in --metrics-json.";
+faults.crashed_rounds) appear in --metrics-json.
+
+check --replay re-executes a counterexample reproducer written by the
+`sparsimatch-check` differential fuzzer (results/check/
+counterexample-<seed>.json; schema in EXPERIMENTS.md). Exit 0 means the
+recorded violation reproduced and the re-rendered document is
+byte-identical to the file; exit 8 means the violation is gone or the
+bytes drifted.";
 
 /// The `generate` subcommand.
 #[derive(Clone, Debug, PartialEq)]
@@ -174,6 +182,13 @@ pub struct DistsimArgs {
     pub metrics_json: Option<PathBuf>,
 }
 
+/// The `check` subcommand: replay a counterexample reproducer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckArgs {
+    /// Reproducer file written by `sparsimatch-check`.
+    pub replay: PathBuf,
+}
+
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -187,6 +202,8 @@ pub enum Command {
     Match(MatchArgs),
     /// Run the distributed simulator (optionally with fault injection).
     Distsim(DistsimArgs),
+    /// Replay a differential-fuzz counterexample reproducer.
+    Check(CheckArgs),
     /// Print usage.
     Help,
 }
@@ -396,6 +413,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics_json: flags.get("--metrics-json")?.map(PathBuf::from),
             }))
         }
+        "check" => {
+            let flags = Flags { rest: &args[1..] };
+            flags.expect_known(&["--replay"])?;
+            let replay = flags
+                .get("--replay")?
+                .ok_or("check needs --replay <FILE>")?;
+            Ok(Command::Check(CheckArgs {
+                replay: PathBuf::from(replay),
+            }))
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -538,6 +565,19 @@ mod tests {
         assert!(parse(&args("distsim g.el --algo quantum")).is_err());
         assert!(parse(&args("distsim")).is_err());
         assert!(parse(&args("distsim g.el --drop zero")).is_err());
+    }
+
+    #[test]
+    fn parses_check() {
+        assert_eq!(
+            parse(&args("check --replay results/check/counterexample-7.json")).unwrap(),
+            Command::Check(CheckArgs {
+                replay: PathBuf::from("results/check/counterexample-7.json"),
+            })
+        );
+        assert!(parse(&args("check")).is_err(), "--replay is required");
+        assert!(parse(&args("check --replay")).is_err());
+        assert!(parse(&args("check --replay f.json --bogus 1")).is_err());
     }
 
     #[test]

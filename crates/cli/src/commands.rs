@@ -2,7 +2,7 @@
 //! testability.
 
 use crate::args::{
-    AnalyzeArgs, DistAlgo, DistsimArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs,
+    AnalyzeArgs, CheckArgs, DistAlgo, DistsimArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs,
 };
 use crate::error::CliError;
 use rand::{rngs::StdRng, SeedableRng};
@@ -408,6 +408,48 @@ pub fn distsim(args: DistsimArgs, out: Out<'_>) -> Result<(), CliError> {
         write_metrics_json(path, doc, &meter)?;
     }
     Ok(())
+}
+
+/// `sparsimatch check --replay`: re-execute a counterexample reproducer
+/// written by the `sparsimatch-check` differential fuzzer. Success means
+/// the recorded violation reproduced *and* the re-rendered document is
+/// byte-identical to the file; anything weaker is [`CliError::CheckFailed`]
+/// (exit 8), because a drifting reproducer no longer witnesses the bug it
+/// was filed for.
+pub fn check(args: CheckArgs, out: Out<'_>) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(&args.replay)?;
+    let report = sparsimatch_check::replay_str(&text).map_err(CliError::MalformedInput)?;
+    writeln!(
+        out,
+        "replaying {} (seed {}, oracle {})",
+        args.replay.display(),
+        report.seed,
+        report.oracle.name()
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "recorded violation: [{}] {}",
+        report.recorded.check, report.recorded.message
+    )
+    .map_err(io_err)?;
+    match &report.fresh {
+        Some(v) if report.byte_identical => {
+            writeln!(out, "reproduced: [{}] {}", v.check, v.message).map_err(io_err)?;
+            writeln!(out, "byte-identical: yes").map_err(io_err)?;
+            Ok(())
+        }
+        Some(v) => Err(CliError::CheckFailed(format!(
+            "violation reproduced as [{}] but the re-rendered document is not byte-identical to {}",
+            v.check,
+            args.replay.display()
+        ))),
+        None => Err(CliError::CheckFailed(format!(
+            "recorded violation [{}] did not reproduce on replay of {}",
+            report.recorded.check,
+            args.replay.display()
+        ))),
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! | 5    | input too large (header exceeds the hard caps)         |
 //! | 6    | thread count out of range                              |
 //! | 7    | invalid parameter value (bad probability, rate, ...)   |
+//! | 8    | check replay failed (violation gone or bytes drifted)  |
 //!
 //! The codes are part of the CLI contract and pinned by
 //! `tests/bin_smoke.rs`; change them only with a changelog entry.
@@ -36,6 +37,10 @@ pub enum CliError {
     /// A flag value is syntactically fine but semantically invalid,
     /// e.g. a probability outside `[0, 1]` (exit 7).
     InvalidParam(String),
+    /// A counterexample replay did not reproduce: the recorded violation
+    /// no longer fires, or the re-rendered reproducer is not
+    /// byte-identical to the input file (exit 8).
+    CheckFailed(String),
     /// Anything else (exit 1).
     Other(String),
 }
@@ -51,6 +56,7 @@ impl CliError {
             CliError::InputTooLarge(_) => 5,
             CliError::Threads(_) => 6,
             CliError::InvalidParam(_) => 7,
+            CliError::CheckFailed(_) => 8,
         }
     }
 
@@ -62,6 +68,7 @@ impl CliError {
             | CliError::InputTooLarge(m)
             | CliError::Threads(m)
             | CliError::InvalidParam(m)
+            | CliError::CheckFailed(m)
             | CliError::Other(m) => m,
         }
     }
@@ -121,9 +128,10 @@ mod tests {
             CliError::InputTooLarge("x".into()),
             CliError::Threads("x".into()),
             CliError::InvalidParam("x".into()),
+            CliError::CheckFailed("x".into()),
         ];
         let codes: Vec<i32> = all.iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]

@@ -262,6 +262,125 @@ fn invalid_parameter_exits_seven() {
 }
 
 #[test]
+fn check_replay_reproduces_a_real_counterexample_byte_identically() {
+    use sparsimatch_check::shrink::DEFAULT_CALL_BUDGET;
+    use sparsimatch_check::{counterexample_doc, shrink_instance, CheckConfig, Scenario};
+
+    // Mis-parameterize exactly like `sparsimatch-check --delta 1
+    // --bound-eps 0.05`: a forced-lossy sparsifier judged against a bound
+    // tighter than Theorem 2.1 promises. Search a few seeds for the first
+    // violation rather than hardcoding one, so generator changes cannot
+    // silently turn this test into a no-op.
+    let cfg = CheckConfig {
+        bound_eps: Some(0.05),
+        delta: Some(1),
+    };
+    let (scenario, violation) = (0u64..64)
+        .find_map(|seed| {
+            let s = Scenario::generate(seed, &cfg);
+            s.oracle.check(&s.instance, &cfg).map(|v| (s, v))
+        })
+        .expect("the mis-parameterized config must violate within 64 seeds");
+    let slug = violation.check.clone();
+    let oracle = scenario.oracle;
+    let (small, stats) = shrink_instance(
+        &scenario.instance,
+        |c| oracle.check(c, &cfg).is_some_and(|v| v.check == slug),
+        DEFAULT_CALL_BUDGET,
+    );
+    let fresh = oracle
+        .check(&small, &cfg)
+        .expect("shrunk instance violates");
+    let doc = counterexample_doc(scenario.seed, oracle, &small, &cfg, &fresh, &stats);
+
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join(format!("counterexample-{}.json", scenario.seed));
+    std::fs::write(&file, doc.to_pretty()).unwrap();
+
+    let out = bin()
+        .args(["check", "--replay", file.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "replay of a just-written reproducer must exit 0: {out:?}"
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains(&format!("[{slug}]")), "{text}");
+    assert!(text.contains("byte-identical: yes"), "{text}");
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn check_replay_of_a_non_reproducing_file_exits_eight() {
+    use sparsimatch_check::shrink::ShrinkStats;
+    use sparsimatch_check::{
+        counterexample_doc, CheckConfig, CheckInstance, OracleKind, Violation,
+    };
+
+    // Two disjoint edges are matched perfectly even through a Δ = 1
+    // sparsifier, so the recorded "violation" cannot fire on replay.
+    let inst = CheckInstance {
+        family: "clique".to_string(),
+        n: 4,
+        beta: 1,
+        eps: 0.4,
+        delta: Some(1),
+        algo_seed: 99,
+        edges: vec![(0, 1), (2, 3)],
+        updates: Vec::new(),
+    };
+    let cfg = CheckConfig {
+        bound_eps: Some(0.05),
+        delta: Some(1),
+    };
+    let v = Violation {
+        check: "stale".to_string(),
+        message: "recorded against an older build".to_string(),
+    };
+    let doc = counterexample_doc(
+        3,
+        OracleKind::Static,
+        &inst,
+        &cfg,
+        &v,
+        &ShrinkStats::default(),
+    );
+
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-check8-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("counterexample-3.json");
+    std::fs::write(&file, doc.to_pretty()).unwrap();
+
+    assert_fails(
+        &["check", "--replay", file.to_str().unwrap()],
+        8,
+        "did not reproduce",
+    );
+    // A syntactically broken reproducer is malformed input (4), not a
+    // check failure.
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, "{\"tool\": \"other\"}").unwrap();
+    assert_fails(
+        &["check", "--replay", junk.to_str().unwrap()],
+        4,
+        "not a sparsimatch-check reproducer",
+    );
+    // A missing file is I/O (3).
+    assert_fails(
+        &["check", "--replay", "/nonexistent/counterexample-0.json"],
+        3,
+        "No such file",
+    );
+
+    for p in [&file, &junk] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn distsim_runs_and_reports_faults() {
     let dir = std::env::temp_dir().join(format!("sparsimatch-bin-dist-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! The SPAA'20 matching sparsifier `G_Δ` and its applications.
 //!

@@ -55,6 +55,24 @@ pub fn stage_eps(eps: f64) -> f64 {
 /// worker count for *every* stage (marking, CSR extraction, and greedy
 /// matching). Rejects `threads` outside
 /// `1..=`[`crate::sparsifier::MAX_THREADS`] with a [`ThreadCountError`].
+///
+/// # Examples
+///
+/// A clique has neighborhood independence β = 1 and a perfect matching;
+/// the pipeline returns a valid matching of the *original* graph within
+/// the end-to-end `(1+ε)` target:
+///
+/// ```
+/// use sparsimatch_core::params::SparsifierParams;
+/// use sparsimatch_core::pipeline::approx_mcm_via_sparsifier;
+/// use sparsimatch_graph::generators::clique;
+///
+/// let g = clique(40); // exact MCM = 20
+/// let params = SparsifierParams::practical(1, 0.5);
+/// let result = approx_mcm_via_sparsifier(&g, &params, 7, 1).unwrap();
+/// assert!(result.matching.is_valid_for(&g));
+/// assert!(20.0 <= (1.0 + params.eps) * result.matching.len() as f64);
+/// ```
 pub fn approx_mcm_via_sparsifier(
     g: &CsrGraph,
     params: &SparsifierParams,

@@ -111,6 +111,26 @@ impl DynamicMatcher {
     }
 
     /// Apply one update.
+    ///
+    /// The returned [`UpdateReport`] charges this update its O(1)
+    /// mutation cost plus its time-slice of the background static
+    /// recompute; Theorem 3.5 bounds that charge by
+    /// [`work_bound`](Self::work_bound) up to this implementation's
+    /// constants, and the served matching stays valid throughout:
+    ///
+    /// ```
+    /// use sparsimatch_core::params::SparsifierParams;
+    /// use sparsimatch_dynamic::adversary::Update;
+    /// use sparsimatch_dynamic::scheme::DynamicMatcher;
+    /// use sparsimatch_graph::ids::VertexId;
+    ///
+    /// let mut dm = DynamicMatcher::new(8, SparsifierParams::practical(1, 0.5), 7);
+    /// for i in 0..4 {
+    ///     let report = dm.apply(Update::Insert(VertexId(2 * i), VertexId(2 * i + 1)));
+    ///     assert!(report.work <= 4 * dm.work_bound());
+    ///     assert!(dm.matching().is_valid_for(&dm.graph().to_csr()));
+    /// }
+    /// ```
     pub fn apply(&mut self, update: Update) -> UpdateReport {
         let mut work = 1u64; // the O(1) mutation + bookkeeping
         match update {

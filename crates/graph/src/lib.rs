@@ -23,6 +23,8 @@
 //! * [`analysis`] — structural measurements: degeneracy, exact arboricity
 //!   (Nash–Williams via flow-based densest subgraph), and the neighborhood
 //!   independence number β itself (exact and bounded).
+//! * [`workloads`] — the named β-certified instance families shared by the
+//!   experiment harness and the differential-testing harness.
 
 pub mod adjacency;
 pub mod adjlist;
@@ -32,6 +34,7 @@ pub mod generators;
 pub mod ids;
 pub mod io;
 pub mod sparse_array;
+pub mod workloads;
 
 pub use adjacency::{AdjacencyOracle, CountingOracle};
 pub use adjlist::AdjListGraph;

@@ -1,15 +1,20 @@
-//! The standard bounded-β instance families used across experiments.
+//! The standard bounded-β instance families shared by the experiment
+//! harness (`sparsimatch-bench`) and the differential-testing harness
+//! (`sparsimatch-check`).
 //!
 //! Each family declares its certified β bound alongside the generated
-//! graph, so experiments can size Δ honestly without re-computing β
-//! (which the analysis suite can still audit exactly on small instances).
+//! graph, so consumers can size Δ honestly without re-computing β — and
+//! the certificate itself is auditable: the exact branch-and-bound β
+//! computation in [`crate::analysis::independence`] verifies every bound
+//! on small instances (both in this module's tests and, per seed, in the
+//! check harness).
 
-use rand::Rng;
-use sparsimatch_graph::csr::CsrGraph;
-use sparsimatch_graph::generators::{
+use crate::csr::CsrGraph;
+use crate::generators::{
     clique, clique_union, disk_graph, gnp, line_graph, proper_interval_with_degree, unit_disk,
     CliqueUnionConfig, DiskConfig, UnitDiskConfig,
 };
+use rand::Rng;
 
 /// A named instance with a certified β bound.
 pub struct Instance {
@@ -126,8 +131,8 @@ pub fn standard_families(n: usize, rng: &mut impl Rng) -> Vec<Instance> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::independence::neighborhood_independence_at_most;
     use rand::{rngs::StdRng, SeedableRng};
-    use sparsimatch_graph::analysis::independence::neighborhood_independence_at_most;
 
     #[test]
     fn certified_betas_hold() {

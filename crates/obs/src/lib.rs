@@ -20,7 +20,7 @@
 //! This crate deliberately has no dependencies, so every other crate in
 //! the workspace can depend on it without cycles.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 pub mod meter;
