@@ -10,6 +10,25 @@
 //! still asserted: the matching and sparsifier must be identical for
 //! every thread count, and any mismatch exits nonzero.
 //!
+//! Every `(family, threads)` cell holds one [`PipelineScratch`] arena
+//! across its repetitions, so the recorded numbers reflect the steady
+//! state long-lived callers run at. A separate `steady_state` section
+//! quantifies that effect directly: per family at one thread, it times
+//! cold-start solves (fresh arena per call, heap trimmed back to the OS
+//! between solves so each pays real first-touch page faults) against
+//! warm solves through a reused arena and records the `warm_speedup`
+//! ratio. The steady-state
+//! rows use fixed repeat-solve shapes (identical at both scales, with
+//! `vertices`/`edges` recorded per row) rather than the throughput
+//! instances: arena reuse saves a fixed per-solve setup cost, and the
+//! callers that repeat solves — dynamic rebuilds, oracle sweeps — run
+//! on small-to-medium instances where that cost is a real fraction of
+//! the solve, not on multi-second headline graphs that would bury it. When built with
+//! `--features alloc-count` the binary installs the counting global
+//! allocator and adds per-run `alloc_bytes`/`alloc_count` columns
+//! (main-thread deltas; the `alloc_counting` flag says whether the
+//! columns are live or zero-filled).
+//!
 //! Usage: `bench_baseline [--full]`; the output path defaults to
 //! `BENCH_pipeline.json` in the current directory and can be overridden
 //! with the `SPARSIMATCH_BENCH_OUT` environment variable. The schema is
@@ -18,12 +37,52 @@
 use rand::{rngs::StdRng, SeedableRng};
 use sparsimatch_bench::{scale_from_args, Scale, Violations};
 use sparsimatch_core::params::SparsifierParams;
-use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_metered;
+use sparsimatch_core::pipeline::{
+    approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_with_scratch,
+    approx_mcm_via_sparsifier_with_scratch_metered,
+};
+use sparsimatch_core::scratch::PipelineScratch;
 use sparsimatch_graph::csr::CsrGraph;
 use sparsimatch_graph::generators::{bipartite_gnp, clique, clique_union, CliqueUnionConfig};
 use sparsimatch_obs::{keys, Json, WorkMeter};
+use std::time::Instant;
+
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: sparsimatch_obs::alloc::CountingAllocator = sparsimatch_obs::alloc::CountingAllocator;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[cfg(target_env = "gnu")]
+extern "C" {
+    fn malloc_trim(pad: usize) -> i32;
+}
+
+/// Return freed heap memory to the OS, so the next solve pays the page
+/// faults a genuinely cold caller (a fresh process, a dropped arena)
+/// pays. Without this, glibc retains the previous cold solve's arena
+/// pages and the "cold" loop silently measures a half-warm heap. No-op
+/// off glibc — cold numbers are then an underestimate.
+fn trim_heap() {
+    #[cfg(target_env = "gnu")]
+    unsafe {
+        malloc_trim(0);
+    }
+}
+
+/// Current-thread allocation counters `(bytes, count)`; zeros when the
+/// binary was built without `alloc-count`.
+fn alloc_totals() -> (u64, u64) {
+    #[cfg(feature = "alloc-count")]
+    {
+        let t = sparsimatch_obs::alloc::thread_totals();
+        (t.bytes, t.count)
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        (0, 0)
+    }
+}
 
 struct Family {
     name: &'static str,
@@ -69,6 +128,41 @@ fn families(scale: Scale) -> Vec<Family> {
     ]
 }
 
+/// Fixed repeat-solve shapes for the steady-state comparison: the sizes
+/// long-lived repeat callers (dynamic rebuilds, check sweeps) operate
+/// on, identical at both scales so the committed gate and a quick CI run
+/// measure the same thing.
+fn steady_families() -> Vec<Family> {
+    let mut rng = StdRng::seed_from_u64(0xBE);
+    vec![
+        Family {
+            name: "clique",
+            graph: clique(100),
+            beta: 1,
+            eps: 0.3,
+        },
+        Family {
+            name: "clique-union",
+            graph: clique_union(
+                CliqueUnionConfig {
+                    n: 2_000,
+                    diversity: 2,
+                    clique_size: 40,
+                },
+                &mut rng,
+            ),
+            beta: 2,
+            eps: 0.3,
+        },
+        Family {
+            name: "bipartite",
+            graph: bipartite_gnp(1_000, 1_000, 8.0 / 1_000.0, &mut rng),
+            beta: 4,
+            eps: 0.3,
+        },
+    ]
+}
+
 struct Run {
     threads: usize,
     total_nanos: u64,
@@ -77,20 +171,54 @@ struct Run {
     match_nanos: u64,
     matching_size: usize,
     sparsifier_edges: usize,
+    alloc_bytes: u64,
+    alloc_count: u64,
 }
+
+/// Steady-state repeat-solve comparison for one family at one thread:
+/// cold constructs a fresh arena per solve, warm reuses one arena.
+struct Steady {
+    family: &'static str,
+    vertices: usize,
+    edges: usize,
+    reps: usize,
+    cold_nanos_per_solve: u64,
+    warm_nanos_per_solve: u64,
+    warm_speedup: f64,
+    cold_alloc_bytes: u64,
+    warm_alloc_bytes: u64,
+}
+
+/// Fastest repetition of a `(family, threads)` cell:
+/// `(total_nanos, meter, matching_size, sparsifier_edges, (alloc_bytes, alloc_count))`.
+type BestRep = (u64, WorkMeter, usize, usize, (u64, u64));
 
 fn bench_family(f: &Family, reps: usize, violations: &mut Violations) -> Vec<Run> {
     let params = SparsifierParams::practical(f.beta, f.eps);
     let mut runs = Vec::new();
     let mut reference: Option<Vec<(u32, u32)>> = None;
     for &threads in &THREADS {
-        let mut best: Option<(u64, WorkMeter, usize, usize)> = None;
+        // One arena per (family, threads) cell: the first repetition
+        // warms it and the rest measure the steady state, exactly how
+        // long-lived callers (DynamicMatcher, the check sweep) run.
+        let mut scratch = PipelineScratch::new();
+        let mut best: Option<BestRep> = None;
         for _ in 0..reps {
             let mut meter = WorkMeter::new();
-            let r = approx_mcm_via_sparsifier_metered(&f.graph, &params, 7, threads, &mut meter)
-                .expect("thread counts 1..=8 are always accepted");
+            let alloc_before = alloc_totals();
+            let r = approx_mcm_via_sparsifier_with_scratch_metered(
+                &f.graph,
+                &params,
+                7,
+                threads,
+                &mut meter,
+                &mut scratch,
+            )
+            .expect("thread counts 1..=8 are always accepted");
+            let alloc_after = alloc_totals();
             let total = meter.span_stats(keys::PIPELINE_TOTAL).total_nanos as u64;
             let pairs: Vec<(u32, u32)> = r.matching.pairs().map(|(u, v)| (u.0, v.0)).collect();
+            let stats = (r.matching.len(), r.sparsifier.edges);
             match &reference {
                 None => reference = Some(pairs),
                 Some(expect) => violations.check(*expect == pairs, || {
@@ -101,10 +229,15 @@ fn bench_family(f: &Family, reps: usize, violations: &mut Violations) -> Vec<Run
                 }),
             }
             if best.as_ref().is_none_or(|(t, ..)| total < *t) {
-                best = Some((total, meter, r.matching.len(), r.sparsifier.edges));
+                let delta = (
+                    alloc_after.0 - alloc_before.0,
+                    alloc_after.1 - alloc_before.1,
+                );
+                best = Some((total, meter, stats.0, stats.1, delta));
             }
         }
-        let (total, meter, matching_size, sparsifier_edges) = best.unwrap();
+        let (total, meter, matching_size, sparsifier_edges, (alloc_bytes, alloc_count)) =
+            best.unwrap();
         let span = |key: &str| meter.span_stats(key).total_nanos as u64;
         runs.push(Run {
             threads,
@@ -114,9 +247,72 @@ fn bench_family(f: &Family, reps: usize, violations: &mut Violations) -> Vec<Run
             match_nanos: span(keys::STAGE_MATCH),
             matching_size,
             sparsifier_edges,
+            alloc_bytes,
+            alloc_count,
         });
     }
     runs
+}
+
+fn bench_steady(f: &Family, reps: usize, violations: &mut Violations) -> Steady {
+    let params = SparsifierParams::practical(f.beta, f.eps);
+    let seed = 7;
+
+    // Cold: every solve pays for a fresh arena (allocation, first-touch
+    // page faults, teardown), with the heap trimmed back to the OS first
+    // so the allocator cannot quietly recycle the previous rep's pages.
+    // Best-of-reps on both sides so the ratio compares minima, not noise.
+    let mut cold_best = u64::MAX;
+    let mut cold_alloc = 0u64;
+    let mut cold_size = 0usize;
+    for _ in 0..reps {
+        trim_heap();
+        let a0 = alloc_totals();
+        let t0 = Instant::now();
+        let r = approx_mcm_via_sparsifier(&f.graph, &params, seed, 1)
+            .expect("one thread is always accepted");
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let a1 = alloc_totals();
+        if nanos < cold_best {
+            cold_best = nanos;
+            cold_alloc = a1.0 - a0.0;
+        }
+        cold_size = r.matching.len();
+    }
+
+    // Warm: one arena, warmed by a single untimed solve.
+    let mut scratch = PipelineScratch::new();
+    approx_mcm_via_sparsifier_with_scratch(&f.graph, &params, seed, 1, &mut scratch)
+        .expect("one thread is always accepted");
+    let mut warm_best = u64::MAX;
+    let mut warm_alloc = 0u64;
+    for _ in 0..reps {
+        let a0 = alloc_totals();
+        let t0 = Instant::now();
+        let r = approx_mcm_via_sparsifier_with_scratch(&f.graph, &params, seed, 1, &mut scratch)
+            .expect("one thread is always accepted");
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let a1 = alloc_totals();
+        if nanos < warm_best {
+            warm_best = nanos;
+            warm_alloc = a1.0 - a0.0;
+        }
+        violations.check(r.matching.len() == cold_size, || {
+            format!("{}: warm steady-state solve diverged from cold", f.name)
+        });
+    }
+
+    Steady {
+        family: f.name,
+        vertices: f.graph.num_vertices(),
+        edges: f.graph.num_edges(),
+        reps,
+        cold_nanos_per_solve: cold_best,
+        warm_nanos_per_solve: warm_best,
+        warm_speedup: cold_best as f64 / warm_best.max(1) as f64,
+        cold_alloc_bytes: cold_alloc,
+        warm_alloc_bytes: warm_alloc,
+    }
 }
 
 fn family_json(f: &Family, runs: &[Run]) -> Json {
@@ -144,6 +340,8 @@ fn family_json(f: &Family, runs: &[Run]) -> Json {
             run.set("stage_nanos", stage);
             run.set("matching_size", r.matching_size);
             run.set("sparsifier_edges", r.sparsifier_edges);
+            run.set("alloc_bytes", r.alloc_bytes);
+            run.set("alloc_count", r.alloc_count);
             run.set("speedup_vs_t1", t1 as f64 / r.total_nanos.max(1) as f64);
             run
         })
@@ -152,15 +350,31 @@ fn family_json(f: &Family, runs: &[Run]) -> Json {
     doc
 }
 
+fn steady_json(s: &Steady) -> Json {
+    let mut doc = Json::object();
+    doc.set("family", s.family);
+    doc.set("vertices", s.vertices);
+    doc.set("edges", s.edges);
+    doc.set("threads", 1usize);
+    doc.set("reps", s.reps);
+    doc.set("cold_nanos_per_solve", s.cold_nanos_per_solve);
+    doc.set("warm_nanos_per_solve", s.warm_nanos_per_solve);
+    doc.set("warm_speedup", s.warm_speedup);
+    doc.set("cold_alloc_bytes", s.cold_alloc_bytes);
+    doc.set("warm_alloc_bytes", s.warm_alloc_bytes);
+    doc
+}
+
 fn main() {
     let scale = scale_from_args();
-    let reps = match scale {
-        Scale::Quick => 1,
-        Scale::Full => 3,
+    let (reps, steady_reps) = match scale {
+        Scale::Quick => (1, 5),
+        Scale::Full => (3, 11),
     };
     let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut violations = Violations::new();
     let mut family_docs = Vec::new();
+    let mut steady_docs = Vec::new();
 
     println!("pipeline throughput baseline ({})", scale.name());
     println!("host parallelism: {host_parallelism} hardware threads\n");
@@ -188,15 +402,30 @@ fn main() {
         family_docs.push(family_json(&f, &runs));
     }
 
+    println!("\nsteady-state repeat-solve comparison (1 thread, fixed shapes):");
+    for f in steady_families() {
+        let steady = bench_steady(&f, steady_reps, &mut violations);
+        println!(
+            "{:>14}: cold {:>8.3} ms / warm {:>8.3} ms per solve  x{:.2}",
+            f.name,
+            steady.cold_nanos_per_solve as f64 / 1e6,
+            steady.warm_nanos_per_solve as f64 / 1e6,
+            steady.warm_speedup
+        );
+        steady_docs.push(steady_json(&steady));
+    }
+
     let mut doc = Json::object();
     doc.set("benchmark", "bench_pipeline");
     doc.set("scale", scale.name());
     doc.set("host_parallelism", host_parallelism);
+    doc.set("alloc_counting", cfg!(feature = "alloc-count"));
     doc.set(
         "threads",
         Json::Array(THREADS.iter().map(|&t| Json::from(t)).collect()),
     );
     doc.set("families", Json::Array(family_docs));
+    doc.set("steady_state", Json::Array(steady_docs));
 
     let out = std::env::var_os("SPARSIMATCH_BENCH_OUT")
         .map(std::path::PathBuf::from)

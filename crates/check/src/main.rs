@@ -3,6 +3,7 @@
 
 use sparsimatch_check::shrink::DEFAULT_CALL_BUDGET;
 use sparsimatch_check::{counterexample_doc, report, shrink_instance, CheckConfig, Scenario};
+use sparsimatch_core::scratch::PipelineScratch;
 
 const USAGE: &str = "\
 sparsimatch-check — differential fuzzing of the sparsimatch oracles
@@ -12,7 +13,7 @@ USAGE:
                     [--bound-eps <E>] [--delta <D>] [--max-counterexamples <K>]
 
 Runs N seeded trials (default 1000) rotating through the static,
-dynamic, and distsim oracles. Every trial is deterministic in its seed,
+dynamic, distsim, and scratch oracles. Every trial is deterministic in its seed,
 so a failure is reproducible by seed alone; on top of that each failure
 is shrunk (ddmin over edges/updates) and written to
 <out-dir>/counterexample-<seed>.json (default results/check/), a file
@@ -96,12 +97,21 @@ fn main() {
         }
     };
 
-    let mut trials_by_oracle = [0u64; 3];
+    let mut trials_by_oracle = [0u64; 4];
     let mut violations = 0usize;
+    // One pipeline arena for the whole sweep: every oracle's sequential
+    // pipeline runs reuse it (the scratch oracle proves reuse is exact,
+    // so sharing cannot change a verdict). Shrinking below deliberately
+    // uses fresh-arena checks so reproducer replays stay self-contained.
+    let mut scratch = PipelineScratch::new();
     for seed in args.start_seed..args.start_seed + args.seeds {
         let scenario = Scenario::generate(seed, &args.cfg);
         trials_by_oracle[scenario.oracle as usize] += 1;
-        let Some(violation) = scenario.oracle.check(&scenario.instance, &args.cfg) else {
+        let Some(violation) =
+            scenario
+                .oracle
+                .check_with_scratch(&scenario.instance, &args.cfg, &mut scratch)
+        else {
             continue;
         };
         violations += 1;
@@ -157,11 +167,12 @@ fn main() {
     }
 
     println!(
-        "checked {} seeds (static {}, dynamic {}, distsim {}): {}",
+        "checked {} seeds (static {}, dynamic {}, distsim {}, scratch {}): {}",
         trials_by_oracle.iter().sum::<u64>(),
         trials_by_oracle[0],
         trials_by_oracle[1],
         trials_by_oracle[2],
+        trials_by_oracle[3],
         if violations == 0 {
             "all oracles green".to_string()
         } else {

@@ -16,6 +16,16 @@
 //!   sequential pipeline on the same seed, zero-fault transparency of the
 //!   faulty network (byte-identical outcome), and validity under a seeded
 //!   fault plan.
+//! * **scratch** — the warm-scratch pipeline
+//!   ([`approx_mcm_via_sparsifier_with_scratch`]) vs the one-shot
+//!   cold path, byte-for-byte across matching pairs, sparsifier stats,
+//!   probes, and augmentation stats, at several thread counts and on a
+//!   deliberately dirty reused arena.
+//!
+//! A whole seed sweep shares one [`PipelineScratch`] (see
+//! [`OracleKind::check_with_scratch`]), so every oracle's sequential
+//! pipeline runs exercise the steady-state reuse path the scratch oracle
+//! certifies.
 //!
 //! Oracles return the *first* violation they find; messages embed the
 //! concrete numbers so a reproducer file doubles as a witness.
@@ -23,7 +33,10 @@
 use crate::instance::{CheckConfig, CheckInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sparsimatch_core::pipeline::approx_mcm_via_sparsifier;
+use sparsimatch_core::pipeline::{
+    approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_with_scratch,
+};
+use sparsimatch_core::scratch::PipelineScratch;
 use sparsimatch_core::sparsifier::build_sparsifier;
 use sparsimatch_distsim::algorithms::pipeline::{
     distributed_approx_mcm, distributed_approx_mcm_faulty, DistributedOutcome,
@@ -86,6 +99,8 @@ pub enum OracleKind {
     Dynamic,
     /// Distributed pipeline (perfect + faulty) vs the sequential one.
     Distsim,
+    /// Warm-scratch pipeline vs the cold one-shot path, byte-for-byte.
+    Scratch,
 }
 
 impl OracleKind {
@@ -95,6 +110,7 @@ impl OracleKind {
             OracleKind::Static => "static",
             OracleKind::Dynamic => "dynamic",
             OracleKind::Distsim => "distsim",
+            OracleKind::Scratch => "scratch",
         }
     }
 
@@ -104,16 +120,33 @@ impl OracleKind {
             "static" => Ok(OracleKind::Static),
             "dynamic" => Ok(OracleKind::Dynamic),
             "distsim" => Ok(OracleKind::Distsim),
+            "scratch" => Ok(OracleKind::Scratch),
             other => Err(format!("unknown oracle {other:?}")),
         }
     }
 
     /// Run this oracle on `inst`, returning the first violated invariant.
+    /// Builds a fresh pipeline arena per call; sweeps should prefer
+    /// [`OracleKind::check_with_scratch`] to reuse one across seeds.
     pub fn check(self, inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+        self.check_with_scratch(inst, cfg, &mut PipelineScratch::new())
+    }
+
+    /// [`OracleKind::check`] running every sequential-pipeline invocation
+    /// through a caller-owned [`PipelineScratch`]. Identical verdicts —
+    /// warm-vs-cold byte identity is exactly what the scratch oracle
+    /// proves — but a seed sweep stops paying per-seed buffer churn.
+    pub fn check_with_scratch(
+        self,
+        inst: &CheckInstance,
+        cfg: &CheckConfig,
+        scratch: &mut PipelineScratch,
+    ) -> Option<Violation> {
         match self {
-            OracleKind::Static => check_static(inst, cfg),
+            OracleKind::Static => check_static(inst, cfg, scratch),
             OracleKind::Dynamic => check_dynamic(inst, cfg),
-            OracleKind::Distsim => check_distsim(inst, cfg),
+            OracleKind::Distsim => check_distsim(inst, cfg, scratch),
+            OracleKind::Scratch => check_scratch(inst, cfg, scratch),
         }
     }
 }
@@ -122,7 +155,11 @@ fn ratio_exceeded(exact: usize, approx: usize, bound: f64) -> bool {
     exact as f64 > bound * approx as f64 + FLOAT_FUDGE
 }
 
-fn check_static(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+fn check_static(
+    inst: &CheckInstance,
+    cfg: &CheckConfig,
+    scratch: &mut PipelineScratch,
+) -> Option<Violation> {
     let g = inst.graph();
     // β audit: the certificate every Δ sizing rests on, verified by exact
     // branch and bound (cheap at these n).
@@ -143,7 +180,7 @@ fn check_static(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
     let exact = maximum_matching(&g);
 
     // Theorem 3.1: the end-to-end pipeline is a valid (1+ε)-approximation.
-    let r = match approx_mcm_via_sparsifier(&g, &params, inst.algo_seed, 1) {
+    let r = match approx_mcm_via_sparsifier_with_scratch(&g, &params, inst.algo_seed, 1, scratch) {
         Ok(r) => r,
         Err(e) => {
             return Some(Violation::new(
@@ -317,7 +354,11 @@ fn matching_pairs(m: &Matching) -> Vec<(u32, u32)> {
         .collect()
 }
 
-fn check_distsim(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+fn check_distsim(
+    inst: &CheckInstance,
+    cfg: &CheckConfig,
+    scratch: &mut PipelineScratch,
+) -> Option<Violation> {
     let g: CsrGraph = inst.graph();
     if g.num_edges() == 0 {
         return None;
@@ -327,8 +368,9 @@ fn check_distsim(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
     let exact = maximum_matching(&g).len();
 
     // Sequential pipeline on the same seed — the comparison baseline.
-    let seq = match approx_mcm_via_sparsifier(&g, &params, inst.algo_seed, 1) {
-        Ok(r) => r.matching,
+    let seq = match approx_mcm_via_sparsifier_with_scratch(&g, &params, inst.algo_seed, 1, scratch)
+    {
+        Ok(r) => r.matching.clone(),
         Err(e) => {
             return Some(Violation::new(
                 "pipeline-error",
@@ -422,6 +464,88 @@ fn check_distsim(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
     None
 }
 
+/// Fingerprint of everything a pipeline run reports: matching pairs plus
+/// every scalar in the sparsifier, probe, and augmentation stats. Two runs
+/// with equal fingerprints are byte-for-byte the same result.
+type PipelineFingerprint = (
+    Vec<(u32, u32)>,
+    (usize, usize, usize, usize, usize),
+    (u64, u64),
+    (usize, usize, u64),
+);
+
+fn pipeline_fingerprint(r: &sparsimatch_core::pipeline::PipelineResult) -> PipelineFingerprint {
+    (
+        matching_pairs(&r.matching),
+        (
+            r.sparsifier.delta,
+            r.sparsifier.mark_cap,
+            r.sparsifier.low_degree_vertices,
+            r.sparsifier.marks_placed,
+            r.sparsifier.edges,
+        ),
+        (r.probes.degree_probes, r.probes.neighbor_probes),
+        (r.aug.augmentations, r.aug.searches, r.aug.edge_visits),
+    )
+}
+
+/// Thread counts the scratch oracle replays every instance at.
+const SCRATCH_THREADS: [usize; 3] = [1, 2, 4];
+
+fn check_scratch(
+    inst: &CheckInstance,
+    cfg: &CheckConfig,
+    scratch: &mut PipelineScratch,
+) -> Option<Violation> {
+    let _ = cfg; // the identity invariant has no tunable bound
+    let g: CsrGraph = inst.graph();
+    let params = inst.params();
+    for threads in SCRATCH_THREADS {
+        let cold = match approx_mcm_via_sparsifier(&g, &params, inst.algo_seed, threads) {
+            Ok(r) => pipeline_fingerprint(&r),
+            Err(e) => {
+                return Some(Violation::new(
+                    "pipeline-error",
+                    format!("cold pipeline rejected {threads} threads: {e}"),
+                ))
+            }
+        };
+        // Two warm runs through the (already dirty) shared arena: the
+        // first may still grow buffers, the second is pure steady state.
+        for pass in ["warm", "steady"] {
+            let warm = match approx_mcm_via_sparsifier_with_scratch(
+                &g,
+                &params,
+                inst.algo_seed,
+                threads,
+                scratch,
+            ) {
+                Ok(r) => pipeline_fingerprint(r),
+                Err(e) => {
+                    return Some(Violation::new(
+                        "pipeline-error",
+                        format!("scratch pipeline rejected {threads} threads: {e}"),
+                    ))
+                }
+            };
+            if warm != cold {
+                return Some(Violation::new(
+                    "scratch-identity",
+                    format!(
+                        "{pass} scratch run diverged from the cold pipeline at {threads} \
+                         threads: {} vs {} matched pairs (family {}, n = {})",
+                        warm.0.len(),
+                        cold.0.len(),
+                        inst.family,
+                        inst.n
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,9 +581,29 @@ mod tests {
 
     #[test]
     fn oracle_names_roundtrip() {
-        for kind in [OracleKind::Static, OracleKind::Dynamic, OracleKind::Distsim] {
+        for kind in [
+            OracleKind::Static,
+            OracleKind::Dynamic,
+            OracleKind::Distsim,
+            OracleKind::Scratch,
+        ] {
             assert_eq!(OracleKind::from_name(kind.name()).unwrap(), kind);
         }
         assert!(OracleKind::from_name("quantum").is_err());
+    }
+
+    #[test]
+    fn shared_scratch_sweep_matches_fresh_checks() {
+        // A sweep through one shared arena must reach the same verdicts
+        // as fresh-arena checks seed by seed (the replay/shrink path uses
+        // the latter, so they must agree for reproducers to be sound).
+        let cfg = CheckConfig::default();
+        let mut scratch = PipelineScratch::new();
+        for seed in 0..8 {
+            let s = Scenario::generate(seed, &cfg);
+            let fresh = s.oracle.check(&s.instance, &cfg);
+            let shared = s.oracle.check_with_scratch(&s.instance, &cfg, &mut scratch);
+            assert_eq!(fresh, shared, "seed {seed} ({})", s.instance.family);
+        }
     }
 }

@@ -72,11 +72,22 @@ fn metrics_doc(command: &str, g: &CsrGraph) -> Json {
 /// Attach the meter snapshot and write the document. Counter values are
 /// deterministic for a fixed seed, so the file is byte-stable unless
 /// `SPARSIMATCH_METRICS_TIMINGS=1` opts into wall-clock span timings.
+/// With `--features alloc-count` the snapshot additionally carries
+/// `alloc.bytes` / `alloc.count`: the process-wide allocation totals at
+/// write time. The CLI runs one command per process, so those read as
+/// per-command totals — but they are cumulative, hence exempt from the
+/// byte-stability guarantee when several commands share a process.
 fn write_metrics_json(
     path: &std::path::Path,
     mut doc: Json,
-    meter: &WorkMeter,
+    meter: &mut WorkMeter,
 ) -> Result<(), CliError> {
+    #[cfg(feature = "alloc-count")]
+    {
+        let totals = sparsimatch_obs::alloc::totals();
+        meter.add(sparsimatch_obs::keys::ALLOC_BYTES, totals.bytes);
+        meter.add(sparsimatch_obs::keys::ALLOC_COUNT, totals.count);
+    }
     let with_timings = std::env::var("SPARSIMATCH_METRICS_TIMINGS").is_ok_and(|v| v == "1");
     doc.set(
         "meter",
@@ -220,7 +231,7 @@ pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), CliError> {
     if let Some(path) = &args.metrics_json {
         let mut doc = metrics_doc("analyze", &g);
         doc.set("results", results);
-        write_metrics_json(path, doc, &meter)?;
+        write_metrics_json(path, doc, &mut meter)?;
     }
     Ok(())
 }
@@ -249,7 +260,7 @@ pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), CliError> {
         results.set("mark_cap", s.stats.mark_cap);
         results.set("sparsifier_edges", s.stats.edges);
         doc.set("results", results);
-        write_metrics_json(path, doc, &meter)?;
+        write_metrics_json(path, doc, &mut meter)?;
     }
     writeln!(
         std::io::stderr(),
@@ -309,7 +320,7 @@ pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), CliError> {
         let mut results = Json::object();
         results.set("matching_size", matching.len());
         doc.set("results", results);
-        write_metrics_json(path, doc, &meter)?;
+        write_metrics_json(path, doc, &mut meter)?;
     }
     Ok(())
 }
@@ -405,7 +416,7 @@ pub fn distsim(args: DistsimArgs, out: Out<'_>) -> Result<(), CliError> {
         results.set("bits", outcome.metrics.bits);
         results.set("composed_max_degree", outcome.composed_max_degree);
         doc.set("results", results);
-        write_metrics_json(path, doc, &meter)?;
+        write_metrics_json(path, doc, &mut meter)?;
     }
     Ok(())
 }
@@ -469,6 +480,16 @@ mod tests {
         let mut buf = Vec::new();
         crate::run(cmd, &mut buf).map_err(|e| e.to_string())?;
         Ok(String::from_utf8(buf).unwrap())
+    }
+
+    /// The `alloc.*` counters are cumulative per process, so tests that
+    /// compare metrics documents across several in-process runs must
+    /// drop those lines before comparing (see `write_metrics_json`).
+    fn stable_metrics_lines(text: &str) -> String {
+        text.lines()
+            .filter(|l| !l.contains("\"alloc."))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     #[test]
@@ -565,7 +586,11 @@ mod tests {
         }
         let b1 = std::fs::read(&m1).unwrap();
         let b2 = std::fs::read(&m2).unwrap();
-        assert_eq!(b1, b2, "metrics JSON must be byte-stable for a fixed seed");
+        assert_eq!(
+            stable_metrics_lines(std::str::from_utf8(&b1).unwrap()),
+            stable_metrics_lines(std::str::from_utf8(&b2).unwrap()),
+            "metrics JSON must be byte-stable for a fixed seed"
+        );
         // And it is well-formed JSON carrying the unified counters.
         let doc = Json::parse(std::str::from_utf8(&b1).unwrap()).unwrap();
         assert_eq!(doc.get("command").unwrap().as_str(), Some("match"));
@@ -614,12 +639,13 @@ mod tests {
             ))
             .unwrap();
             sparsifier_bytes.push(std::fs::read(&o).unwrap());
-            // The metrics differ only in the recorded thread count.
-            metrics_text.push(
-                String::from_utf8(std::fs::read(&m).unwrap())
+            // The metrics differ only in the recorded thread count (and
+            // the cumulative alloc.* counters, which are stripped).
+            metrics_text.push(stable_metrics_lines(
+                &String::from_utf8(std::fs::read(&m).unwrap())
                     .unwrap()
                     .replace(&format!("\"threads\": {threads}"), "\"threads\": T"),
-            );
+            ));
             cleanup.push(o);
             cleanup.push(m);
         }
@@ -696,6 +722,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(build_family("nonsense", 5, &mut rng).is_err());
         assert!(build_family("clique-union:x:3", 5, &mut rng).is_err());
+    }
+
+    /// With the counting allocator installed, every metrics document
+    /// carries live `alloc.bytes` / `alloc.count` counters.
+    #[cfg(feature = "alloc-count")]
+    #[test]
+    fn metrics_json_surfaces_alloc_counters() {
+        let dir = tmpdir();
+        let file = dir.join("ac.el");
+        let met = dir.join("ac.json");
+        run_line(&format!("generate clique --n 60 --out {}", file.display())).unwrap();
+        run_line(&format!(
+            "match {} --beta 1 --eps 0.4 --seed 3 --metrics-json {}",
+            file.display(),
+            met.display()
+        ))
+        .unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&met).unwrap()).unwrap();
+        let counters = doc.get("meter").unwrap().get("counters").unwrap();
+        for key in [
+            sparsimatch_obs::keys::ALLOC_BYTES,
+            sparsimatch_obs::keys::ALLOC_COUNT,
+        ] {
+            assert!(
+                counters.get(key).unwrap().as_u64().unwrap() > 0,
+                "{key} missing or zero"
+            );
+        }
+        for p in [&file, &met] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -12,6 +12,14 @@ pub mod error;
 pub use args::{parse, Command};
 pub use error::CliError;
 
+/// Mirror the binary's counting allocator in the library's own test
+/// harness, so `--features alloc-count` unit tests observe live
+/// counters the way the `sparsimatch` binary does.
+#[cfg(all(test, feature = "alloc-count"))]
+#[global_allocator]
+static TEST_ALLOC: sparsimatch_obs::alloc::CountingAllocator =
+    sparsimatch_obs::alloc::CountingAllocator;
+
 /// Run a parsed command, writing human output to `out`. Each error class
 /// carries its own stable exit code ([`CliError::exit_code`]).
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {

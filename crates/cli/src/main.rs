@@ -1,5 +1,11 @@
 use sparsimatch_cli::CliError;
 
+/// With `--features alloc-count`, count every heap allocation the
+/// process makes so `--metrics-json` can report `alloc.*` totals.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: sparsimatch_obs::alloc::CountingAllocator = sparsimatch_obs::alloc::CountingAllocator;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match sparsimatch_cli::parse(&args) {

@@ -23,6 +23,9 @@
 //!   bounded-β graph → low-arboricity `G_Δ` → bounded-degree `G̃_Δ`.
 //! * [`pipeline`] — Theorem 3.1 end-to-end: sparsify then run a `(1+ε)`
 //!   matching algorithm, in time sublinear in `|E(G)|`.
+//! * [`scratch`] — reusable scratch arenas giving the repeat-solve paths
+//!   (dynamic rebuilds, check sweeps, benchmark loops) a zero-allocation
+//!   steady state.
 //! * [`lower_bounds`] — the paper's negative results as executable
 //!   instances: deterministic marking fails (Lemma 2.13) and exact
 //!   preservation fails (Observation 2.14).
@@ -32,11 +35,17 @@ pub mod lower_bounds;
 pub mod params;
 pub mod pipeline;
 pub mod sampler;
+pub mod scratch;
 pub mod solomon;
 pub mod sparsifier;
 
 pub use params::SparsifierParams;
-pub use pipeline::{approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_metered, PipelineResult};
+pub use pipeline::{
+    approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_metered,
+    approx_mcm_via_sparsifier_with_scratch, approx_mcm_via_sparsifier_with_scratch_metered,
+    PipelineResult,
+};
+pub use scratch::{OracleRebuildScratch, PipelineScratch};
 pub use sparsifier::{
     build_sparsifier, build_sparsifier_metered, build_sparsifier_parallel,
     build_sparsifier_parallel_metered, Sparsifier, SparsifierStats, ThreadCountError, MAX_THREADS,

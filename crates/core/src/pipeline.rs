@@ -17,15 +17,61 @@
 //! lexicographically-first maximal matching).
 
 use crate::params::SparsifierParams;
-use crate::sparsifier::{mark_edges_parallel, SparsifierStats, ThreadCountError};
+use crate::scratch::PipelineScratch;
+use crate::sparsifier::{
+    mark_edges_parallel, mark_edges_sequential_into, SparsifierStats, ThreadCountError, MAX_THREADS,
+};
 use rand::Rng;
 use sparsimatch_graph::adjacency::ProbeCounts;
 use sparsimatch_graph::csr::{from_marked_edges, CsrGraph};
-use sparsimatch_matching::bounded_aug::{approx_maximum_matching_from, AugStats};
-use sparsimatch_matching::greedy::{greedy_maximal_matching, greedy_maximal_matching_parallel};
+use sparsimatch_matching::bounded_aug::{
+    approx_maximum_matching_from, eliminate_augmenting_paths_up_to_with, max_path_len_for_eps,
+    AugStats,
+};
+use sparsimatch_matching::greedy::{
+    greedy_maximal_matching, greedy_maximal_matching_into, greedy_maximal_matching_parallel,
+};
 use sparsimatch_matching::Matching;
 use sparsimatch_obs::{keys, WorkMeter};
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Below this many *input* edges the mark stage ignores the requested
+/// thread count and runs sequentially: worker spawn plus shard merge
+/// overhead exceeds the marking work itself.
+const MARK_PARALLEL_CUTOFF: usize = 1 << 17;
+
+/// Below this many *sparsifier* edges the match stage runs sequentially.
+/// The committed bench baseline showed the parallel greedy's local-minima
+/// rounds an order of magnitude slower than the sequential scan on an
+/// `O(n·Δ)`-sized sparsifier (clique family: 235µs at one thread vs 2.6ms
+/// at two), so small extracted graphs always take the sequential path.
+const MATCH_PARALLEL_CUTOFF: usize = 1 << 17;
+
+/// Whether this host can run more than one worker at once (cached). On a
+/// single-core host every stage takes its sequential path regardless of
+/// the requested thread count — the output is byte-identical either way,
+/// so this is purely a latency decision.
+fn host_has_parallelism() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get() > 1)
+            .unwrap_or(false)
+    })
+}
+
+/// Adaptive dispatch: the worker count a stage should actually use for
+/// `work_items` units of work, given the caller asked for `requested`
+/// threads. Every stage is thread-count invariant, so falling back to one
+/// worker never changes the output — only the wall clock.
+fn stage_threads(requested: usize, work_items: usize, cutoff: usize) -> usize {
+    if requested == 1 || !host_has_parallelism() || work_items < cutoff {
+        1
+    } else {
+        requested
+    }
+}
 
 /// Everything the pipeline measured while running.
 #[derive(Clone, Debug)]
@@ -79,7 +125,44 @@ pub fn approx_mcm_via_sparsifier(
     seed: u64,
     threads: usize,
 ) -> Result<PipelineResult, ThreadCountError> {
-    approx_mcm_via_sparsifier_impl(g, params, seed, threads, None)
+    let mut scratch = PipelineScratch::new();
+    approx_mcm_via_sparsifier_impl(g, params, seed, threads, None, &mut scratch)?;
+    Ok(scratch.into_result())
+}
+
+/// [`approx_mcm_via_sparsifier`] writing through a caller-owned
+/// [`PipelineScratch`]: identical output (the one-shot entry points are
+/// thin wrappers over this very path with a fresh arena), but every
+/// buffer the run needs is reused from `scratch`. After a warm-up call on
+/// a given input size, repeat calls perform zero heap allocations on the
+/// sequential path. The returned reference points at
+/// [`PipelineScratch::result`], which stays valid until the next run
+/// through the same arena.
+pub fn approx_mcm_via_sparsifier_with_scratch<'s>(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    threads: usize,
+    scratch: &'s mut PipelineScratch,
+) -> Result<&'s PipelineResult, ThreadCountError> {
+    approx_mcm_via_sparsifier_impl(g, params, seed, threads, None, scratch)?;
+    Ok(scratch.result())
+}
+
+/// [`approx_mcm_via_sparsifier_with_scratch`] with unified work
+/// accounting (see [`approx_mcm_via_sparsifier_metered`]; metering itself
+/// allocates inside the meter, so the zero-allocation guarantee applies
+/// to the unmetered scratch path).
+pub fn approx_mcm_via_sparsifier_with_scratch_metered<'s>(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    threads: usize,
+    meter: &mut WorkMeter,
+    scratch: &'s mut PipelineScratch,
+) -> Result<&'s PipelineResult, ThreadCountError> {
+    approx_mcm_via_sparsifier_impl(g, params, seed, threads, Some(meter), scratch)?;
+    Ok(scratch.result())
 }
 
 /// [`approx_mcm_via_sparsifier`] with unified work accounting: adjacency
@@ -97,16 +180,28 @@ pub fn approx_mcm_via_sparsifier_metered(
     threads: usize,
     meter: &mut WorkMeter,
 ) -> Result<PipelineResult, ThreadCountError> {
-    approx_mcm_via_sparsifier_impl(g, params, seed, threads, Some(meter))
+    let mut scratch = PipelineScratch::new();
+    approx_mcm_via_sparsifier_impl(g, params, seed, threads, Some(meter), &mut scratch)?;
+    Ok(scratch.into_result())
 }
 
+/// The single pipeline body behind every entry point: runs the three
+/// stages through `scratch` and leaves the result in
+/// [`PipelineScratch::result`]. Warm-vs-cold byte identity is structural —
+/// there is no second implementation to diverge.
 fn approx_mcm_via_sparsifier_impl(
     g: &CsrGraph,
     params: &SparsifierParams,
     seed: u64,
     threads: usize,
     meter: Option<&mut WorkMeter>,
-) -> Result<PipelineResult, ThreadCountError> {
+    scratch: &mut PipelineScratch,
+) -> Result<(), ThreadCountError> {
+    // The sequential fallbacks below bypass `mark_edges_parallel`'s
+    // validation, so reject bad thread counts up front.
+    if threads == 0 || threads > MAX_THREADS {
+        return Err(ThreadCountError { requested: threads });
+    }
     let total_start = Instant::now();
     let eps_stage = stage_eps(params.eps);
     // Size Δ for the stage accuracy, keeping the caller's scaling choice
@@ -115,55 +210,93 @@ fn approx_mcm_via_sparsifier_impl(
         / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
     let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
 
-    // Stage 1: mark edges across `threads` workers.
+    let PipelineScratch {
+        sampler,
+        indices,
+        keep,
+        ids,
+        csr,
+        searcher,
+        result,
+        ..
+    } = scratch;
+
+    // Stage 1: mark edges. Small inputs take the sequential in-place path
+    // (same marks — per-vertex RNG streams don't care who draws them).
     let mark_start = Instant::now();
-    let marks = mark_edges_parallel(g, &stage_params, seed, threads)?;
+    let (mark_stats, rng_draws, overlay_writes) =
+        if stage_threads(threads, g.num_edges(), MARK_PARALLEL_CUTOFF) == 1 {
+            let summary =
+                mark_edges_sequential_into(g, &stage_params, seed, sampler, indices, keep, ids);
+            (summary.stats, summary.rng_draws, summary.overlay_writes)
+        } else {
+            let marks = mark_edges_parallel(g, &stage_params, seed, threads)?;
+            *ids = marks.ids;
+            (marks.stats, marks.rng_draws, marks.overlay_writes)
+        };
     let mark_nanos = mark_start.elapsed().as_nanos();
 
     // Stage 2: extract the sparsifier CSR (byte-identical to the
-    // sequential layout for any thread count).
+    // sequential layout for any thread count). The in-place rebuild *is*
+    // the sequential layout; the parallel builder is only worth spawning
+    // when the host can actually run the workers.
     let extract_start = Instant::now();
-    let sparse = from_marked_edges(g, &marks.ids, threads);
+    let sparse: &CsrGraph = if !host_has_parallelism() || threads == 1 {
+        csr.rebuild_from_marked(g, ids)
+    } else {
+        csr.replace(from_marked_edges(g, ids, threads))
+    };
     let extract_nanos = extract_start.elapsed().as_nanos();
 
-    let mut sparsifier = marks.stats;
-    sparsifier.edges = sparse.num_edges();
+    result.sparsifier = mark_stats;
+    result.sparsifier.edges = sparse.num_edges();
     // The CSR fast path reads the graph directly, so probes are accounted
     // analytically: two degree reads per vertex (the low-degree check and
     // the one inside the sampler) and one adjacency-entry read per mark.
-    let probes = ProbeCounts {
+    result.probes = ProbeCounts {
         degree_probes: 2 * g.num_vertices() as u64,
-        neighbor_probes: sparsifier.marks_placed as u64,
+        neighbor_probes: result.sparsifier.marks_placed as u64,
     };
 
-    // Stage 3: greedy init + bounded augmentation on the sparsifier.
+    // Stage 3: greedy init + bounded augmentation on the sparsifier. The
+    // parallel greedy computes the lexicographically-first maximal
+    // matching — exactly the sequential scan's output — so the dispatch
+    // only picks the cheaper route for the extracted size.
     let match_start = Instant::now();
-    let init = greedy_maximal_matching_parallel(&sparse, threads);
-    let (matching, aug) = approx_maximum_matching_from(&sparse, init, eps_stage);
+    if stage_threads(threads, sparse.num_edges(), MATCH_PARALLEL_CUTOFF) == 1 {
+        greedy_maximal_matching_into(sparse, &mut result.matching);
+    } else {
+        result.matching = greedy_maximal_matching_parallel(sparse, threads);
+    }
+    result.aug = eliminate_augmenting_paths_up_to_with(
+        sparse,
+        &mut result.matching,
+        max_path_len_for_eps(eps_stage),
+        searcher,
+    );
     let match_nanos = match_start.elapsed().as_nanos();
-    debug_assert!(matching.is_valid_for(g), "sparsifier must be a subgraph");
+    debug_assert!(
+        result.matching.is_valid_for(g),
+        "sparsifier must be a subgraph"
+    );
 
     if let Some(meter) = meter {
-        meter.add(keys::DEGREE_PROBES, probes.degree_probes);
-        meter.add(keys::NEIGHBOR_PROBES, probes.neighbor_probes);
-        meter.add(keys::SPARSIFIER_EDGES, sparsifier.edges as u64);
-        meter.add(keys::RNG_DRAWS, marks.rng_draws);
-        meter.add(keys::OVERLAY_WRITES, marks.overlay_writes);
-        meter.add(keys::EDGE_VISITS, aug.edge_visits);
-        meter.add(keys::AUG_SEARCHES, aug.searches as u64);
-        meter.add(keys::AUGMENTATIONS, aug.augmentations as u64);
+        meter.add(keys::DEGREE_PROBES, result.probes.degree_probes);
+        meter.add(keys::NEIGHBOR_PROBES, result.probes.neighbor_probes);
+        meter.add(keys::SPARSIFIER_EDGES, result.sparsifier.edges as u64);
+        meter.add(keys::RNG_DRAWS, rng_draws);
+        meter.add(keys::OVERLAY_WRITES, overlay_writes);
+        meter.add(keys::EDGE_VISITS, result.aug.edge_visits);
+        meter.add(keys::AUG_SEARCHES, result.aug.searches as u64);
+        meter.add(keys::AUGMENTATIONS, result.aug.augmentations as u64);
         meter.add_span(keys::STAGE_MARK, 1, mark_nanos);
         meter.add_span(keys::STAGE_EXTRACT, 1, extract_nanos);
         meter.add_span(keys::STAGE_MATCH, 1, match_nanos);
         meter.add_span(keys::PIPELINE_TOTAL, 1, total_start.elapsed().as_nanos());
     }
 
-    Ok(PipelineResult {
-        matching,
-        sparsifier,
-        probes,
-        aug,
-    })
+    scratch.note_high_water();
+    Ok(())
 }
 
 /// The same pipeline on a pre-built sparsifier (used by the dynamic
@@ -335,6 +468,108 @@ mod tests {
         assert!(reference.matching.is_valid_for(&g));
         assert!(approx_mcm_via_sparsifier(&g, &p, 13, 0).is_err());
         assert!(approx_mcm_via_sparsifier(&g, &p, 13, 65).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh() {
+        // One arena dragged across families, sizes, seeds, and thread
+        // counts must reproduce the one-shot wrapper exactly: matching
+        // pairs, sparsifier stats, probes, and augmentation stats.
+        let mut rng = StdRng::seed_from_u64(8);
+        let graphs = [
+            clique(150),
+            clique_union(
+                CliqueUnionConfig {
+                    n: 200,
+                    diversity: 3,
+                    clique_size: 40,
+                },
+                &mut rng,
+            ),
+            sparsimatch_graph::generators::gnp(120, 0.1, &mut rng),
+            sparsimatch_graph::csr::from_edges(0, []),
+        ];
+        let p = SparsifierParams::practical(2, 0.4);
+        let mut scratch = crate::scratch::PipelineScratch::new();
+        for (i, g) in graphs.iter().enumerate() {
+            for seed in [3u64, 21] {
+                for threads in [1usize, 2, 4, 8] {
+                    let cold = approx_mcm_via_sparsifier(g, &p, seed, threads).unwrap();
+                    let warm =
+                        approx_mcm_via_sparsifier_with_scratch(g, &p, seed, threads, &mut scratch)
+                            .unwrap();
+                    assert_eq!(
+                        cold.matching, warm.matching,
+                        "graph {i} seed {seed} threads {threads}"
+                    );
+                    assert_eq!(cold.probes, warm.probes);
+                    let s = (
+                        cold.sparsifier.marks_placed,
+                        cold.sparsifier.low_degree_vertices,
+                        cold.sparsifier.edges,
+                    );
+                    let w = (
+                        warm.sparsifier.marks_placed,
+                        warm.sparsifier.low_degree_vertices,
+                        warm.sparsifier.edges,
+                    );
+                    assert_eq!(s, w, "graph {i} seed {seed} threads {threads}");
+                    let a = (
+                        cold.aug.augmentations,
+                        cold.aug.searches,
+                        cold.aug.edge_visits,
+                    );
+                    let b = (
+                        warm.aug.augmentations,
+                        warm.aug.searches,
+                        warm.aug.edge_visits,
+                    );
+                    assert_eq!(a, b, "graph {i} seed {seed} threads {threads}");
+                }
+            }
+        }
+        assert!(scratch.high_water_bytes() > 0);
+        assert!(scratch.capacity_bytes() <= scratch.high_water_bytes());
+    }
+
+    #[test]
+    fn scratch_metered_matches_one_shot_metered() {
+        let g = clique(120);
+        let p = SparsifierParams::practical(1, 0.4);
+        let mut scratch = crate::scratch::PipelineScratch::new();
+        let mut m_fresh = WorkMeter::new();
+        let mut m_warm = WorkMeter::new();
+        let fresh = approx_mcm_via_sparsifier_metered(&g, &p, 11, 1, &mut m_fresh).unwrap();
+        // Warm the arena first so the metered run below is a steady-state
+        // repeat, then compare counters (spans are wall clock — skipped).
+        approx_mcm_via_sparsifier_with_scratch(&g, &p, 11, 1, &mut scratch).unwrap();
+        let warm = approx_mcm_via_sparsifier_with_scratch_metered(
+            &g,
+            &p,
+            11,
+            1,
+            &mut m_warm,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(fresh.matching, warm.matching);
+        let fresh_counters: Vec<_> = m_fresh
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let warm_counters: Vec<_> = m_warm.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(fresh_counters, warm_counters);
+    }
+
+    #[test]
+    fn scratch_rejects_bad_thread_counts() {
+        let g = clique(30);
+        let p = SparsifierParams::practical(1, 0.5);
+        let mut scratch = crate::scratch::PipelineScratch::new();
+        assert!(approx_mcm_via_sparsifier_with_scratch(&g, &p, 1, 0, &mut scratch).is_err());
+        assert!(approx_mcm_via_sparsifier_with_scratch(&g, &p, 1, 65, &mut scratch).is_err());
+        // And the arena still works after a rejected call.
+        assert!(approx_mcm_via_sparsifier_with_scratch(&g, &p, 1, 1, &mut scratch).is_ok());
     }
 
     #[test]

@@ -48,6 +48,21 @@ impl PosArraySampler {
         }
     }
 
+    /// Grow the overlay to handle degrees up to `max_degree`; no-op when
+    /// it is already large enough. The scratch-reuse path: a sampler kept
+    /// across pipeline runs is re-sized here instead of reconstructed, so
+    /// repeat solves on same-or-smaller graphs allocate nothing.
+    pub fn ensure_capacity(&mut self, max_degree: usize) {
+        self.pos.ensure_len(max_degree);
+    }
+
+    /// Heap bytes of overlay capacity currently held (an estimate —
+    /// element sizes, not allocator overhead). Feeds the scratch arenas'
+    /// high-water accounting.
+    pub fn capacity_bytes(&self) -> usize {
+        self.pos.capacity_bytes()
+    }
+
     /// Total uniform draws taken from the RNG since construction.
     pub fn rng_draws(&self) -> u64 {
         self.rng_draws

@@ -229,26 +229,30 @@ pub(crate) fn mark_edges_parallel(
     }
     let n = g.num_vertices();
     let chunk = n.div_ceil(threads).max(1);
-    let vertex_ids: Vec<usize> = (0..n).collect();
     let shards: Vec<ShardResult> = std::thread::scope(|s| {
-        let handles: Vec<_> = vertex_ids
-            .chunks(chunk)
-            .map(|ch| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|lo| {
+                let hi = (lo + chunk).min(n);
                 s.spawn(move || {
                     // Size the sampler overlay to this worker's own range,
                     // not the global max degree: a star hub inflates one
-                    // worker's overlay, not all of them.
-                    let local_max_deg = ch
-                        .iter()
-                        .map(|&v| g.degree(VertexId::new(v)))
-                        .max()
-                        .unwrap_or(0);
+                    // worker's overlay, not all of them. The same pass
+                    // bounds the mark count (≤ min(deg, mark_cap) per
+                    // vertex) so `keep` is reserved once, up front.
+                    let mut local_max_deg = 0usize;
+                    let mut mark_bound = 0usize;
+                    for v in lo..hi {
+                        let deg = g.degree(VertexId::new(v));
+                        local_max_deg = local_max_deg.max(deg);
+                        mark_bound += deg.min(params.mark_cap());
+                    }
                     let mut sampler = PosArraySampler::new(local_max_deg.max(1));
-                    let mut indices = Vec::new();
-                    let mut keep: Vec<u32> = Vec::new();
+                    let mut indices = Vec::with_capacity(params.mark_cap().max(1));
+                    let mut keep: Vec<u32> = Vec::with_capacity(mark_bound);
                     let mut marks_placed = 0usize;
                     let mut low_degree = 0usize;
-                    for &v in ch {
+                    for v in lo..hi {
                         let vid = VertexId::new(v);
                         let deg = g.degree(vid);
                         if deg <= params.mark_cap() {
@@ -335,10 +339,18 @@ fn merge_mark_shards(shards: &[Vec<u32>], num_edges: usize, threads: usize) -> V
                 let lo = (b * bucket_width).min(num_edges) as u32;
                 let hi = ((b + 1) * bucket_width).min(num_edges) as u32;
                 s.spawn(move || {
-                    let mut merged: Vec<u32> = Vec::new();
-                    for shard in shards {
+                    // Locate each shard's contribution first so `merged`
+                    // is reserved once instead of grown per shard.
+                    let mut spans = [(0usize, 0usize); MAX_THREADS];
+                    let mut total = 0usize;
+                    for (shard, span) in shards.iter().zip(spans.iter_mut()) {
                         let start = shard.partition_point(|&e| e < lo);
                         let end = shard.partition_point(|&e| e < hi);
+                        *span = (start, end);
+                        total += end - start;
+                    }
+                    let mut merged: Vec<u32> = Vec::with_capacity(total);
+                    for (shard, &(start, end)) in shards.iter().zip(spans.iter()) {
                         merged.extend_from_slice(&shard[start..end]);
                     }
                     merged.sort_unstable();
@@ -375,6 +387,80 @@ fn merge_mark_shards(shards: &[Vec<u32>], num_edges: usize, threads: usize) -> V
     // initialized by exactly one scatter worker above.
     unsafe { out.set_len(total) };
     out
+}
+
+/// Work summary of a scratch-path marking run (the stats plus the work
+/// counters [`ParallelMarks`] reports alongside its ids).
+pub(crate) struct MarkSummary {
+    /// Marking-stage statistics (`edges` set to the deduplicated count).
+    pub stats: SparsifierStats,
+    /// RNG draws taken during this run (delta, not the sampler lifetime
+    /// total, so it matches the fresh-sampler parallel path).
+    pub rng_draws: u64,
+    /// Overlay writes during this run (delta, as above).
+    pub overlay_writes: u64,
+}
+
+/// The marking stage of [`mark_edges_parallel`] run sequentially into
+/// caller-owned buffers: byte-identical output and stats to
+/// `mark_edges_parallel(g, params, seed, 1)` (pinned by test), but the
+/// sampler overlay, index buffer, mark buffer, and output id list are all
+/// reused — allocation-free once they have capacity. This is the pipeline
+/// scratch path's stage 1.
+pub(crate) fn mark_edges_sequential_into(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    sampler: &mut PosArraySampler,
+    indices: &mut Vec<u32>,
+    keep: &mut Vec<u32>,
+    ids: &mut Vec<EdgeId>,
+) -> MarkSummary {
+    use rand::SeedableRng;
+    let n = g.num_vertices();
+    sampler.ensure_capacity(g.max_degree().max(1));
+    let draws_before = sampler.rng_draws();
+    let writes_before = sampler.overlay_writes();
+    let mut stats = SparsifierStats {
+        delta: params.delta,
+        mark_cap: params.mark_cap(),
+        ..Default::default()
+    };
+    keep.clear();
+    for v in 0..n {
+        let vid = VertexId::new(v);
+        let deg = g.degree(vid);
+        if deg <= params.mark_cap() {
+            stats.low_degree_vertices += 1;
+        }
+        // Same per-vertex seeding as the parallel workers — the marks must
+        // not depend on which path ran.
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        mark_indices_for_vertex(
+            g,
+            vid,
+            params.delta,
+            params.mark_cap(),
+            sampler,
+            &mut rng,
+            indices,
+        );
+        stats.marks_placed += indices.len();
+        for &i in indices.iter() {
+            keep.push(g.incident_edge(vid, i as usize).0);
+        }
+    }
+    keep.sort_unstable();
+    keep.dedup();
+    ids.clear();
+    ids.extend(keep.iter().map(|&e| EdgeId(e)));
+    stats.edges = ids.len();
+    MarkSummary {
+        stats,
+        rng_draws: sampler.rng_draws() - draws_before,
+        overlay_writes: sampler.overlay_writes() - writes_before,
+    }
 }
 
 fn build_sparsifier_parallel_impl(
@@ -433,13 +519,19 @@ fn mark_edges_oracle_impl(
     meter: Option<&mut WorkMeter>,
 ) -> Vec<(VertexId, VertexId)> {
     let n = g.num_vertices();
+    // One degree pass sizes both the sampler overlay and the output
+    // buffer (each vertex marks ≤ min(deg, mark_cap) edges), so neither
+    // grows inside the marking loop.
     let mut max_deg = 0usize;
+    let mut mark_bound = 0usize;
     for v in 0..n {
-        max_deg = max_deg.max(g.degree(VertexId::new(v)));
+        let deg = g.degree(VertexId::new(v));
+        max_deg = max_deg.max(deg);
+        mark_bound += deg.min(params.mark_cap());
     }
     let mut sampler = PosArraySampler::new(max_deg);
-    let mut indices: Vec<u32> = Vec::new();
-    let mut out = Vec::new();
+    let mut indices: Vec<u32> = Vec::with_capacity(params.mark_cap().max(1));
+    let mut out = Vec::with_capacity(mark_bound);
     for v in 0..n {
         let v = VertexId::new(v);
         mark_indices_for_vertex(
@@ -473,6 +565,49 @@ mod tests {
 
     fn params(beta: usize, eps: f64, delta: usize) -> SparsifierParams {
         SparsifierParams::with_delta(beta, eps, delta)
+    }
+
+    #[test]
+    fn sequential_mark_equals_parallel_single_shard() {
+        // The scratch path's stage 1 must be byte-identical to the
+        // parallel marker — ids, stats, and work counters — including on
+        // a reused (dirty, oversized) buffer set.
+        let mut rng = StdRng::seed_from_u64(40);
+        let graphs = [
+            clique(90),
+            star(200),
+            gnp(150, 0.08, &mut rng),
+            sparsimatch_graph::csr::from_edges(0, []),
+            sparsimatch_graph::csr::from_edges(5, []),
+        ];
+        let p = params(2, 0.4, 3);
+        let mut sampler = PosArraySampler::new(1);
+        let mut indices = vec![9u32; 7]; // deliberately dirty
+        let mut keep = vec![3u32; 11];
+        let mut ids = vec![EdgeId(5); 13];
+        for (i, g) in graphs.iter().enumerate() {
+            for seed in [0u64, 17, 99] {
+                let par = mark_edges_parallel(g, &p, seed, 1).unwrap();
+                let summary = mark_edges_sequential_into(
+                    g,
+                    &p,
+                    seed,
+                    &mut sampler,
+                    &mut indices,
+                    &mut keep,
+                    &mut ids,
+                );
+                assert_eq!(par.ids, ids, "graph {i} seed {seed}");
+                assert_eq!(par.stats.marks_placed, summary.stats.marks_placed);
+                assert_eq!(
+                    par.stats.low_degree_vertices,
+                    summary.stats.low_degree_vertices
+                );
+                assert_eq!(par.stats.edges, summary.stats.edges);
+                assert_eq!(par.rng_draws, summary.rng_draws, "graph {i} seed {seed}");
+                assert_eq!(par.overlay_writes, summary.overlay_writes);
+            }
+        }
     }
 
     #[test]

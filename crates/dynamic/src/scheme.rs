@@ -18,11 +18,14 @@
 
 use crate::adversary::Update;
 use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_core::scratch::OracleRebuildScratch;
 use sparsimatch_graph::adjacency::AdjacencyOracle;
 use sparsimatch_graph::adjlist::AdjListGraph;
 use sparsimatch_graph::csr::GraphBuilder;
 use sparsimatch_graph::ids::VertexId;
-use sparsimatch_matching::bounded_aug::approx_maximum_matching_from;
+use sparsimatch_matching::bounded_aug::{
+    eliminate_augmenting_paths_up_to_with, max_path_len_for_eps,
+};
 use sparsimatch_matching::greedy::greedy_maximal_matching;
 use sparsimatch_matching::Matching;
 use sparsimatch_obs::{keys, WorkMeter};
@@ -81,6 +84,12 @@ pub struct DynamicMatcher {
     /// High-water mark of any vertex degree (sizes the sampler overlay
     /// without rescanning; never shrinks, which only wastes capacity).
     max_degree_seen: usize,
+    /// Reusable buffers for the background rebuilds: the sampler overlay,
+    /// mark/index buffers, and blossom searcher persist across windows,
+    /// so steady-state rebuilds stop paying allocation churn. Only the
+    /// published `pending` matching is freshly allocated (it is handed
+    /// out at the window boundary).
+    scratch: OracleRebuildScratch,
 }
 
 impl DynamicMatcher {
@@ -97,6 +106,7 @@ impl DynamicMatcher {
             seed_counter: 0,
             base_seed: seed,
             max_degree_seen: 0,
+            scratch: OracleRebuildScratch::new(),
         }
     }
 
@@ -203,10 +213,12 @@ impl DynamicMatcher {
         // turns the naive O(n·Δ) construction cost into the refined
         // O(|MCM|·β·Δ) of Observation 2.10 + Lemma 2.2 (n' ≤ (β+2)·|MCM|).
         // Work: one unit per adjacency probe (≤ mark_cap per vertex).
-        let mut sampler =
-            sparsimatch_core::sampler::PosArraySampler::new(self.max_degree_seen.max(1));
-        let mut indices: Vec<u32> = Vec::new();
-        let mut marks: Vec<(VertexId, VertexId)> = Vec::new();
+        // Marking runs through the matcher's persistent scratch buffers;
+        // the overlay only ever grows to the degree high-water mark.
+        self.scratch.clear();
+        self.scratch
+            .sampler
+            .ensure_capacity(self.max_degree_seen.max(1));
         for v in 0..n {
             let v = VertexId::new(v);
             let deg = self.graph.degree(v);
@@ -218,26 +230,35 @@ impl DynamicMatcher {
                 v,
                 self.params.delta,
                 self.params.mark_cap(),
-                &mut sampler,
+                &mut self.scratch.sampler,
                 &mut rng,
-                &mut indices,
+                &mut self.scratch.indices,
             );
-            for &i in &indices {
-                marks.push((v, self.graph.neighbor(v, i as usize)));
+            for &i in &self.scratch.indices {
+                self.scratch
+                    .marks
+                    .push((v, self.graph.neighbor(v, i as usize)));
             }
             work += deg.min(self.params.mark_cap()) as u64 + 1;
         }
-        let mut b = GraphBuilder::with_capacity(n, marks.len());
-        for (u, v) in marks {
+        let mut b = GraphBuilder::with_capacity(n, self.scratch.marks.len());
+        for &(u, v) in &self.scratch.marks {
             b.add_edge(u, v);
         }
         let sparse = b.build();
         work += sparse.num_edges() as u64;
 
-        // Greedy + bounded augmentation on the sparsifier.
-        let init = greedy_maximal_matching(&sparse);
+        // Greedy + bounded augmentation on the sparsifier, reusing the
+        // scratch searcher (identical output and stats to a fresh one —
+        // `reset_from` re-zeroes everything including the work counter).
+        let mut m = greedy_maximal_matching(&sparse);
         work += sparse.num_edges() as u64;
-        let (m, stats) = approx_maximum_matching_from(&sparse, init, stage_eps);
+        let stats = eliminate_augmenting_paths_up_to_with(
+            &sparse,
+            &mut m,
+            max_path_len_for_eps(stage_eps),
+            &mut self.scratch.searcher,
+        );
         work += stats.edge_visits;
 
         self.pending = Some(m);

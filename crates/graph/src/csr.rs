@@ -509,6 +509,129 @@ pub fn from_marked_edges(parent: &CsrGraph, sorted_ids: &[EdgeId], threads: usiz
     layout_sorted_parallel(parent.num_vertices(), edges, threads)
 }
 
+/// Reusable buffers for rebuilding marked-edge subgraphs in place.
+///
+/// Repeated pipeline runs extract a fresh sparsifier CSR every time; with
+/// a scratch the four graph arrays plus the degree/cursor layout buffers
+/// are allocated once and reused with `clear()`-not-drop semantics, so a
+/// warm [`CsrScratch::rebuild_from_marked`] performs zero heap
+/// allocations when capacities suffice. The rebuilt graph is
+/// byte-identical to [`from_marked_edges`] on the same inputs (pinned by
+/// test).
+#[derive(Clone, Debug)]
+pub struct CsrScratch {
+    graph: CsrGraph,
+    degree: Vec<u32>,
+    cursor: Vec<usize>,
+}
+
+impl Default for CsrScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CsrScratch {
+    /// An empty scratch holding a zero-vertex graph.
+    pub fn new() -> Self {
+        CsrScratch {
+            graph: CsrGraph {
+                offsets: vec![0],
+                targets: Vec::new(),
+                half_edge_ids: Vec::new(),
+                endpoints: Vec::new(),
+            },
+            degree: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+
+    /// The most recently rebuilt graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Bytes of capacity currently held across all reusable buffers (the
+    /// scratch's high-water memory footprint).
+    pub fn capacity_bytes(&self) -> usize {
+        self.graph.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.graph.targets.capacity() * 4
+            + self.graph.half_edge_ids.capacity() * 4
+            + self.graph.endpoints.capacity() * 8
+            + self.degree.capacity() * 4
+            + self.cursor.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Drop logical contents but keep every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.graph.offsets.clear();
+        self.graph.offsets.push(0);
+        self.graph.targets.clear();
+        self.graph.half_edge_ids.clear();
+        self.graph.endpoints.clear();
+        self.degree.clear();
+        self.cursor.clear();
+    }
+
+    /// Store a graph built elsewhere (the parallel extraction path, which
+    /// allocates its own arrays) so [`CsrScratch::graph`] is uniform.
+    pub fn replace(&mut self, g: CsrGraph) -> &CsrGraph {
+        self.graph = g;
+        &self.graph
+    }
+
+    /// Sequential in-place equivalent of [`from_marked_edges`]: rebuild
+    /// the subgraph of `parent` given by the strictly increasing
+    /// `sorted_ids` into this scratch's buffers, reusing their capacity.
+    pub fn rebuild_from_marked(&mut self, parent: &CsrGraph, sorted_ids: &[EdgeId]) -> &CsrGraph {
+        debug_assert!(
+            sorted_ids.windows(2).all(|w| w[0].index() < w[1].index()),
+            "marked edge ids must be sorted and distinct"
+        );
+        let n = parent.num_vertices();
+        let m = sorted_ids.len();
+        let CsrGraph {
+            offsets,
+            targets,
+            half_edge_ids,
+            endpoints,
+        } = &mut self.graph;
+
+        endpoints.clear();
+        endpoints.extend(sorted_ids.iter().map(|&e| parent.endpoints[e.index()]));
+
+        self.degree.clear();
+        self.degree.resize(n, 0);
+        for &(u, v) in endpoints.iter() {
+            self.degree[u as usize] += 1;
+            self.degree[v as usize] += 1;
+        }
+        offsets.clear();
+        offsets.push(0usize);
+        for v in 0..n {
+            let next = offsets[v] + self.degree[v] as usize;
+            offsets.push(next);
+        }
+
+        targets.clear();
+        targets.resize(2 * m, 0);
+        half_edge_ids.clear();
+        half_edge_ids.resize(2 * m, 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&offsets[..n]);
+        for (eid, &(u, v)) in endpoints.iter().enumerate() {
+            let eid = eid as u32;
+            targets[self.cursor[u as usize]] = v;
+            half_edge_ids[self.cursor[u as usize]] = eid;
+            self.cursor[u as usize] += 1;
+            targets[self.cursor[v as usize]] = u;
+            half_edge_ids[self.cursor[v as usize]] = eid;
+            self.cursor[v as usize] += 1;
+        }
+        &self.graph
+    }
+}
+
 /// Build a graph directly from an iterator of `(u, v)` index pairs.
 pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> CsrGraph {
     let mut b = GraphBuilder::new(n);
@@ -722,5 +845,49 @@ mod tests {
             let all: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect();
             assert_byte_identical(&g, &from_marked_edges(&g, &all, threads));
         }
+    }
+
+    #[test]
+    fn scratch_rebuild_matches_from_marked_edges() {
+        let n = 220;
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(dense_edges(n));
+        let g = b.build();
+        let keep: Vec<EdgeId> = (0..g.num_edges())
+            .filter(|e| (e * 2_654_435_761) % 7 < 5)
+            .map(EdgeId::new)
+            .collect();
+        let reference = from_marked_edges(&g, &keep, 1);
+        let mut scratch = CsrScratch::new();
+        // Warm reuse: rebuild repeatedly (and on different subsets) into
+        // the same scratch; every rebuild must match the fresh build.
+        for _ in 0..2 {
+            assert_byte_identical(&reference, scratch.rebuild_from_marked(&g, &keep));
+        }
+        let smaller: Vec<EdgeId> = keep.iter().copied().step_by(3).collect();
+        assert_byte_identical(
+            &from_marked_edges(&g, &smaller, 1),
+            scratch.rebuild_from_marked(&g, &smaller),
+        );
+        // And back up to the larger subset after the smaller one.
+        assert_byte_identical(&reference, scratch.rebuild_from_marked(&g, &keep));
+        assert!(scratch.capacity_bytes() > 0);
+    }
+
+    #[test]
+    fn scratch_handles_empty_and_tiny_graphs() {
+        let mut scratch = CsrScratch::new();
+        let g = triangle_plus_pendant();
+        let rebuilt = scratch.rebuild_from_marked(&g, &[]);
+        assert_eq!(rebuilt.num_vertices(), 4);
+        assert_eq!(rebuilt.num_edges(), 0);
+        let all: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect();
+        assert_byte_identical(&g, scratch.rebuild_from_marked(&g, &all));
+        scratch.clear();
+        assert_eq!(scratch.graph().num_vertices(), 0);
+        assert_byte_identical(&g, scratch.rebuild_from_marked(&g, &all));
+        // `replace` stores an externally built graph verbatim.
+        let h = from_marked_edges(&g, &all, 1);
+        assert_byte_identical(&g, scratch.replace(h));
     }
 }

@@ -110,6 +110,25 @@ impl<T: Clone> SparseArray<T> {
         self.touched.clear();
     }
 
+    /// Grow to at least `len` slots; no-op when already large enough.
+    /// Logical contents are preserved: a fresh slot `i ≥ old_len` starts
+    /// with `back[i] == 0`, and every live `touched` entry indexes a slot
+    /// below `old_len`, so `i` can never be falsely certified.
+    pub fn ensure_len(&mut self, len: usize) {
+        if len > self.data.len() {
+            self.data.resize(len, self.default.clone());
+            self.back.resize(len, 0);
+        }
+    }
+
+    /// Heap bytes of backing capacity currently held (an estimate —
+    /// element sizes, not allocator overhead).
+    pub fn capacity_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.data.capacity() * size_of::<T>()
+            + (self.back.capacity() + self.touched.capacity()) * size_of::<usize>()
+    }
+
     /// Iterate over `(index, value)` of explicitly written slots, in write
     /// order (first write wins for ordering; the value is current).
     pub fn iter_written(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
@@ -166,6 +185,29 @@ mod tests {
         a.set(5, 3);
         let seen: Vec<(usize, u8)> = a.iter_written().map(|(i, &v)| (i, v)).collect();
         assert_eq!(seen, vec![(5, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn ensure_len_grows_without_resurrecting_state() {
+        let mut a = SparseArray::new(3, 9u32);
+        a.set(0, 1);
+        a.set(2, 2);
+        a.ensure_len(8);
+        assert_eq!(a.len(), 8);
+        assert_eq!(*a.get(0), 1);
+        assert_eq!(*a.get(2), 2);
+        for i in 3..8 {
+            assert_eq!(*a.get(i), 9, "new slot {i} must read as default");
+        }
+        a.ensure_len(4); // shrink request is a no-op
+        assert_eq!(a.len(), 8);
+        a.clear();
+        for i in 0..8 {
+            assert_eq!(*a.get(i), 9);
+        }
+        a.set(7, 5);
+        assert_eq!(*a.get(7), 5);
+        assert_eq!(a.writes(), 1);
     }
 
     #[test]

@@ -41,24 +41,51 @@ pub struct BlossomSearcher {
 impl BlossomSearcher {
     /// A searcher starting from the given matching.
     pub fn new(matching: &Matching) -> Self {
-        let n = matching.num_vertices();
-        let mut mate = vec![NONE; n];
-        for (u, v) in matching.pairs() {
-            mate[u.index()] = v.0;
-            mate[v.index()] = u.0;
-        }
-        BlossomSearcher {
-            mate,
-            parent: vec![NONE; n],
-            base: (0..n as u32).collect(),
-            even: vec![false; n],
-            in_blossom: vec![false; n],
-            lca_mark: vec![false; n],
-            depth: vec![0; n],
-            root: vec![NONE; n],
+        let mut s = BlossomSearcher {
+            mate: Vec::new(),
+            parent: Vec::new(),
+            base: Vec::new(),
+            even: Vec::new(),
+            in_blossom: Vec::new(),
+            lca_mark: Vec::new(),
+            depth: Vec::new(),
+            root: Vec::new(),
             queue: VecDeque::new(),
             work: 0,
+        };
+        s.reset_from(matching);
+        s
+    }
+
+    /// Re-initialize from `matching`, reusing every buffer's capacity.
+    /// Equivalent to `*self = BlossomSearcher::new(matching)` but
+    /// allocation-free once the buffers have grown to the vertex count —
+    /// `work` restarts at zero, so searches on a recycled searcher report
+    /// exactly the counts a fresh one would.
+    pub fn reset_from(&mut self, matching: &Matching) {
+        let n = matching.num_vertices();
+        self.mate.clear();
+        self.mate.resize(n, NONE);
+        for (u, v) in matching.pairs() {
+            self.mate[u.index()] = v.0;
+            self.mate[v.index()] = u.0;
         }
+        self.parent.clear();
+        self.parent.resize(n, NONE);
+        self.base.clear();
+        self.base.extend(0..n as u32);
+        self.even.clear();
+        self.even.resize(n, false);
+        self.in_blossom.clear();
+        self.in_blossom.resize(n, false);
+        self.lca_mark.clear();
+        self.lca_mark.resize(n, false);
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        self.root.clear();
+        self.root.resize(n, NONE);
+        self.queue.clear();
+        self.work = 0;
     }
 
     /// Half-edges examined so far (monotone across searches).
@@ -66,16 +93,41 @@ impl BlossomSearcher {
         self.work
     }
 
+    /// Heap bytes of buffer capacity currently held. Feeds the scratch
+    /// arenas' high-water accounting; an estimate (element sizes, not
+    /// allocator overhead).
+    pub fn capacity_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.mate.capacity()
+            + self.parent.capacity()
+            + self.base.capacity()
+            + self.depth.capacity()
+            + self.root.capacity()
+            + self.queue.capacity())
+            * size_of::<u32>()
+            + self.even.capacity()
+            + self.in_blossom.capacity()
+            + self.lca_mark.capacity()
+    }
+
     /// Extract the current matching.
     pub fn into_matching(self) -> Matching {
-        let n = self.mate.len();
-        let mut m = Matching::new(n);
+        let mut m = Matching::new(self.mate.len());
+        self.write_matching_into(&mut m);
+        m
+    }
+
+    /// Write the current matching into a caller-owned `Matching`,
+    /// resetting it to this searcher's vertex count first. The
+    /// non-consuming [`BlossomSearcher::into_matching`]: allocation-free
+    /// once `out` has capacity, and produces the identical matching.
+    pub fn write_matching_into(&self, out: &mut Matching) {
+        out.reset(self.mate.len());
         for (u, &v) in self.mate.iter().enumerate() {
             if v != NONE && (u as u32) < v {
-                m.add_pair(VertexId::new(u), VertexId(v));
+                out.add_pair(VertexId::new(u), VertexId(v));
             }
         }
-        m
     }
 
     /// Current matching size.
@@ -490,6 +542,33 @@ mod tests {
         assert!(!s.try_augment(&g, VertexId(0), 3), "no path of length ≤ 3");
         assert!(s.try_augment(&g, VertexId(0), 5), "length-5 path exists");
         assert_eq!(s.matching_size(), 3);
+    }
+
+    #[test]
+    fn reset_from_equals_fresh_searcher() {
+        let g = cycle(9);
+        let init = crate::greedy::greedy_maximal_matching(&g);
+        let mut recycled = BlossomSearcher::new(&Matching::new(3));
+        // Dirty the recycled searcher on an unrelated graph first.
+        recycled.try_augment_any(&path(3), u32::MAX);
+        recycled.reset_from(&init);
+        let mut fresh = BlossomSearcher::new(&init);
+        for v in 0..9u32 {
+            let v = VertexId(v);
+            if fresh.is_free_vertex(v) {
+                assert_eq!(
+                    fresh.try_augment(&g, v, u32::MAX),
+                    recycled.try_augment(&g, v, u32::MAX),
+                    "vertex {}",
+                    v.0
+                );
+            }
+        }
+        assert_eq!(fresh.work(), recycled.work(), "work counters must agree");
+        let mut out = Matching::new(0);
+        recycled.write_matching_into(&mut out);
+        assert_eq!(fresh.into_matching(), out);
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

@@ -74,9 +74,24 @@ pub fn eliminate_augmenting_paths_up_to(
     m: &mut Matching,
     max_len: usize,
 ) -> AugStats {
+    let mut searcher = BlossomSearcher::new(m);
+    eliminate_augmenting_paths_up_to_with(g, m, max_len, &mut searcher)
+}
+
+/// [`eliminate_augmenting_paths_up_to`] with a caller-owned searcher: the
+/// searcher is re-initialized from `m` (so any prior state is irrelevant)
+/// and its buffers are reused instead of reallocated. Output and stats
+/// are identical to the fresh-searcher path — `reset_from` zeroes the
+/// work counter, so `edge_visits` match too.
+pub fn eliminate_augmenting_paths_up_to_with(
+    g: &CsrGraph,
+    m: &mut Matching,
+    max_len: usize,
+    searcher: &mut BlossomSearcher,
+) -> AugStats {
     assert!(max_len % 2 == 1, "augmenting paths have odd length");
     let mut stats = AugStats::default();
-    let mut searcher = BlossomSearcher::new(m);
+    searcher.reset_from(m);
     let max_cap = max_len as u32;
     // Bulk phase: multi-source forest searches, shortest caps first (the
     // Hopcroft–Karp schedule). Each call costs O(m) and either augments or
@@ -114,7 +129,7 @@ pub fn eliminate_augmenting_paths_up_to(
         }
     }
     stats.edge_visits = searcher.work();
-    *m = searcher.into_matching();
+    searcher.write_matching_into(m);
     stats
 }
 
@@ -230,5 +245,43 @@ mod tests {
         let (m, stats) = approx_maximum_matching_from(&g, init, 0.5);
         assert!(stats.searches > 0);
         assert!(stats.augmentations >= m.len());
+    }
+
+    #[test]
+    fn recycled_searcher_matches_fresh_exactly() {
+        use crate::blossom::BlossomSearcher;
+        use crate::greedy::greedy_maximal_matching;
+        let mut rng = StdRng::seed_from_u64(23);
+        // One searcher dragged across graphs of different sizes must give
+        // the same matching AND the same stats as a fresh searcher every
+        // time (reset_from re-zeroes the work counter).
+        let mut recycled = BlossomSearcher::new(&Matching::new(0));
+        let graphs = [gnp(70, 0.08, &mut rng), path(45), cycle(33), {
+            let mut rng2 = StdRng::seed_from_u64(24);
+            gnp(20, 0.3, &mut rng2)
+        }];
+        for (i, g) in graphs.iter().enumerate() {
+            for max_len in [1usize, 3, 7] {
+                let mut fresh_m = greedy_maximal_matching(g);
+                let mut warm_m = fresh_m.clone();
+                let fresh_stats = eliminate_augmenting_paths_up_to(g, &mut fresh_m, max_len);
+                let warm_stats =
+                    eliminate_augmenting_paths_up_to_with(g, &mut warm_m, max_len, &mut recycled);
+                assert_eq!(fresh_m, warm_m, "graph {i} max_len {max_len}");
+                assert_eq!(
+                    (
+                        fresh_stats.augmentations,
+                        fresh_stats.searches,
+                        fresh_stats.edge_visits
+                    ),
+                    (
+                        warm_stats.augmentations,
+                        warm_stats.searches,
+                        warm_stats.edge_visits
+                    ),
+                    "graph {i} max_len {max_len}"
+                );
+            }
+        }
     }
 }

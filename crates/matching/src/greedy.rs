@@ -16,11 +16,20 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// Greedy maximal matching in edge-id order. O(m).
 pub fn greedy_maximal_matching(g: &CsrGraph) -> Matching {
     let mut m = Matching::new(g.num_vertices());
-    for (_, u, v) in g.edges() {
-        m.add_pair(u, v); // no-op when an endpoint is taken
-    }
-    debug_assert!(m.is_maximal_in(g));
+    greedy_maximal_matching_into(g, &mut m);
     m
+}
+
+/// [`greedy_maximal_matching`] into a caller-owned matching: `out` is
+/// reset to `g`'s vertex count (reusing its capacity) and filled with the
+/// same edge-id-order scan. The scratch-reuse path of the pipeline's
+/// match stage — allocation-free once `out` has capacity.
+pub fn greedy_maximal_matching_into(g: &CsrGraph, out: &mut Matching) {
+    out.reset(g.num_vertices());
+    for (_, u, v) in g.edges() {
+        out.add_pair(u, v); // no-op when an endpoint is taken
+    }
+    debug_assert!(out.is_maximal_in(g));
 }
 
 /// Below this many edges the parallel greedy takes the sequential path.

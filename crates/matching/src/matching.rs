@@ -39,6 +39,16 @@ impl Matching {
         }
     }
 
+    /// Reset to the empty matching on `n` vertices, keeping the mate
+    /// array's capacity. The scratch-reuse equivalent of
+    /// [`Matching::new`]: no allocation when `n` fits the existing
+    /// capacity.
+    pub fn reset(&mut self, n: usize) {
+        self.mate.clear();
+        self.mate.resize(n, UNMATCHED);
+        self.size = 0;
+    }
+
     /// Build from explicit pairs; panics if any vertex repeats.
     pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
         let mut m = Matching::new(n);

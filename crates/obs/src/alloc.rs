@@ -1,0 +1,107 @@
+//! A counting global allocator (behind the `alloc-count` feature).
+//!
+//! The steady-state performance story of the scratch-arena pipeline is a
+//! claim about heap traffic — "the second and later solves on a warm
+//! `PipelineScratch` allocate nothing" — and claims about heap traffic
+//! need an observer. [`CountingAllocator`] wraps the system allocator and
+//! counts every `alloc` / `alloc_zeroed` / `realloc` call, both
+//! process-wide and per-thread, without changing allocation behavior.
+//!
+//! Consumers install it themselves (a `#[global_allocator]` must live in
+//! the final binary or test crate, never in a library):
+//!
+//! ```ignore
+//! use sparsimatch_obs::alloc::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! and then read [`totals`] (whole process) or [`thread_totals`] (calling
+//! thread only) around the region of interest. Per-thread counters make
+//! the zero-allocation assertion robust against unrelated background
+//! threads; the process-wide totals feed the `alloc.bytes` /
+//! `alloc.count` meter keys in `--metrics-json` and the benchmark
+//! allocation columns.
+//!
+//! Deallocations are deliberately not tracked: the scratch arena's
+//! `clear()`-not-drop contract is about *acquiring* memory in the steady
+//! state, and frees would only add noise to that signal.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocation totals: bytes requested and number of allocator calls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocTotals {
+    /// Total bytes requested across counted allocator calls.
+    pub bytes: u64,
+    /// Number of counted allocator calls.
+    pub count: u64,
+}
+
+static GLOBAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_COUNT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // `const` initializers make first access allocation-free, so counting
+    // from inside the allocator cannot recurse into itself.
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+    static THREAD_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn record(size: usize) {
+    GLOBAL_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    GLOBAL_COUNT.fetch_add(1, Ordering::Relaxed);
+    // `try_with` instead of `with`: during thread teardown the TLS slot is
+    // gone, and an allocation there must still succeed (uncounted
+    // per-thread is fine; the globals above already saw it).
+    let _ = THREAD_BYTES.try_with(|b| b.set(b.get() + size as u64));
+    let _ = THREAD_COUNT.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Process-wide totals since process start (monotonic).
+pub fn totals() -> AllocTotals {
+    AllocTotals {
+        bytes: GLOBAL_BYTES.load(Ordering::Relaxed),
+        count: GLOBAL_COUNT.load(Ordering::Relaxed),
+    }
+}
+
+/// Totals for the calling thread since it started (monotonic).
+pub fn thread_totals() -> AllocTotals {
+    AllocTotals {
+        bytes: THREAD_BYTES.with(Cell::get),
+        count: THREAD_COUNT.with(Cell::get),
+    }
+}
+
+/// The counting wrapper around [`System`]. Install with
+/// `#[global_allocator]` in a binary or test crate.
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counting side effects never touch the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}

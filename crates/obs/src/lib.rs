@@ -12,6 +12,10 @@
 //! * [`Json`] — a dependency-free JSON value with a byte-deterministic
 //!   serializer and a strict parser, used for `--metrics-json` files and
 //!   the experiment harness's `results/<exp>.json` outputs.
+//! * `alloc` (behind the `alloc-count` feature) — a counting global
+//!   allocator that makes heap traffic observable, feeding the
+//!   `alloc.bytes` / `alloc.count` meter keys and the steady-state
+//!   zero-allocation tests.
 //!
 //! Counter values are deterministic for a fixed seed; wall-clock timings
 //! are segregated (see [`WorkMeter::snapshot_counters`] vs.
@@ -22,6 +26,8 @@
 
 #![deny(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
 pub mod json;
 pub mod meter;
 

@@ -60,6 +60,13 @@ pub mod keys {
     pub const FAULTS_RETRIES: &str = "faults.retries";
     /// Node-rounds spent crashed (summed over nodes and rounds).
     pub const FAULTS_CRASHED_ROUNDS: &str = "faults.crashed_rounds";
+    /// Heap bytes requested from the global allocator during the run.
+    /// Only populated when the process installs the `alloc-count`
+    /// counting allocator; otherwise absent from metric files.
+    pub const ALLOC_BYTES: &str = "alloc.bytes";
+    /// Heap allocation calls during the run (same gating as
+    /// [`ALLOC_BYTES`]).
+    pub const ALLOC_COUNT: &str = "alloc.count";
     /// Span: pipeline stage 1, marking edges for the sparsifier.
     pub const STAGE_MARK: &str = "stage.mark";
     /// Span: pipeline stage 2, extracting the sparsifier CSR.
