@@ -1,0 +1,431 @@
+//! Open-loop load generator for the `sparsimatch serve` daemon (ISSUE 6
+//! tentpole experiment).
+//!
+//! Starts the unix-socket daemon in-process, then replays a seeded
+//! request mix from several concurrent client sessions. Each client has
+//! a writer thread that fires its precomputed script on a fixed arrival
+//! schedule without ever waiting for responses (open loop — when the
+//! daemon falls behind, its bounded queue sheds `overloaded`, the
+//! generator never slows down) and a reader thread that matches
+//! response ids back to send timestamps. Latencies are reported per
+//! command type as p50/p99/p999/max, because a daemon whose `solve` tail
+//! hides behind a `query`-dominated aggregate would look healthier than
+//! it is.
+//!
+//! Enforced bounds:
+//!
+//! 1. Every request gets exactly one response (admission control sheds
+//!    with `overloaded` errors, never silently).
+//! 2. No response is a non-`overloaded` error: the generated mix is
+//!    entirely well-formed, so parse/bad_request/internal errors mean a
+//!    daemon bug.
+//! 3. Per command, the latency percentiles are monotone
+//!    (p50 ≤ p99 ≤ p999 ≤ max).
+//! 4. The full scale replays at least one million requests.
+//!
+//! Writes `results/serve_bench.json` (schema in EXPERIMENTS.md);
+//! structurally validated by `crates/bench/tests/results_json.rs`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sparsimatch_bench::table::Table;
+use sparsimatch_bench::{results_dir, scale_from_args, Scale, Violations};
+use sparsimatch_obs::Json;
+use sparsimatch_serve::{serve_unix, ServeConfig};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const BASE_SEED: u64 = 0x5e47e;
+/// Open-loop arrival rate per session (requests/second). Arrivals
+/// follow the schedule regardless of responses; if the daemon falls
+/// behind, its bounded queue sheds with `overloaded` rather than the
+/// generator slowing down.
+const RATE_PER_SESSION: f64 = 5_000.0;
+/// Requests per scheduling tick: the writer sleeps to the tick's
+/// scheduled time, then fires the whole batch. Keeps the schedule
+/// honest without asking the OS for microsecond sleeps.
+const BATCH: usize = 64;
+/// Path-graph size per session; chords inserted/deleted by `update`
+/// live strictly above the path edges, so the mix never generates a
+/// duplicate-edge or missing-edge request.
+const GRAPH_N: usize = 256;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    LoadGraph,
+    Solve,
+    Update,
+    Query,
+    Metrics,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::LoadGraph => "load_graph",
+            Kind::Solve => "solve",
+            Kind::Update => "update",
+            Kind::Query => "query",
+            Kind::Metrics => "metrics",
+        }
+    }
+}
+
+/// One session's precomputed script: request lines plus the command
+/// kind per sequential id.
+fn build_script(session: u64, requests: usize) -> (Vec<String>, Vec<Kind>) {
+    let mut rng = StdRng::seed_from_u64(BASE_SEED ^ session.wrapping_mul(0x9e37_79b9));
+    let mut lines = Vec::with_capacity(requests);
+    let mut kinds = Vec::with_capacity(requests);
+    // Chords currently present, so updates always insert an absent edge
+    // or delete a present one.
+    let mut chords: Vec<(u32, u32)> = Vec::new();
+    let mut chord_set: HashSet<(u32, u32)> = HashSet::new();
+
+    for id in 0..requests {
+        let kind = if id == 0 {
+            Kind::LoadGraph
+        } else {
+            match rng.random_range(0..100u32) {
+                0..=69 => Kind::Query,
+                70..=84 => Kind::Metrics,
+                85..=94 => Kind::Update,
+                95..=98 => Kind::Solve,
+                _ => Kind::LoadGraph,
+            }
+        };
+        let line = match kind {
+            Kind::LoadGraph => {
+                chords.clear();
+                chord_set.clear();
+                format!(r#"{{"id":{id},"cmd":"load_graph","n":{GRAPH_N},"family":"path"}}"#)
+            }
+            Kind::Solve => {
+                format!(
+                    r#"{{"id":{id},"cmd":"solve","beta":1,"eps":0.5,"seed":{}}}"#,
+                    id % 13
+                )
+            }
+            Kind::Update => {
+                let delete = !chords.is_empty() && rng.random_bool(0.4);
+                if delete {
+                    let at = rng.random_range(0..chords.len());
+                    let (u, v) = chords.swap_remove(at);
+                    chord_set.remove(&(u, v));
+                    format!(
+                        r#"{{"id":{id},"cmd":"update","ops":[["delete",{u},{v}]],"beta":1,"eps":0.5}}"#
+                    )
+                } else {
+                    let (u, v) = loop {
+                        let u = rng.random_range(0..GRAPH_N as u32);
+                        let v = rng.random_range(0..GRAPH_N as u32);
+                        let (u, v) = (u.min(v), u.max(v));
+                        // Skip self-loops, path edges, and live chords.
+                        if v > u + 1 && !chord_set.contains(&(u, v)) {
+                            break (u, v);
+                        }
+                    };
+                    chords.push((u, v));
+                    chord_set.insert((u, v));
+                    format!(
+                        r#"{{"id":{id},"cmd":"update","ops":[["insert",{u},{v}]],"beta":1,"eps":0.5}}"#
+                    )
+                }
+            }
+            Kind::Query => {
+                if rng.random_bool(0.1) {
+                    format!(r#"{{"id":{id},"cmd":"query","what":"pairs"}}"#)
+                } else {
+                    format!(r#"{{"id":{id},"cmd":"query","what":"status"}}"#)
+                }
+            }
+            Kind::Metrics => format!(r#"{{"id":{id},"cmd":"metrics"}}"#),
+        };
+        lines.push(line);
+        kinds.push(kind);
+    }
+    (lines, kinds)
+}
+
+struct SessionOutcome {
+    /// (kind, latency in µs) per *served* (ok) request.
+    latencies: Vec<(Kind, u64)>,
+    overloaded: u64,
+    other_errors: u64,
+    responses: u64,
+}
+
+/// Replay one session against the daemon socket.
+fn run_client(
+    sock: &std::path::Path,
+    session: u64,
+    requests: usize,
+    t0: Instant,
+) -> SessionOutcome {
+    let (lines, kinds) = build_script(session, requests);
+    let stream = UnixStream::connect(sock).expect("connect");
+    let mut writer = stream.try_clone().expect("clone for writer");
+    let reader = BufReader::new(stream.try_clone().expect("clone for reader"));
+    let sent: Vec<AtomicU64> = (0..requests).map(|_| AtomicU64::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        let sent_ref = &sent;
+        let lines_ref = &lines;
+        let writer_thread = scope.spawn(move || {
+            let mut buf = String::new();
+            let start = Instant::now();
+            let per_request = std::time::Duration::from_secs_f64(1.0 / RATE_PER_SESSION);
+            for (id, line) in lines_ref.iter().enumerate() {
+                if id % BATCH == 0 {
+                    let due = start + per_request * id as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                buf.clear();
+                buf.push_str(line);
+                buf.push('\n');
+                sent_ref[id].store((Instant::now() - t0).as_nanos() as u64, Ordering::Release);
+                writer.write_all(buf.as_bytes()).expect("request write");
+            }
+            writer.flush().expect("flush");
+            // Half-close: the daemon sees EOF, drains its queue, and
+            // closes the connection once every response is out.
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("shutdown write half");
+        });
+
+        let mut outcome = SessionOutcome {
+            latencies: Vec::with_capacity(requests),
+            overloaded: 0,
+            other_errors: 0,
+            responses: 0,
+        };
+        for line in reader.lines() {
+            let line = line.expect("response read");
+            let now = (Instant::now() - t0).as_nanos() as u64;
+            let doc = Json::parse(&line).expect("response parses");
+            let id = doc
+                .get("id")
+                .and_then(|j| j.as_u64())
+                .expect("response echoes a numeric id") as usize;
+            let ok = doc.get("ok").and_then(|j| j.as_bool()) == Some(true);
+            if ok {
+                // Only served requests contribute to the latency
+                // percentiles; a shed request's instant rejection says
+                // nothing about service time.
+                let lat_ns = now.saturating_sub(sent[id].load(Ordering::Acquire));
+                outcome.latencies.push((kinds[id], lat_ns / 1_000));
+            } else {
+                let code = doc
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(|c| c.as_str())
+                    .unwrap_or("?");
+                if code == "overloaded" {
+                    outcome.overloaded += 1;
+                } else {
+                    outcome.other_errors += 1;
+                }
+            }
+            outcome.responses += 1;
+        }
+        writer_thread.join().expect("writer thread");
+        outcome
+    })
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (sessions, per_session): (u64, usize) = match scale {
+        Scale::Quick => (2, 10_000),
+        Scale::Full => (4, 300_000),
+    };
+    let cfg = ServeConfig {
+        threads: 1,
+        queue_cap: 4096,
+        max_sessions: sessions as usize,
+    };
+    let total = sessions as usize * per_session;
+    println!(
+        "[serve_bench] {} sessions x {} requests ({} scale)",
+        sessions,
+        per_session,
+        scale.name()
+    );
+
+    let dir = std::env::temp_dir().join(format!("sparsimatch-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("bench.sock");
+    std::fs::remove_file(&sock).ok();
+    let daemon = {
+        let sock = sock.clone();
+        std::thread::spawn(move || serve_unix(&sock, &cfg))
+    };
+    let mut tries = 0;
+    while !sock.exists() {
+        tries += 1;
+        assert!(tries < 500, "daemon socket never appeared");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let t0 = Instant::now();
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|s| {
+                let sock = &sock;
+                scope.spawn(move || run_client(sock, s, per_session, t0))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    // Stop the daemon with a daemon-scope shutdown on a fresh control
+    // connection.
+    {
+        let mut control = UnixStream::connect(&sock).expect("control connect");
+        writeln!(control, r#"{{"id":0,"cmd":"shutdown","scope":"daemon"}}"#)
+            .expect("control write");
+        let mut line = String::new();
+        BufReader::new(&control)
+            .read_line(&mut line)
+            .expect("control read");
+    }
+    daemon.join().expect("daemon thread").expect("daemon io");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut violations = Violations::new();
+    let responses: u64 = outcomes.iter().map(|o| o.responses).sum();
+    let overloaded: u64 = outcomes.iter().map(|o| o.overloaded).sum();
+    let other_errors: u64 = outcomes.iter().map(|o| o.other_errors).sum();
+    violations.check(responses == total as u64, || {
+        format!("every request must be answered: {responses} responses for {total} requests")
+    });
+    violations.check(other_errors == 0, || {
+        format!("well-formed mix produced {other_errors} non-overloaded errors")
+    });
+    if scale == Scale::Full {
+        violations.check(total >= 1_000_000, || {
+            format!("full scale must replay at least 1M requests, got {total}")
+        });
+    }
+
+    // Bucket latencies per command.
+    let mut buckets: Vec<(Kind, Vec<u64>)> = [
+        Kind::LoadGraph,
+        Kind::Solve,
+        Kind::Update,
+        Kind::Query,
+        Kind::Metrics,
+    ]
+    .into_iter()
+    .map(|k| (k, Vec::new()))
+    .collect();
+    for o in &outcomes {
+        for &(kind, us) in &o.latencies {
+            buckets
+                .iter_mut()
+                .find(|(k, _)| *k == kind)
+                .unwrap()
+                .1
+                .push(us);
+        }
+    }
+
+    let mut table = Table::new(&["command", "count", "p50_us", "p99_us", "p999_us", "max_us"]);
+    let mut command_docs = Vec::new();
+    for (kind, lats) in &mut buckets {
+        if lats.is_empty() {
+            continue;
+        }
+        lats.sort_unstable();
+        let (p50, p99, p999) = (
+            percentile(lats, 0.50),
+            percentile(lats, 0.99),
+            percentile(lats, 0.999),
+        );
+        let max = *lats.last().unwrap();
+        violations.check(p50 <= p99 && p99 <= p999 && p999 <= max, || {
+            format!(
+                "{}: percentiles not monotone ({p50} / {p99} / {p999} / {max})",
+                kind.name()
+            )
+        });
+        table.row(vec![
+            kind.name().to_string(),
+            lats.len().to_string(),
+            p50.to_string(),
+            p99.to_string(),
+            p999.to_string(),
+            max.to_string(),
+        ]);
+        let mut c = Json::object();
+        c.set("command", kind.name());
+        c.set("count", lats.len());
+        c.set("p50_us", p50);
+        c.set("p99_us", p99);
+        c.set("p999_us", p999);
+        c.set("max_us", max);
+        command_docs.push(c);
+    }
+    table.print();
+    println!(
+        "[serve_bench] {} requests in {:.2}s ({:.0} req/s), {} overloaded",
+        total,
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+        overloaded
+    );
+
+    // Custom schema (like fault_sweep.json): the per-command percentile
+    // records are the product, not a measured-vs-predicted table.
+    let mut doc = Json::object();
+    doc.set("experiment", "serve_bench");
+    doc.set("scale", scale.name());
+    doc.set("sessions", sessions);
+    doc.set("requests_per_session", per_session);
+    doc.set("total_requests", total);
+    doc.set(
+        "served",
+        outcomes.iter().map(|o| o.latencies.len()).sum::<usize>(),
+    );
+    doc.set("worker_threads", cfg.threads);
+    doc.set("queue_cap", cfg.queue_cap);
+    doc.set("rate_per_session", RATE_PER_SESSION);
+    doc.set("elapsed_seconds", elapsed.as_secs_f64());
+    doc.set("overloaded", overloaded);
+    doc.set("errors", other_errors);
+    doc.set("commands", Json::Array(command_docs));
+    doc.set(
+        "violations",
+        Json::Array(
+            violations
+                .items()
+                .iter()
+                .map(|v| Json::from(v.as_str()))
+                .collect(),
+        ),
+    );
+    doc.set("bounds_ok", violations.is_empty());
+    let out_dir = results_dir();
+    std::fs::create_dir_all(&out_dir).expect("results dir");
+    let path = out_dir.join("serve_bench.json");
+    std::fs::write(&path, doc.to_pretty()).expect("write serve_bench.json");
+    println!("[serve_bench] results written to {}", path.display());
+
+    violations.finish("serve_bench");
+}

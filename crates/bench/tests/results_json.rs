@@ -325,3 +325,96 @@ fn committed_baseline_meets_dispatch_and_steady_state_gates() {
          (best {best_speedup:.3})"
     );
 }
+
+/// Shared structural checks for a `serve_bench.json` document at either
+/// scale: every request answered, no unexpected errors, all five
+/// command types present with monotone percentiles.
+fn assert_serve_bench_schema(doc: &Json) {
+    assert_eq!(doc.get("experiment").unwrap().as_str(), Some("serve_bench"));
+    assert_eq!(doc.get("bounds_ok").unwrap().as_bool(), Some(true));
+    assert!(doc
+        .get("violations")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    let total = doc.get("total_requests").unwrap().as_u64().unwrap();
+    let served = doc.get("served").unwrap().as_u64().unwrap();
+    let overloaded = doc.get("overloaded").unwrap().as_u64().unwrap();
+    assert_eq!(doc.get("errors").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        served + overloaded,
+        total,
+        "every request is either served or explicitly shed"
+    );
+    assert!(doc.get("sessions").unwrap().as_u64().unwrap() >= 2);
+    assert!(doc.get("worker_threads").unwrap().as_u64().unwrap() >= 1);
+    assert!(doc.get("queue_cap").unwrap().as_u64().unwrap() >= 1);
+    assert!(doc.get("rate_per_session").unwrap().as_f64().unwrap() > 0.0);
+
+    let commands = doc.get("commands").unwrap().as_array().unwrap();
+    let names: Vec<&str> = commands
+        .iter()
+        .map(|c| c.get("command").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        ["load_graph", "solve", "update", "query", "metrics"],
+        "latency percentiles must cover every command type"
+    );
+    let mut counted = 0u64;
+    for c in commands {
+        let name = c.get("command").unwrap().as_str().unwrap();
+        let count = c.get("count").unwrap().as_u64().unwrap();
+        assert!(count > 0, "{name}: empty latency bucket");
+        counted += count;
+        let p50 = c.get("p50_us").unwrap().as_u64().unwrap();
+        let p99 = c.get("p99_us").unwrap().as_u64().unwrap();
+        let p999 = c.get("p999_us").unwrap().as_u64().unwrap();
+        let max = c.get("max_us").unwrap().as_u64().unwrap();
+        assert!(
+            p50 <= p99 && p99 <= p999 && p999 <= max,
+            "{name}: percentiles not monotone ({p50}/{p99}/{p999}/{max})"
+        );
+    }
+    assert_eq!(counted, served, "per-command counts must sum to served");
+}
+
+#[test]
+fn serve_bench_quick_run_writes_valid_schema() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let status = Command::new(env!("CARGO_BIN_EXE_exp_serve_bench"))
+        .env("SPARSIMATCH_RESULTS_DIR", &dir)
+        .status()
+        .expect("serve bench binary runs");
+    assert!(status.success(), "exp_serve_bench exited nonzero");
+
+    let text =
+        std::fs::read_to_string(dir.join("serve_bench.json")).expect("serve bench JSON written");
+    let doc = Json::parse(&text).expect("serve bench JSON parses");
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("quick"));
+    assert_serve_bench_schema(&doc);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance gate on the *committed* full-scale replay
+/// (`results/serve_bench.json`): at least one million requests through
+/// the daemon, percentiles per command type, nothing lost.
+#[test]
+fn committed_serve_bench_is_full_scale_with_a_million_requests() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/serve_bench.json");
+    let text = std::fs::read_to_string(&path).expect("committed results/serve_bench.json present");
+    let doc = Json::parse(&text).expect("committed serve bench parses");
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("full"));
+    let total = doc.get("total_requests").unwrap().as_u64().unwrap();
+    assert!(
+        total >= 1_000_000,
+        "committed replay must cover at least 1M requests, got {total}"
+    );
+    assert_serve_bench_schema(&doc);
+}

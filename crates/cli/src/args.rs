@@ -22,6 +22,7 @@ USAGE:
                       [--fault-seed <S>] [--drop <P>] [--duplicate <P>] [--reorder <P>]
                       [--crash <P>] [--crash-period <K>] [--fault-horizon <R>] [--retries <K>]
   sparsimatch check --replay <FILE>
+  sparsimatch serve [--socket <PATH>] [--threads <T>] [--queue-cap <N>] [--max-sessions <C>]
   sparsimatch help
 
 Graphs are plain-text edge lists: a `n m` header line followed by one
@@ -51,7 +52,18 @@ check --replay re-executes a counterexample reproducer written by the
 counterexample-<seed>.json; schema in EXPERIMENTS.md). Exit 0 means the
 recorded violation reproduced and the re-rendered document is
 byte-identical to the file; exit 8 means the violation is gone or the
-bytes drifted.";
+bytes drifted.
+
+serve runs a resident engine speaking newline-delimited JSON requests
+(load_graph / solve / update / query / metrics / shutdown) with echoed
+ids and typed error codes; see DESIGN.md for the wire schema. Without
+--socket it serves one session over stdin/stdout; with --socket <PATH>
+it accepts up to --max-sessions (default 4) concurrent unix-socket
+sessions, each with its own resident graph and scratch arenas.
+--queue-cap <N> (default 128) bounds the per-session request queue;
+excess requests are answered with an `overloaded` error instead of
+buffering without bound. Daemon runtime failures (e.g. the socket path
+cannot be bound) exit 9.";
 
 /// The `generate` subcommand.
 #[derive(Clone, Debug, PartialEq)]
@@ -189,6 +201,19 @@ pub struct CheckArgs {
     pub replay: PathBuf,
 }
 
+/// The `serve` subcommand: run the resident request-loop daemon.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Unix socket path (stdin/stdout session if absent).
+    pub socket: Option<PathBuf>,
+    /// Worker threads (1..=64) per pipeline solve.
+    pub threads: usize,
+    /// Bounded per-session request queue capacity.
+    pub queue_cap: usize,
+    /// Concurrent unix-socket sessions accepted.
+    pub max_sessions: usize,
+}
+
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -204,6 +229,8 @@ pub enum Command {
     Distsim(DistsimArgs),
     /// Replay a differential-fuzz counterexample reproducer.
     Check(CheckArgs),
+    /// Run the resident serve daemon.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
 }
@@ -423,6 +450,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 replay: PathBuf::from(replay),
             }))
         }
+        "serve" => {
+            let flags = Flags { rest: &args[1..] };
+            flags.expect_known(&["--socket", "--threads", "--queue-cap", "--max-sessions"])?;
+            Ok(Command::Serve(ServeArgs {
+                socket: flags.get("--socket")?.map(PathBuf::from),
+                threads: flags.parse_opt("--threads")?.unwrap_or(1),
+                queue_cap: flags.parse_opt("--queue-cap")?.unwrap_or(128),
+                max_sessions: flags.parse_opt("--max-sessions")?.unwrap_or(4),
+            }))
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -578,6 +615,34 @@ mod tests {
         assert!(parse(&args("check")).is_err(), "--replay is required");
         assert!(parse(&args("check --replay")).is_err());
         assert!(parse(&args("check --replay f.json --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&args("serve")).unwrap(),
+            Command::Serve(ServeArgs {
+                socket: None,
+                threads: 1,
+                queue_cap: 128,
+                max_sessions: 4,
+            })
+        );
+        assert_eq!(
+            parse(&args(
+                "serve --socket /tmp/s.sock --threads 2 --queue-cap 16 --max-sessions 8"
+            ))
+            .unwrap(),
+            Command::Serve(ServeArgs {
+                socket: Some(PathBuf::from("/tmp/s.sock")),
+                threads: 2,
+                queue_cap: 16,
+                max_sessions: 8,
+            })
+        );
+        assert!(parse(&args("serve --socket")).is_err());
+        assert!(parse(&args("serve --threads wat")).is_err());
+        assert!(parse(&args("serve --port 80")).is_err(), "unknown flag");
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //! testability.
 
 use crate::args::{
-    AnalyzeArgs, CheckArgs, DistAlgo, DistsimArgs, GenerateArgs, MatchAlgo, MatchArgs, SparsifyArgs,
+    AnalyzeArgs, CheckArgs, DistAlgo, DistsimArgs, GenerateArgs, MatchAlgo, MatchArgs, ServeArgs,
+    SparsifyArgs,
 };
 use crate::error::CliError;
 use rand::{rngs::StdRng, SeedableRng};
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_metered;
-use sparsimatch_core::sparsifier::build_sparsifier_parallel_metered;
+use sparsimatch_core::sparsifier::{
+    build_sparsifier_parallel_metered, ThreadCountError, MAX_THREADS,
+};
 use sparsimatch_distsim::algorithms::pipeline::{
     distributed_approx_mcm_faulty, distributed_maximal_baseline_faulty,
     distributed_randomized_maximal_faulty,
@@ -17,15 +20,13 @@ use sparsimatch_distsim::{FaultPlan, FaultRates, ResilienceParams};
 use sparsimatch_graph::analysis::arboricity::{arboricity_bounds, degeneracy};
 use sparsimatch_graph::analysis::independence::neighborhood_independence_exact;
 use sparsimatch_graph::csr::CsrGraph;
-use sparsimatch_graph::generators::{
-    clique, clique_union, cycle, gnp, line_graph, path, unit_disk, CliqueUnionConfig,
-    UnitDiskConfig,
-};
+use sparsimatch_graph::generators::{family_from_spec, FamilySpecError};
 use sparsimatch_graph::io::{read_edge_list_file, write_edge_list, write_edge_list_file};
 use sparsimatch_matching::blossom::maximum_matching;
 use sparsimatch_matching::greedy::greedy_maximal_matching;
 use sparsimatch_matching::Matching;
 use sparsimatch_obs::{Json, WorkMeter};
+use sparsimatch_serve::{serve_stdio, serve_unix, ServeConfig};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
@@ -100,48 +101,15 @@ fn write_metrics_json(
     std::fs::write(path, doc.to_pretty()).map_err(io_err)
 }
 
-/// Build a graph from a family spec like `clique-union:2:100`.
+/// Build a graph from a family spec like `clique-union:2:100`. The spec
+/// grammar lives in [`sparsimatch_graph::generators::family_from_spec`]
+/// (shared with the serve daemon's `load_graph` request); this wrapper
+/// only classifies its errors onto CLI exit codes.
 pub fn build_family(spec: &str, n: usize, rng: &mut StdRng) -> Result<CsrGraph, CliError> {
-    let bad = |e: std::num::ParseIntError| CliError::InvalidParam(format!("family {spec:?}: {e}"));
-    let bad_f =
-        |e: std::num::ParseFloatError| CliError::InvalidParam(format!("family {spec:?}: {e}"));
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["clique"] => Ok(clique(n)),
-        ["clique-union", layers, size] => {
-            let diversity: usize = layers.parse().map_err(bad)?;
-            let clique_size: usize = size.parse().map_err(bad)?;
-            Ok(clique_union(
-                CliqueUnionConfig {
-                    n,
-                    diversity,
-                    clique_size,
-                },
-                rng,
-            ))
-        }
-        ["unit-disk", deg] => {
-            let avg: f64 = deg.parse().map_err(bad_f)?;
-            require_positive("unit-disk average degree", avg)?;
-            Ok(unit_disk(
-                UnitDiskConfig::with_expected_degree(n, 1.0, avg),
-                rng,
-            ))
-        }
-        ["gnp", p] => {
-            let p: f64 = p.parse().map_err(bad_f)?;
-            require_probability("gnp edge probability", p)?;
-            Ok(gnp(n, p, rng))
-        }
-        ["line-gnp", p] => {
-            let p: f64 = p.parse().map_err(bad_f)?;
-            require_probability("line-gnp edge probability", p)?;
-            Ok(line_graph(&gnp(n, p, rng)))
-        }
-        ["path"] => Ok(path(n)),
-        ["cycle"] => Ok(cycle(n)),
-        _ => Err(CliError::Usage(format!("unknown family {spec:?}"))),
-    }
+    family_from_spec(spec, n, rng).map_err(|e| match e {
+        FamilySpecError::UnknownFamily(m) => CliError::Usage(m),
+        FamilySpecError::BadValue(m) => CliError::InvalidParam(m),
+    })
 }
 
 /// `sparsimatch generate`.
@@ -461,6 +429,53 @@ pub fn check(args: CheckArgs, out: Out<'_>) -> Result<(), CliError> {
             args.replay.display()
         ))),
     }
+}
+
+/// `sparsimatch serve`: run the resident request-loop daemon.
+///
+/// Protocol responses own stdout in stdio mode, so this command writes
+/// nothing to `out`; start/stop notices go to stderr. Daemon runtime
+/// failures (bind/accept errors) map to [`CliError::Serve`] (exit 9).
+pub fn serve(args: ServeArgs, _out: Out<'_>) -> Result<(), CliError> {
+    if !(1..=MAX_THREADS).contains(&args.threads) {
+        return Err(CliError::Threads(
+            ThreadCountError {
+                requested: args.threads,
+            }
+            .to_string(),
+        ));
+    }
+    if args.queue_cap == 0 {
+        return Err(CliError::InvalidParam(
+            "--queue-cap must be at least 1".into(),
+        ));
+    }
+    if args.max_sessions == 0 {
+        return Err(CliError::InvalidParam(
+            "--max-sessions must be at least 1".into(),
+        ));
+    }
+    let cfg = ServeConfig {
+        threads: args.threads,
+        queue_cap: args.queue_cap,
+        max_sessions: args.max_sessions,
+    };
+    let serve_err = |e: std::io::Error| CliError::Serve(format!("serve: {e}"));
+    match &args.socket {
+        Some(path) => {
+            eprintln!("serving on unix socket {}", path.display());
+            serve_unix(path, &cfg).map_err(serve_err)?;
+            eprintln!("daemon stopped");
+        }
+        None => {
+            let summary = serve_stdio(&cfg).map_err(serve_err)?;
+            eprintln!(
+                "session closed: {} requests, {} overloaded, {} wire errors",
+                summary.requests, summary.overloaded, summary.wire_errors
+            );
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! | 6    | thread count out of range                              |
 //! | 7    | invalid parameter value (bad probability, rate, ...)   |
 //! | 8    | check replay failed (violation gone or bytes drifted)  |
+//! | 9    | serve daemon runtime failure (bind/accept error)       |
 //!
 //! The codes are part of the CLI contract and pinned by
 //! `tests/bin_smoke.rs`; change them only with a changelog entry.
@@ -41,6 +42,9 @@ pub enum CliError {
     /// no longer fires, or the re-rendered reproducer is not
     /// byte-identical to the input file (exit 8).
     CheckFailed(String),
+    /// The serve daemon could not start or keep running, e.g. the
+    /// socket path cannot be bound (exit 9).
+    Serve(String),
     /// Anything else (exit 1).
     Other(String),
 }
@@ -57,6 +61,7 @@ impl CliError {
             CliError::Threads(_) => 6,
             CliError::InvalidParam(_) => 7,
             CliError::CheckFailed(_) => 8,
+            CliError::Serve(_) => 9,
         }
     }
 
@@ -69,6 +74,7 @@ impl CliError {
             | CliError::Threads(m)
             | CliError::InvalidParam(m)
             | CliError::CheckFailed(m)
+            | CliError::Serve(m)
             | CliError::Other(m) => m,
         }
     }
@@ -129,9 +135,10 @@ mod tests {
             CliError::Threads("x".into()),
             CliError::InvalidParam("x".into()),
             CliError::CheckFailed("x".into()),
+            CliError::Serve("x".into()),
         ];
         let codes: Vec<i32> = all.iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
         Command::Match(m) => commands::do_match(m, out),
         Command::Distsim(d) => commands::distsim(d, out),
         Command::Check(c) => commands::check(c, out),
+        Command::Serve(s) => commands::serve(s, out),
         Command::Help => {
             writeln!(out, "{}", args::USAGE)?;
             Ok(())

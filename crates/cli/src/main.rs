@@ -14,7 +14,10 @@ fn main() {
             "{e} (run `sparsimatch help` for usage)"
         ))),
     };
-    let mut stdout = std::io::stdout().lock();
+    // No StdoutLock here: `serve` writes protocol responses to
+    // `io::stdout()` from a worker thread, which would deadlock against
+    // a lock held across `run` on this thread.
+    let mut stdout = std::io::stdout();
     if let Err(e) = sparsimatch_cli::run(cmd, &mut stdout) {
         fail(e);
     }

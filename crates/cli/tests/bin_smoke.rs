@@ -443,3 +443,191 @@ fn distsim_runs_and_reports_faults() {
         std::fs::remove_file(p).ok();
     }
 }
+
+/// Drive `sparsimatch serve` over stdin/stdout with a scripted session
+/// covering every command plus a malformed and an over-deep request;
+/// the daemon answers typed errors for the bad lines and stays up.
+#[test]
+fn serve_scripted_stdio_session() {
+    use std::io::Write;
+    let deep = "[".repeat(300);
+    let script = format!(
+        concat!(
+            r#"{{"id":1,"cmd":"load_graph","n":12,"family":"clique"}}"#,
+            "\n",
+            r#"{{"id":2,"cmd":"solve","beta":1,"eps":0.5,"seed":7}}"#,
+            "\n",
+            "not json\n",
+            "{deep}\n",
+            r#"{{"id":3,"cmd":"solve","beta":1,"eps":0.5,"seed":7}}"#,
+            "\n",
+            r#"{{"id":4,"cmd":"update","ops":[["insert",0,1]],"beta":1,"eps":0.5}}"#,
+            "\n",
+            r#"{{"id":5,"cmd":"query","what":"status"}}"#,
+            "\n",
+            r#"{{"id":6,"cmd":"metrics"}}"#,
+            "\n",
+            r#"{{"id":7,"cmd":"shutdown"}}"#,
+            "\n",
+        ),
+        deep = deep
+    );
+    let mut child = bin()
+        .arg("serve")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 9, "one response per request: {lines:#?}");
+    assert!(lines[0].contains(r#""ok":true"#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""warm":false"#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""code":"parse""#), "{}", lines[2]);
+    assert!(lines[3].contains(r#""code":"too_deep""#), "{}", lines[3]);
+    assert!(lines[4].contains(r#""warm":true"#), "{}", lines[4]);
+    assert!(lines[5].contains(r#""ok":true"#), "{}", lines[5]);
+    assert!(lines[6].contains(r#""dynamic":true"#), "{}", lines[6]);
+    assert!(lines[7].contains(r#""wire_errors":2"#), "{}", lines[7]);
+    assert_eq!(
+        lines[8],
+        r#"{"id":7,"ok":true,"result":{"stopping":"session"}}"#
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("session closed"), "{stderr}");
+}
+
+/// A warm in-daemon solve returns exactly the pairs the one-shot CLI
+/// prints for the same family, seed, and parameters.
+#[test]
+fn serve_solve_is_byte_identical_to_one_shot_match() {
+    use std::io::Write;
+    let dir = std::env::temp_dir().join(format!("sparsimatch-serve-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("ident.el");
+    let out = bin()
+        .args([
+            "generate",
+            "clique-union:2:20",
+            "--n",
+            "60",
+            "--seed",
+            "5",
+            "--out",
+            file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = bin()
+        .args([
+            "match",
+            file.to_str().unwrap(),
+            "--beta",
+            "2",
+            "--eps",
+            "0.5",
+            "--seed",
+            "7",
+            "--pairs",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let cli_pairs: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            let mut parts = l.split_whitespace();
+            matches!(
+                (
+                    parts.next().map(|p| p.parse::<u32>().is_ok()),
+                    parts.next().map(|p| p.parse::<u32>().is_ok()),
+                    parts.next(),
+                ),
+                (Some(true), Some(true), None)
+            )
+        })
+        .collect();
+    assert!(!cli_pairs.is_empty(), "no pairs in {text}");
+    let expected_pairs_json: String = cli_pairs
+        .iter()
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            format!("[{},{}]", it.next().unwrap(), it.next().unwrap())
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    // Same family/seed loaded in-daemon; the second solve is warm and
+    // must carry the identical pair list.
+    let script = concat!(
+        r#"{"id":1,"cmd":"load_graph","n":60,"family":"clique-union:2:20","seed":5}"#,
+        "\n",
+        r#"{"id":2,"cmd":"solve","beta":2,"eps":0.5,"seed":7,"pairs":true}"#,
+        "\n",
+        r#"{"id":3,"cmd":"solve","beta":2,"eps":0.5,"seed":7,"pairs":true}"#,
+        "\n",
+        r#"{"id":4,"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let mut child = bin()
+        .arg("serve")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{lines:#?}");
+    let want = format!(r#""pairs":[{expected_pairs_json}]"#);
+    assert!(
+        lines[1].contains(&want),
+        "cold solve: {}\nwant {want}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains(&want),
+        "warm solve: {}\nwant {want}",
+        lines[2]
+    );
+    assert!(lines[2].contains(r#""warm":true"#), "{}", lines[2]);
+    std::fs::remove_file(&file).ok();
+}
+
+/// Daemon runtime failures (unbindable socket path) exit 9; a bad
+/// thread count exits 6 before any I/O happens.
+#[test]
+fn serve_error_exit_codes() {
+    let out = bin()
+        .args(["serve", "--socket", "/nonexistent-dir/deeper/s.sock"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(9), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("serve:"), "{err}");
+
+    let out = bin().args(["serve", "--threads", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+
+    let out = bin().args(["serve", "--queue-cap", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(7), "{out:?}");
+}

@@ -22,6 +22,7 @@ mod interval;
 mod line_graph;
 mod random;
 mod shapes;
+mod spec;
 
 pub use cliques::{clique, clique_minus_edge, clique_union, two_cliques_bridge, CliqueUnionConfig};
 pub use geometric::{
@@ -32,3 +33,4 @@ pub use interval::{build_unit_interval_graph, proper_interval, proper_interval_w
 pub use line_graph::line_graph;
 pub use random::{bipartite_gnp, gnp, random_matching_instance};
 pub use shapes::{complete_bipartite, cycle, path, star};
+pub use spec::{family_from_spec, FamilySpecError};

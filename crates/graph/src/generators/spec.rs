@@ -1,0 +1,167 @@
+//! Textual family specs, e.g. `clique-union:2:100` or `gnp:0.05`.
+//!
+//! One parser shared by every frontend that accepts a family by name —
+//! the `sparsimatch generate` subcommand and the serve daemon's
+//! `load_graph` request — so the spec grammar cannot drift between them.
+
+use super::{
+    clique, clique_union, cycle, gnp, line_graph, path, unit_disk, CliqueUnionConfig,
+    UnitDiskConfig,
+};
+use crate::csr::CsrGraph;
+use rand::Rng;
+
+/// Why a family spec was rejected.
+///
+/// The two variants matter to frontends: an [`UnknownFamily`] is a usage
+/// error (the user asked for something that does not exist), while a
+/// [`BadValue`] names a family we know but with an unusable parameter.
+///
+/// [`UnknownFamily`]: FamilySpecError::UnknownFamily
+/// [`BadValue`]: FamilySpecError::BadValue
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FamilySpecError {
+    /// The leading family name (or its arity) is not one we generate.
+    UnknownFamily(String),
+    /// A parameter failed to parse or is semantically invalid
+    /// (non-finite, out-of-range probability, non-positive degree).
+    BadValue(String),
+}
+
+impl std::fmt::Display for FamilySpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilySpecError::UnknownFamily(m) | FamilySpecError::BadValue(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for FamilySpecError {}
+
+fn require_probability(name: &str, p: f64) -> Result<(), FamilySpecError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(FamilySpecError::BadValue(format!(
+            "{name} must be a probability in [0, 1], got {p}"
+        )))
+    }
+}
+
+fn require_positive(name: &str, x: f64) -> Result<(), FamilySpecError> {
+    if x.is_finite() && x > 0.0 {
+        Ok(())
+    } else {
+        Err(FamilySpecError::BadValue(format!(
+            "{name} must be a finite positive number, got {x}"
+        )))
+    }
+}
+
+/// Build a graph on `n` vertices from a family spec.
+///
+/// Recognized specs (`:`-separated):
+///
+/// * `clique`
+/// * `clique-union:<layers>:<clique_size>`
+/// * `unit-disk:<avg_degree>`
+/// * `gnp:<p>`
+/// * `line-gnp:<p>`
+/// * `path`
+/// * `cycle`
+///
+/// Randomized families draw from `rng`; deterministic shapes ignore it.
+pub fn family_from_spec(
+    spec: &str,
+    n: usize,
+    rng: &mut impl Rng,
+) -> Result<CsrGraph, FamilySpecError> {
+    let bad =
+        |e: std::num::ParseIntError| FamilySpecError::BadValue(format!("family {spec:?}: {e}"));
+    let bad_f =
+        |e: std::num::ParseFloatError| FamilySpecError::BadValue(format!("family {spec:?}: {e}"));
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["clique"] => Ok(clique(n)),
+        ["clique-union", layers, size] => {
+            let diversity: usize = layers.parse().map_err(bad)?;
+            let clique_size: usize = size.parse().map_err(bad)?;
+            Ok(clique_union(
+                CliqueUnionConfig {
+                    n,
+                    diversity,
+                    clique_size,
+                },
+                rng,
+            ))
+        }
+        ["unit-disk", deg] => {
+            let avg: f64 = deg.parse().map_err(bad_f)?;
+            require_positive("unit-disk average degree", avg)?;
+            Ok(unit_disk(
+                UnitDiskConfig::with_expected_degree(n, 1.0, avg),
+                rng,
+            ))
+        }
+        ["gnp", p] => {
+            let p: f64 = p.parse().map_err(bad_f)?;
+            require_probability("gnp edge probability", p)?;
+            Ok(gnp(n, p, rng))
+        }
+        ["line-gnp", p] => {
+            let p: f64 = p.parse().map_err(bad_f)?;
+            require_probability("line-gnp edge probability", p)?;
+            Ok(line_graph(&gnp(n, p, rng)))
+        }
+        ["path"] => Ok(path(n)),
+        ["cycle"] => Ok(cycle(n)),
+        _ => Err(FamilySpecError::UnknownFamily(format!(
+            "unknown family {spec:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn error_classification() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            family_from_spec("nonsense", 5, &mut rng),
+            Err(FamilySpecError::UnknownFamily(_))
+        ));
+        // Known family, wrong arity: also unknown (the spec as a whole).
+        assert!(matches!(
+            family_from_spec("clique:3", 5, &mut rng),
+            Err(FamilySpecError::UnknownFamily(_))
+        ));
+        assert!(matches!(
+            family_from_spec("clique-union:x:3", 5, &mut rng),
+            Err(FamilySpecError::BadValue(_))
+        ));
+        for spec in ["gnp:NaN", "gnp:1.5", "gnp:-0.1", "unit-disk:0"] {
+            assert!(
+                matches!(
+                    family_from_spec(spec, 5, &mut rng),
+                    Err(FamilySpecError::BadValue(_))
+                ),
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let build = |spec: &str| {
+            let mut rng = StdRng::seed_from_u64(9);
+            family_from_spec(spec, 40, &mut rng).unwrap()
+        };
+        for spec in ["clique-union:2:10", "gnp:0.2", "unit-disk:4"] {
+            let (a, b) = (build(spec), build(spec));
+            assert_eq!(a.num_edges(), b.num_edges(), "{spec}");
+        }
+    }
+}

@@ -6,6 +6,15 @@
 //! integers (never through `f64`), and the printer is byte-deterministic
 //! for a fixed value. The parser accepts standard JSON (RFC 8259) and is
 //! used by tests to consume `results/*.json` back.
+//!
+//! The parser is also the wire format of the `sparsimatch serve` daemon,
+//! so it is hardened against untrusted input: container nesting is capped
+//! at [`MAX_PARSE_DEPTH`] (hostile `[[[[…` returns [`ParseErrorKind::TooDeep`]
+//! instead of overflowing the stack), raw control bytes inside strings are
+//! rejected per RFC 8259 §7, and duplicate object keys are rejected at
+//! parse time (a daemon request must be unambiguous about which value
+//! wins; [`Json::get`] returns the *first* match, while naive re-serialization
+//! would have kept both).
 
 use std::fmt::Write as _;
 
@@ -231,12 +240,15 @@ impl Json {
         }
     }
 
-    /// Parse a JSON document. Rejects trailing garbage.
+    /// Parse a JSON document. Rejects trailing garbage, container nesting
+    /// deeper than [`MAX_PARSE_DEPTH`], raw control characters inside
+    /// strings, and duplicate object keys — every failure is a typed
+    /// [`ParseError`], never a panic or a stack overflow.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         skip_ws(bytes, &mut pos);
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(ParseError::at(pos, "trailing characters"));
@@ -244,6 +256,13 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container ([`Json::Array`] / [`Json::Object`]) nesting depth
+/// [`Json::parse`] accepts. Deeper input returns
+/// [`ParseErrorKind::TooDeep`] instead of recursing to a stack overflow —
+/// the parser is the daemon's wire format, so `[[[[…` must be an error
+/// response, not a crash.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
@@ -272,19 +291,46 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// A JSON parse error with byte offset.
+/// The class of a [`ParseError`], so callers (the serve daemon's error
+/// responses, the regression tests) can branch on *what* was rejected
+/// without string-matching the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Plain syntax failure: unexpected byte, truncated input, trailing
+    /// garbage, malformed number or literal.
+    Syntax,
+    /// Container nesting exceeded [`MAX_PARSE_DEPTH`].
+    TooDeep,
+    /// A raw control byte (< 0x20) appeared inside a string; RFC 8259
+    /// requires those to be escaped.
+    ControlChar,
+    /// A malformed escape sequence. The offset points at the backslash
+    /// that starts the escape, not mid-sequence.
+    BadEscape,
+    /// The same key appeared twice in one object.
+    DuplicateKey,
+}
+
+/// A JSON parse error with byte offset and a typed [`ParseErrorKind`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset of the error.
     pub offset: usize,
+    /// Which hardening rule or syntax rule was violated.
+    pub kind: ParseErrorKind,
     /// What went wrong.
     pub message: String,
 }
 
 impl ParseError {
     fn at(offset: usize, message: impl Into<String>) -> Self {
+        ParseError::of(ParseErrorKind::Syntax, offset, message)
+    }
+
+    fn of(kind: ParseErrorKind, offset: usize, message: impl Into<String>) -> Self {
         ParseError {
             offset,
+            kind,
             message: message.into(),
         }
     }
@@ -313,7 +359,7 @@ fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), ParseError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
     match bytes.get(*pos) {
         None => Err(ParseError::at(*pos, "unexpected end of input")),
         Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
@@ -321,6 +367,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b'[') => {
+            check_depth(depth, *pos)?;
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -330,7 +377,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
             }
             loop {
                 skip_ws(bytes, pos);
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -343,8 +390,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
             }
         }
         Some(b'{') => {
+            check_depth(depth, *pos)?;
             *pos += 1;
-            let mut members = Vec::new();
+            let mut members: Vec<(String, Json)> = Vec::new();
             skip_ws(bytes, pos);
             if bytes.get(*pos) == Some(&b'}') {
                 *pos += 1;
@@ -352,11 +400,19 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
             }
             loop {
                 skip_ws(bytes, pos);
+                let key_pos = *pos;
                 let key = parse_string(bytes, pos)?;
+                if members.iter().any(|(k, _)| *k == key) {
+                    return Err(ParseError::of(
+                        ParseErrorKind::DuplicateKey,
+                        key_pos,
+                        format!("duplicate object key {key:?}"),
+                    ));
+                }
                 skip_ws(bytes, pos);
                 expect(bytes, pos, ":")?;
                 skip_ws(bytes, pos);
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 members.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -370,6 +426,20 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
             }
         }
         Some(_) => parse_number(bytes, pos),
+    }
+}
+
+/// Refuse to open a container at `depth` == [`MAX_PARSE_DEPTH`]: a
+/// document of exactly the cap parses, one level deeper does not.
+fn check_depth(depth: usize, pos: usize) -> Result<(), ParseError> {
+    if depth >= MAX_PARSE_DEPTH {
+        Err(ParseError::of(
+            ParseErrorKind::TooDeep,
+            pos,
+            format!("nesting exceeds the depth cap of {MAX_PARSE_DEPTH}"),
+        ))
+    } else {
+        Ok(())
     }
 }
 
@@ -387,6 +457,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 return Ok(out);
             }
             Some(b'\\') => {
+                // Escape errors point at the backslash that starts the
+                // sequence, not at whichever byte inside it went wrong.
+                let esc_start = *pos;
                 *pos += 1;
                 match bytes.get(*pos) {
                     Some(b'"') => out.push('"'),
@@ -398,20 +471,36 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
+                        let bad = || {
+                            ParseError::of(ParseErrorKind::BadEscape, esc_start, "bad \\u escape")
+                        };
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
                             .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| ParseError::at(*pos, "bad \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| ParseError::at(*pos, "bad \\u escape"))?;
+                            .ok_or_else(bad)?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| bad())?;
                         // Surrogate pairs are not needed for our own files;
                         // map lone surrogates to the replacement character.
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(ParseError::at(*pos, "bad escape")),
+                    _ => {
+                        return Err(ParseError::of(
+                            ParseErrorKind::BadEscape,
+                            esc_start,
+                            "bad escape",
+                        ))
+                    }
                 }
                 *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                // RFC 8259 §7: control characters must be escaped.
+                return Err(ParseError::of(
+                    ParseErrorKind::ControlChar,
+                    *pos,
+                    format!("raw control character 0x{b:02x} in string"),
+                ));
             }
             Some(_) => {
                 // Consume one UTF-8 character.
@@ -526,6 +615,82 @@ mod tests {
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"open").is_err());
         assert!(Json::parse("nul").is_err());
+    }
+
+    /// Regression (ISSUE 6): hostile `[[[[…` / `{"a":{"a":…` input used to
+    /// recurse without a cap and overflow the stack. The cap boundary is
+    /// exact: `MAX_PARSE_DEPTH` nested containers parse, one more does not.
+    #[test]
+    fn depth_cap_is_exact_at_the_boundary() {
+        let nest = |d: usize| format!("{}1{}", "[".repeat(d), "]".repeat(d));
+        assert!(Json::parse(&nest(MAX_PARSE_DEPTH)).is_ok());
+        let err = Json::parse(&nest(MAX_PARSE_DEPTH + 1)).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep);
+        assert_eq!(err.offset, MAX_PARSE_DEPTH, "error at the opening bracket");
+
+        // Same cap for objects, and for input that never closes at all
+        // (the original DoS shape: no closing brackets needed to crash).
+        let mut obj = String::new();
+        for _ in 0..(MAX_PARSE_DEPTH + 1) {
+            obj.push_str("{\"a\":");
+        }
+        assert_eq!(Json::parse(&obj).unwrap_err().kind, ParseErrorKind::TooDeep);
+        let open_only = "[".repeat(1 << 20);
+        assert_eq!(
+            Json::parse(&open_only).unwrap_err().kind,
+            ParseErrorKind::TooDeep
+        );
+    }
+
+    /// Regression (ISSUE 6): raw control bytes inside strings were
+    /// accepted, violating RFC 8259 §7. Their *escaped* forms stay legal.
+    #[test]
+    fn raw_control_characters_in_strings_are_rejected() {
+        for b in 0u8..0x20 {
+            let text = format!("\"a{}b\"", b as char);
+            let err = Json::parse(&text).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::ControlChar, "byte 0x{b:02x}");
+            assert_eq!(err.offset, 2, "byte 0x{b:02x}");
+        }
+        assert_eq!(
+            Json::parse("\"a\\u0001b\\n\"").unwrap(),
+            Json::Str("a\u{1}b\n".to_string())
+        );
+        // 0x20 (space) and above are fine raw.
+        assert_eq!(Json::parse("\" \"").unwrap(), Json::Str(" ".to_string()));
+    }
+
+    /// Regression (ISSUE 6): duplicate object keys were pushed silently,
+    /// so `get` (first match) and serialization (both members) disagreed
+    /// about which value wins. Now a parse-time error.
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        let err = Json::parse("{\"a\":1,\"a\":2}").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DuplicateKey);
+        assert_eq!(err.offset, 7, "error at the second key");
+        assert!(err.message.contains("\"a\""), "{}", err.message);
+        // Nested objects each get their own key namespace.
+        assert!(Json::parse("{\"a\":{\"a\":1},\"b\":{\"a\":2}}").is_ok());
+        // The duplicate is detected even deep inside a document.
+        assert_eq!(
+            Json::parse("[{\"x\":[{\"k\":1,\"k\":1}]}]")
+                .unwrap_err()
+                .kind,
+            ParseErrorKind::DuplicateKey
+        );
+    }
+
+    /// Regression (ISSUE 6): `\u` escape errors used to be reported at the
+    /// `u` (mid-escape); they now point at the backslash that starts the
+    /// sequence.
+    #[test]
+    fn escape_errors_point_at_the_backslash() {
+        // offset 0 is the quote, offset 3 is the backslash.
+        for text in ["\"ab\\uZZZZ\"", "\"ab\\u12\"", "\"ab\\u", "\"ab\\q\""] {
+            let err = Json::parse(text).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::BadEscape, "{text}");
+            assert_eq!(err.offset, 3, "{text}");
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`Json`] — a dependency-free JSON value with a byte-deterministic
 //!   serializer and a strict parser, used for `--metrics-json` files and
 //!   the experiment harness's `results/<exp>.json` outputs.
+//! * [`wire`] — typed field-extraction helpers over [`Json`] for
+//!   request/response schemas arriving from outside the process (the
+//!   serve daemon's wire format).
 //! * `alloc` (behind the `alloc-count` feature) — a counting global
 //!   allocator that makes heap traffic observable, feeding the
 //!   `alloc.bytes` / `alloc.count` meter keys and the steady-state
@@ -30,6 +33,7 @@
 pub mod alloc;
 pub mod json;
 pub mod meter;
+pub mod wire;
 
-pub use json::{Json, ParseError};
+pub use json::{Json, ParseError, ParseErrorKind, MAX_PARSE_DEPTH};
 pub use meter::{keys, SpanStats, WorkMeter};

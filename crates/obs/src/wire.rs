@@ -1,0 +1,222 @@
+//! Typed field extraction for JSON wire messages.
+//!
+//! The serve daemon (and any other consumer of [`Json`] documents
+//! arriving from outside the process) needs the same few moves over and
+//! over: "this must be an object", "field `n` must be an unsigned
+//! integer", "field `seed` is optional and defaults to 0", "no keys we
+//! don't understand". Hand-rolling those checks at every call site
+//! produces inconsistent error messages and, worse, silently tolerant
+//! parsers. These helpers centralize the checks and always name the
+//! offending field, so a malformed request can be bounced back to the
+//! client with a message that says exactly what to fix.
+//!
+//! All helpers take the *enclosing object* and a field name. A present
+//! field of the wrong type is always an error — `opt_*` means "absent is
+//! fine", never "wrong type is fine".
+
+use crate::json::Json;
+
+/// A field-level schema violation: which field, and what is wrong with it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldError {
+    /// The offending field (or `"."` for the document root).
+    pub field: String,
+    /// What was expected vs. found.
+    pub message: String,
+}
+
+impl FieldError {
+    fn new(field: &str, message: impl Into<String>) -> Self {
+        FieldError {
+            field: field.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "field {:?}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// The document must be a JSON object; returns its members.
+pub fn as_object(doc: &Json) -> Result<&[(String, Json)], FieldError> {
+    match doc {
+        Json::Object(members) => Ok(members),
+        other => Err(FieldError::new(
+            ".",
+            format!("expected an object, got {}", kind_name(other)),
+        )),
+    }
+}
+
+fn kind_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "a boolean",
+        Json::Int(_) | Json::UInt(_) => "an integer",
+        Json::Float(_) => "a number",
+        Json::Str(_) => "a string",
+        Json::Array(_) => "an array",
+        Json::Object(_) => "an object",
+    }
+}
+
+/// A required field of any type.
+pub fn req<'a>(doc: &'a Json, field: &str) -> Result<&'a Json, FieldError> {
+    as_object(doc)?;
+    doc.get(field)
+        .ok_or_else(|| FieldError::new(field, "missing required field"))
+}
+
+/// A required string field.
+pub fn req_str<'a>(doc: &'a Json, field: &str) -> Result<&'a str, FieldError> {
+    let v = req(doc, field)?;
+    v.as_str()
+        .ok_or_else(|| FieldError::new(field, format!("expected a string, got {}", kind_name(v))))
+}
+
+/// A required unsigned-integer field.
+pub fn req_u64(doc: &Json, field: &str) -> Result<u64, FieldError> {
+    let v = req(doc, field)?;
+    v.as_u64().ok_or_else(|| {
+        FieldError::new(
+            field,
+            format!("expected an unsigned integer, got {}", kind_name(v)),
+        )
+    })
+}
+
+/// A required array field.
+pub fn req_array<'a>(doc: &'a Json, field: &str) -> Result<&'a [Json], FieldError> {
+    let v = req(doc, field)?;
+    v.as_array()
+        .ok_or_else(|| FieldError::new(field, format!("expected an array, got {}", kind_name(v))))
+}
+
+/// An optional unsigned-integer field with a default.
+pub fn opt_u64(doc: &Json, field: &str, default: u64) -> Result<u64, FieldError> {
+    as_object(doc)?;
+    match doc.get(field) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            FieldError::new(
+                field,
+                format!("expected an unsigned integer, got {}", kind_name(v)),
+            )
+        }),
+    }
+}
+
+/// An optional finite-number field with a default. Accepts integers too
+/// (they widen losslessly for the magnitudes wire messages carry).
+pub fn opt_f64(doc: &Json, field: &str, default: f64) -> Result<f64, FieldError> {
+    as_object(doc)?;
+    match doc.get(field) {
+        None => Ok(default),
+        Some(v) => match v.as_f64() {
+            Some(x) if x.is_finite() => Ok(x),
+            Some(x) => Err(FieldError::new(field, format!("must be finite, got {x}"))),
+            None => Err(FieldError::new(
+                field,
+                format!("expected a number, got {}", kind_name(v)),
+            )),
+        },
+    }
+}
+
+/// An optional boolean field with a default.
+pub fn opt_bool(doc: &Json, field: &str, default: bool) -> Result<bool, FieldError> {
+    as_object(doc)?;
+    match doc.get(field) {
+        None => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| {
+            FieldError::new(field, format!("expected a boolean, got {}", kind_name(v)))
+        }),
+    }
+}
+
+/// An optional string field (no default: absent stays `None`).
+pub fn opt_str<'a>(doc: &'a Json, field: &str) -> Result<Option<&'a str>, FieldError> {
+    as_object(doc)?;
+    match doc.get(field) {
+        None => Ok(None),
+        Some(v) => v.as_str().map(Some).ok_or_else(|| {
+            FieldError::new(field, format!("expected a string, got {}", kind_name(v)))
+        }),
+    }
+}
+
+/// Reject any key outside `known`: wire requests must be fully
+/// understood, not best-effort (a typo'd optional field would otherwise
+/// silently fall back to its default).
+pub fn expect_known_fields(doc: &Json, known: &[&str]) -> Result<(), FieldError> {
+    for (key, _) in as_object(doc)? {
+        if !known.contains(&key.as_str()) {
+            return Err(FieldError::new(key, "unknown field"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Json {
+        Json::parse(r#"{"cmd":"solve","n":40,"eps":0.5,"pairs":true,"ops":[1,2]}"#).unwrap()
+    }
+
+    #[test]
+    fn required_fields() {
+        let d = doc();
+        assert_eq!(req_str(&d, "cmd").unwrap(), "solve");
+        assert_eq!(req_u64(&d, "n").unwrap(), 40);
+        assert_eq!(req_array(&d, "ops").unwrap().len(), 2);
+        let e = req_u64(&d, "missing").unwrap_err();
+        assert_eq!(e.field, "missing");
+        let e = req_u64(&d, "cmd").unwrap_err();
+        assert!(e.message.contains("unsigned integer"), "{e}");
+    }
+
+    #[test]
+    fn optional_fields_default_when_absent_but_never_coerce() {
+        let d = doc();
+        assert_eq!(opt_u64(&d, "seed", 7).unwrap(), 7);
+        assert_eq!(opt_f64(&d, "eps", 0.1).unwrap(), 0.5);
+        assert!(opt_bool(&d, "pairs", false).unwrap());
+        assert_eq!(opt_str(&d, "family").unwrap(), None);
+        // Present but mistyped is an error, not the default.
+        assert!(opt_u64(&d, "eps", 0).is_err());
+        assert!(opt_bool(&d, "n", false).is_err());
+        assert!(opt_str(&d, "n").is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        let mut d = Json::object();
+        d.set("x", f64::NAN);
+        let e = opt_f64(&d, "x", 0.0).unwrap_err();
+        assert!(e.message.contains("finite"), "{e}");
+    }
+
+    #[test]
+    fn non_objects_fail_at_the_root() {
+        let arr = Json::parse("[1]").unwrap();
+        assert_eq!(as_object(&arr).unwrap_err().field, ".");
+        assert!(req_str(&arr, "cmd").is_err());
+        assert!(opt_u64(&arr, "n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let d = doc();
+        assert!(expect_known_fields(&d, &["cmd", "n", "eps", "pairs", "ops"]).is_ok());
+        let e = expect_known_fields(&d, &["cmd", "n", "eps", "pairs"]).unwrap_err();
+        assert_eq!(e.field, "ops");
+        assert_eq!(e.message, "unknown field");
+    }
+}

@@ -1,0 +1,147 @@
+//! Hostile-JSON property suite (ISSUE 6 satellite): the parser is the
+//! serve daemon's wire format, so arbitrary bytes must never panic, every
+//! document our own serializer emits must round-trip exactly, and the
+//! three hardening rules (depth cap, control characters, duplicate keys)
+//! must hold under generated input, not just the hand-written regressions.
+
+use proptest::prelude::*;
+use sparsimatch_obs::{Json, ParseErrorKind, MAX_PARSE_DEPTH};
+
+/// A generated JSON value whose serializer output is parseable: object
+/// keys are made unique per level (the parser now rejects duplicates).
+fn arb_json() -> impl Strategy<Value = Json> {
+    // Bounded-depth recursive construction driven by a byte script: each
+    // byte picks a node kind, containers consume following bytes.
+    proptest::collection::vec(any::<u8>(), 1..160).prop_map(|script| {
+        fn build(script: &[u8], at: &mut usize, depth: usize) -> Json {
+            let b = script.get(*at).copied().unwrap_or(0);
+            *at += 1;
+            if depth >= 6 {
+                return Json::UInt(u64::from(b));
+            }
+            match b % 8 {
+                0 => Json::Null,
+                1 => Json::Bool(b >= 128),
+                2 => Json::Int(-(i64::from(b))),
+                3 => Json::UInt(u64::from(b) << 32),
+                4 => Json::Float(f64::from(b) / 3.0),
+                5 => Json::Str(format!("s{:02x}\"\\\n\u{1}é", b)),
+                6 => {
+                    let len = usize::from(b % 5);
+                    Json::Array((0..len).map(|_| build(script, at, depth + 1)).collect())
+                }
+                _ => {
+                    let len = usize::from(b % 5);
+                    Json::Object(
+                        (0..len)
+                            .map(|i| (format!("k{i}"), build(script, at, depth + 1)))
+                            .collect(),
+                    )
+                }
+            }
+        }
+        build(&script, &mut 0, 0)
+    })
+}
+
+/// Raw hostile byte soup biased toward JSON structure: brackets, quotes,
+/// backslashes, control bytes, digits.
+fn arb_hostile_bytes() -> impl Strategy<Value = Vec<u8>> {
+    let byte = (0u8..16).prop_map(|p| match p {
+        0 => b'[',
+        1 => b']',
+        2 => b'{',
+        3 => b'}',
+        4 => b'"',
+        5 => b'\\',
+        6 => b',',
+        7 => b':',
+        8 => b'u',
+        9 => b'0',
+        10 => b'9',
+        11 => b'-',
+        12 => b'.',
+        13 => 0x01,
+        14 => 0xff,
+        _ => b' ',
+    });
+    proptest::collection::vec(byte, 0..256)
+}
+
+/// A lowercase ASCII string with length in `min..=max` (the vendored
+/// proptest stand-in has no regex string strategies).
+fn arb_lowercase(min: usize, max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, min..max + 1)
+        .prop_map(|v| v.into_iter().map(|b| char::from(b + b'a')).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// serialize → parse is the identity, in both output formats.
+    #[test]
+    fn serialize_parse_round_trip(v in arb_json()) {
+        for text in [v.to_pretty(), v.to_compact()] {
+            let back = Json::parse(&text);
+            prop_assert_eq!(back.as_ref(), Ok(&v), "{}", text);
+        }
+    }
+
+    /// Arbitrary (lossily-UTF-8'd) hostile bytes never panic the parser;
+    /// they either parse or return a typed error.
+    #[test]
+    fn hostile_bytes_never_panic(bytes in arb_hostile_bytes()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+    }
+
+    /// Every truncation prefix of a valid document either parses or
+    /// errors cleanly — truncated wire input must never panic.
+    #[test]
+    fn truncated_input_never_panics(v in arb_json(), cut in any::<u16>()) {
+        let text = v.to_compact();
+        let cut = usize::from(cut) % (text.len() + 1);
+        // Cut at a char boundary (truncated *bytes* are not a &str).
+        let mut end = cut;
+        while !text.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = Json::parse(&text[..end]);
+    }
+
+    /// Nesting beyond the cap is always TooDeep, never a crash, for any
+    /// mix of array/object nesting.
+    #[test]
+    fn deep_nesting_is_rejected(extra in 1usize..64, pattern in any::<u64>()) {
+        let depth = MAX_PARSE_DEPTH + extra;
+        let mut text = String::new();
+        for i in 0..depth {
+            if (pattern >> (i % 64)) & 1 == 0 {
+                text.push('[');
+            } else {
+                text.push_str("{\"k\":");
+            }
+        }
+        let err = Json::parse(&text).unwrap_err();
+        prop_assert_eq!(err.kind, ParseErrorKind::TooDeep);
+    }
+
+    /// A raw control byte anywhere inside any generated string literal is
+    /// rejected with the ControlChar kind.
+    #[test]
+    fn control_bytes_in_strings_are_rejected(prefix in arb_lowercase(0, 8), b in 0u8..0x20) {
+        let text = format!("\"{}{}x\"", prefix, b as char);
+        let err = Json::parse(&text).unwrap_err();
+        prop_assert_eq!(err.kind, ParseErrorKind::ControlChar);
+        prop_assert_eq!(err.offset, 1 + prefix.len());
+    }
+
+    /// Objects with a repeated key are rejected wherever the object sits.
+    #[test]
+    fn duplicate_keys_are_rejected(key in arb_lowercase(1, 6), wrap in any::<bool>()) {
+        let obj = format!("{{\"{key}\":1,\"{key}\":2}}");
+        let text = if wrap { format!("[{{\"outer\":{obj}}}]") } else { obj };
+        let err = Json::parse(&text).unwrap_err();
+        prop_assert_eq!(err.kind, ParseErrorKind::DuplicateKey);
+    }
+}

@@ -1,0 +1,480 @@
+//! The per-session engine: resident graph, resident scratch, optional
+//! dynamic matcher, unified work accounting.
+//!
+//! One [`SessionEngine`] lives behind each connection's worker. Its
+//! [`PipelineScratch`] survives across requests, so the session's second
+//! and later `solve`s hit the zero-allocation steady state the scratch
+//! arena exists for — and because every pipeline entry point runs the
+//! same implementation, a warm in-daemon solve is byte-identical to a
+//! one-shot CLI solve for the same graph and seed.
+
+use crate::protocol::{ErrorCode, QueryWhat, Request, UpdateOp, WireError, PROTOCOL_VERSION};
+use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::params::SparsifierParams;
+use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_with_scratch_metered;
+use sparsimatch_core::scratch::PipelineScratch;
+use sparsimatch_dynamic::adversary::Update;
+use sparsimatch_dynamic::scheme::DynamicMatcher;
+use sparsimatch_graph::csr::{CsrGraph, GraphBuilder};
+use sparsimatch_graph::generators::family_from_spec;
+use sparsimatch_graph::ids::VertexId;
+use sparsimatch_obs::{Json, WorkMeter};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters shared between a session's engine and the I/O layer around
+/// it (the reader thread rejects overloads without ever reaching the
+/// engine, but `metrics` must still report them).
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    /// Requests dropped by admission control.
+    pub overloaded: AtomicU64,
+    /// Lines rejected before reaching the engine (parse/too-deep/too-large).
+    pub wire_errors: AtomicU64,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for each pipeline solve (1..=64).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { threads: 1 }
+    }
+}
+
+const COMMANDS: [&str; 6] = [
+    "load_graph",
+    "solve",
+    "update",
+    "query",
+    "metrics",
+    "shutdown",
+];
+
+/// A session's resident state. See the module docs.
+pub struct SessionEngine {
+    threads: usize,
+    graph: Option<CsrGraph>,
+    scratch: PipelineScratch,
+    dynamic: Option<DynamicMatcher>,
+    meter: WorkMeter,
+    stats: Arc<SharedStats>,
+    /// Pairs of the last static solve, kept in a reusable buffer so
+    /// `query what=pairs` does not re-run anything (and so the steady
+    /// state stays allocation-free once the buffer has grown).
+    last_pairs: Vec<(u32, u32)>,
+    last_solve_size: Option<u64>,
+    solves: u64,
+    command_counts: [u64; COMMANDS.len()],
+}
+
+impl SessionEngine {
+    /// A fresh session with no resident graph.
+    pub fn new(cfg: EngineConfig) -> Self {
+        SessionEngine {
+            threads: cfg.threads,
+            graph: None,
+            scratch: PipelineScratch::new(),
+            dynamic: None,
+            meter: WorkMeter::new(),
+            stats: Arc::new(SharedStats::default()),
+            last_pairs: Vec::new(),
+            last_solve_size: None,
+            solves: 0,
+            command_counts: [0; COMMANDS.len()],
+        }
+    }
+
+    /// The stats block the surrounding I/O layer should increment.
+    pub fn shared_stats(&self) -> Arc<SharedStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Total solves this session has run (used by tests to assert the
+    /// warm path was exercised).
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Handle one request, returning the `result` body on success.
+    pub fn handle(&mut self, request: &Request) -> Result<Json, WireError> {
+        let slot = COMMANDS
+            .iter()
+            .position(|c| *c == request.command_name())
+            .expect("every request maps to a command slot");
+        self.command_counts[slot] += 1;
+        match request {
+            Request::LoadGraph {
+                n,
+                edges,
+                family,
+                seed,
+            } => self.load_graph(*n, edges, family.as_deref(), *seed),
+            Request::Solve {
+                beta,
+                eps,
+                seed,
+                pairs,
+            } => self.solve(*beta, *eps, *seed, *pairs),
+            Request::Update {
+                ops,
+                beta,
+                eps,
+                seed,
+            } => self.update(ops, *beta, *eps, *seed),
+            Request::Query { what } => self.query(*what),
+            Request::Metrics => Ok(self.metrics()),
+            Request::Shutdown { daemon } => {
+                let mut body = Json::object();
+                body.set("stopping", if *daemon { "daemon" } else { "session" });
+                Ok(body)
+            }
+        }
+    }
+
+    fn load_graph(
+        &mut self,
+        n: usize,
+        edges: &[(u32, u32)],
+        family: Option<&str>,
+        seed: u64,
+    ) -> Result<Json, WireError> {
+        let g = match family {
+            Some(spec) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                family_from_spec(spec, n, &mut rng)
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?
+            }
+            None => {
+                // Duplicate edges make the request ambiguous (was the
+                // repetition intended?) — reject, mirroring the edge-list
+                // file reader's contract.
+                let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+                let mut b = GraphBuilder::with_capacity(n, edges.len());
+                for (i, &(u, v)) in edges.iter().enumerate() {
+                    let key = if u < v { (u, v) } else { (v, u) };
+                    if !seen.insert(key) {
+                        return Err(WireError::new(
+                            ErrorCode::BadRequest,
+                            format!("edges[{i}]: duplicate edge ({u}, {v})"),
+                        ));
+                    }
+                    b.add_edge(VertexId(u), VertexId(v));
+                }
+                b.build()
+            }
+        };
+        // A new graph invalidates everything derived from the old one.
+        self.dynamic = None;
+        self.last_pairs.clear();
+        self.last_solve_size = None;
+        let mut body = Json::object();
+        body.set("n", g.num_vertices());
+        body.set("m", g.num_edges());
+        self.graph = Some(g);
+        Ok(body)
+    }
+
+    fn solve(&mut self, beta: usize, eps: f64, seed: u64, pairs: bool) -> Result<Json, WireError> {
+        // Solve reflects dynamic updates: snapshot the matcher's current
+        // graph if one exists, else use the resident static graph.
+        let snapshot;
+        let g: &CsrGraph = match (&self.dynamic, &self.graph) {
+            (Some(dm), _) => {
+                snapshot = dm.graph().to_csr();
+                &snapshot
+            }
+            (None, Some(g)) => g,
+            (None, None) => {
+                return Err(WireError::new(
+                    ErrorCode::NoGraph,
+                    "solve before load_graph",
+                ))
+            }
+        };
+        let params = SparsifierParams::practical(beta, eps);
+        let warm = self.solves > 0;
+        let result = approx_mcm_via_sparsifier_with_scratch_metered(
+            g,
+            &params,
+            seed,
+            self.threads,
+            &mut self.meter,
+            &mut self.scratch,
+        )
+        .map_err(|e| WireError::new(ErrorCode::Internal, e.to_string()))?;
+        self.solves += 1;
+        self.last_pairs.clear();
+        self.last_pairs
+            .extend(result.matching.pairs().map(|(u, v)| (u.0, v.0)));
+        self.last_solve_size = Some(result.matching.len() as u64);
+        let mut body = Json::object();
+        body.set("matching_size", result.matching.len());
+        body.set("sparsifier_edges", result.sparsifier.edges);
+        body.set("probes", result.probes.total());
+        body.set("warm", warm);
+        if pairs {
+            body.set("pairs", pairs_json(&self.last_pairs));
+        }
+        Ok(body)
+    }
+
+    fn update(
+        &mut self,
+        ops: &[UpdateOp],
+        beta: usize,
+        eps: f64,
+        seed: u64,
+    ) -> Result<Json, WireError> {
+        let Some(graph) = &self.graph else {
+            return Err(WireError::new(
+                ErrorCode::NoGraph,
+                "update before load_graph",
+            ));
+        };
+        let n = graph.num_vertices();
+        for (i, op) in ops.iter().enumerate() {
+            let (UpdateOp::Insert(u, v) | UpdateOp::Delete(u, v)) = *op;
+            if u as usize >= n || v as usize >= n {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("ops[{i}]: endpoint out of range for n = {n}"),
+                ));
+            }
+            if u == v {
+                return Err(WireError::new(
+                    ErrorCode::BadRequest,
+                    format!("ops[{i}]: self-loop at {u}"),
+                ));
+            }
+        }
+        let dm = match &mut self.dynamic {
+            Some(dm) => dm,
+            None => {
+                // First update: stand up the Thm 3.5 scheme, seeded with
+                // the resident graph's edges (silent preload — the work
+                // counters track only client-requested updates).
+                let params = SparsifierParams::practical(beta, eps);
+                let mut dm = DynamicMatcher::new(n, params, seed);
+                for (_, u, v) in graph.edges() {
+                    dm.apply(Update::Insert(u, v));
+                }
+                self.dynamic.insert(dm)
+            }
+        };
+        let mut work = 0u64;
+        let mut swapped = 0u64;
+        for op in ops {
+            let update = match *op {
+                UpdateOp::Insert(u, v) => Update::Insert(VertexId(u), VertexId(v)),
+                UpdateOp::Delete(u, v) => Update::Delete(VertexId(u), VertexId(v)),
+            };
+            let report = dm.apply_metered(update, &mut self.meter);
+            work += report.work;
+            swapped += u64::from(report.swapped);
+        }
+        let mut body = Json::object();
+        body.set("applied", ops.len());
+        body.set("matching_size", dm.matching().len());
+        body.set("work", work);
+        body.set("window_swaps", swapped);
+        Ok(body)
+    }
+
+    fn query(&self, what: QueryWhat) -> Result<Json, WireError> {
+        match what {
+            QueryWhat::Status => {
+                let mut body = Json::object();
+                let (n, m) = match (&self.dynamic, &self.graph) {
+                    (Some(dm), _) => (dm.graph().num_vertices(), dm.graph().num_edges()),
+                    (None, Some(g)) => (g.num_vertices(), g.num_edges()),
+                    (None, None) => {
+                        body.set("loaded", false);
+                        return Ok(body);
+                    }
+                };
+                body.set("loaded", true);
+                body.set("n", n);
+                body.set("m", m);
+                match (&self.dynamic, self.last_solve_size) {
+                    (Some(dm), _) => body.set("matching_size", dm.matching().len()),
+                    (None, Some(size)) => body.set("matching_size", size),
+                    (None, None) => body.set("matching_size", Json::Null),
+                };
+                body.set("solves", self.solves);
+                body.set("dynamic", self.dynamic.is_some());
+                Ok(body)
+            }
+            QueryWhat::Pairs => {
+                if self.graph.is_none() && self.dynamic.is_none() {
+                    return Err(WireError::new(
+                        ErrorCode::NoGraph,
+                        "query pairs before load_graph",
+                    ));
+                }
+                let mut body = Json::object();
+                match &self.dynamic {
+                    Some(dm) => {
+                        let pairs: Vec<(u32, u32)> =
+                            dm.matching().pairs().map(|(u, v)| (u.0, v.0)).collect();
+                        body.set("pairs", pairs_json(&pairs));
+                    }
+                    None => {
+                        body.set("pairs", pairs_json(&self.last_pairs));
+                    }
+                };
+                Ok(body)
+            }
+        }
+    }
+
+    fn metrics(&self) -> Json {
+        let mut commands = Json::object();
+        for (name, count) in COMMANDS.iter().zip(self.command_counts) {
+            commands.set(name, count);
+        }
+        let mut body = Json::object();
+        body.set("protocol", PROTOCOL_VERSION);
+        body.set("commands", commands);
+        body.set("overloaded", self.stats.overloaded.load(Ordering::Relaxed));
+        body.set(
+            "wire_errors",
+            self.stats.wire_errors.load(Ordering::Relaxed),
+        );
+        body.set("scratch_capacity_bytes", self.scratch.capacity_bytes());
+        body.set("meter", self.meter.snapshot_counters());
+        body
+    }
+}
+
+fn pairs_json(pairs: &[(u32, u32)]) -> Json {
+    Json::Array(
+        pairs
+            .iter()
+            .map(|&(u, v)| Json::Array(vec![Json::from(u64::from(u)), Json::from(u64::from(v))]))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn handle(engine: &mut SessionEngine, line: &str) -> Result<Json, WireError> {
+        let env = parse_request(line).expect("test request parses");
+        engine.handle(&env.request)
+    }
+
+    #[test]
+    fn warm_solves_are_byte_identical_to_one_shot() {
+        let mut engine = SessionEngine::new(EngineConfig::default());
+        handle(
+            &mut engine,
+            r#"{"id":1,"cmd":"load_graph","n":40,"family":"clique"}"#,
+        )
+        .unwrap();
+        let solve = r#"{"id":2,"cmd":"solve","beta":1,"eps":0.5,"seed":7,"pairs":true}"#;
+        let cold = handle(&mut engine, solve).unwrap();
+        let warm = handle(&mut engine, solve).unwrap();
+        assert_eq!(cold.get("warm").unwrap().as_bool(), Some(false));
+        assert_eq!(warm.get("warm").unwrap().as_bool(), Some(true));
+        // Warm equals cold field-for-field (besides the warm flag).
+        assert_eq!(cold.get("pairs"), warm.get("pairs"));
+        assert_eq!(cold.get("matching_size"), warm.get("matching_size"));
+        assert_eq!(cold.get("probes"), warm.get("probes"));
+        // And both equal the one-shot library pipeline for the same seed.
+        let g = sparsimatch_graph::generators::clique(40);
+        let params = SparsifierParams::practical(1, 0.5);
+        let one_shot =
+            sparsimatch_core::pipeline::approx_mcm_via_sparsifier(&g, &params, 7, 1).unwrap();
+        let expected: Vec<Json> = one_shot
+            .matching
+            .pairs()
+            .map(|(u, v)| Json::Array(vec![Json::from(u64::from(u.0)), Json::from(u64::from(v.0))]))
+            .collect();
+        assert_eq!(warm.get("pairs").unwrap().as_array().unwrap(), expected);
+    }
+
+    #[test]
+    fn update_then_solve_reflects_the_mutated_graph() {
+        let mut engine = SessionEngine::new(EngineConfig::default());
+        handle(
+            &mut engine,
+            r#"{"id":1,"cmd":"load_graph","n":6,"edges":[[0,1],[2,3]]}"#,
+        )
+        .unwrap();
+        let body = handle(
+            &mut engine,
+            r#"{"id":2,"cmd":"update","ops":[["insert",4,5]],"beta":1,"eps":0.5}"#,
+        )
+        .unwrap();
+        assert_eq!(body.get("applied").unwrap().as_u64(), Some(1));
+        // The window scheme publishes lazily, so the served matching may
+        // lag the latest insert; it still meets the (1+ε) guarantee.
+        let size = body.get("matching_size").unwrap().as_u64().unwrap();
+        assert!((2..=3).contains(&size), "served size {size}");
+        let status = handle(&mut engine, r#"{"id":3,"cmd":"query"}"#).unwrap();
+        assert_eq!(status.get("m").unwrap().as_u64(), Some(3));
+        assert_eq!(status.get("dynamic").unwrap().as_bool(), Some(true));
+        let solve = handle(&mut engine, r#"{"id":4,"cmd":"solve","beta":1,"eps":0.5}"#).unwrap();
+        assert_eq!(solve.get("matching_size").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn no_graph_paths_and_duplicate_edges() {
+        let mut engine = SessionEngine::new(EngineConfig::default());
+        for line in [
+            r#"{"id":1,"cmd":"solve"}"#,
+            r#"{"id":2,"cmd":"update","ops":[]}"#,
+            r#"{"id":3,"cmd":"query","what":"pairs"}"#,
+        ] {
+            let err = handle(&mut engine, line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::NoGraph, "{line}");
+        }
+        let status = handle(&mut engine, r#"{"id":4,"cmd":"query"}"#).unwrap();
+        assert_eq!(status.get("loaded").unwrap().as_bool(), Some(false));
+        let err = handle(
+            &mut engine,
+            r#"{"id":5,"cmd":"load_graph","n":3,"edges":[[0,1],[1,0]]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("duplicate edge"), "{}", err.message);
+    }
+
+    #[test]
+    fn metrics_counts_commands() {
+        let mut engine = SessionEngine::new(EngineConfig::default());
+        handle(
+            &mut engine,
+            r#"{"id":1,"cmd":"load_graph","n":10,"family":"path"}"#,
+        )
+        .unwrap();
+        handle(&mut engine, r#"{"id":2,"cmd":"solve","beta":1,"eps":0.5}"#).unwrap();
+        engine
+            .shared_stats()
+            .overloaded
+            .fetch_add(3, Ordering::Relaxed);
+        let m = handle(&mut engine, r#"{"id":3,"cmd":"metrics"}"#).unwrap();
+        assert_eq!(m.get("protocol").unwrap().as_u64(), Some(PROTOCOL_VERSION));
+        let commands = m.get("commands").unwrap();
+        assert_eq!(commands.get("load_graph").unwrap().as_u64(), Some(1));
+        assert_eq!(commands.get("solve").unwrap().as_u64(), Some(1));
+        assert_eq!(commands.get("metrics").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("overloaded").unwrap().as_u64(), Some(3));
+        assert!(m.get("scratch_capacity_bytes").unwrap().as_u64().unwrap() > 0);
+        assert!(m
+            .get("meter")
+            .unwrap()
+            .get("counters")
+            .unwrap()
+            .get(sparsimatch_obs::keys::DEGREE_PROBES)
+            .is_some());
+    }
+}

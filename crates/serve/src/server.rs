@@ -1,0 +1,342 @@
+//! The request loop: newline-delimited JSON over any reader/writer pair,
+//! with bounded-queue admission control, plus stdio and unix-socket
+//! frontends.
+//!
+//! Each session runs two threads. The *reader* (the calling thread)
+//! pulls lines off the transport, enforces the per-line byte cap, and
+//! either enqueues the line or — when the bounded queue is full —
+//! answers `overloaded` immediately without touching the engine. The
+//! *worker* owns the session's [`SessionEngine`] (and therefore its
+//! resident `PipelineScratch`) and drains the queue in order. Responses
+//! from both threads interleave safely through a shared locked writer;
+//! every response is a single line, so interleaving never tears a
+//! message.
+//!
+//! Admission control is what keeps a flood survivable: a client that
+//! outpaces the engine gets explicit `overloaded` errors for the excess
+//! instead of unbounded buffering (memory DoS) or transport backpressure
+//! deadlock (both sides blocked on full pipes).
+
+use crate::engine::{EngineConfig, SessionEngine};
+use crate::protocol::{self, ErrorCode, Request, MAX_REQUEST_BYTES};
+use sparsimatch_obs::{wire, Json};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Server configuration, shared by every frontend.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads per pipeline solve (1..=64).
+    pub threads: usize,
+    /// Bounded request queue per session; requests arriving while the
+    /// queue is full are answered `overloaded` and dropped.
+    pub queue_cap: usize,
+    /// Concurrent sessions accepted in unix-socket mode; further
+    /// connections are answered `overloaded` and closed.
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 1,
+            queue_cap: 128,
+            max_sessions: 4,
+        }
+    }
+}
+
+/// What a finished session did, for logging and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionSummary {
+    /// Requests the engine handled (ok or error responses).
+    pub requests: u64,
+    /// Requests dropped by admission control.
+    pub overloaded: u64,
+    /// Lines rejected before the engine (parse / too-deep / too-large).
+    pub wire_errors: u64,
+    /// True when the session ended on `shutdown` with `scope: "daemon"`.
+    pub daemon_shutdown: bool,
+}
+
+enum LineIn {
+    Eof,
+    TooLong,
+    BadUtf8,
+    Line(String),
+}
+
+/// Read one `\n`-terminated line, enforcing [`MAX_REQUEST_BYTES`]. An
+/// over-long line is consumed (without ever buffering more than one
+/// chunk of it) and reported as [`LineIn::TooLong`], so a hostile or
+/// broken client cannot balloon memory or desynchronize the framing.
+fn read_capped_line<R: BufRead>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<LineIn> {
+    buf.clear();
+    let n = r
+        .by_ref()
+        .take(MAX_REQUEST_BYTES as u64 + 1)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineIn::Eof);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > MAX_REQUEST_BYTES {
+        loop {
+            let chunk = r.fill_buf()?;
+            if chunk.is_empty() {
+                break;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    r.consume(pos + 1);
+                    break;
+                }
+                None => {
+                    let len = chunk.len();
+                    r.consume(len);
+                }
+            }
+        }
+        return Ok(LineIn::TooLong);
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    match std::str::from_utf8(buf) {
+        Ok(s) => Ok(LineIn::Line(s.to_string())),
+        Err(_) => Ok(LineIn::BadUtf8),
+    }
+}
+
+fn write_line<W: Write>(w: &Mutex<W>, line: &str) -> io::Result<()> {
+    let mut w = w.lock().expect("writer lock");
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Best-effort id recovery for requests rejected before parsing proper
+/// (admission control), so the client can still correlate the error.
+fn peek_id(line: &str) -> Option<u64> {
+    let doc = Json::parse(line).ok()?;
+    wire::req_u64(&doc, "id").ok()
+}
+
+struct Queue {
+    lines: VecDeque<String>,
+    eof: bool,
+}
+
+/// Run one session over an arbitrary transport until EOF or `shutdown`.
+///
+/// `on_shutdown` is invoked (once) by the worker right after the
+/// `shutdown` response is written; frontends use it to unblock the
+/// reader (e.g. `UnixStream::shutdown(Read)`). Requests still queued or
+/// arriving after `shutdown` are dropped unanswered.
+pub fn run_session<R, W>(
+    mut reader: R,
+    writer: W,
+    cfg: &ServeConfig,
+    on_shutdown: Option<&(dyn Fn() + Send + Sync)>,
+) -> io::Result<SessionSummary>
+where
+    R: BufRead + Send,
+    W: Write + Send,
+{
+    let mut engine = SessionEngine::new(EngineConfig {
+        threads: cfg.threads,
+    });
+    let stats = engine.shared_stats();
+    let writer = Mutex::new(writer);
+    let queue = Mutex::new(Queue {
+        lines: VecDeque::new(),
+        eof: false,
+    });
+    let ready = Condvar::new();
+    let stop = AtomicBool::new(false);
+    let daemon_shutdown = AtomicBool::new(false);
+    let mut summary = SessionSummary::default();
+    let requests = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        let worker = scope.spawn(|| {
+            loop {
+                let line = {
+                    let mut q = queue.lock().expect("queue lock");
+                    loop {
+                        if let Some(line) = q.lines.pop_front() {
+                            break line;
+                        }
+                        if q.eof {
+                            return;
+                        }
+                        q = ready.wait(q).expect("queue wait");
+                    }
+                };
+                let response;
+                let mut is_shutdown = false;
+                match protocol::parse_request(&line) {
+                    Err((id, e)) => {
+                        stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                        response = protocol::error_response(id, e.code, &e.message);
+                    }
+                    Ok(env) => {
+                        if let Request::Shutdown { daemon } = env.request {
+                            is_shutdown = true;
+                            if daemon {
+                                daemon_shutdown.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        response = match engine.handle(&env.request) {
+                            Ok(body) => protocol::ok_response(env.id, body),
+                            Err(e) => protocol::error_response(Some(env.id), e.code, &e.message),
+                        };
+                        requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // A failed write means the client is gone; end the
+                // session rather than grind through the backlog.
+                let write_ok = write_line(&writer, &response).is_ok();
+                if is_shutdown || !write_ok {
+                    stop.store(true, Ordering::SeqCst);
+                    if let Some(hook) = on_shutdown {
+                        hook();
+                    }
+                    return;
+                }
+            }
+        });
+
+        let mut buf = Vec::new();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match read_capped_line(&mut reader, &mut buf)? {
+                LineIn::Eof => break,
+                LineIn::TooLong => {
+                    stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                    let msg = format!("request line exceeds {MAX_REQUEST_BYTES} bytes");
+                    let _ = write_line(
+                        &writer,
+                        &protocol::error_response(None, ErrorCode::TooLarge, &msg),
+                    );
+                }
+                LineIn::BadUtf8 => {
+                    stats.wire_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_line(
+                        &writer,
+                        &protocol::error_response(
+                            None,
+                            ErrorCode::Parse,
+                            "request line is not valid UTF-8",
+                        ),
+                    );
+                }
+                LineIn::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let admitted = {
+                        let mut q = queue.lock().expect("queue lock");
+                        if q.lines.len() >= cfg.queue_cap {
+                            false
+                        } else {
+                            q.lines.push_back(line.clone());
+                            ready.notify_one();
+                            true
+                        }
+                    };
+                    if !admitted {
+                        stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_line(
+                            &writer,
+                            &protocol::error_response(
+                                peek_id(&line),
+                                ErrorCode::Overloaded,
+                                "request queue full; retry later",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        queue.lock().expect("queue lock").eof = true;
+        ready.notify_one();
+        worker.join().expect("worker thread");
+        Ok(())
+    })?;
+
+    summary.requests = requests.load(Ordering::Relaxed) as u64;
+    summary.overloaded = stats.overloaded.load(Ordering::Relaxed);
+    summary.wire_errors = stats.wire_errors.load(Ordering::Relaxed);
+    summary.daemon_shutdown = daemon_shutdown.load(Ordering::SeqCst);
+    Ok(summary)
+}
+
+/// Serve one session over stdin/stdout. Returns after `shutdown` or
+/// stdin EOF. (After an interactive `shutdown`, the loop finishes when
+/// the terminal sends the next line or EOF — piped clients close stdin
+/// and are unaffected.)
+pub fn serve_stdio(cfg: &ServeConfig) -> io::Result<SessionSummary> {
+    run_session(BufReader::new(io::stdin()), io::stdout(), cfg, None)
+}
+
+/// Serve sessions over a unix socket until a `shutdown` request with
+/// `scope: "daemon"`. Each accepted connection gets its own session
+/// thread (and engine); connections beyond `max_sessions` are answered
+/// `overloaded` and closed. The socket file is created on bind and
+/// removed on return.
+pub fn serve_unix(path: &Path, cfg: &ServeConfig) -> io::Result<()> {
+    let listener = UnixListener::bind(path)?;
+    let stop = AtomicBool::new(false);
+    let active = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            if active.load(Ordering::SeqCst) >= cfg.max_sessions {
+                let mut w = &stream;
+                let _ = writeln!(
+                    w,
+                    "{}",
+                    protocol::error_response(
+                        None,
+                        ErrorCode::Overloaded,
+                        "session limit reached; retry later",
+                    )
+                );
+                continue; // dropping the stream closes it
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let (stop, active) = (&stop, &active);
+            scope.spawn(move || {
+                let session = (|| -> io::Result<SessionSummary> {
+                    let reader = BufReader::new(stream.try_clone()?);
+                    let writer = stream.try_clone()?;
+                    let unblock = stream.try_clone()?;
+                    let hook = move || {
+                        let _ = unblock.shutdown(std::net::Shutdown::Read);
+                    };
+                    run_session(reader, writer, cfg, Some(&hook))
+                })();
+                if let Ok(summary) = session {
+                    if summary.daemon_shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop with a throwaway
+                        // connection to our own socket.
+                        let _ = UnixStream::connect(path);
+                    }
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+    std::fs::remove_file(path).ok();
+    Ok(())
+}

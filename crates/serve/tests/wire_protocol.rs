@@ -1,0 +1,302 @@
+//! Golden wire-protocol tests: scripted sessions through the real
+//! request loop ([`run_session`]) covering every command, the
+//! malformed-request paths (bad JSON, over-deep nesting, oversized
+//! line), and the overload path, plus a unix-socket end-to-end session.
+
+use sparsimatch_obs::Json;
+use sparsimatch_serve::{run_session, serve_unix, ServeConfig, MAX_REQUEST_BYTES};
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::os::unix::net::UnixStream;
+
+fn run_script(script: &str, cfg: &ServeConfig) -> (Vec<String>, sparsimatch_serve::SessionSummary) {
+    let mut out: Vec<u8> = Vec::new();
+    let summary =
+        run_session(Cursor::new(script.to_string()), &mut out, cfg, None).expect("session runs");
+    let lines = String::from_utf8(out)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    (lines, summary)
+}
+
+/// Every response line must be a parseable single-line JSON object with
+/// an `ok` flag.
+fn parse_response(line: &str) -> Json {
+    let doc = Json::parse(line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"));
+    assert!(doc.get("ok").is_some(), "no ok flag in {line:?}");
+    doc
+}
+
+fn error_code(doc: &Json) -> Option<String> {
+    if doc.get("ok").unwrap().as_bool() == Some(true) {
+        return None;
+    }
+    Some(
+        doc.get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string(),
+    )
+}
+
+/// The full scripted session from the serve-smoke CI lane: every
+/// command, one malformed and one over-deep request in the middle, and
+/// the daemon answering everything in order without dying.
+#[test]
+fn golden_scripted_session_covers_every_command() {
+    let deep = "[".repeat(4096);
+    let script = format!(
+        concat!(
+            r#"{{"id":1,"cmd":"load_graph","n":12,"family":"clique","seed":3}}"#,
+            "\n",
+            r#"{{"id":2,"cmd":"solve","beta":1,"eps":0.5,"seed":7,"pairs":true}}"#,
+            "\n",
+            "this is not json\n",
+            "{deep}\n",
+            r#"{{"id":3,"cmd":"solve","beta":1,"eps":0.5,"seed":7,"pairs":true}}"#,
+            "\n",
+            r#"{{"id":4,"cmd":"update","ops":[["delete",0,1],["insert",0,1]],"beta":1,"eps":0.5}}"#,
+            "\n",
+            r#"{{"id":5,"cmd":"query","what":"status"}}"#,
+            "\n",
+            r#"{{"id":6,"cmd":"query","what":"pairs"}}"#,
+            "\n",
+            r#"{{"id":7,"cmd":"metrics"}}"#,
+            "\n",
+            r#"{{"id":8,"cmd":"shutdown"}}"#,
+            "\n",
+        ),
+        deep = deep
+    );
+    let (lines, summary) = run_script(&script, &ServeConfig::default());
+    assert_eq!(lines.len(), 10, "one response per line: {lines:#?}");
+    let docs: Vec<Json> = lines.iter().map(|l| parse_response(l)).collect();
+
+    // id 1: load_graph ok with the clique's shape.
+    assert_eq!(error_code(&docs[0]), None);
+    let r = docs[0].get("result").unwrap();
+    assert_eq!(r.get("n").unwrap().as_u64(), Some(12));
+    assert_eq!(r.get("m").unwrap().as_u64(), Some(66));
+
+    // id 2: cold solve; a clique always has a perfect matching.
+    assert_eq!(error_code(&docs[1]), None);
+    let cold = docs[1].get("result").unwrap();
+    assert_eq!(cold.get("matching_size").unwrap().as_u64(), Some(6));
+    assert_eq!(cold.get("warm").unwrap().as_bool(), Some(false));
+
+    // The malformed line: parse error, null id, daemon stays up.
+    assert_eq!(error_code(&docs[2]).as_deref(), Some("parse"));
+    assert_eq!(docs[2].get("id"), Some(&Json::Null));
+
+    // The over-deep line: the depth cap fires, not a stack overflow.
+    assert_eq!(error_code(&docs[3]).as_deref(), Some("too_deep"));
+
+    // id 3: warm solve, byte-identical result to the cold one.
+    assert_eq!(error_code(&docs[4]), None);
+    let warm = docs[4].get("result").unwrap();
+    assert_eq!(warm.get("warm").unwrap().as_bool(), Some(true));
+    assert_eq!(warm.get("pairs"), cold.get("pairs"));
+    assert_eq!(warm.get("matching_size"), cold.get("matching_size"));
+
+    // id 4: dynamic update applied both ops.
+    assert_eq!(error_code(&docs[5]), None);
+    assert_eq!(
+        docs[5]
+            .get("result")
+            .unwrap()
+            .get("applied")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+
+    // id 5/6: queries see the dynamic graph (same edge count: one
+    // delete + one re-insert).
+    assert_eq!(error_code(&docs[6]), None);
+    let status = docs[6].get("result").unwrap();
+    assert_eq!(status.get("m").unwrap().as_u64(), Some(66));
+    assert_eq!(status.get("dynamic").unwrap().as_bool(), Some(true));
+    assert_eq!(error_code(&docs[7]), None);
+    assert!(docs[7].get("result").unwrap().get("pairs").is_some());
+
+    // id 7: metrics carries per-command counts and the wire errors the
+    // two bad lines produced.
+    assert_eq!(error_code(&docs[8]), None);
+    let metrics = docs[8].get("result").unwrap();
+    let commands = metrics.get("commands").unwrap();
+    assert_eq!(commands.get("solve").unwrap().as_u64(), Some(2));
+    assert_eq!(metrics.get("wire_errors").unwrap().as_u64(), Some(2));
+
+    assert_eq!(summary.requests, 8, "engine-handled requests");
+    assert_eq!(summary.wire_errors, 2);
+    assert!(!summary.daemon_shutdown);
+    // The shutdown ack is the last line.
+    assert_eq!(
+        lines.last().unwrap(),
+        r#"{"id":8,"ok":true,"result":{"stopping":"session"}}"#
+    );
+}
+
+/// Requests arriving faster than the worker drains them are answered
+/// `overloaded` — the engine never sees them, and the session survives.
+#[test]
+fn overload_answers_excess_requests_and_stays_up() {
+    // A deliberately slow first command (a ~350k-edge clique solve)
+    // pins the worker while the reader floods a tiny queue.
+    let mut script = String::new();
+    script.push_str(r#"{"id":1,"cmd":"load_graph","n":840,"family":"clique"}"#);
+    script.push('\n');
+    script.push_str(r#"{"id":2,"cmd":"solve","beta":1,"eps":0.5}"#);
+    script.push('\n');
+    let flood = 300u64;
+    for i in 0..flood {
+        script.push_str(&format!(r#"{{"id":{},"cmd":"query"}}"#, 100 + i));
+        script.push('\n');
+    }
+    let cfg = ServeConfig {
+        queue_cap: 4,
+        ..ServeConfig::default()
+    };
+    let (lines, summary) = run_script(&script, &cfg);
+    assert_eq!(
+        lines.len(),
+        2 + flood as usize,
+        "every request got a response"
+    );
+    let mut ok = 0u64;
+    let mut overloaded = 0u64;
+    for line in &lines {
+        let doc = parse_response(line);
+        match error_code(&doc).as_deref() {
+            None => ok += 1,
+            Some("overloaded") => overloaded += 1,
+            Some(other) => panic!("unexpected error {other} in {line}"),
+        }
+    }
+    assert!(overloaded > 0, "the flood must trip admission control");
+    assert_eq!(ok + overloaded, 2 + flood);
+    assert_eq!(summary.overloaded, overloaded);
+    // Overloaded responses still echo the request id.
+    let dropped = lines
+        .iter()
+        .map(|l| parse_response(l))
+        .find(|d| error_code(d).as_deref() == Some("overloaded"))
+        .unwrap();
+    assert!(dropped.get("id").unwrap().as_u64().unwrap() >= 100);
+}
+
+/// A line over the byte cap is rejected as `too_large` without breaking
+/// the framing: the next request still parses and runs.
+#[test]
+fn oversized_line_is_skipped_cleanly() {
+    let mut script = String::new();
+    script.push_str(r#"{"id":1,"cmd":"load_graph","n":4,"edges":[[0,1]]}"#);
+    script.push('\n');
+    script.push_str(&"x".repeat(MAX_REQUEST_BYTES + 100));
+    script.push('\n');
+    script.push_str(r#"{"id":2,"cmd":"query"}"#);
+    script.push('\n');
+    let (lines, summary) = run_script(&script, &ServeConfig::default());
+    assert_eq!(lines.len(), 3);
+    assert_eq!(error_code(&parse_response(&lines[0])), None);
+    assert_eq!(
+        error_code(&parse_response(&lines[1])).as_deref(),
+        Some("too_large")
+    );
+    let status = parse_response(&lines[2]);
+    assert_eq!(error_code(&status), None);
+    assert_eq!(
+        status
+            .get("result")
+            .unwrap()
+            .get("loaded")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    assert_eq!(summary.wire_errors, 1);
+}
+
+/// Unix-socket mode: two concurrent sessions with independent resident
+/// state, then a daemon-scope shutdown that stops the listener.
+#[test]
+fn unix_socket_sessions_are_isolated_and_daemon_shutdown_stops_the_listener() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("serve.sock");
+    std::fs::remove_file(&sock).ok();
+    let cfg = ServeConfig::default();
+    let server = {
+        let sock = sock.clone();
+        std::thread::spawn(move || serve_unix(&sock, &cfg))
+    };
+    // Wait for the socket to come up.
+    let mut tries = 0;
+    let connect = |tries: &mut u32| loop {
+        match UnixStream::connect(&sock) {
+            Ok(s) => break s,
+            Err(e) => {
+                *tries += 1;
+                assert!(*tries < 500, "socket never came up: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    };
+    let ask = |stream: &mut UnixStream, reader: &mut BufReader<UnixStream>, line: &str| -> Json {
+        writeln!(stream, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        parse_response(response.trim_end())
+    };
+
+    let mut a = connect(&mut tries);
+    let mut a_reader = BufReader::new(a.try_clone().unwrap());
+    let mut b = connect(&mut tries);
+    let mut b_reader = BufReader::new(b.try_clone().unwrap());
+
+    // Session A loads a path, session B loads nothing: B's status must
+    // not see A's graph.
+    let r = ask(
+        &mut a,
+        &mut a_reader,
+        r#"{"id":1,"cmd":"load_graph","n":10,"family":"path"}"#,
+    );
+    assert_eq!(error_code(&r), None);
+    let r = ask(&mut b, &mut b_reader, r#"{"id":1,"cmd":"query"}"#);
+    assert_eq!(
+        r.get("result").unwrap().get("loaded").unwrap().as_bool(),
+        Some(false),
+        "sessions must not share engine state"
+    );
+    let r = ask(
+        &mut a,
+        &mut a_reader,
+        r#"{"id":2,"cmd":"solve","beta":1,"eps":0.5}"#,
+    );
+    assert_eq!(
+        r.get("result")
+            .unwrap()
+            .get("matching_size")
+            .unwrap()
+            .as_u64(),
+        Some(5)
+    );
+
+    // Session-scope shutdown ends only session A.
+    let r = ask(&mut a, &mut a_reader, r#"{"id":3,"cmd":"shutdown"}"#);
+    assert_eq!(error_code(&r), None);
+    // Daemon-scope shutdown from B stops the listener.
+    let r = ask(
+        &mut b,
+        &mut b_reader,
+        r#"{"id":2,"cmd":"shutdown","scope":"daemon"}"#,
+    );
+    assert_eq!(error_code(&r), None);
+    server.join().unwrap().unwrap();
+    assert!(!sock.exists(), "socket file removed on daemon shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
