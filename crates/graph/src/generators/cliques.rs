@@ -9,7 +9,7 @@ use rand::Rng;
 /// The complete graph `K_n`. β(K_n) = 1 and m = Θ(n²): the canonical
 /// "reading the input is already too slow" instance of the paper.
 pub fn clique(n: usize) -> CsrGraph {
-    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
             b.add_edge(VertexId::new(u), VertexId::new(v));

@@ -58,6 +58,16 @@ fn require_positive(name: &str, x: f64) -> Result<(), FamilySpecError> {
     }
 }
 
+fn require_at_least(name: &str, x: usize, min: usize) -> Result<(), FamilySpecError> {
+    if x >= min {
+        Ok(())
+    } else {
+        Err(FamilySpecError::BadValue(format!(
+            "{name} must be at least {min}, got {x}"
+        )))
+    }
+}
+
 /// Build a graph on `n` vertices from a family spec.
 ///
 /// Recognized specs (`:`-separated):
@@ -86,6 +96,8 @@ pub fn family_from_spec(
         ["clique-union", layers, size] => {
             let diversity: usize = layers.parse().map_err(bad)?;
             let clique_size: usize = size.parse().map_err(bad)?;
+            require_at_least("clique-union layers", diversity, 1)?;
+            require_at_least("clique-union clique size", clique_size, 2)?;
             Ok(clique_union(
                 CliqueUnionConfig {
                     n,
@@ -114,11 +126,97 @@ pub fn family_from_spec(
             Ok(line_graph(&gnp(n, p, rng)))
         }
         ["path"] => Ok(path(n)),
-        ["cycle"] => Ok(cycle(n)),
+        ["cycle"] => {
+            require_at_least("cycle length", n, 3)?;
+            Ok(cycle(n))
+        }
         _ => Err(FamilySpecError::UnknownFamily(format!(
             "unknown family {spec:?}"
         ))),
     }
+}
+
+/// Size estimate for the graph [`family_from_spec`] would build.
+///
+/// The counts are exact for deterministic shapes and *expectations* for
+/// randomized families (`clique-union` gets an exact upper bound).
+/// `vertices` differs from `n` only for `line-gnp`, whose vertex count
+/// is the base graph's edge count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FamilySizeEstimate {
+    /// Vertices of the generated graph.
+    pub vertices: u128,
+    /// Edges: exact or expected, per the family.
+    pub edges: u128,
+}
+
+/// Estimate the size of [`family_from_spec`]'s output without building
+/// anything.
+///
+/// Frontends that take specs from untrusted clients (the serve daemon's
+/// `load_graph`) check this against their input caps *before*
+/// generating, so a hostile `clique` on 10⁶ vertices is rejected up
+/// front instead of materializing ~5·10¹¹ edges. Accepts and rejects
+/// exactly the specs [`family_from_spec`] does (same grammar, same
+/// parameter validation), which a test in this module pins.
+pub fn family_size_estimate(spec: &str, n: usize) -> Result<FamilySizeEstimate, FamilySpecError> {
+    let bad =
+        |e: std::num::ParseIntError| FamilySpecError::BadValue(format!("family {spec:?}: {e}"));
+    let bad_f =
+        |e: std::num::ParseFloatError| FamilySpecError::BadValue(format!("family {spec:?}: {e}"));
+    // Expectations are computed in f64 and converted with the saturating
+    // float-to-int cast, so absurd parameters overflow toward u128::MAX
+    // (and get rejected by the caller's cap) instead of wrapping.
+    let sat = |x: f64| x.ceil().max(0.0) as u128;
+    let n128 = n as u128;
+    let nf = n as f64;
+    let all_pairs = n128 * n128.saturating_sub(1) / 2;
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (vertices, edges) = match parts.as_slice() {
+        ["clique"] => (n128, all_pairs),
+        ["clique-union", layers, size] => {
+            let diversity: usize = layers.parse().map_err(bad)?;
+            let clique_size: usize = size.parse().map_err(bad)?;
+            require_at_least("clique-union layers", diversity, 1)?;
+            require_at_least("clique-union clique size", clique_size, 2)?;
+            // Per layer each vertex gains at most clique_size - 1
+            // neighbors; layers may overlap, so this is an upper bound.
+            (
+                n128,
+                (diversity as u128) * n128 * (clique_size as u128 - 1) / 2,
+            )
+        }
+        ["unit-disk", deg] => {
+            let avg: f64 = deg.parse().map_err(bad_f)?;
+            require_positive("unit-disk average degree", avg)?;
+            (n128, sat(nf * avg / 2.0))
+        }
+        ["gnp", p] => {
+            let p: f64 = p.parse().map_err(bad_f)?;
+            require_probability("gnp edge probability", p)?;
+            (n128, sat(all_pairs as f64 * p))
+        }
+        ["line-gnp", p] => {
+            let p: f64 = p.parse().map_err(bad_f)?;
+            require_probability("line-gnp edge probability", p)?;
+            // L(G) has one vertex per base edge and one edge per path of
+            // length 2 in the base: E[Σ_v C(deg v, 2)] = n·C(n-1, 2)·p².
+            let m0 = sat(all_pairs as f64 * p);
+            let wedges = nf * (nf - 1.0).max(0.0) * (nf - 2.0).max(0.0) / 2.0 * p * p;
+            (m0, sat(wedges))
+        }
+        ["path"] => (n128, n128.saturating_sub(1)),
+        ["cycle"] => {
+            require_at_least("cycle length", n, 3)?;
+            (n128, n128)
+        }
+        _ => {
+            return Err(FamilySpecError::UnknownFamily(format!(
+                "unknown family {spec:?}"
+            )))
+        }
+    };
+    Ok(FamilySizeEstimate { vertices, edges })
 }
 
 #[cfg(test)]
@@ -142,7 +240,14 @@ mod tests {
             family_from_spec("clique-union:x:3", 5, &mut rng),
             Err(FamilySpecError::BadValue(_))
         ));
-        for spec in ["gnp:NaN", "gnp:1.5", "gnp:-0.1", "unit-disk:0"] {
+        for spec in [
+            "gnp:NaN",
+            "gnp:1.5",
+            "gnp:-0.1",
+            "unit-disk:0",
+            "clique-union:0:5",
+            "clique-union:2:1",
+        ] {
             assert!(
                 matches!(
                     family_from_spec(spec, 5, &mut rng),
@@ -150,6 +255,76 @@ mod tests {
                 ),
                 "{spec}"
             );
+        }
+        // A 2-cycle is rejected, not an assert failure.
+        assert!(matches!(
+            family_from_spec("cycle", 2, &mut rng),
+            Err(FamilySpecError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn estimate_matches_grammar_and_bounds_actual_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Same accept/reject decisions as family_from_spec, and for
+        // accepted specs the estimate is exact (deterministic families)
+        // or an upper bound within small-sample noise (randomized ones,
+        // checked with 4x slack on the expectation).
+        let specs = [
+            "clique",
+            "clique-union:2:10",
+            "unit-disk:4",
+            "gnp:0.2",
+            "line-gnp:0.15",
+            "path",
+            "cycle",
+            "nonsense",
+            "clique:3",
+            "clique-union:x:3",
+            "clique-union:0:5",
+            "gnp:1.5",
+            "unit-disk:0",
+        ];
+        for spec in specs {
+            for n in [0usize, 1, 2, 3, 40] {
+                let est = family_size_estimate(spec, n);
+                let got = family_from_spec(spec, n, &mut rng);
+                match (&est, &got) {
+                    (Ok(est), Ok(g)) => {
+                        if !spec.starts_with("line-gnp") {
+                            assert_eq!(est.vertices, g.num_vertices() as u128, "{spec} n={n}");
+                        }
+                        let slack = if spec.contains(':') && !spec.starts_with("clique-union") {
+                            4
+                        } else {
+                            1
+                        };
+                        assert!(
+                            g.num_edges() as u128 <= slack * est.edges.max(8),
+                            "{spec} n={n}: {} edges vs estimate {}",
+                            g.num_edges(),
+                            est.edges
+                        );
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(
+                        std::mem::discriminant(ea),
+                        std::mem::discriminant(eb),
+                        "{spec} n={n}"
+                    ),
+                    _ => panic!("{spec} n={n}: estimate {est:?} vs generate {got:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_estimates_are_exact() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (spec, n) in [("clique", 13usize), ("path", 9), ("cycle", 9)] {
+            let est = family_size_estimate(spec, n).unwrap();
+            let g = family_from_spec(spec, n, &mut rng).unwrap();
+            assert_eq!(est.vertices, g.num_vertices() as u128, "{spec}");
+            assert_eq!(est.edges, g.num_edges() as u128, "{spec}");
         }
     }
 

@@ -16,8 +16,9 @@ use sparsimatch_core::scratch::PipelineScratch;
 use sparsimatch_dynamic::adversary::Update;
 use sparsimatch_dynamic::scheme::DynamicMatcher;
 use sparsimatch_graph::csr::{CsrGraph, GraphBuilder};
-use sparsimatch_graph::generators::family_from_spec;
+use sparsimatch_graph::generators::{family_from_spec, family_size_estimate};
 use sparsimatch_graph::ids::VertexId;
+use sparsimatch_graph::io::{MAX_EDGES, MAX_VERTICES};
 use sparsimatch_obs::{Json, WorkMeter};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,9 +147,40 @@ impl SessionEngine {
     ) -> Result<Json, WireError> {
         let g = match family {
             Some(spec) => {
+                // The parse layer caps only the explicit-edges path; a
+                // family spec can describe a graph astronomically larger
+                // than its request (`clique` on 10^6 vertices is ~5·10^11
+                // edges), so check the analytic size estimate against the
+                // same input caps *before* generating anything.
+                let est = family_size_estimate(spec, n)
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+                if est.vertices > MAX_VERTICES as u128 || est.edges > MAX_EDGES as u128 {
+                    return Err(WireError::new(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "family {spec:?} on {n} vertices generates ~{} vertices and \
+                             ~{} edges, over the caps of {MAX_VERTICES} / {MAX_EDGES}",
+                            est.vertices, est.edges
+                        ),
+                    ));
+                }
                 let mut rng = StdRng::seed_from_u64(seed);
-                family_from_spec(spec, n, &mut rng)
-                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?
+                let g = family_from_spec(spec, n, &mut rng)
+                    .map_err(|e| WireError::new(ErrorCode::BadRequest, e.to_string()))?;
+                // Randomized estimates are expectations; catch the
+                // (concentration-defying) tail after the fact too.
+                if g.num_vertices() > MAX_VERTICES || g.num_edges() > MAX_EDGES {
+                    return Err(WireError::new(
+                        ErrorCode::TooLarge,
+                        format!(
+                            "family {spec:?} generated {} vertices / {} edges, over the \
+                             caps of {MAX_VERTICES} / {MAX_EDGES}",
+                            g.num_vertices(),
+                            g.num_edges()
+                        ),
+                    ));
+                }
+                g
             }
             None => {
                 // Duplicate edges make the request ambiguous (was the
@@ -446,6 +478,44 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
         assert!(err.message.contains("duplicate edge"), "{}", err.message);
+    }
+
+    #[test]
+    fn oversized_family_requests_are_rejected_before_generation() {
+        let mut engine = SessionEngine::new(EngineConfig::default());
+        // The review's memory-DoS probe: a million-vertex clique is
+        // ~5*10^11 edges. This must come back too_large (fast), not OOM.
+        for line in [
+            r#"{"id":1,"cmd":"load_graph","n":1000000,"family":"clique"}"#,
+            r#"{"id":2,"cmd":"load_graph","n":1000000,"family":"gnp:0.9"}"#,
+            r#"{"id":3,"cmd":"load_graph","n":1000000,"family":"unit-disk:10000000"}"#,
+            r#"{"id":4,"cmd":"load_graph","n":100000,"family":"line-gnp:0.5"}"#,
+            r#"{"id":5,"cmd":"load_graph","n":1000000,"family":"clique-union:1000:100000"}"#,
+        ] {
+            let err = handle(&mut engine, line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::TooLarge, "{line}");
+        }
+        // Family params that used to hit generator asserts are clean
+        // bad_request errors now.
+        for line in [
+            r#"{"id":6,"cmd":"load_graph","n":10,"family":"clique-union:0:5"}"#,
+            r#"{"id":7,"cmd":"load_graph","n":2,"family":"cycle"}"#,
+        ] {
+            let err = handle(&mut engine, line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+        // In-cap requests still work, including the n = 0 corner.
+        handle(
+            &mut engine,
+            r#"{"id":8,"cmd":"load_graph","n":0,"family":"clique"}"#,
+        )
+        .unwrap();
+        let body = handle(
+            &mut engine,
+            r#"{"id":9,"cmd":"load_graph","n":1000000,"family":"path"}"#,
+        )
+        .unwrap();
+        assert_eq!(body.get("m").unwrap().as_u64(), Some(999999));
     }
 
     #[test]

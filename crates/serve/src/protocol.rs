@@ -26,6 +26,51 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// with a `too_large` error and skipped without buffering them whole.
 pub const MAX_REQUEST_BYTES: usize = 8 << 20;
 
+/// Wire floor on `eps`. The theorem needs `0 < eps < 1`, but the wire
+/// additionally refuses subnormal-tiny values: the derived per-vertex
+/// mark count grows as `(β/ε)·ln(24/ε)`, so an un-floored `eps` lets one
+/// request demand unbounded allocation and compute.
+pub const MIN_EPS: f64 = 1e-6;
+
+/// Wire cap on `beta`. A neighborhood-independence bound above the
+/// vertex cap cannot describe any admissible graph.
+pub const MAX_BETA: usize = MAX_VERTICES;
+
+/// Wire cap on the derived per-vertex mark count Δ. At `Δ ≥ MAX_VERTICES`
+/// the mark cap exceeds any admissible degree, so every edge is kept and
+/// a larger Δ only inflates buffers — reject the request instead.
+pub const MAX_DELTA: usize = MAX_VERTICES;
+
+/// Validate the `(beta, eps)` pair shared by `solve` and `update`
+/// against the theorem's precondition (`0 < eps < 1`, `beta ≥ 1`) *and*
+/// the wire resource caps above, so no accepted request can panic the
+/// engine's `SparsifierParams` assert or drive Δ unbounded.
+fn validate_solver_params(beta: usize, eps: f64) -> Result<(), WireError> {
+    if beta == 0 {
+        return Err(WireError::bad("beta must be at least 1"));
+    }
+    if beta > MAX_BETA {
+        return Err(WireError::bad(format!(
+            "beta = {beta} exceeds the cap of {MAX_BETA}"
+        )));
+    }
+    // `contains` is false for NaN, so this also rejects it.
+    if !(MIN_EPS..1.0).contains(&eps) {
+        return Err(WireError::bad(format!(
+            "eps must be in [{MIN_EPS}, 1), got {eps}"
+        )));
+    }
+    // Mirror SparsifierParams::practical, the scale the engine uses.
+    let delta = (beta as f64 / eps) * (24.0 / eps).ln();
+    if delta > MAX_DELTA as f64 {
+        return Err(WireError::bad(format!(
+            "beta = {beta}, eps = {eps} derive a per-vertex mark count of \
+             {delta:.0}, over the cap of {MAX_DELTA}"
+        )));
+    }
+    Ok(())
+}
+
 /// Machine-readable error codes (the `error.code` response field).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -299,12 +344,7 @@ fn parse_solve(doc: &Json) -> Result<Request, WireError> {
         .map_err(field_err)?;
     let beta = wire::opt_u64(doc, "beta", 2).map_err(field_err)? as usize;
     let eps = wire::opt_f64(doc, "eps", 0.5).map_err(field_err)?;
-    if beta == 0 {
-        return Err(WireError::bad("beta must be at least 1"));
-    }
-    if eps.is_nan() || eps <= 0.0 {
-        return Err(WireError::bad(format!("eps must be positive, got {eps}")));
-    }
+    validate_solver_params(beta, eps)?;
     Ok(Request::Solve {
         beta,
         eps,
@@ -318,12 +358,7 @@ fn parse_update(doc: &Json) -> Result<Request, WireError> {
         .map_err(field_err)?;
     let beta = wire::opt_u64(doc, "beta", 2).map_err(field_err)? as usize;
     let eps = wire::opt_f64(doc, "eps", 0.5).map_err(field_err)?;
-    if beta == 0 {
-        return Err(WireError::bad("beta must be at least 1"));
-    }
-    if eps.is_nan() || eps <= 0.0 {
-        return Err(WireError::bad(format!("eps must be positive, got {eps}")));
-    }
+    validate_solver_params(beta, eps)?;
     let raw = wire::req_array(doc, "ops").map_err(field_err)?;
     let mut ops = Vec::with_capacity(raw.len());
     for (i, op) in raw.iter().enumerate() {
@@ -479,6 +514,53 @@ mod tests {
             code(r#"{"id":1,"cmd":"load_graph","n":268435456}"#),
             ErrorCode::TooLarge
         );
+    }
+
+    #[test]
+    fn solver_param_bounds() {
+        let code = |line: &str| parse_request(line).unwrap_err().1.code;
+        // eps = 1 violates SparsifierParams' 0 < eps < 1 precondition:
+        // it must die here as bad_request, never reach the assert.
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","eps":1}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"update","ops":[],"eps":1}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","eps":1.5}"#),
+            ErrorCode::BadRequest
+        );
+        // Below the wire floor.
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","eps":1e-300}"#),
+            ErrorCode::BadRequest
+        );
+        // The review's resource-exhaustion probe: huge beta + tiny eps.
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","beta":4000000000,"eps":1e-300}"#),
+            ErrorCode::BadRequest
+        );
+        // beta over the vertex cap.
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","beta":268435456}"#),
+            ErrorCode::BadRequest
+        );
+        // In-cap beta, in-range eps, but the derived delta explodes.
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","beta":100000000,"eps":0.000001}"#),
+            ErrorCode::BadRequest
+        );
+        // The boundaries themselves are accepted.
+        for line in [
+            r#"{"id":1,"cmd":"solve","eps":0.000001}"#,
+            r#"{"id":1,"cmd":"solve","eps":0.999999}"#,
+            r#"{"id":1,"cmd":"update","ops":[],"eps":0.999999}"#,
+        ] {
+            parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        }
     }
 
     #[test]

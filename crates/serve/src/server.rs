@@ -118,9 +118,19 @@ fn write_line<W: Write>(w: &Mutex<W>, line: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// Lines longer than this get no id recovery when shed by admission
+/// control. Shedding exists to stay cheap under a flood; re-parsing up
+/// to [`MAX_REQUEST_BYTES`] of JSON per dropped request would undercut
+/// that, so big rejected lines are answered with `id: null`.
+const PEEK_ID_MAX_BYTES: usize = 4096;
+
 /// Best-effort id recovery for requests rejected before parsing proper
 /// (admission control), so the client can still correlate the error.
+/// Bounded: `None` for lines over [`PEEK_ID_MAX_BYTES`].
 fn peek_id(line: &str) -> Option<u64> {
+    if line.len() > PEEK_ID_MAX_BYTES {
+        return None;
+    }
     let doc = Json::parse(line).ok()?;
     wire::req_u64(&doc, "id").ok()
 }
@@ -177,7 +187,7 @@ where
                     }
                 };
                 let response;
-                let mut is_shutdown = false;
+                let mut end_session = false;
                 match protocol::parse_request(&line) {
                     Err((id, e)) => {
                         stats.wire_errors.fetch_add(1, Ordering::Relaxed);
@@ -185,14 +195,35 @@ where
                     }
                     Ok(env) => {
                         if let Request::Shutdown { daemon } = env.request {
-                            is_shutdown = true;
+                            end_session = true;
                             if daemon {
                                 daemon_shutdown.store(true, Ordering::SeqCst);
                             }
                         }
-                        response = match engine.handle(&env.request) {
-                            Ok(body) => protocol::ok_response(env.id, body),
-                            Err(e) => protocol::error_response(Some(env.id), e.code, &e.message),
+                        // Defense in depth: the parse layer is supposed to
+                        // reject anything that could trip an engine assert,
+                        // but a panic that slips through must take down this
+                        // session, not the whole daemon (an unwinding worker
+                        // would propagate through every thread scope above).
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                engine.handle(&env.request)
+                            }));
+                        response = match outcome {
+                            Ok(Ok(body)) => protocol::ok_response(env.id, body),
+                            Ok(Err(e)) => {
+                                protocol::error_response(Some(env.id), e.code, &e.message)
+                            }
+                            Err(_) => {
+                                // Engine state is suspect after an unwind;
+                                // answer and end the session.
+                                end_session = true;
+                                protocol::error_response(
+                                    Some(env.id),
+                                    ErrorCode::Internal,
+                                    "request handler panicked; closing session",
+                                )
+                            }
                         };
                         requests.fetch_add(1, Ordering::Relaxed);
                     }
@@ -200,7 +231,7 @@ where
                 // A failed write means the client is gone; end the
                 // session rather than grind through the backlog.
                 let write_ok = write_line(&writer, &response).is_ok();
-                if is_shutdown || !write_ok {
+                if end_session || !write_ok {
                     stop.store(true, Ordering::SeqCst);
                     if let Some(hook) = on_shutdown {
                         hook();
@@ -210,14 +241,25 @@ where
             }
         });
 
+        // A transport error (ECONNRESET, not just EOF) must not
+        // early-return here: the worker is still parked on the condvar,
+        // and std::thread::scope would join it — i.e. deadlock — before
+        // the error could propagate. Record the error, fall through to
+        // the shared eof + notify + join handshake, and surface it after
+        // the worker is down.
+        let mut read_error: Option<io::Error> = None;
         let mut buf = Vec::new();
         loop {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            match read_capped_line(&mut reader, &mut buf)? {
-                LineIn::Eof => break,
-                LineIn::TooLong => {
+            match read_capped_line(&mut reader, &mut buf) {
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+                Ok(LineIn::Eof) => break,
+                Ok(LineIn::TooLong) => {
                     stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                     let msg = format!("request line exceeds {MAX_REQUEST_BYTES} bytes");
                     let _ = write_line(
@@ -225,7 +267,7 @@ where
                         &protocol::error_response(None, ErrorCode::TooLarge, &msg),
                     );
                 }
-                LineIn::BadUtf8 => {
+                Ok(LineIn::BadUtf8) => {
                     stats.wire_errors.fetch_add(1, Ordering::Relaxed);
                     let _ = write_line(
                         &writer,
@@ -236,7 +278,7 @@ where
                         ),
                     );
                 }
-                LineIn::Line(line) => {
+                Ok(LineIn::Line(line)) => {
                     if line.trim().is_empty() {
                         continue;
                     }
@@ -267,7 +309,10 @@ where
         queue.lock().expect("queue lock").eof = true;
         ready.notify_one();
         worker.join().expect("worker thread");
-        Ok(())
+        match read_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     })?;
 
     summary.requests = requests.load(Ordering::Relaxed) as u64;

@@ -221,6 +221,108 @@ fn oversized_line_is_skipped_cleanly() {
     assert_eq!(summary.wire_errors, 1);
 }
 
+/// Hostile-but-well-formed parameters: eps outside the theorem's
+/// precondition, beta/eps pairs whose derived Δ explodes, and family
+/// specs describing astronomically large graphs. Every one must come
+/// back as a typed error — never a panic or an allocation storm — and
+/// the session must keep answering afterwards.
+#[test]
+fn hostile_parameters_are_rejected_and_the_session_survives() {
+    let script = concat!(
+        r#"{"id":1,"cmd":"load_graph","n":8,"family":"clique"}"#,
+        "\n",
+        // eps = 1 used to reach SparsifierParams' assert and panic the worker.
+        r#"{"id":2,"cmd":"solve","eps":1}"#,
+        "\n",
+        r#"{"id":3,"cmd":"update","ops":[["insert",0,1]],"eps":1}"#,
+        "\n",
+        // Saturating-delta probe: huge beta, subnormal eps.
+        r#"{"id":4,"cmd":"solve","beta":4000000000,"eps":1e-300}"#,
+        "\n",
+        // Memory-DoS probe: a million-vertex clique is ~5e11 edges.
+        r#"{"id":5,"cmd":"load_graph","n":1000000,"family":"clique"}"#,
+        "\n",
+        // Generator params that used to hit asserts inside family builders.
+        r#"{"id":6,"cmd":"load_graph","n":2,"family":"cycle"}"#,
+        "\n",
+        r#"{"id":7,"cmd":"solve","beta":1,"eps":0.5}"#,
+        "\n",
+        r#"{"id":8,"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let (lines, summary) = run_script(script, &ServeConfig::default());
+    assert_eq!(lines.len(), 8, "every request answered: {lines:#?}");
+    let docs: Vec<Json> = lines.iter().map(|l| parse_response(l)).collect();
+    assert_eq!(error_code(&docs[0]), None);
+    for (i, id) in [(1usize, 2u64), (2, 3), (3, 4)] {
+        assert_eq!(
+            error_code(&docs[i]).as_deref(),
+            Some("bad_request"),
+            "id {id}"
+        );
+        assert_eq!(docs[i].get("id").unwrap().as_u64(), Some(id));
+    }
+    assert_eq!(error_code(&docs[4]).as_deref(), Some("too_large"));
+    assert_eq!(error_code(&docs[5]).as_deref(), Some("bad_request"));
+    // The session is still alive and solving on the original graph.
+    assert_eq!(error_code(&docs[6]), None);
+    assert_eq!(
+        docs[6]
+            .get("result")
+            .unwrap()
+            .get("matching_size")
+            .unwrap()
+            .as_u64(),
+        Some(4)
+    );
+    assert_eq!(error_code(&docs[7]), None);
+    // ids 2–4 die at the parse layer (wire errors); 1, 5–8 reach the engine.
+    assert_eq!(summary.requests, 5);
+    assert_eq!(summary.wire_errors, 3);
+}
+
+/// A reader that yields one good request, then fails with a transport
+/// error (as a reset connection would) instead of clean EOF.
+struct ResettingReader {
+    data: Cursor<&'static [u8]>,
+}
+
+impl std::io::Read for ResettingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.data.read(buf)?;
+        if n > 0 {
+            return Ok(n);
+        }
+        Err(std::io::Error::from(std::io::ErrorKind::ConnectionReset))
+    }
+}
+
+/// A mid-session transport error must end the session with that error —
+/// not deadlock the reader on a worker that never saw eof (which in
+/// unix-socket mode permanently leaked a session slot).
+#[test]
+fn transport_error_ends_the_session_instead_of_deadlocking() {
+    let reader = ResettingReader {
+        data: Cursor::new(b"{\"id\":1,\"cmd\":\"query\"}\n"),
+    };
+    let mut out: Vec<u8> = Vec::new();
+    let err = run_session(
+        BufReader::new(reader),
+        &mut out,
+        &ServeConfig::default(),
+        None,
+    )
+    .expect_err("the transport error must surface");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+    // The request that made it through before the reset was answered.
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "{lines:#?}");
+    let doc = parse_response(lines[0]);
+    assert_eq!(error_code(&doc), None);
+    assert_eq!(doc.get("id").unwrap().as_u64(), Some(1));
+}
+
 /// Unix-socket mode: two concurrent sessions with independent resident
 /// state, then a daemon-scope shutdown that stops the listener.
 #[test]
