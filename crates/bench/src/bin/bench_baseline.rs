@@ -29,6 +29,17 @@
 //! (main-thread deltas; the `alloc_counting` flag says whether the
 //! columns are live or zero-filled).
 //!
+//! A final `huge` tier exercises the out-of-core path at the scales the
+//! in-memory tiers cannot: each family is generated, spilled to an
+//! edge-list file, dropped, and solved through
+//! [`approx_mcm_streamed`] — ≥ 20M edges per family at `--full`, a ~2M
+//! `huge-smoke` shape at `--quick`. Its rows record the analytic
+//! resident-memory high water (`peak_resident_bytes`), what
+//! materializing the parent would cost (`graph_bytes`), the sparsifier
+//! footprint, and the probe counts; the headline gate
+//! `peak_resident_bytes < graph_bytes` is asserted here and re-checked
+//! against the committed baseline by `tests/results_json.rs`.
+//!
 //! Usage: `bench_baseline [--full]`; the output path defaults to
 //! `BENCH_pipeline.json` in the current directory and can be overridden
 //! with the `SPARSIMATCH_BENCH_OUT` environment variable. The schema is
@@ -42,8 +53,13 @@ use sparsimatch_core::pipeline::{
     approx_mcm_via_sparsifier_with_scratch_metered,
 };
 use sparsimatch_core::scratch::PipelineScratch;
+use sparsimatch_core::stream_build::{approx_mcm_streamed, StreamBuildReport};
 use sparsimatch_graph::csr::CsrGraph;
-use sparsimatch_graph::generators::{bipartite_gnp, clique, clique_union, CliqueUnionConfig};
+use sparsimatch_graph::edge_stream::FileEdgeSource;
+use sparsimatch_graph::generators::{
+    bipartite_gnp, clique, clique_union, power_law, CliqueUnionConfig,
+};
+use sparsimatch_graph::io::write_edge_list_file;
 use sparsimatch_obs::{keys, Json, WorkMeter};
 use std::time::Instant;
 
@@ -161,6 +177,133 @@ fn steady_families() -> Vec<Family> {
             eps: 0.3,
         },
     ]
+}
+
+/// A `huge`-tier instance: generated, spilled to an edge-list file,
+/// dropped from memory, then solved entirely through the out-of-core
+/// streaming build ([`approx_mcm_streamed`]). The tier's claim is
+/// Theorem 3.1's space story — `peak_resident_bytes < graph_bytes`, with
+/// a probe budget sublinear in `m` — so it reports bytes and probe
+/// counts, not thread scaling (this is also why the tier is benched at
+/// the stream build's single natural thread).
+struct HugeSpec {
+    name: &'static str,
+    params: SparsifierParams,
+    generate: Box<dyn FnOnce(&mut StdRng) -> CsrGraph>,
+}
+
+/// The `huge` streamed families. Sizes put every sampled vertex class
+/// well above the stage mark cap, so the sparsifier genuinely shrinks
+/// and the committed `peak_resident_bytes < graph_bytes` gate has teeth:
+/// at `--full` every family exceeds 20M edges, at `--quick` each is the
+/// ~2M-edge `huge-smoke` shape CI runs per PR.
+fn huge_families(scale: Scale) -> Vec<HugeSpec> {
+    let (cu_n, cu_size, bip_side, bip_deg, pl_n, pl_attach) = match scale {
+        Scale::Quick => (
+            10_000usize,
+            200usize,
+            2_600usize,
+            800.0f64,
+            52_000usize,
+            40usize,
+        ),
+        Scale::Full => (62_000, 360, 26_000, 800.0, 560_000, 40),
+    };
+    vec![
+        HugeSpec {
+            name: "clique-union",
+            params: SparsifierParams::practical(2, 0.3),
+            generate: Box::new(move |rng| {
+                clique_union(
+                    CliqueUnionConfig {
+                        n: cu_n,
+                        diversity: 2,
+                        clique_size: cu_size,
+                    },
+                    rng,
+                )
+            }),
+        },
+        HugeSpec {
+            name: "bipartite",
+            params: SparsifierParams::practical(4, 0.3),
+            generate: Box::new(move |rng| {
+                bipartite_gnp(bip_side, bip_side, bip_deg / bip_side as f64, rng)
+            }),
+        },
+        HugeSpec {
+            // Preferential-attachment degrees hug the 2·attach mean, so
+            // an explicit Δ pin keeps the stage mark cap below the bulk
+            // degree (practical Δ for β = 2 would keep the whole graph).
+            name: "power-law",
+            params: SparsifierParams::with_delta(2, 0.3, 4),
+            generate: Box::new(move |rng| power_law(pl_n, pl_attach, rng)),
+        },
+    ]
+}
+
+struct HugeRun {
+    name: &'static str,
+    vertices: usize,
+    edges: usize,
+    params: SparsifierParams,
+    report: StreamBuildReport,
+    matching_size: usize,
+    sparsifier_edges: usize,
+    solve_nanos: u64,
+}
+
+fn bench_huge(
+    spec: HugeSpec,
+    dir: &std::path::Path,
+    seed_index: u64,
+    violations: &mut Violations,
+) -> HugeRun {
+    let name = spec.name;
+    let mut rng = StdRng::seed_from_u64(0xB16 ^ seed_index);
+    let g = (spec.generate)(&mut rng);
+    let (vertices, edges) = (g.num_vertices(), g.num_edges());
+    let path = dir.join(format!("{name}.el"));
+    write_edge_list_file(&g, &path).expect("spill huge instance to disk");
+    // From here on the parent graph exists only as a file: the build's
+    // resident set is what the report accounts for.
+    drop(g);
+    let mut src = FileEdgeSource::open(&path).expect("huge edge list re-opens");
+    let t0 = Instant::now();
+    let (result, report) =
+        approx_mcm_streamed(&mut src, &spec.params, 7).expect("streamed pipeline runs");
+    let solve_nanos = t0.elapsed().as_nanos() as u64;
+    std::fs::remove_file(&path).ok();
+
+    violations.check(report.peak_resident_bytes < report.graph_bytes, || {
+        format!(
+            "{name}: streamed build peak {} B >= materialized parent {} B",
+            report.peak_resident_bytes, report.graph_bytes
+        )
+    });
+    violations.check(result.sparsifier.edges < edges, || {
+        format!(
+            "{name}: sparsifier kept all {} edges — no shrink at this scale",
+            edges
+        )
+    });
+    violations.check(report.probes.total() < edges as u64, || {
+        format!(
+            "{name}: probe budget {} >= m = {} (sublinearity lost)",
+            report.probes.total(),
+            edges
+        )
+    });
+    HugeRun {
+        name,
+        vertices,
+        edges,
+        params: spec.params,
+        report,
+        matching_size: result.matching.len(),
+        sparsifier_edges: result.sparsifier.edges,
+        solve_nanos,
+    }
 }
 
 struct Run {
@@ -350,6 +493,33 @@ fn family_json(f: &Family, runs: &[Run]) -> Json {
     doc
 }
 
+fn huge_json(h: &HugeRun) -> Json {
+    let mut probes = Json::object();
+    probes.set("degree", h.report.probes.degree_probes);
+    probes.set("neighbor", h.report.probes.neighbor_probes);
+    probes.set("total", h.report.probes.total());
+    let mut doc = Json::object();
+    doc.set("family", h.name);
+    doc.set("vertices", h.vertices);
+    doc.set("edges", h.edges);
+    doc.set("beta", h.params.beta);
+    doc.set("eps", h.params.eps);
+    doc.set("delta", h.params.delta);
+    doc.set("peak_resident_bytes", h.report.peak_resident_bytes);
+    doc.set("graph_bytes", h.report.graph_bytes);
+    doc.set("sparsifier_bytes", h.report.sparsifier_bytes);
+    doc.set("probes", probes);
+    doc.set("edges_scanned", h.report.edges_scanned);
+    doc.set("matching_size", h.matching_size);
+    doc.set("sparsifier_edges", h.sparsifier_edges);
+    doc.set("solve_nanos", h.solve_nanos);
+    doc.set(
+        "resident_shrink",
+        h.report.graph_bytes as f64 / h.report.peak_resident_bytes.max(1) as f64,
+    );
+    doc
+}
+
 fn steady_json(s: &Steady) -> Json {
     let mut doc = Json::object();
     doc.set("family", s.family);
@@ -415,6 +585,28 @@ fn main() {
         steady_docs.push(steady_json(&steady));
     }
 
+    println!("\nhuge tier (out-of-core streamed build, bytes resident vs materialized):");
+    let tmp = std::env::temp_dir().join(format!("sparsimatch-huge-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create huge-tier spill dir");
+    let mut huge_docs = Vec::new();
+    for (i, spec) in huge_families(scale).into_iter().enumerate() {
+        let h = bench_huge(spec, &tmp, i as u64, &mut violations);
+        println!(
+            "{:>14}: n = {}, m = {}  peak {:>7.1} MiB < graph {:>7.1} MiB  \
+             (sparsifier {:.1} MiB, {} probes, {:>8.3} s)",
+            h.name,
+            h.vertices,
+            h.edges,
+            h.report.peak_resident_bytes as f64 / (1 << 20) as f64,
+            h.report.graph_bytes as f64 / (1 << 20) as f64,
+            h.report.sparsifier_bytes as f64 / (1 << 20) as f64,
+            h.report.probes.total(),
+            h.solve_nanos as f64 / 1e9
+        );
+        huge_docs.push(huge_json(&h));
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+
     let mut doc = Json::object();
     doc.set("benchmark", "bench_pipeline");
     doc.set("scale", scale.name());
@@ -426,6 +618,7 @@ fn main() {
     );
     doc.set("families", Json::Array(family_docs));
     doc.set("steady_state", Json::Array(steady_docs));
+    doc.set("huge", Json::Array(huge_docs));
 
     let out = std::env::var_os("SPARSIMATCH_BENCH_OUT")
         .map(std::path::PathBuf::from)

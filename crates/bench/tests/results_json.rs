@@ -212,6 +212,12 @@ fn bench_baseline_writes_valid_schema() {
         );
     }
 
+    // The huge tier (out-of-core streamed build) carries its full memory
+    // schema even at quick scale — this is the `huge-smoke` validation CI
+    // runs per PR. The memory claim is analytic, so unlike the wall-clock
+    // gates it must hold at every scale.
+    assert_huge_tier_schema(&doc, 0);
+
     // One steady-state row per family, with internally consistent fields.
     // The ≥1.3× warm-speedup acceptance bound is asserted on the committed
     // full-scale baseline only — a quick run inside a busy CI worker is
@@ -247,6 +253,79 @@ fn bench_baseline_writes_valid_schema() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Shared checks for the `huge` tier section (see EXPERIMENTS.md
+/// "Benchmark baseline · huge tier"): every streamed family reports the
+/// full memory schema, and the Theorem 3.1 space story holds —
+/// `peak_resident_bytes < graph_bytes` with a probe budget sublinear in
+/// `m`. `min_edges` lets the committed-baseline gate demand real scale.
+fn assert_huge_tier_schema(doc: &Json, min_edges: u64) {
+    let huge = doc
+        .get("huge")
+        .expect("huge tier section missing")
+        .as_array()
+        .unwrap();
+    let names: Vec<&str> = huge
+        .iter()
+        .map(|h| h.get("family").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["clique-union", "bipartite", "power-law"]);
+    for h in huge {
+        let name = h.get("family").unwrap().as_str().unwrap();
+        let field = |key: &str| -> u64 {
+            h.get(key)
+                .unwrap_or_else(|| panic!("{name}: huge row missing {key}"))
+                .as_u64()
+                .unwrap_or_else(|| panic!("{name}: huge.{key} is not an unsigned integer"))
+        };
+        let edges = field("edges");
+        assert!(field("vertices") > 0, "{name}");
+        assert!(
+            edges >= min_edges,
+            "{name}: huge tier ran at {edges} edges, need >= {min_edges}"
+        );
+        assert!(field("beta") >= 1 && field("delta") >= 1, "{name}");
+        assert!(h.get("eps").unwrap().as_f64().unwrap() > 0.0, "{name}");
+
+        // The headline gate: building out of core must stay strictly
+        // cheaper than materializing the parent adjacency.
+        let peak = field("peak_resident_bytes");
+        let graph_bytes = field("graph_bytes");
+        let sparsifier_bytes = field("sparsifier_bytes");
+        assert!(
+            peak < graph_bytes,
+            "{name}: streamed peak {peak} B >= materialized parent {graph_bytes} B"
+        );
+        assert!(
+            sparsifier_bytes <= peak,
+            "{name}: sparsifier {sparsifier_bytes} B exceeds the reported peak {peak} B"
+        );
+        assert!(
+            field("sparsifier_edges") < edges,
+            "{name}: sparsifier kept every edge — no shrink"
+        );
+        assert!(field("matching_size") > 0, "{name}");
+        assert!(field("solve_nanos") > 0, "{name}");
+
+        // Probe accounting: internally consistent, sublinear in m, and
+        // the stream side did exactly two passes (4m half-edge visits).
+        let probes = h.get("probes").unwrap();
+        let degree = probes.get("degree").unwrap().as_u64().unwrap();
+        let neighbor = probes.get("neighbor").unwrap().as_u64().unwrap();
+        let total = probes.get("total").unwrap().as_u64().unwrap();
+        assert_eq!(degree + neighbor, total, "{name}: probe totals disagree");
+        assert!(
+            total < edges,
+            "{name}: probe budget {total} >= m = {edges} (sublinearity lost)"
+        );
+        assert_eq!(field("edges_scanned"), 4 * edges, "{name}");
+        let shrink = h.get("resident_shrink").unwrap().as_f64().unwrap();
+        assert!(
+            (shrink - graph_bytes as f64 / peak as f64).abs() < 1e-9,
+            "{name}: resident_shrink inconsistent with its numerator/denominator"
+        );
+    }
+}
+
 /// The *committed* baseline (repo-root `BENCH_pipeline.json`) must record
 /// the bench host's hardware parallelism — speedup ratios are
 /// uninterpretable without it (see EXPERIMENTS.md "Benchmark baseline").
@@ -279,7 +358,15 @@ fn committed_baseline_records_positive_host_parallelism() {
 /// 1. Small-input parallel regression: no family may be slower at t ≥ 2
 ///    than at t = 1 beyond a 25 % noise allowance (adaptive dispatch must
 ///    fall back to sequential where parallelism cannot pay).
-/// 2. Steady state: the warm-scratch repeat-solve path must beat the
+/// 2. Stage shares: no family's `match` stage may silently dominate the
+///    pipeline again. The t = 1 clique-union anomaly (match at 90 %+ of
+///    total, vs ~4 % on clique) was traced to the bounded-augmentation
+///    bulk loop re-scanning retired vertices; the phase rewrite fixed it,
+///    and this share cap keeps the regression visible if it returns.
+///    (Full-scale clique-union legitimately spends ~55–60 % in `match`
+///    — many augmentation rounds on large cliques — so the cap sits at
+///    75 %: well above honest shares, well below the 90 %+ anomaly.)
+/// 3. Steady state: the warm-scratch repeat-solve path must beat the
 ///    cold path by ≥ 1.3× on at least one family.
 #[test]
 fn committed_baseline_meets_dispatch_and_steady_state_gates() {
@@ -289,6 +376,7 @@ fn committed_baseline_meets_dispatch_and_steady_state_gates() {
     let text = std::fs::read_to_string(&path).expect("committed BENCH_pipeline.json present");
     let doc = Json::parse(&text).expect("committed baseline parses");
 
+    const MATCH_SHARE_CAP: f64 = 0.75;
     for f in doc.get("families").unwrap().as_array().unwrap() {
         let name = f.get("family").unwrap().as_str().unwrap();
         let runs = f.get("runs").unwrap().as_array().unwrap();
@@ -308,6 +396,20 @@ fn committed_baseline_meets_dispatch_and_steady_state_gates() {
                 "{name}: t = {t} took {total} ns vs {t1} ns at t = 1 — \
                  parallel dispatch regressed on a small input"
             );
+            let matched = r
+                .get("stage_nanos")
+                .unwrap()
+                .get("match")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            assert!(
+                (matched as f64) <= MATCH_SHARE_CAP * total as f64,
+                "{name}: match stage consumed {matched} of {total} ns at t = {t} \
+                 (> {:.0}% share — the bounded-augmentation re-scan \
+                 regression is back?)",
+                MATCH_SHARE_CAP * 100.0
+            );
         }
     }
 
@@ -324,6 +426,22 @@ fn committed_baseline_meets_dispatch_and_steady_state_gates() {
         "no family reaches the 1.3x warm-scratch steady-state speedup \
          (best {best_speedup:.3})"
     );
+}
+
+/// Acceptance gate on the *committed* full-scale `huge` tier: the
+/// out-of-core streamed build must have completed every family at
+/// ≥ 20M edges with `peak_resident_bytes < graph_bytes` — Theorem 3.1's
+/// sublinear probe budget paired with a resident set strictly below
+/// what materializing the parent adjacency would cost.
+#[test]
+fn committed_baseline_huge_tier_is_out_of_core_at_scale() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pipeline.json");
+    let text = std::fs::read_to_string(&path).expect("committed BENCH_pipeline.json present");
+    let doc = Json::parse(&text).expect("committed baseline parses");
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("full"));
+    assert_huge_tier_schema(&doc, 20_000_000);
 }
 
 /// Shared structural checks for a `serve_bench.json` document at either

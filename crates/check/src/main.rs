@@ -97,7 +97,7 @@ fn main() {
         }
     };
 
-    let mut trials_by_oracle = [0u64; 4];
+    let mut trials_by_oracle = [0u64; 5];
     let mut violations = 0usize;
     // One pipeline arena for the whole sweep: every oracle's sequential
     // pipeline runs reuse it (the scratch oracle proves reuse is exact,
@@ -167,12 +167,13 @@ fn main() {
     }
 
     println!(
-        "checked {} seeds (static {}, dynamic {}, distsim {}, scratch {}): {}",
+        "checked {} seeds (static {}, dynamic {}, distsim {}, scratch {}, stream {}): {}",
         trials_by_oracle.iter().sum::<u64>(),
         trials_by_oracle[0],
         trials_by_oracle[1],
         trials_by_oracle[2],
         trials_by_oracle[3],
+        trials_by_oracle[4],
         if violations == 0 {
             "all oracles green".to_string()
         } else {

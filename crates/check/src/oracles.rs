@@ -21,6 +21,13 @@
 //!   cold path, byte-for-byte across matching pairs, sparsifier stats,
 //!   probes, and augmentation stats, at several thread counts and on a
 //!   deliberately dirty reused arena.
+//! * **stream** — the out-of-core streamed pipeline
+//!   ([`approx_mcm_streamed`]) vs the in-memory one, byte-for-byte on
+//!   the same fingerprint, plus the streaming report's own invariants
+//!   (`sparsifier_bytes ≤ peak_resident_bytes`, two passes = `4m`
+//!   half-edge visits). The graph streams from its own CSR — the
+//!   file-backed source is pinned separately by proptest — so the sweep
+//!   stays hermetic.
 //!
 //! A whole seed sweep shares one [`PipelineScratch`] (see
 //! [`OracleKind::check_with_scratch`]), so every oracle's sequential
@@ -38,6 +45,7 @@ use sparsimatch_core::pipeline::{
 };
 use sparsimatch_core::scratch::PipelineScratch;
 use sparsimatch_core::sparsifier::build_sparsifier;
+use sparsimatch_core::stream_build::approx_mcm_streamed;
 use sparsimatch_distsim::algorithms::pipeline::{
     distributed_approx_mcm, distributed_approx_mcm_faulty, DistributedOutcome,
 };
@@ -101,6 +109,8 @@ pub enum OracleKind {
     Distsim,
     /// Warm-scratch pipeline vs the cold one-shot path, byte-for-byte.
     Scratch,
+    /// Out-of-core streamed pipeline vs the in-memory one, byte-for-byte.
+    Stream,
 }
 
 impl OracleKind {
@@ -111,6 +121,7 @@ impl OracleKind {
             OracleKind::Dynamic => "dynamic",
             OracleKind::Distsim => "distsim",
             OracleKind::Scratch => "scratch",
+            OracleKind::Stream => "stream",
         }
     }
 
@@ -121,6 +132,7 @@ impl OracleKind {
             "dynamic" => Ok(OracleKind::Dynamic),
             "distsim" => Ok(OracleKind::Distsim),
             "scratch" => Ok(OracleKind::Scratch),
+            "stream" => Ok(OracleKind::Stream),
             other => Err(format!("unknown oracle {other:?}")),
         }
     }
@@ -147,6 +159,7 @@ impl OracleKind {
             OracleKind::Dynamic => check_dynamic(inst, cfg),
             OracleKind::Distsim => check_distsim(inst, cfg, scratch),
             OracleKind::Scratch => check_scratch(inst, cfg, scratch),
+            OracleKind::Stream => check_stream(inst, cfg, scratch),
         }
     }
 }
@@ -546,6 +559,76 @@ fn check_scratch(
     None
 }
 
+fn check_stream(
+    inst: &CheckInstance,
+    cfg: &CheckConfig,
+    scratch: &mut PipelineScratch,
+) -> Option<Violation> {
+    let _ = cfg; // byte identity has no tunable bound
+    let mut g: CsrGraph = inst.graph();
+    let params = inst.params();
+    // In-memory reference through the shared warm arena — the scratch
+    // oracle already certifies this equals the cold path.
+    let reference =
+        match approx_mcm_via_sparsifier_with_scratch(&g, &params, inst.algo_seed, 1, scratch) {
+            Ok(r) => pipeline_fingerprint(r),
+            Err(e) => {
+                return Some(Violation::new(
+                    "pipeline-error",
+                    format!("in-memory pipeline rejected: {e}"),
+                ))
+            }
+        };
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    let (streamed, report) = match approx_mcm_streamed(&mut g, &params, inst.algo_seed) {
+        Ok(r) => r,
+        Err(e) => {
+            return Some(Violation::new(
+                "stream-error",
+                format!("streamed pipeline rejected its own CSR stream: {e}"),
+            ))
+        }
+    };
+    if pipeline_fingerprint(&streamed) != reference {
+        return Some(Violation::new(
+            "stream-identity",
+            format!(
+                "streamed pipeline diverged from the in-memory one: {} vs {} matched pairs \
+                 (family {}, n = {})",
+                streamed.matching.len(),
+                reference.0.len(),
+                inst.family,
+                inst.n
+            ),
+        ));
+    }
+    // The report's own invariants: the sparsifier fits inside the peak,
+    // and the stream side did exactly two passes.
+    if report.sparsifier_bytes > report.peak_resident_bytes {
+        return Some(Violation::new(
+            "stream-accounting",
+            format!(
+                "sparsifier {} B exceeds the reported resident peak {} B",
+                report.sparsifier_bytes, report.peak_resident_bytes
+            ),
+        ));
+    }
+    if report.edges_scanned != 4 * m as u64 || report.probes.degree_probes != 2 * n as u64 {
+        return Some(Violation::new(
+            "stream-accounting",
+            format!(
+                "stream-side work off contract: {} half-edge visits (want {}), {} degree \
+                 probes (want {})",
+                report.edges_scanned,
+                4 * m,
+                report.probes.degree_probes,
+                2 * n
+            ),
+        ));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +669,7 @@ mod tests {
             OracleKind::Dynamic,
             OracleKind::Distsim,
             OracleKind::Scratch,
+            OracleKind::Stream,
         ] {
             assert_eq!(OracleKind::from_name(kind.name()).unwrap(), kind);
         }

@@ -23,6 +23,9 @@
 //!   bounded-β graph → low-arboricity `G_Δ` → bounded-degree `G̃_Δ`.
 //! * [`pipeline`] — Theorem 3.1 end-to-end: sparsify then run a `(1+ε)`
 //!   matching algorithm, in time sublinear in `|E(G)|`.
+//! * [`stream_build`] — the same construction out of core: two passes
+//!   over a lex-sorted edge stream build a byte-identical `G_Δ` in
+//!   `O(n + |E(G_Δ)|)` resident memory, never materializing `G`.
 //! * [`scratch`] — reusable scratch arenas giving the repeat-solve paths
 //!   (dynamic rebuilds, check sweeps, benchmark loops) a zero-allocation
 //!   steady state.
@@ -38,6 +41,7 @@ pub mod sampler;
 pub mod scratch;
 pub mod solomon;
 pub mod sparsifier;
+pub mod stream_build;
 
 pub use params::SparsifierParams;
 pub use pipeline::{
@@ -50,3 +54,4 @@ pub use sparsifier::{
     build_sparsifier, build_sparsifier_metered, build_sparsifier_parallel,
     build_sparsifier_parallel_metered, Sparsifier, SparsifierStats, ThreadCountError, MAX_THREADS,
 };
+pub use stream_build::{approx_mcm_streamed, build_sparsifier_streamed, StreamBuildReport};

@@ -50,7 +50,7 @@ enum Phase {
         matching: Matching,
     },
     Augment {
-        searcher: BlossomSearcher,
+        searcher: Box<BlossomSearcher>,
         cap: u32,
         max_cap: u32,
         bulk_exhausted: bool,
@@ -163,7 +163,7 @@ impl SlicedComputation {
                     if *next_edge >= m {
                         let stage_eps = self.params.eps / 4.0;
                         let max_cap = max_path_len_for_eps(stage_eps) as u32;
-                        let searcher = BlossomSearcher::new(matching);
+                        let searcher = Box::new(BlossomSearcher::new(matching));
                         self.phase = Phase::Augment {
                             last_work: searcher.work(),
                             searcher,
@@ -218,7 +218,7 @@ impl SlicedComputation {
                             }
                             let m = std::mem::replace(
                                 searcher,
-                                BlossomSearcher::new(&Matching::new(0)),
+                                Box::new(BlossomSearcher::new(&Matching::new(0))),
                             )
                             .into_matching();
                             self.phase = Phase::Done(m);

@@ -73,6 +73,24 @@ impl AdjListGraph {
             .map(|&(u, v)| (VertexId(u), VertexId(v)))
     }
 
+    /// Resident heap footprint of the graph, in bytes.
+    ///
+    /// Counts allocated capacity, not live length, like
+    /// [`CsrGraph::memory_bytes`] — but where the CSR figure is exact,
+    /// the hash-map term here is an estimate (entry storage plus one
+    /// control byte per slot; the table's exact layout is a hashbrown
+    /// implementation detail).
+    pub fn memory_bytes(&self) -> usize {
+        let spine = self.adj.capacity() * std::mem::size_of::<Vec<u32>>();
+        let lists: usize = self
+            .adj
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        let entry = std::mem::size_of::<((u32, u32), (u32, u32))>() + 1;
+        spine + lists + self.positions.capacity() * entry
+    }
+
     #[inline]
     fn key(u: VertexId, v: VertexId) -> (u32, u32) {
         if u.0 < v.0 {

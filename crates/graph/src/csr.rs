@@ -8,6 +8,133 @@
 
 use crate::ids::{EdgeId, VertexId};
 
+/// Adjacency offsets with a width chosen from the half-edge count.
+///
+/// A CSR offset indexes the half-edge arrays, so its values range over
+/// `0..=2m`. When `2m` fits in a `u32` — every graph under the repo's
+/// `MAX_EDGES` cap, and every sparsifier — 4 bytes per vertex suffice,
+/// halving the dominant per-vertex cost of the old `Vec<usize>` layout.
+/// Graphs with `2m >= 2^32` fall back to full-width offsets
+/// automatically. The repr is a pure function of `m`, so two builds of
+/// the same graph (sequential, parallel, scratch-reuse, or streamed)
+/// always agree byte-for-byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Offsets {
+    /// `2m < 2^32`: 4 bytes per vertex.
+    Narrow(Vec<u32>),
+    /// Fallback for `2m >= 2^32`.
+    Wide(Vec<usize>),
+}
+
+/// Whether a graph with `two_m` half-edges takes the narrow repr.
+#[inline(always)]
+fn fits_narrow(two_m: usize) -> bool {
+    u32::try_from(two_m).is_ok()
+}
+
+impl Offsets {
+    /// Exclusive prefix sums of `degree`, in the repr `two_m` dictates.
+    fn from_degrees(degree: &[u32], two_m: usize) -> Offsets {
+        let mut out = if fits_narrow(two_m) {
+            Offsets::Narrow(Vec::new())
+        } else {
+            Offsets::Wide(Vec::new())
+        };
+        out.rebuild_from_degrees(degree, two_m);
+        out
+    }
+
+    /// Convert a full-width offset array (as the parallel layout builds)
+    /// into the canonical repr for `two_m` half-edges.
+    fn from_wide(offsets: Vec<usize>, two_m: usize) -> Offsets {
+        if fits_narrow(two_m) {
+            Offsets::Narrow(offsets.into_iter().map(|o| o as u32).collect())
+        } else {
+            Offsets::Wide(offsets)
+        }
+    }
+
+    /// Refill with exclusive prefix sums of `degree`, reusing the held
+    /// buffer when the repr for `two_m` matches (allocation-free when
+    /// warm); switches repr otherwise.
+    fn rebuild_from_degrees(&mut self, degree: &[u32], two_m: usize) {
+        if fits_narrow(two_m) != matches!(self, Offsets::Narrow(_)) {
+            *self = if fits_narrow(two_m) {
+                Offsets::Narrow(Vec::new())
+            } else {
+                Offsets::Wide(Vec::new())
+            };
+        }
+        match self {
+            Offsets::Narrow(offs) => {
+                offs.clear();
+                offs.reserve(degree.len() + 1);
+                let mut running = 0u32;
+                offs.push(0);
+                for &d in degree {
+                    running += d;
+                    offs.push(running);
+                }
+            }
+            Offsets::Wide(offs) => {
+                offs.clear();
+                offs.reserve(degree.len() + 1);
+                let mut running = 0usize;
+                offs.push(0);
+                for &d in degree {
+                    running += d as usize;
+                    offs.push(running);
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> usize {
+        match self {
+            Offsets::Narrow(offs) => offs[i] as usize,
+            Offsets::Wide(offs) => offs[i],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Offsets::Narrow(offs) => offs.len(),
+            Offsets::Wide(offs) => offs.len(),
+        }
+    }
+
+    /// Bytes held by the populated entries.
+    fn bytes(&self) -> usize {
+        match self {
+            Offsets::Narrow(offs) => offs.len() * std::mem::size_of::<u32>(),
+            Offsets::Wide(offs) => offs.len() * std::mem::size_of::<usize>(),
+        }
+    }
+
+    /// Bytes of backing capacity (for scratch accounting).
+    fn capacity_bytes(&self) -> usize {
+        match self {
+            Offsets::Narrow(offs) => offs.capacity() * std::mem::size_of::<u32>(),
+            Offsets::Wide(offs) => offs.capacity() * std::mem::size_of::<usize>(),
+        }
+    }
+
+    /// Reset to the one-vertex-boundary empty state, keeping capacity.
+    fn clear(&mut self) {
+        match self {
+            Offsets::Narrow(offs) => {
+                offs.clear();
+                offs.push(0);
+            }
+            Offsets::Wide(offs) => {
+                offs.clear();
+                offs.push(0);
+            }
+        }
+    }
+}
+
 /// An immutable undirected graph in CSR form.
 ///
 /// ```
@@ -27,10 +154,11 @@ use crate::ids::{EdgeId, VertexId};
 ///   endpoint's adjacency array, both carrying the same [`EdgeId`];
 /// * adjacency arrays are sorted by neighbor id (enables O(log deg)
 ///   adjacency queries).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
-    /// `offsets[v]..offsets[v+1]` indexes `v`'s half-edges.
-    offsets: Vec<usize>,
+    /// `offsets[v]..offsets[v+1]` indexes `v`'s half-edges; width picked
+    /// from the half-edge count (u32 when `2m < 2^32`, usize otherwise).
+    offsets: Offsets,
     /// Neighbor endpoint of each half-edge.
     targets: Vec<u32>,
     /// Undirected parent edge of each half-edge.
@@ -52,10 +180,16 @@ impl CsrGraph {
         self.endpoints.len()
     }
 
+    /// The half-edge index range of `v`'s adjacency window.
+    #[inline(always)]
+    fn adj_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets.get(v.index())..self.offsets.get(v.index() + 1)
+    }
+
     /// The degree of `v`.
     #[inline(always)]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.offsets[v.index() + 1] - self.offsets[v.index()]
+        self.offsets.get(v.index() + 1) - self.offsets.get(v.index())
     }
 
     /// The maximum degree over all vertices.
@@ -79,32 +213,29 @@ impl CsrGraph {
     #[inline(always)]
     pub fn neighbor(&self, v: VertexId, i: usize) -> VertexId {
         debug_assert!(i < self.degree(v));
-        VertexId(self.targets[self.offsets[v.index()] + i])
+        VertexId(self.targets[self.offsets.get(v.index()) + i])
     }
 
     /// The undirected edge id of `v`'s `i`-th half-edge.
     #[inline(always)]
     pub fn incident_edge(&self, v: VertexId, i: usize) -> EdgeId {
         debug_assert!(i < self.degree(v));
-        EdgeId(self.half_edge_ids[self.offsets[v.index()] + i])
+        EdgeId(self.half_edge_ids[self.offsets.get(v.index()) + i])
     }
 
     /// All neighbors of `v`, sorted by id.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
-            .iter()
-            .map(|&t| VertexId(t))
+        self.targets[self.adj_range(v)].iter().map(|&t| VertexId(t))
     }
 
     /// All `(neighbor, edge_id)` pairs incident on `v`.
     #[inline]
     pub fn incident(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        let lo = self.offsets[v.index()];
-        let hi = self.offsets[v.index() + 1];
-        self.targets[lo..hi]
+        let range = self.adj_range(v);
+        self.targets[range.clone()]
             .iter()
-            .zip(&self.half_edge_ids[lo..hi])
+            .zip(&self.half_edge_ids[range])
             .map(|(&t, &e)| (VertexId(t), EdgeId(e)))
     }
 
@@ -138,9 +269,9 @@ impl CsrGraph {
         } else {
             (v, u)
         };
-        let lo = self.offsets[a.index()];
-        let hi = self.offsets[a.index() + 1];
-        let slice = &self.targets[lo..hi];
+        let range = self.adj_range(a);
+        let lo = range.start;
+        let slice = &self.targets[range];
         slice
             .binary_search(&b.0)
             .ok()
@@ -172,13 +303,31 @@ impl CsrGraph {
         builder.build()
     }
 
-    /// Total memory held by the four internal arrays, in bytes. Useful for
-    /// documenting that sparsifiers are small.
+    /// Total memory held by the four internal arrays, in bytes, audited
+    /// against every field: offsets (at their actual width), the two
+    /// half-edge arrays, and the undirected endpoint list. Useful for
+    /// documenting that sparsifiers are small and for the serve daemon's
+    /// resident-footprint metric.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
-            + self.targets.len() * 4
-            + self.half_edge_ids.len() * 4
-            + self.endpoints.len() * 8
+        self.offsets.bytes()
+            + self.targets.len() * std::mem::size_of::<u32>()
+            + self.half_edge_ids.len() * std::mem::size_of::<u32>()
+            + self.endpoints.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// What [`CsrGraph::memory_bytes`] would report for a graph on `n`
+    /// vertices and `m` edges, without building it. This is the resident
+    /// cost the out-of-core build avoids for the parent graph, so the
+    /// huge-tier bench reports it as `graph_bytes`.
+    pub fn projected_memory_bytes(n: usize, m: usize) -> usize {
+        let offset_width = if fits_narrow(2 * m) {
+            std::mem::size_of::<u32>()
+        } else {
+            std::mem::size_of::<usize>()
+        };
+        (n + 1) * offset_width
+            + 2 * m * std::mem::size_of::<u32>() * 2
+            + m * std::mem::size_of::<(u32, u32)>()
     }
 }
 
@@ -267,23 +416,38 @@ fn layout_sorted(n: usize, edges: Vec<(u32, u32)>) -> CsrGraph {
         degree[u as usize] += 1;
         degree[v as usize] += 1;
     }
-    let mut offsets = Vec::with_capacity(n + 1);
-    offsets.push(0usize);
-    for v in 0..n {
-        offsets.push(offsets[v] + degree[v] as usize);
-    }
+    let offsets = Offsets::from_degrees(&degree, 2 * m);
 
     let mut targets = vec![0u32; 2 * m];
     let mut half_edge_ids = vec![0u32; 2 * m];
-    let mut cursor = offsets[..n].to_vec();
-    for (eid, &(u, v)) in edges.iter().enumerate() {
-        let eid = eid as u32;
-        targets[cursor[u as usize]] = v;
-        half_edge_ids[cursor[u as usize]] = eid;
-        cursor[u as usize] += 1;
-        targets[cursor[v as usize]] = u;
-        half_edge_ids[cursor[v as usize]] = eid;
-        cursor[v as usize] += 1;
+    match &offsets {
+        Offsets::Narrow(offs) => {
+            // Cursors fit in the degree array: reuse it instead of
+            // allocating a usize cursor vector (the narrow layout keeps
+            // the whole build at 4 bytes per vertex of working state).
+            degree.copy_from_slice(&offs[..n]);
+            for (eid, &(u, v)) in edges.iter().enumerate() {
+                let eid = eid as u32;
+                targets[degree[u as usize] as usize] = v;
+                half_edge_ids[degree[u as usize] as usize] = eid;
+                degree[u as usize] += 1;
+                targets[degree[v as usize] as usize] = u;
+                half_edge_ids[degree[v as usize] as usize] = eid;
+                degree[v as usize] += 1;
+            }
+        }
+        Offsets::Wide(offs) => {
+            let mut cursor = offs[..n].to_vec();
+            for (eid, &(u, v)) in edges.iter().enumerate() {
+                let eid = eid as u32;
+                targets[cursor[u as usize]] = v;
+                half_edge_ids[cursor[u as usize]] = eid;
+                cursor[u as usize] += 1;
+                targets[cursor[v as usize]] = u;
+                half_edge_ids[cursor[v as usize]] = eid;
+                cursor[v as usize] += 1;
+            }
+        }
     }
 
     CsrGraph {
@@ -460,7 +624,9 @@ fn layout_sorted_parallel(n: usize, edges: Vec<(u32, u32)>, threads: usize) -> C
     }
 
     CsrGraph {
-        offsets,
+        // The worker fill needs full-width slots; canonicalize after so
+        // the result is byte-identical to the sequential layout.
+        offsets: Offsets::from_wide(offsets, 2 * m),
         targets,
         half_edge_ids,
         endpoints: edges,
@@ -536,7 +702,7 @@ impl CsrScratch {
     pub fn new() -> Self {
         CsrScratch {
             graph: CsrGraph {
-                offsets: vec![0],
+                offsets: Offsets::Narrow(vec![0]),
                 targets: Vec::new(),
                 half_edge_ids: Vec::new(),
                 endpoints: Vec::new(),
@@ -554,7 +720,7 @@ impl CsrScratch {
     /// Bytes of capacity currently held across all reusable buffers (the
     /// scratch's high-water memory footprint).
     pub fn capacity_bytes(&self) -> usize {
-        self.graph.offsets.capacity() * std::mem::size_of::<usize>()
+        self.graph.offsets.capacity_bytes()
             + self.graph.targets.capacity() * 4
             + self.graph.half_edge_ids.capacity() * 4
             + self.graph.endpoints.capacity() * 8
@@ -565,7 +731,6 @@ impl CsrScratch {
     /// Drop logical contents but keep every buffer's capacity.
     pub fn clear(&mut self) {
         self.graph.offsets.clear();
-        self.graph.offsets.push(0);
         self.graph.targets.clear();
         self.graph.half_edge_ids.clear();
         self.graph.endpoints.clear();
@@ -606,19 +771,14 @@ impl CsrScratch {
             self.degree[u as usize] += 1;
             self.degree[v as usize] += 1;
         }
-        offsets.clear();
-        offsets.push(0usize);
-        for v in 0..n {
-            let next = offsets[v] + self.degree[v] as usize;
-            offsets.push(next);
-        }
+        offsets.rebuild_from_degrees(&self.degree, 2 * m);
 
         targets.clear();
         targets.resize(2 * m, 0);
         half_edge_ids.clear();
         half_edge_ids.resize(2 * m, 0);
         self.cursor.clear();
-        self.cursor.extend_from_slice(&offsets[..n]);
+        self.cursor.extend((0..n).map(|v| offsets.get(v)));
         for (eid, &(u, v)) in endpoints.iter().enumerate() {
             let eid = eid as u32;
             targets[self.cursor[u as usize]] = v;
@@ -630,6 +790,26 @@ impl CsrScratch {
         }
         &self.graph
     }
+}
+
+/// Build a graph from an edge list that is already strictly
+/// lexicographically sorted with `u < v` per edge — the order
+/// [`CsrGraph::edges`] iterates and [`crate::io::write_edge_list`] emits.
+/// Skips the sort/dedup of [`GraphBuilder::build`] entirely, so this is
+/// the entry point for streaming constructions that validate order as
+/// edges arrive. The result is byte-identical to feeding the same edges
+/// through [`GraphBuilder`].
+///
+/// # Panics
+/// Debug builds assert the order and endpoint-range invariants; release
+/// builds trust the caller (a violated invariant produces a graph with
+/// unsorted adjacency windows, never memory unsafety).
+pub fn from_sorted_edges(n: usize, edges: Vec<(u32, u32)>) -> CsrGraph {
+    debug_assert!(
+        edges.iter().all(|&(u, v)| u < v && (v as usize) < n),
+        "edges must satisfy u < v with endpoints below n"
+    );
+    layout_sorted(n, edges)
 }
 
 /// Build a graph directly from an iterator of `(u, v)` index pairs.
@@ -889,5 +1069,79 @@ mod tests {
         // `replace` stores an externally built graph verbatim.
         let h = from_marked_edges(&g, &all, 1);
         assert_byte_identical(&g, scratch.replace(h));
+    }
+
+    #[test]
+    fn from_sorted_edges_matches_builder() {
+        let n = 60;
+        let edges: Vec<(u32, u32)> = dense_edges(n)
+            .into_iter()
+            .map(|(u, v)| (u as u32, v as u32))
+            .collect();
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(dense_edges(n));
+        assert_byte_identical(&b.build(), &from_sorted_edges(n, edges));
+        assert_eq!(from_sorted_edges(5, Vec::new()).num_vertices(), 5);
+    }
+
+    #[test]
+    fn offsets_are_narrow_below_the_u32_boundary() {
+        let g = triangle_plus_pendant();
+        assert!(matches!(g.offsets, Offsets::Narrow(_)));
+        // memory_bytes audits every field at its real width: 4-byte
+        // offsets (n+1), two 4-byte half-edge arrays (2m each), and
+        // 8-byte endpoint pairs (m).
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        assert_eq!(g.memory_bytes(), 4 * (n + 1) + 4 * 2 * m * 2 + 8 * m);
+        assert_eq!(g.memory_bytes(), CsrGraph::projected_memory_bytes(n, m));
+    }
+
+    #[test]
+    fn offsets_repr_is_a_function_of_half_edge_count() {
+        let degree = [2u32, 1, 1];
+        assert!(matches!(
+            Offsets::from_degrees(&degree, 4),
+            Offsets::Narrow(_)
+        ));
+        // Past the u32 boundary the same degrees take the wide repr.
+        let wide = Offsets::from_degrees(&degree, usize::MAX);
+        assert!(matches!(wide, Offsets::Wide(_)));
+        assert_eq!(
+            (0..4).map(|i| wide.get(i)).collect::<Vec<_>>(),
+            vec![0, 2, 3, 4]
+        );
+        // from_wide canonicalizes parallel-layout output to narrow.
+        let canon = Offsets::from_wide(vec![0, 2, 3, 4], 4);
+        assert_eq!(canon, Offsets::from_degrees(&degree, 4));
+    }
+
+    #[test]
+    fn offsets_rebuild_is_allocation_free_when_warm() {
+        let degree = [2u32, 1, 1];
+        let mut offs = Offsets::from_degrees(&degree, 4);
+        let cap = offs.capacity_bytes();
+        for _ in 0..3 {
+            offs.rebuild_from_degrees(&degree, 4);
+            assert_eq!(offs.capacity_bytes(), cap, "warm rebuild re-allocated");
+        }
+        // Switching width is allowed to allocate; switching back reuses
+        // nothing but must still produce the right values.
+        offs.rebuild_from_degrees(&degree, usize::MAX);
+        assert!(matches!(offs, Offsets::Wide(_)));
+        offs.rebuild_from_degrees(&degree, 4);
+        assert!(matches!(offs, Offsets::Narrow(_)));
+        assert_eq!(offs.get(3), 4);
+    }
+
+    #[test]
+    fn projected_memory_bytes_matches_built_graphs() {
+        let n = 220;
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(dense_edges(n));
+        let g = b.build();
+        assert_eq!(
+            g.memory_bytes(),
+            CsrGraph::projected_memory_bytes(g.num_vertices(), g.num_edges())
+        );
     }
 }

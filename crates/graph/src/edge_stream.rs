@@ -1,0 +1,295 @@
+//! Out-of-core edge streams: the input side of the streaming sparsifier
+//! build.
+//!
+//! A [`EdgeStreamSource`] yields the edges of a graph in strict
+//! lexicographic order with `u < v` per edge — exactly the order
+//! [`CsrGraph::edges`] iterates and [`crate::io::write_edge_list`]
+//! writes — and can be scanned more than once. That contract is what
+//! makes a two-pass degree-count → sample → filter construction possible
+//! without ever materializing the parent graph's adjacency arrays: in a
+//! lex-sorted stream the half-edges incident to any vertex `w` arrive in
+//! `w`'s sorted-adjacency order (all `(a, w)` with `a < w` precede all
+//! `(w, b)` with `b > w`, each group ascending), so a per-vertex arrival
+//! counter reproduces adjacency positions in O(n) resident memory.
+//!
+//! Two sources are provided: [`FileEdgeSource`] streams a plain-text
+//! edge-list file through a fixed-size buffer, validating the full
+//! format contract on every pass (the file is untrusted input), and
+//! [`CsrGraph`] itself implements the trait so in-memory and out-of-core
+//! paths can be differential-tested against each other.
+
+use crate::csr::CsrGraph;
+use crate::io::{parse_line_fields, validate_header, ReadError};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+
+/// A rescannable source of lex-sorted `u < v` edges.
+///
+/// Contract, checked by [`FileEdgeSource`] and guaranteed by the
+/// [`CsrGraph`] impl: `scan` visits exactly [`num_edges`] edges, each
+/// with `u < v < num_vertices` (as `u32`s), in strictly increasing
+/// lexicographic order, and repeated scans visit the identical sequence.
+///
+/// [`num_edges`]: EdgeStreamSource::num_edges
+pub trait EdgeStreamSource {
+    /// Number of vertices `n` of the streamed graph.
+    fn num_vertices(&self) -> usize;
+    /// Number of undirected edges `m` the stream will yield.
+    fn num_edges(&self) -> usize;
+    /// Visit every edge in order. May be called repeatedly; each call
+    /// re-verifies whatever the source cannot guarantee statically.
+    fn scan(&mut self, visit: &mut dyn FnMut(u32, u32)) -> Result<(), ReadError>;
+}
+
+/// Stream a plain-text edge-list file (the [`crate::io`] format) without
+/// loading it: only the [`std::io::BufReader`] window is resident.
+///
+/// The file is untrusted. [`FileEdgeSource::open`] validates the header
+/// (range caps, `m ≤ n·(n−1)/2`) and every [`scan`] re-validates the
+/// body line by line: endpoint bounds, no self-loops, `u < v`, strictly
+/// increasing lexicographic order (which subsumes duplicate detection),
+/// and an edge count equal to the declared `m`. A file that mutates
+/// between passes is therefore caught, not silently mis-sampled.
+///
+/// [`scan`]: EdgeStreamSource::scan
+#[derive(Clone, Debug)]
+pub struct FileEdgeSource {
+    path: PathBuf,
+    n: usize,
+    m: usize,
+}
+
+impl FileEdgeSource {
+    /// Open `path` and validate its header. The body is not read here —
+    /// each [`EdgeStreamSource::scan`] streams and validates it.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileEdgeSource, ReadError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::open(&path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ReadError::Parse {
+                    line: 0,
+                    message: "empty input (missing header)".into(),
+                });
+            }
+            lineno += 1;
+            if let Some((a, b)) = parse_line_fields(&line, lineno)? {
+                let (n, m) = validate_header(a, b, lineno)?;
+                return Ok(FileEdgeSource { path, n, m });
+            }
+        }
+    }
+
+    /// The file this source streams from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl EdgeStreamSource for FileEdgeSource {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn scan(&mut self, visit: &mut dyn FnMut(u32, u32)) -> Result<(), ReadError> {
+        let file = std::fs::File::open(&self.path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        let mut in_body = false;
+        let mut prev: Option<(u32, u32)> = None;
+        let mut edges_seen = 0usize;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            lineno += 1;
+            let Some((a, b)) = parse_line_fields(&line, lineno)? else {
+                continue;
+            };
+            if !in_body {
+                // Header line: must agree with what `open` recorded, or
+                // the file changed underneath us between passes.
+                let (n, m) = validate_header(a, b, lineno)?;
+                if (n, m) != (self.n, self.m) {
+                    return Err(ReadError::Parse {
+                        line: lineno,
+                        message: format!(
+                            "header changed between scans: expected {} {}, found {n} {m}",
+                            self.n, self.m
+                        ),
+                    });
+                }
+                in_body = true;
+                continue;
+            }
+            if a >= self.n as u64 || b >= self.n as u64 {
+                return Err(ReadError::Parse {
+                    line: lineno,
+                    message: format!("vertex out of range (n = {})", self.n),
+                });
+            }
+            if a == b {
+                return Err(ReadError::SelfLoop { line: lineno });
+            }
+            if a > b {
+                return Err(ReadError::Parse {
+                    line: lineno,
+                    message: "streaming input requires u < v per edge".into(),
+                });
+            }
+            let edge = (a as u32, b as u32);
+            if let Some(prev) = prev {
+                if edge == prev {
+                    return Err(ReadError::DuplicateEdge { line: lineno });
+                }
+                if edge < prev {
+                    return Err(ReadError::Parse {
+                        line: lineno,
+                        message: "streaming input requires lexicographically sorted edges".into(),
+                    });
+                }
+            }
+            prev = Some(edge);
+            edges_seen += 1;
+            if edges_seen > self.m {
+                return Err(ReadError::Parse {
+                    line: lineno,
+                    message: format!("more than the declared {} edges", self.m),
+                });
+            }
+            visit(edge.0, edge.1);
+        }
+        if !in_body {
+            return Err(ReadError::Parse {
+                line: 0,
+                message: "empty input (missing header)".into(),
+            });
+        }
+        if edges_seen != self.m {
+            return Err(ReadError::Parse {
+                line: 0,
+                message: format!("declared {} edges but found {edges_seen}", self.m),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory graph is trivially a stream source: [`CsrGraph::edges`]
+/// already iterates in strict lexicographic order with `u < v`. This is
+/// the reference the out-of-core build is differential-tested against.
+impl EdgeStreamSource for CsrGraph {
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    fn scan(&mut self, visit: &mut dyn FnMut(u32, u32)) -> Result<(), ReadError> {
+        for (_, u, v) in CsrGraph::edges(self) {
+            visit(u.0, v.0);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::from_edges;
+    use crate::io::write_edge_list_file;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sparsimatch-edge-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn collect(src: &mut impl EdgeStreamSource) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        src.scan(&mut |u, v| out.push((u, v))).unwrap();
+        out
+    }
+
+    #[test]
+    fn file_source_streams_written_graphs_repeatedly() {
+        let g = from_edges(6, [(0, 1), (0, 3), (1, 2), (2, 5), (4, 5)]);
+        let path = temp_path("ok.el");
+        write_edge_list_file(&g, &path).unwrap();
+        let mut src = FileEdgeSource::open(&path).unwrap();
+        assert_eq!(EdgeStreamSource::num_vertices(&src), 6);
+        assert_eq!(EdgeStreamSource::num_edges(&src), 5);
+        let want: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        // Two scans — the streaming build's access pattern — agree.
+        assert_eq!(collect(&mut src), want);
+        assert_eq!(collect(&mut src), want);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_graph_is_its_own_stream_source() {
+        let mut g = from_edges(5, [(3, 4), (0, 2), (0, 1)]);
+        let want: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        assert_eq!(collect(&mut g), want);
+        assert_eq!(EdgeStreamSource::num_edges(&g), 3);
+    }
+
+    #[test]
+    fn file_source_rejects_malformed_streams() {
+        let cases = [
+            ("unsorted.el", "3 2\n1 2\n0 1\n", "sorted"),
+            ("swapped.el", "3 1\n2 1\n", "u < v"),
+            ("dup.el", "3 2\n0 1\n0 1\n", "duplicate"),
+            ("selfloop.el", "3 1\n1 1\n", "self-loop"),
+            ("short.el", "3 2\n0 1\n", "declared 2"),
+            ("long.el", "3 1\n0 1\n1 2\n", "more than"),
+            ("range.el", "3 1\n0 7\n", "out of range"),
+        ];
+        for (name, text, needle) in cases {
+            let path = temp_path(name);
+            std::fs::write(&path, text).unwrap();
+            let mut src = FileEdgeSource::open(&path).unwrap();
+            let err = src.scan(&mut |_, _| {}).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{name}: expected {needle:?} in {:?}",
+                err.to_string()
+            );
+            std::fs::remove_file(&path).ok();
+        }
+        // Header problems fail at open, before any scan.
+        let path = temp_path("badheader.el");
+        std::fs::write(&path, "4 7\n").unwrap();
+        assert!(matches!(
+            FileEdgeSource::open(&path),
+            Err(ReadError::TooLarge { line: 1, .. })
+        ));
+        std::fs::write(&path, "").unwrap();
+        assert!(FileEdgeSource::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_detects_header_mutation_between_scans() {
+        let path = temp_path("mutated.el");
+        std::fs::write(&path, "3 1\n0 1\n").unwrap();
+        let mut src = FileEdgeSource::open(&path).unwrap();
+        src.scan(&mut |_, _| {}).unwrap();
+        std::fs::write(&path, "4 1\n0 1\n").unwrap();
+        let err = src.scan(&mut |_, _| {}).unwrap_err();
+        assert!(err.to_string().contains("header changed between scans"));
+        std::fs::remove_file(&path).ok();
+    }
+}

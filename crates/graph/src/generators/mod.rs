@@ -13,6 +13,8 @@
 //!   MCM must use a single bridge edge;
 //! * [`gnp`], [`bipartite_gnp`] — unstructured random graphs for general
 //!   matching tests (β unbounded);
+//! * [`power_law`] — preferential-attachment scale-free graphs (β
+//!   unbounded), the degree-skew family of the `huge` bench tier;
 //! * plus small deterministic shapes ([`path`], [`cycle`], [`star`],
 //!   [`complete_bipartite`]) used throughout the test suites.
 
@@ -31,6 +33,6 @@ pub use geometric::{
 };
 pub use interval::{build_unit_interval_graph, proper_interval, proper_interval_with_degree};
 pub use line_graph::line_graph;
-pub use random::{bipartite_gnp, gnp, random_matching_instance};
+pub use random::{bipartite_gnp, gnp, power_law, random_matching_instance};
 pub use shapes::{complete_bipartite, cycle, path, star};
 pub use spec::{family_from_spec, family_size_estimate, FamilySizeEstimate, FamilySpecError};

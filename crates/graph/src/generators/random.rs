@@ -93,6 +93,55 @@ pub fn bipartite_gnp(a: usize, b: usize, p: f64, rng: &mut impl Rng) -> CsrGraph
     builder.build()
 }
 
+/// Power-law (scale-free) graph via preferential attachment
+/// (Barabási–Albert): vertices `attach..n` arrive one at a time and each
+/// connects to `attach` distinct earlier vertices chosen with probability
+/// proportional to current degree, so `m = (n − attach)·attach` exactly
+/// and the degree distribution develops the heavy tail the
+/// massive-graph literature benchmarks against. No β guarantee — this is
+/// the `huge` bench tier's unstructured skew family, where a handful of
+/// hub vertices dwarf the mark cap while the bulk sits near `2·attach`.
+///
+/// Runs in `O(m)` expected time using the classic repeated-endpoint
+/// list: every half-edge contributes one entry, so a uniform draw from
+/// the list is a degree-proportional draw over vertices.
+pub fn power_law(n: usize, attach: usize, rng: &mut impl Rng) -> CsrGraph {
+    assert!(attach >= 1, "each arrival must attach at least one edge");
+    if n <= attach {
+        return GraphBuilder::new(n).build();
+    }
+    let mut b = GraphBuilder::new(n);
+    // One entry per half-edge; reserves 2m up front.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (n - attach) * attach);
+    // Bootstrap: the first arrival connects to all of the seed vertices
+    // (uniform — there are no degrees to prefer yet).
+    for t in 0..attach {
+        b.add_edge(VertexId::new(t), VertexId::new(attach));
+        endpoints.push(t as u32);
+        endpoints.push(attach as u32);
+    }
+    let mut picked: Vec<u32> = Vec::with_capacity(attach);
+    for v in (attach + 1)..n {
+        picked.clear();
+        while picked.len() < attach {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_edge(VertexId::new(t as usize), VertexId::new(v));
+            endpoints.push(t);
+        }
+        // The arrival's half-edges go in after its draws, so a vertex
+        // never attaches to itself.
+        for _ in 0..attach {
+            endpoints.push(v as u32);
+        }
+    }
+    b.build()
+}
+
 /// A graph with a *planted* perfect matching (`n` even): the matching
 /// `(2i, 2i+1)` plus `extra_per_vertex` random noise edges per vertex.
 /// Returns the graph; by construction `MCM = n/2`, giving matching tests a
@@ -160,6 +209,33 @@ mod tests {
             let left = |x: VertexId| x.index() < 20;
             assert_ne!(left(u), left(v), "edge within one side");
         }
+    }
+
+    #[test]
+    fn power_law_has_exact_edge_count_and_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (n, attach) = (3_000, 4);
+        let g = power_law(n, attach, &mut rng);
+        assert_eq!(g.num_vertices(), n);
+        assert_eq!(g.num_edges(), (n - attach) * attach);
+        let max_deg = (0..n).map(|v| g.degree(VertexId::new(v))).max().unwrap();
+        // Preferential attachment concentrates degree on early hubs far
+        // beyond the 2·attach mean.
+        assert!(
+            max_deg > 10 * attach,
+            "no hub emerged: max degree {max_deg}"
+        );
+        for (_, u, v) in g.edges() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn power_law_degenerate_sizes() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!(power_law(3, 5, &mut rng).num_edges(), 0);
+        let g = power_law(5, 1, &mut rng);
+        assert_eq!(g.num_edges(), 4);
     }
 
     #[test]

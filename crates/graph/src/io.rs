@@ -12,6 +12,13 @@
 //! The header's `m` is validated against the body. Self-loops and
 //! duplicate edges are rejected on read (the in-memory representation
 //! does not admit them, so silently dropping would corrupt round-trips).
+//! Duplicate detection keeps no side table: while the input stays in
+//! lexicographic order (our own writer's output always is) a duplicate is
+//! adjacent and reported with its exact line; once order breaks, the
+//! post-read sort finds any remaining duplicate and reports it with
+//! `line: 0` (position unknown). Peak memory is therefore the 8-byte
+//! edge buffer alone — the former `HashSet` shadow copy roughly septupled
+//! the per-edge footprint at the worst moment.
 //!
 //! Input is treated as **untrusted**: header counts are range-checked
 //! against [`MAX_VERTICES`] / [`MAX_EDGES`] and against each other
@@ -20,8 +27,7 @@
 //! capped so a lying header cannot reserve gigabytes up front. Every
 //! malformed-input path returns a typed [`ReadError`]; none panics.
 
-use crate::csr::{CsrGraph, GraphBuilder};
-use crate::ids::VertexId;
+use crate::csr::{from_sorted_edges, CsrGraph};
 use std::io::{BufRead, Write};
 
 /// Largest accepted vertex count (2²⁷ ≈ 134M: ids stay well inside `u32`
@@ -55,7 +61,9 @@ pub enum ReadError {
     },
     /// An edge line repeats an earlier edge (in either orientation).
     DuplicateEdge {
-        /// 1-based line number.
+        /// 1-based line number; `0` when the duplicate was only found by
+        /// the post-read sort of out-of-order input (no side table maps
+        /// it back to a line).
         line: usize,
     },
     /// Any other structural problem with the file contents.
@@ -96,108 +104,142 @@ fn parse_error(line: usize, message: impl Into<String>) -> ReadError {
     }
 }
 
+/// Range-check untrusted header counts before anything is sized from
+/// them: `n ≤ MAX_VERTICES`, `m ≤ MAX_EDGES`, and `m ≤ n·(n−1)/2` in
+/// 128-bit arithmetic. Shared by [`read_edge_list`] and the streaming
+/// [`crate::edge_stream::FileEdgeSource`].
+pub(crate) fn validate_header(a: u64, b: u64, lineno: usize) -> Result<(usize, usize), ReadError> {
+    if a > MAX_VERTICES as u64 {
+        return Err(ReadError::TooLarge {
+            line: lineno,
+            message: format!("{a} vertices (max {MAX_VERTICES})"),
+        });
+    }
+    if b > MAX_EDGES as u64 {
+        return Err(ReadError::TooLarge {
+            line: lineno,
+            message: format!("{b} edges (max {MAX_EDGES})"),
+        });
+    }
+    // A simple graph on n vertices has at most n(n-1)/2 edges; 128-bit
+    // arithmetic so the product cannot overflow.
+    let max_m = (a as u128) * (a as u128).saturating_sub(1) / 2;
+    if (b as u128) > max_m {
+        return Err(ReadError::TooLarge {
+            line: lineno,
+            message: format!("{b} edges on {a} vertices (max {max_m})"),
+        });
+    }
+    Ok((a as usize, b as usize))
+}
+
+/// Split an edge-list line into its two integer fields, stripping `#`
+/// comments. Returns `None` for blank/comment-only lines. Parses as
+/// `u64` so a 32-bit usize cannot make huge counts wrap into "valid"
+/// small ones; callers range-check before narrowing.
+pub(crate) fn parse_line_fields(
+    line: &str,
+    lineno: usize,
+) -> Result<Option<(u64, u64)>, ReadError> {
+    let content = line.split('#').next().unwrap_or("").trim();
+    if content.is_empty() {
+        return Ok(None);
+    }
+    let mut fields = content.split_whitespace();
+    let a: u64 = fields
+        .next()
+        .ok_or_else(|| parse_error(lineno, "missing first field"))?
+        .parse()
+        .map_err(|e| parse_error(lineno, format!("bad integer: {e}")))?;
+    let b: u64 = fields
+        .next()
+        .ok_or_else(|| parse_error(lineno, "missing second field"))?
+        .parse()
+        .map_err(|e| parse_error(lineno, format!("bad integer: {e}")))?;
+    if fields.next().is_some() {
+        return Err(parse_error(lineno, "trailing fields"));
+    }
+    Ok(Some((a, b)))
+}
+
 /// Read a graph from edge-list text.
 ///
 /// Safe on untrusted input: header counts are validated against
 /// [`MAX_VERTICES`] / [`MAX_EDGES`] / `m ≤ n·(n−1)/2` before they size
 /// anything, and every malformed line maps to a typed [`ReadError`].
+///
+/// Peak memory is one 8-byte entry per edge: duplicates in
+/// lexicographically ordered input (including everything
+/// [`write_edge_list`] produces) are caught inline with exact line
+/// numbers, and out-of-order input is sorted once at the end, where a
+/// surviving duplicate is reported as [`ReadError::DuplicateEdge`] with
+/// `line: 0` (position unknown).
 pub fn read_edge_list(reader: impl BufRead) -> Result<CsrGraph, ReadError> {
     let mut header: Option<(usize, usize)> = None;
-    let mut builder: Option<GraphBuilder> = None;
-    let mut edges_read = 0usize;
-    let mut seen = std::collections::HashSet::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut sorted = true;
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
         let line = line?;
-        let content = line.split('#').next().unwrap_or("").trim();
-        if content.is_empty() {
+        let Some((a, b)) = parse_line_fields(&line, lineno)? else {
             continue;
-        }
-        let mut fields = content.split_whitespace();
-        // Parse as u64 so a 32-bit usize cannot make huge counts wrap
-        // into "valid" small ones; range-check before narrowing.
-        let a: u64 = fields
-            .next()
-            .ok_or_else(|| parse_error(lineno, "missing first field"))?
-            .parse()
-            .map_err(|e| parse_error(lineno, format!("bad integer: {e}")))?;
-        let b: u64 = fields
-            .next()
-            .ok_or_else(|| parse_error(lineno, "missing second field"))?
-            .parse()
-            .map_err(|e| parse_error(lineno, format!("bad integer: {e}")))?;
-        if fields.next().is_some() {
-            return Err(parse_error(lineno, "trailing fields"));
-        }
-        match (&header, &mut builder) {
-            (None, _) => {
-                if a > MAX_VERTICES as u64 {
-                    return Err(ReadError::TooLarge {
-                        line: lineno,
-                        message: format!("{a} vertices (max {MAX_VERTICES})"),
-                    });
-                }
-                if b > MAX_EDGES as u64 {
-                    return Err(ReadError::TooLarge {
-                        line: lineno,
-                        message: format!("{b} edges (max {MAX_EDGES})"),
-                    });
-                }
-                // A simple graph on n vertices has at most n(n-1)/2 edges;
-                // 128-bit arithmetic so the product cannot overflow.
-                let max_m = (a as u128) * (a as u128).saturating_sub(1) / 2;
-                if (b as u128) > max_m {
-                    return Err(ReadError::TooLarge {
-                        line: lineno,
-                        message: format!("{b} edges on {a} vertices (max {max_m})"),
-                    });
-                }
-                let (n, m) = (a as usize, b as usize);
+        };
+        match header {
+            None => {
+                let (n, m) = validate_header(a, b, lineno)?;
                 header = Some((n, m));
                 // Cap the reserve: the header is untrusted, so it may
                 // promise far more edges than the file contains.
-                builder = Some(GraphBuilder::with_capacity(n, m.min(PREALLOC_EDGES)));
+                edges.reserve(m.min(PREALLOC_EDGES));
             }
-            (Some((n, m)), Some(builder)) => {
-                let (n, m) = (*n, *m);
+            Some((n, m)) => {
                 if a >= n as u64 || b >= n as u64 {
                     return Err(parse_error(
                         lineno,
                         format!("vertex out of range (n = {n})"),
                     ));
                 }
-                // In range => fits usize (n ≤ MAX_VERTICES).
-                let (a, b) = (a as usize, b as usize);
                 if a == b {
                     return Err(ReadError::SelfLoop { line: lineno });
                 }
-                if !seen.insert((a.min(b), a.max(b))) {
-                    return Err(ReadError::DuplicateEdge { line: lineno });
+                // In range => fits u32 (n ≤ MAX_VERTICES < 2^32).
+                let edge = (a.min(b) as u32, a.max(b) as u32);
+                if sorted {
+                    if let Some(&prev) = edges.last() {
+                        if edge == prev {
+                            return Err(ReadError::DuplicateEdge { line: lineno });
+                        }
+                        if edge < prev {
+                            sorted = false;
+                        }
+                    }
                 }
-                edges_read += 1;
-                if edges_read > m {
+                if edges.len() == m {
                     return Err(parse_error(
                         lineno,
                         format!("more than the declared {m} edges"),
                     ));
                 }
-                builder.add_edge(VertexId::new(a), VertexId::new(b));
+                edges.push(edge);
             }
-            _ => unreachable!("builder exists whenever header does"),
         }
     }
-    let Some((_, m)) = header else {
+    let Some((n, m)) = header else {
         return Err(parse_error(0, "empty input (missing header)"));
     };
-    if edges_read != m {
+    if edges.len() != m {
         return Err(parse_error(
             0,
-            format!("declared {m} edges but found {edges_read}"),
+            format!("declared {m} edges but found {}", edges.len()),
         ));
     }
-    // Safety: edges_read == m implies the header line was parsed, and
-    // parsing the header is what constructs `builder`.
-    Ok(builder.expect("header implies builder").build())
+    if !sorted {
+        edges.sort_unstable();
+        if edges.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ReadError::DuplicateEdge { line: 0 });
+        }
+    }
+    Ok(from_sorted_edges(n, edges))
 }
 
 /// Write a graph as edge-list text.
@@ -301,6 +343,43 @@ mod tests {
         // capped preallocation keeps this instant).
         let ok = read_edge_list(std::io::Cursor::new(format!("{MAX_VERTICES} 0\n")));
         assert_eq!(ok.unwrap().num_vertices(), MAX_VERTICES);
+    }
+
+    #[test]
+    fn lying_header_about_m_fails_without_huge_reserve() {
+        // The header promises the maximum legal edge count but the body
+        // holds two edges. The capped preallocation means the lie cannot
+        // reserve gigabytes; the mismatch is still a clean typed error.
+        let text = format!("{MAX_VERTICES} {MAX_EDGES}\n0 1\n0 2\n");
+        match read_edge_list(std::io::Cursor::new(text)) {
+            Err(ReadError::Parse { line: 0, message }) => {
+                assert!(message.contains(&format!("declared {MAX_EDGES} edges but found 2")));
+            }
+            other => panic!("expected count mismatch, got {other:?}"),
+        }
+        // The opposite lie — more edges than declared — fails at the
+        // first excess line, before it is buffered.
+        match read_edge_list(std::io::Cursor::new("5 1\n0 1\n2 3\n")) {
+            Err(ReadError::Parse { line: 3, message }) => {
+                assert!(message.contains("more than the declared 1"));
+            }
+            other => panic!("expected excess-edge error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsorted_input_still_parses_and_rejects_duplicates() {
+        // Out-of-order (but valid) input round-trips through the final
+        // sort to the same graph as sorted input.
+        let g = read_edge_list(std::io::Cursor::new("4 3\n2 3\n0 2\n0 1\n")).unwrap();
+        let h = from_edges(4, [(0, 1), (0, 2), (2, 3)]);
+        assert_eq!(g, h);
+        // A duplicate hidden behind the order break is still rejected;
+        // its line is unknown (0) because no side table survives.
+        match read_edge_list(std::io::Cursor::new("4 3\n2 3\n0 1\n3 2\n")) {
+            Err(ReadError::DuplicateEdge { line: 0 }) => {}
+            other => panic!("expected DuplicateEdge at line 0, got {other:?}"),
+        }
     }
 
     #[test]

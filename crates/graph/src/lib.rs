@@ -15,6 +15,9 @@
 //! * [`sparse_array::SparseArray`] — the O(1)-initialization array
 //!   (Aho–Hopcroft–Ullman) used by the paper's `pos_v` sampling trick
 //!   (Section 3.1).
+//! * [`edge_stream::EdgeStreamSource`] — rescannable lex-sorted edge
+//!   streams (file-backed or in-memory) feeding the out-of-core
+//!   sparsifier build without materializing the parent adjacency.
 //! * [`adjlist::AdjListGraph`] — a mutable adjacency structure for the
 //!   fully dynamic setting.
 //! * [`generators`] — graph families of bounded neighborhood independence:
@@ -29,7 +32,9 @@
 pub mod adjacency;
 pub mod adjlist;
 pub mod analysis;
+pub mod bitset;
 pub mod csr;
+pub mod edge_stream;
 pub mod generators;
 pub mod ids;
 pub mod io;

@@ -15,6 +15,7 @@
 //! of [`crate::bounded_aug`] needs.
 
 use crate::matching::Matching;
+use sparsimatch_graph::bitset::BitSet;
 use sparsimatch_graph::csr::CsrGraph;
 use sparsimatch_graph::ids::VertexId;
 use std::collections::VecDeque;
@@ -22,16 +23,26 @@ use std::collections::VecDeque;
 const NONE: u32 = u32::MAX;
 
 /// Reusable buffers for repeated augmenting-path searches on one graph.
+///
+/// The per-vertex boolean overlays (even-level marks, blossom
+/// membership, LCA marks, retired trees) are bit-packed [`BitSet`]s:
+/// 1 bit per vertex instead of the 1 byte of a `Vec<bool>`, and
+/// whole-overlay clears become word fills. Reuse semantics are
+/// unchanged — a warm [`BlossomSearcher::reset_from`] stays
+/// allocation-free.
 pub struct BlossomSearcher {
     mate: Vec<u32>,
     parent: Vec<u32>,
     base: Vec<u32>,
-    even: Vec<bool>,
-    in_blossom: Vec<bool>,
-    lca_mark: Vec<bool>,
+    even: BitSet,
+    in_blossom: BitSet,
+    lca_mark: BitSet,
     depth: Vec<u32>,
     /// Tree root of each even vertex (multi-source search only).
     root: Vec<u32>,
+    /// Trees whose root was consumed by an augmentation in the current
+    /// forest phase (multi-source search only), keyed by root vertex.
+    retired: BitSet,
     queue: VecDeque<u32>,
     /// Half-edges examined across all searches — the machine-independent
     /// work measure used by the dynamic scheme's budget accounting.
@@ -45,11 +56,12 @@ impl BlossomSearcher {
             mate: Vec::new(),
             parent: Vec::new(),
             base: Vec::new(),
-            even: Vec::new(),
-            in_blossom: Vec::new(),
-            lca_mark: Vec::new(),
+            even: BitSet::new(),
+            in_blossom: BitSet::new(),
+            lca_mark: BitSet::new(),
             depth: Vec::new(),
             root: Vec::new(),
+            retired: BitSet::new(),
             queue: VecDeque::new(),
             work: 0,
         };
@@ -74,16 +86,14 @@ impl BlossomSearcher {
         self.parent.resize(n, NONE);
         self.base.clear();
         self.base.extend(0..n as u32);
-        self.even.clear();
-        self.even.resize(n, false);
-        self.in_blossom.clear();
-        self.in_blossom.resize(n, false);
-        self.lca_mark.clear();
-        self.lca_mark.resize(n, false);
+        self.even.clear_and_resize(n);
+        self.in_blossom.clear_and_resize(n);
+        self.lca_mark.clear_and_resize(n);
         self.depth.clear();
         self.depth.resize(n, 0);
         self.root.clear();
         self.root.resize(n, NONE);
+        self.retired.clear_and_resize(n);
         self.queue.clear();
         self.work = 0;
     }
@@ -105,9 +115,10 @@ impl BlossomSearcher {
             + self.root.capacity()
             + self.queue.capacity())
             * size_of::<u32>()
-            + self.even.capacity()
-            + self.in_blossom.capacity()
-            + self.lca_mark.capacity()
+            + self.even.capacity_bytes()
+            + self.in_blossom.capacity_bytes()
+            + self.lca_mark.capacity_bytes()
+            + self.retired.capacity_bytes()
     }
 
     /// Extract the current matching.
@@ -155,12 +166,12 @@ impl BlossomSearcher {
         debug_assert!(self.is_free(root.0));
         // Reset per-search state.
         self.parent.iter_mut().for_each(|p| *p = NONE);
-        self.even.iter_mut().for_each(|e| *e = false);
+        self.even.clear_all();
         for (i, b) in self.base.iter_mut().enumerate() {
             *b = i as u32;
         }
         self.queue.clear();
-        self.even[root.index()] = true;
+        self.even.set(root.index());
         self.depth[root.index()] = 0;
         self.queue.push_back(root.0);
 
@@ -182,15 +193,15 @@ impl BlossomSearcher {
                 if to_is_even {
                     // Even-even edge closes an odd cycle: contract blossom.
                     let cur_base = self.lowest_common_ancestor(v, to);
-                    self.in_blossom.iter_mut().for_each(|b| *b = false);
+                    self.in_blossom.clear_all();
                     self.mark_path(v, cur_base, to);
                     self.mark_path(to, cur_base, v);
                     let base_depth = self.depth[cur_base as usize];
                     for i in 0..n as u32 {
-                        if self.in_blossom[self.base[i as usize] as usize] {
+                        if self.in_blossom.get(self.base[i as usize] as usize) {
                             self.base[i as usize] = cur_base;
-                            if !self.even[i as usize] {
-                                self.even[i as usize] = true;
+                            if !self.even.get(i as usize) {
+                                self.even.set(i as usize);
                                 // Conservative depth: contraction shortens
                                 // paths, so inherit the base's depth.
                                 self.depth[i as usize] = base_depth;
@@ -205,7 +216,7 @@ impl BlossomSearcher {
                         return true;
                     }
                     let w = self.mate[to as usize];
-                    self.even[w as usize] = true;
+                    self.even.set(w as usize);
                     self.depth[w as usize] = dv + 2;
                     self.queue.push_back(w);
                 }
@@ -215,36 +226,56 @@ impl BlossomSearcher {
     }
 
     /// Multi-source (forest) variant: grow alternating trees from *all*
-    /// free vertices simultaneously, with per-tree depth cap `cap`. An
-    /// even–even edge within one tree contracts a blossom; across trees it
-    /// closes an augmenting path, which is flipped immediately. One call
-    /// costs O(m·α) and either augments (returns `true`) or certifies that
-    /// the forest search is exhausted at this cap. This is the
-    /// Hopcroft–Karp-shaped phase primitive: `O((#augmentations + 1)·m)`
-    /// per cap instead of one full search per free vertex.
+    /// free vertices simultaneously, with per-tree depth cap `cap`, and
+    /// flip the first augmenting path found. Equivalent to
+    /// `augment_phase` stopped after one flip; kept for callers (the
+    /// dynamic scheme's budget loop) that meter work one augmentation at
+    /// a time.
     pub fn try_augment_any(&mut self, g: &CsrGraph, cap: u32) -> bool {
+        self.augment_phase_limited(g, cap, 1) > 0
+    }
+
+    /// One Hopcroft–Karp-shaped forest *phase*: grow alternating trees
+    /// from all free vertices, and whenever a cross-tree even–even edge
+    /// closes an augmenting path, flip it, retire the two trees it
+    /// consumed, and keep searching the surviving forest. One call costs
+    /// O(m·α) and flips a set of vertex-disjoint augmenting paths —
+    /// returning how many — so reaching a path-free state costs
+    /// O(phases·m) instead of O(augmentations·m). (Retiring a tree can
+    /// strand odd vertices it had claimed, so a phase is not guaranteed
+    /// maximal; callers re-run until a phase returns 0.)
+    pub fn augment_phase(&mut self, g: &CsrGraph, cap: u32) -> usize {
+        self.augment_phase_limited(g, cap, usize::MAX)
+    }
+
+    fn augment_phase_limited(&mut self, g: &CsrGraph, cap: u32, max_flips: usize) -> usize {
         let n = g.num_vertices();
         self.parent.iter_mut().for_each(|p| *p = NONE);
-        self.even.iter_mut().for_each(|e| *e = false);
+        self.even.clear_all();
         self.root.iter_mut().for_each(|r| *r = NONE);
+        self.retired.clear_all();
         for (i, b) in self.base.iter_mut().enumerate() {
             *b = i as u32;
         }
         self.queue.clear();
         for v in 0..n as u32 {
             if self.is_free(v) && g.degree(VertexId(v)) > 0 {
-                self.even[v as usize] = true;
+                self.even.set(v as usize);
                 self.root[v as usize] = v;
                 self.depth[v as usize] = 0;
                 self.queue.push_back(v);
             }
         }
-        while let Some(v) = self.queue.pop_front() {
+        let mut flipped = 0usize;
+        'scan: while let Some(v) = self.queue.pop_front() {
             let dv = self.depth[v as usize];
             if dv + 1 > cap {
                 continue;
             }
             let rv = self.root[v as usize];
+            if self.retired.get(rv as usize) {
+                continue;
+            }
             let deg = g.degree(VertexId(v));
             self.work += deg as u64;
             for i in 0..deg {
@@ -252,40 +283,50 @@ impl BlossomSearcher {
                 if self.base[v as usize] == self.base[to as usize] || self.mate[v as usize] == to {
                     continue;
                 }
-                if self.even[to as usize] {
+                if self.even.get(to as usize) {
                     let rto = self.root[to as usize];
                     if rto == rv {
                         // Same tree: odd cycle, contract the blossom.
                         let cur_base = self.lowest_common_ancestor(v, to);
-                        self.in_blossom.iter_mut().for_each(|b| *b = false);
+                        self.in_blossom.clear_all();
                         self.mark_path(v, cur_base, to);
                         self.mark_path(to, cur_base, v);
                         let base_depth = self.depth[cur_base as usize];
                         for i in 0..n as u32 {
-                            if self.in_blossom[self.base[i as usize] as usize] {
+                            if self.in_blossom.get(self.base[i as usize] as usize) {
                                 self.base[i as usize] = cur_base;
-                                if !self.even[i as usize] {
-                                    self.even[i as usize] = true;
+                                if !self.even.get(i as usize) {
+                                    self.even.set(i as usize);
                                     self.root[i as usize] = rv;
                                     self.depth[i as usize] = base_depth;
                                     self.queue.push_back(i);
                                 }
                             }
                         }
-                    } else {
-                        // Cross-tree even–even edge: augmenting path
-                        // root(v) ⇝ v — to ⇝ root(to). Flip both halves.
+                    } else if !self.retired.get(rto as usize) {
+                        // Cross-tree even–even edge between live trees:
+                        // augmenting path root(v) ⇝ v — to ⇝ root(to).
+                        // Flip both halves and retire both trees; their
+                        // parent structure is now stale, so later pops
+                        // and edges into them are skipped above.
                         self.flip_to_free(v);
                         self.flip_to_free(to);
                         self.mate[v as usize] = to;
                         self.mate[to as usize] = v;
-                        return true;
+                        self.retired.set(rv as usize);
+                        self.retired.set(rto as usize);
+                        flipped += 1;
+                        if flipped >= max_flips {
+                            return flipped;
+                        }
+                        // v's own tree is retired: stop expanding it.
+                        continue 'scan;
                     }
                 } else if self.parent[to as usize] == NONE && self.mate[to as usize] != NONE {
                     self.parent[to as usize] = v;
                     let w = self.mate[to as usize];
-                    if !self.even[w as usize] {
-                        self.even[w as usize] = true;
+                    if !self.even.get(w as usize) {
+                        self.even.set(w as usize);
                         self.root[w as usize] = rv;
                         self.depth[w as usize] = dv + 2;
                         self.queue.push_back(w);
@@ -293,7 +334,7 @@ impl BlossomSearcher {
                 }
             }
         }
-        false
+        flipped
     }
 
     /// Flip the alternating tree path from even vertex `x` up to its root,
@@ -313,9 +354,9 @@ impl BlossomSearcher {
     /// installing cross parent-pointers so odd vertices become traversable.
     fn mark_path(&mut self, mut v: u32, b: u32, mut child: u32) {
         while self.base[v as usize] != b {
-            self.in_blossom[self.base[v as usize] as usize] = true;
+            self.in_blossom.set(self.base[v as usize] as usize);
             let mv = self.mate[v as usize];
-            self.in_blossom[self.base[mv as usize] as usize] = true;
+            self.in_blossom.set(self.base[mv as usize] as usize);
             self.parent[v as usize] = child;
             child = mv;
             v = self.parent[mv as usize];
@@ -323,10 +364,10 @@ impl BlossomSearcher {
     }
 
     fn lowest_common_ancestor(&mut self, a: u32, b: u32) -> u32 {
-        self.lca_mark.iter_mut().for_each(|m| *m = false);
+        self.lca_mark.clear_all();
         let mut a = self.base[a as usize];
         loop {
-            self.lca_mark[a as usize] = true;
+            self.lca_mark.set(a as usize);
             if self.mate[a as usize] == NONE {
                 break;
             }
@@ -334,7 +375,7 @@ impl BlossomSearcher {
         }
         let mut b = self.base[b as usize];
         loop {
-            if self.lca_mark[b as usize] {
+            if self.lca_mark.get(b as usize) {
                 return b;
             }
             b = self.base[self.parent[self.mate[b as usize] as usize] as usize];
@@ -569,6 +610,41 @@ mod tests {
         recycled.write_matching_into(&mut out);
         assert_eq!(fresh.into_matching(), out);
         assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn augment_phase_flips_disjoint_paths_in_one_pass() {
+        // Five disjoint edges, empty matching: one forest phase must flip
+        // all five (the whole point of phases vs one flip per O(m) scan).
+        let g = from_edges(10, [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]);
+        let mut s = BlossomSearcher::new(&Matching::new(10));
+        assert_eq!(s.augment_phase(&g, 1), 5);
+        assert_eq!(s.matching_size(), 5);
+        assert_eq!(s.augment_phase(&g, u32::MAX), 0, "already maximum");
+        // try_augment_any stays the single-flip variant.
+        let mut one = BlossomSearcher::new(&Matching::new(10));
+        assert!(one.try_augment_any(&g, 1));
+        assert_eq!(one.matching_size(), 1);
+    }
+
+    #[test]
+    fn phased_elimination_reaches_maximum_on_dense_unions() {
+        use sparsimatch_graph::generators::{clique_union, CliqueUnionConfig};
+        let mut rng = StdRng::seed_from_u64(77);
+        let g = clique_union(
+            CliqueUnionConfig {
+                n: 240,
+                diversity: 2,
+                clique_size: 16,
+            },
+            &mut rng,
+        );
+        let exact = maximum_matching(&g).len();
+        let mut m = crate::greedy::greedy_maximal_matching(&g);
+        crate::bounded_aug::eliminate_augmenting_paths_up_to(&g, &mut m, 17);
+        assert!(m.is_valid_for(&g));
+        // eps_stage = 0.12 ⇒ k = 9: |m| ≥ 9/10 · MCM.
+        assert!(m.len() * 10 >= exact * 9, "{} vs {exact}", m.len());
     }
 
     #[test]

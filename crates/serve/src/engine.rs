@@ -379,6 +379,17 @@ impl SessionEngine {
             self.stats.wire_errors.load(Ordering::Relaxed),
         );
         body.set("scratch_capacity_bytes", self.scratch.capacity_bytes());
+        // Resident footprint of the loaded graph: the dynamic adjacency
+        // list when updates have been applied, the static CSR otherwise,
+        // null before any load_graph.
+        body.set(
+            "graph_memory_bytes",
+            match (&self.dynamic, &self.graph) {
+                (Some(dm), _) => Json::from(dm.graph().memory_bytes() as u64),
+                (None, Some(g)) => Json::from(g.memory_bytes() as u64),
+                (None, None) => Json::Null,
+            },
+        );
         body.set("meter", self.meter.snapshot_counters());
         body
     }
@@ -546,5 +557,33 @@ mod tests {
             .unwrap()
             .get(sparsimatch_obs::keys::DEGREE_PROBES)
             .is_some());
+    }
+
+    #[test]
+    fn metrics_reports_graph_memory_across_session_states() {
+        let mut engine = SessionEngine::new(EngineConfig::default());
+        // Before any load_graph there is no graph to measure.
+        let m = handle(&mut engine, r#"{"id":1,"cmd":"metrics"}"#).unwrap();
+        assert!(matches!(m.get("graph_memory_bytes"), Some(Json::Null)));
+        // Static session: the CSR footprint.
+        handle(
+            &mut engine,
+            r#"{"id":2,"cmd":"load_graph","n":100,"family":"path"}"#,
+        )
+        .unwrap();
+        let m = handle(&mut engine, r#"{"id":3,"cmd":"metrics"}"#).unwrap();
+        let csr_bytes = m.get("graph_memory_bytes").unwrap().as_u64().unwrap();
+        assert!(csr_bytes > 0);
+        // Dynamic session: the adjacency-list footprint, which carries
+        // per-vertex vectors and the position index and so exceeds the
+        // packed CSR for the same edges.
+        handle(
+            &mut engine,
+            r#"{"id":4,"cmd":"update","ops":[["insert",0,2]],"beta":1,"eps":0.5}"#,
+        )
+        .unwrap();
+        let m = handle(&mut engine, r#"{"id":5,"cmd":"metrics"}"#).unwrap();
+        let dyn_bytes = m.get("graph_memory_bytes").unwrap().as_u64().unwrap();
+        assert!(dyn_bytes > csr_bytes);
     }
 }
