@@ -15,6 +15,15 @@
 //! 3. At every rate, the hardened arm (ack/retry) recovers at least the
 //!    fragile arm's mean size.
 //!
+//! A second arm (ISSUE 8) turns the same chaos discipline on the
+//! out-of-core streamed build: seeded [`IoFaultPlan`]s inject transient
+//! EIO, short reads, torn lines, and header mutations into the edge
+//! stream while [`RetryPolicy`] restarts failed passes. Its bound is
+//! *full recovery*: every row — at any injection rate whose horizon the
+//! retry budget covers — must be byte-identical to the fault-free
+//! streamed run, with the aborted rescans visible only in `io.retries`
+//! and the half-edge-visit counter.
+//!
 //! Writes `results/fault_sweep.json` (schema in EXPERIMENTS.md);
 //! structurally validated by `crates/bench/tests/results_json.rs`.
 
@@ -25,7 +34,11 @@ use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_distsim::algorithms::pipeline::{
     distributed_maximal_baseline, distributed_maximal_baseline_faulty, DistributedOutcome,
 };
+use sparsimatch_core::stream_build::{
+    approx_mcm_streamed, approx_mcm_streamed_with_retry, RetryPolicy,
+};
 use sparsimatch_distsim::{FaultPlan, FaultRates, ResilienceParams};
+use sparsimatch_graph::edge_stream::{FaultyEdgeSource, IoFaultPlan, IoFaultRates};
 use sparsimatch_graph::generators::{clique_union, CliqueUnionConfig};
 use sparsimatch_obs::Json;
 
@@ -34,6 +47,11 @@ use sparsimatch_obs::Json;
 const HORIZON: u64 = 2;
 const ALGO_SEED: u64 = 7;
 const RETRIES: u32 = 2;
+
+/// Scan attempts an I/O plan may fault before going clean; a retry
+/// budget of `IO_HORIZON + 1` attempts per pass then guarantees the
+/// streamed build recovers (attempts burn globally across both passes).
+const IO_HORIZON: u64 = 3;
 
 struct RateSummary {
     drop: f64,
@@ -166,15 +184,138 @@ fn main() {
         });
     }
 
+    let io_rows = io_fault_arm(&g, &params, seeds_per_rate, drops, &mut violations);
+
     write_sweep_json(
         scale,
         &g,
         seeds_per_rate,
         baseline.matching.len(),
         &rows,
+        &io_rows,
         &violations,
     );
     violations.finish("fault_sweep");
+}
+
+struct IoRateSummary {
+    p: f64,
+    matching: u64,
+    mean_retries: f64,
+    mean_faults: f64,
+    identical: bool,
+}
+
+/// The I/O arm: the streamed pipeline under seeded edge-stream faults.
+/// Unlike the transport arm, degradation is not allowed here — the
+/// retry layer must reach the exact fault-free result at every rate, so
+/// the only thing the sweep "measures" is how many aborted rescans it
+/// took to get there.
+fn io_fault_arm(
+    g: &sparsimatch_graph::csr::CsrGraph,
+    params: &SparsifierParams,
+    seeds_per_rate: u64,
+    probabilities: &[f64],
+    violations: &mut Violations,
+) -> Vec<IoRateSummary> {
+    let policy = RetryPolicy::attempts(IO_HORIZON as u32 + 1);
+    let (clean, clean_report) =
+        approx_mcm_streamed(&mut g.clone(), params, ALGO_SEED).expect("fault-free streamed build");
+    let clean_pairs: Vec<_> = clean.matching.pairs().collect();
+
+    let mut table = Table::new(&["p", "|M|", "identical", "mean retries", "mean faults"]);
+    let mut rows = Vec::new();
+    println!("\nI/O arm: streamed sparsifier build under seeded edge-stream faults");
+    println!(
+        "horizon = {IO_HORIZON}, retry budget = {} attempts per pass, \
+         {seeds_per_rate} fault seeds per rate\n",
+        IO_HORIZON + 1
+    );
+    for &p in probabilities {
+        let rates = IoFaultRates {
+            eio: p,
+            short_read: 0.8 * p,
+            torn_line: 0.8 * p,
+            header_mutation: 0.5 * p,
+        };
+        let mut retries = Vec::new();
+        let mut faults = Vec::new();
+        let mut identical = true;
+        for fault_seed in 0..seeds_per_rate {
+            let plan = IoFaultPlan::new(fault_seed ^ 0x10FA, rates).with_horizon(IO_HORIZON);
+            let mut src = FaultyEdgeSource::new(g.clone(), plan);
+            let (res, report) = match approx_mcm_streamed_with_retry(
+                &mut src,
+                params,
+                ALGO_SEED,
+                &policy,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    violations.check(false, || {
+                        format!("recoverable io plan (p {p:.2}, seed {fault_seed}) failed: {e}")
+                    });
+                    continue;
+                }
+            };
+            let same = res.matching.pairs().collect::<Vec<_>>() == clean_pairs
+                && res.sparsifier == clean.sparsifier
+                && res.probes == clean.probes
+                && res.aug == clean.aug
+                && report.sparsifier_bytes == clean_report.sparsifier_bytes
+                && report.peak_resident_bytes == clean_report.peak_resident_bytes;
+            identical &= same;
+            violations.check(same, || {
+                format!("io run (p {p:.2}, seed {fault_seed}) diverged from the fault-free build")
+            });
+            violations.check(report.io_retries == src.stats().total(), || {
+                format!(
+                    "io run (p {p:.2}, seed {fault_seed}) retries {} != injected faults {}",
+                    report.io_retries,
+                    src.stats().total()
+                )
+            });
+            if p == 0.0 {
+                // The zero-rate anchor: the fault layer is free when idle,
+                // down to the half-edge-visit counter.
+                violations.check(
+                    report.io_retries == 0 && report.edges_scanned == clean_report.edges_scanned,
+                    || {
+                        format!(
+                            "zero-rate io run (seed {fault_seed}) was not free: {} retries, \
+                             {} half-edge visits (clean {})",
+                            report.io_retries, report.edges_scanned, clean_report.edges_scanned
+                        )
+                    },
+                );
+            }
+            retries.push(report.io_retries);
+            faults.push(src.stats().total());
+        }
+        let summary = IoRateSummary {
+            p,
+            matching: clean_pairs.len() as u64,
+            mean_retries: mean(&retries),
+            mean_faults: mean(&faults),
+            identical,
+        };
+        table.row(vec![
+            format!("{p:.2}"),
+            summary.matching.to_string(),
+            summary.identical.to_string(),
+            f3(summary.mean_retries),
+            f3(summary.mean_faults),
+        ]);
+        rows.push(summary);
+    }
+    table.print();
+    // The arm must actually exercise the retry path: at the top rate
+    // nearly every early scan attempt faults.
+    violations.check(
+        rows.last().is_some_and(|r| r.mean_retries > 0.0),
+        || "the io arm never injected a fault; the retry path went unexercised".to_string(),
+    );
+    rows
 }
 
 /// Bound 1: under a zero-fault plan every run must equal the fault-free
@@ -206,6 +347,7 @@ fn write_sweep_json(
     seeds_per_rate: u64,
     baseline_matching: usize,
     rows: &[RateSummary],
+    io_rows: &[IoRateSummary],
     violations: &Violations,
 ) {
     let mut doc = Json::object();
@@ -237,6 +379,23 @@ fn write_sweep_json(
         })
         .collect();
     doc.set("rows", Json::Array(out_rows));
+    let mut io = Json::object();
+    io.set("horizon", IO_HORIZON);
+    io.set("attempts", IO_HORIZON + 1);
+    let io_out: Vec<Json> = io_rows
+        .iter()
+        .map(|r| {
+            let mut row = Json::object();
+            row.set("p", r.p);
+            row.set("matching", r.matching);
+            row.set("mean_retries", r.mean_retries);
+            row.set("mean_faults", r.mean_faults);
+            row.set("identical", r.identical);
+            row
+        })
+        .collect();
+    io.set("rows", Json::Array(io_out));
+    doc.set("io", io);
     doc.set("bounds_ok", violations.is_empty());
     doc.set(
         "violations",

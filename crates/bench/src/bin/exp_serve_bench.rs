@@ -255,6 +255,7 @@ fn main() {
         threads: 1,
         queue_cap: 4096,
         max_sessions: sessions as usize,
+        ..ServeConfig::default()
     };
     let total = sessions as usize * per_session;
     println!(

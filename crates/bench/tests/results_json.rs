@@ -126,6 +126,27 @@ fn fault_sweep_writes_valid_monotone_schema() {
         prev_size = size;
     }
 
+    // The I/O arm: streamed builds under injected edge-stream faults
+    // must recover byte-identically at every rate, with the zero-rate
+    // anchor paying no retries and the top rate actually retrying.
+    let io = doc.get("io").expect("io arm present");
+    assert!(io.get("attempts").unwrap().as_u64().unwrap() > io.get("horizon").unwrap().as_u64().unwrap());
+    let io_rows = io.get("rows").unwrap().as_array().unwrap();
+    assert!(io_rows.len() >= 3, "need a real io sweep");
+    let matching = field(&io_rows[0], "matching");
+    assert!(matching > 0.0);
+    assert_eq!(field(&io_rows[0], "p"), 0.0);
+    assert_eq!(field(&io_rows[0], "mean_retries"), 0.0);
+    for row in io_rows {
+        assert_eq!(row.get("identical").unwrap().as_bool(), Some(true));
+        assert_eq!(field(row, "matching"), matching, "recovery must be exact");
+        assert!(field(row, "mean_retries") <= field(row, "mean_faults") + 1e-9);
+    }
+    assert!(
+        field(io_rows.last().unwrap(), "mean_retries") > 0.0,
+        "the io arm never exercised the retry path"
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

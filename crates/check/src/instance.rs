@@ -247,24 +247,29 @@ fn named(inst: workloads::Instance) -> (String, CsrGraph, usize) {
 
 impl Scenario {
     /// Deterministically generate the trial for `seed`: the oracle
-    /// rotates static → dynamic → distsim → scratch → stream with the
-    /// seed, and the instance is drawn from a seed-derived RNG, so the
-    /// same `(seed, cfg)` always produces the same trial.
+    /// rotates static → dynamic → distsim → scratch → stream →
+    /// chaos-stream with the seed, and the instance is drawn from a
+    /// seed-derived RNG, so the same `(seed, cfg)` always produces the
+    /// same trial.
     pub fn generate(seed: u64, cfg: &CheckConfig) -> Scenario {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_C0DE_D1FF_F00D);
-        let oracle = match seed % 5 {
+        let oracle = match seed % 6 {
             0 => OracleKind::Static,
             1 => OracleKind::Dynamic,
             2 => OracleKind::Distsim,
             3 => OracleKind::Scratch,
-            _ => OracleKind::Stream,
+            4 => OracleKind::Stream,
+            _ => OracleKind::ChaosStream,
         };
         let instance = match oracle {
             OracleKind::Static => static_instance(&mut rng, cfg, 8, 40),
             OracleKind::Distsim => static_instance(&mut rng, cfg, 10, 34),
-            // Scratch and stream identities are cheap (no exact-MCM
-            // ground truth), so they get the larger static shapes.
-            OracleKind::Scratch | OracleKind::Stream => static_instance(&mut rng, cfg, 12, 44),
+            // Scratch, stream, and chaos identities are cheap (no
+            // exact-MCM ground truth), so they get the larger static
+            // shapes.
+            OracleKind::Scratch | OracleKind::Stream | OracleKind::ChaosStream => {
+                static_instance(&mut rng, cfg, 12, 44)
+            }
             OracleKind::Dynamic => dynamic_instance(&mut rng, cfg),
         };
         Scenario {
@@ -377,7 +382,7 @@ mod tests {
     #[test]
     fn oracle_rotation_covers_all_kinds() {
         let cfg = CheckConfig::default();
-        let kinds: Vec<OracleKind> = (0..5).map(|s| Scenario::generate(s, &cfg).oracle).collect();
+        let kinds: Vec<OracleKind> = (0..6).map(|s| Scenario::generate(s, &cfg).oracle).collect();
         assert_eq!(
             kinds,
             vec![
@@ -385,7 +390,8 @@ mod tests {
                 OracleKind::Dynamic,
                 OracleKind::Distsim,
                 OracleKind::Scratch,
-                OracleKind::Stream
+                OracleKind::Stream,
+                OracleKind::ChaosStream
             ]
         );
     }

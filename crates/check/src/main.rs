@@ -13,7 +13,8 @@ USAGE:
                     [--bound-eps <E>] [--delta <D>] [--max-counterexamples <K>]
 
 Runs N seeded trials (default 1000) rotating through the static,
-dynamic, distsim, and scratch oracles. Every trial is deterministic in its seed,
+dynamic, distsim, scratch, stream, and chaos-stream oracles. Every
+trial is deterministic in its seed,
 so a failure is reproducible by seed alone; on top of that each failure
 is shrunk (ddmin over edges/updates) and written to
 <out-dir>/counterexample-<seed>.json (default results/check/), a file
@@ -97,7 +98,7 @@ fn main() {
         }
     };
 
-    let mut trials_by_oracle = [0u64; 5];
+    let mut trials_by_oracle = [0u64; 6];
     let mut violations = 0usize;
     // One pipeline arena for the whole sweep: every oracle's sequential
     // pipeline runs reuse it (the scratch oracle proves reuse is exact,
@@ -167,13 +168,15 @@ fn main() {
     }
 
     println!(
-        "checked {} seeds (static {}, dynamic {}, distsim {}, scratch {}, stream {}): {}",
+        "checked {} seeds (static {}, dynamic {}, distsim {}, scratch {}, stream {}, \
+         chaos-stream {}): {}",
         trials_by_oracle.iter().sum::<u64>(),
         trials_by_oracle[0],
         trials_by_oracle[1],
         trials_by_oracle[2],
         trials_by_oracle[3],
         trials_by_oracle[4],
+        trials_by_oracle[5],
         if violations == 0 {
             "all oracles green".to_string()
         } else {

@@ -28,6 +28,13 @@
 //!   half-edge visits). The graph streams from its own CSR — the
 //!   file-backed source is pinned separately by proptest — so the sweep
 //!   stays hermetic.
+//! * **chaos-stream** — the streamed pipeline under a seeded
+//!   [`IoFaultPlan`] (the I/O twin of distsim's `FaultPlan`): a
+//!   recoverable plan plus a matching [`RetryPolicy`] must reproduce the
+//!   fault-free run byte-for-byte with every aborted rescan charged to
+//!   the work accounting, and an unrecoverable plan must surface a typed
+//!   [`StreamBuildError`] — never a panic, never a silently wrong
+//!   sparsifier.
 //!
 //! A whole seed sweep shares one [`PipelineScratch`] (see
 //! [`OracleKind::check_with_scratch`]), so every oracle's sequential
@@ -45,7 +52,9 @@ use sparsimatch_core::pipeline::{
 };
 use sparsimatch_core::scratch::PipelineScratch;
 use sparsimatch_core::sparsifier::build_sparsifier;
-use sparsimatch_core::stream_build::approx_mcm_streamed;
+use sparsimatch_core::stream_build::{
+    approx_mcm_streamed, approx_mcm_streamed_with_retry, RetryPolicy, StreamBuildError,
+};
 use sparsimatch_distsim::algorithms::pipeline::{
     distributed_approx_mcm, distributed_approx_mcm_faulty, DistributedOutcome,
 };
@@ -56,6 +65,7 @@ use sparsimatch_graph::adjlist::AdjListGraph;
 use sparsimatch_graph::analysis::arboricity::arboricity_bounds;
 use sparsimatch_graph::analysis::independence::neighborhood_independence_at_most;
 use sparsimatch_graph::csr::CsrGraph;
+use sparsimatch_graph::edge_stream::{FaultyEdgeSource, IoFaultPlan, IoFaultRates};
 use sparsimatch_graph::ids::VertexId;
 use sparsimatch_matching::blossom::maximum_matching;
 use sparsimatch_matching::Matching;
@@ -111,6 +121,9 @@ pub enum OracleKind {
     Scratch,
     /// Out-of-core streamed pipeline vs the in-memory one, byte-for-byte.
     Stream,
+    /// Streamed pipeline under seeded I/O faults: recoverable plans must
+    /// retry to byte identity, unrecoverable ones must fail typed.
+    ChaosStream,
 }
 
 impl OracleKind {
@@ -122,6 +135,7 @@ impl OracleKind {
             OracleKind::Distsim => "distsim",
             OracleKind::Scratch => "scratch",
             OracleKind::Stream => "stream",
+            OracleKind::ChaosStream => "chaos-stream",
         }
     }
 
@@ -133,6 +147,7 @@ impl OracleKind {
             "distsim" => Ok(OracleKind::Distsim),
             "scratch" => Ok(OracleKind::Scratch),
             "stream" => Ok(OracleKind::Stream),
+            "chaos-stream" => Ok(OracleKind::ChaosStream),
             other => Err(format!("unknown oracle {other:?}")),
         }
     }
@@ -160,6 +175,7 @@ impl OracleKind {
             OracleKind::Distsim => check_distsim(inst, cfg, scratch),
             OracleKind::Scratch => check_scratch(inst, cfg, scratch),
             OracleKind::Stream => check_stream(inst, cfg, scratch),
+            OracleKind::ChaosStream => check_chaos_stream(inst, cfg),
         }
     }
 }
@@ -629,6 +645,114 @@ fn check_stream(
     None
 }
 
+/// Scan attempts the chaos plan may fault before going clean; the retry
+/// budget of `horizon + 1` attempts per pass then guarantees recovery
+/// (attempts are burned globally and monotonically across both passes).
+const CHAOS_HORIZON: u64 = 3;
+
+/// The seeded I/O fault plan the chaos oracle stresses every instance
+/// with — the streaming twin of the distsim oracle's `stress_plan`.
+fn io_stress_plan(inst: &CheckInstance) -> IoFaultPlan {
+    IoFaultPlan::new(
+        inst.algo_seed ^ 0x10FA_175E,
+        IoFaultRates {
+            eio: 0.5,
+            short_read: 0.4,
+            torn_line: 0.4,
+            header_mutation: 0.3,
+        },
+    )
+    .with_horizon(CHAOS_HORIZON)
+}
+
+fn check_chaos_stream(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violation> {
+    let _ = cfg; // byte identity has no tunable bound
+    let params = inst.params();
+    // Fault-free streamed baseline, from the instance's own CSR.
+    let mut clean_src = inst.graph();
+    let (clean, clean_report) = match approx_mcm_streamed(&mut clean_src, &params, inst.algo_seed) {
+        Ok(r) => r,
+        Err(e) => {
+            return Some(Violation::new(
+                "stream-error",
+                format!("fault-free streamed pipeline rejected its own CSR stream: {e}"),
+            ))
+        }
+    };
+
+    // Recoverable chaos: a seeded plan bounded by CHAOS_HORIZON plus a
+    // retry budget that covers it must converge to the identical result.
+    let mut faulty = FaultyEdgeSource::new(inst.graph(), io_stress_plan(inst));
+    let policy = RetryPolicy::attempts(CHAOS_HORIZON as u32 + 1);
+    let (recovered, report) =
+        match approx_mcm_streamed_with_retry(&mut faulty, &params, inst.algo_seed, &policy) {
+            Ok(r) => r,
+            Err(e) => {
+                return Some(Violation::new(
+                    "chaos-recovery",
+                    format!("recoverable fault plan exhausted the retry budget: {e}"),
+                ))
+            }
+        };
+    if pipeline_fingerprint(&recovered) != pipeline_fingerprint(&clean) {
+        return Some(Violation::new(
+            "chaos-identity",
+            format!(
+                "retried streamed pipeline diverged from the fault-free run: {} vs {} matched \
+                 pairs (family {}, n = {})",
+                recovered.matching.len(),
+                clean.matching.len(),
+                inst.family,
+                inst.n
+            ),
+        ));
+    }
+    // Every injected fault is one aborted rescan, and aborted scans only
+    // ever add half-edge visits on top of the clean 4m.
+    if report.io_retries != faulty.stats().total() {
+        return Some(Violation::new(
+            "chaos-accounting",
+            format!(
+                "io_retries {} != injected faults {}",
+                report.io_retries,
+                faulty.stats().total()
+            ),
+        ));
+    }
+    if report.edges_scanned < clean_report.edges_scanned {
+        return Some(Violation::new(
+            "chaos-accounting",
+            format!(
+                "retried run reports {} half-edge visits < fault-free {}",
+                report.edges_scanned, clean_report.edges_scanned
+            ),
+        ));
+    }
+
+    // Unrecoverable chaos: every scan attempt faults, so the budget must
+    // run out with a typed error — the failure mode is a report, not a
+    // panic and not a quietly corrupted sparsifier.
+    let hard = IoFaultPlan::new(
+        inst.algo_seed ^ 0xDEAD_10,
+        IoFaultRates {
+            eio: 1.0,
+            ..IoFaultRates::default()
+        },
+    );
+    let mut doomed = FaultyEdgeSource::new(inst.graph(), hard);
+    match approx_mcm_streamed_with_retry(&mut doomed, &params, inst.algo_seed, &policy) {
+        Err(StreamBuildError::RetriesExhausted { pass: 1, .. }) => None,
+        Err(e) => Some(Violation::new(
+            "chaos-typed-failure",
+            format!("unrecoverable plan failed in the wrong place: {e}"),
+        )),
+        Ok(_) => Some(Violation::new(
+            "chaos-typed-failure",
+            "unrecoverable fault plan produced a result instead of a typed error".to_string(),
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +794,7 @@ mod tests {
             OracleKind::Distsim,
             OracleKind::Scratch,
             OracleKind::Stream,
+            OracleKind::ChaosStream,
         ] {
             assert_eq!(OracleKind::from_name(kind.name()).unwrap(), kind);
         }

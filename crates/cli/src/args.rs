@@ -23,6 +23,7 @@ USAGE:
                       [--crash <P>] [--crash-period <K>] [--fault-horizon <R>] [--retries <K>]
   sparsimatch check --replay <FILE>
   sparsimatch serve [--socket <PATH>] [--threads <T>] [--queue-cap <N>] [--max-sessions <C>]
+                    [--deadline-ms <D>] [--idle-timeout-ms <I>] [--drain-ms <W>]
   sparsimatch help
 
 Graphs are plain-text edge lists: a `n m` header line followed by one
@@ -212,6 +213,12 @@ pub struct ServeArgs {
     pub queue_cap: usize,
     /// Concurrent unix-socket sessions accepted.
     pub max_sessions: usize,
+    /// Per-request deadline in milliseconds (0 disables).
+    pub deadline_ms: u64,
+    /// Idle threshold for LRU session eviction at saturation (0 disables).
+    pub idle_timeout_ms: u64,
+    /// Bound on the graceful-drain window after daemon shutdown.
+    pub drain_ms: u64,
 }
 
 /// A parsed command line.
@@ -452,12 +459,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "serve" => {
             let flags = Flags { rest: &args[1..] };
-            flags.expect_known(&["--socket", "--threads", "--queue-cap", "--max-sessions"])?;
+            flags.expect_known(&[
+                "--socket",
+                "--threads",
+                "--queue-cap",
+                "--max-sessions",
+                "--deadline-ms",
+                "--idle-timeout-ms",
+                "--drain-ms",
+            ])?;
             Ok(Command::Serve(ServeArgs {
                 socket: flags.get("--socket")?.map(PathBuf::from),
                 threads: flags.parse_opt("--threads")?.unwrap_or(1),
                 queue_cap: flags.parse_opt("--queue-cap")?.unwrap_or(128),
                 max_sessions: flags.parse_opt("--max-sessions")?.unwrap_or(4),
+                deadline_ms: flags.parse_opt("--deadline-ms")?.unwrap_or(0),
+                idle_timeout_ms: flags.parse_opt("--idle-timeout-ms")?.unwrap_or(0),
+                drain_ms: flags.parse_opt("--drain-ms")?.unwrap_or(2_000),
             }))
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -626,11 +644,15 @@ mod tests {
                 threads: 1,
                 queue_cap: 128,
                 max_sessions: 4,
+                deadline_ms: 0,
+                idle_timeout_ms: 0,
+                drain_ms: 2_000,
             })
         );
         assert_eq!(
             parse(&args(
-                "serve --socket /tmp/s.sock --threads 2 --queue-cap 16 --max-sessions 8"
+                "serve --socket /tmp/s.sock --threads 2 --queue-cap 16 --max-sessions 8 \
+                 --deadline-ms 250 --idle-timeout-ms 5000 --drain-ms 750"
             ))
             .unwrap(),
             Command::Serve(ServeArgs {
@@ -638,6 +660,9 @@ mod tests {
                 threads: 2,
                 queue_cap: 16,
                 max_sessions: 8,
+                deadline_ms: 250,
+                idle_timeout_ms: 5000,
+                drain_ms: 750,
             })
         );
         assert!(parse(&args("serve --socket")).is_err());

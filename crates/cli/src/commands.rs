@@ -459,6 +459,9 @@ pub fn serve(args: ServeArgs, _out: Out<'_>) -> Result<(), CliError> {
         threads: args.threads,
         queue_cap: args.queue_cap,
         max_sessions: args.max_sessions,
+        deadline_ms: args.deadline_ms,
+        idle_timeout_ms: args.idle_timeout_ms,
+        drain_ms: args.drain_ms,
     };
     let serve_err = |e: std::io::Error| CliError::Serve(format!("serve: {e}"));
     match &args.socket {

@@ -103,7 +103,8 @@ impl From<ReadError> for CliError {
             ReadError::TooLarge { .. } => CliError::InputTooLarge(e.to_string()),
             ReadError::SelfLoop { .. }
             | ReadError::DuplicateEdge { .. }
-            | ReadError::Parse { .. } => CliError::MalformedInput(e.to_string()),
+            | ReadError::Parse { .. }
+            | ReadError::TruncatedBetweenPasses { .. } => CliError::MalformedInput(e.to_string()),
         }
     }
 }

@@ -46,7 +46,7 @@ impl std::error::Error for ThreadCountError {}
 
 /// Construction statistics, all deterministic consequences of the marking
 /// scheme (only *which* edges get marked is random).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SparsifierStats {
     /// Δ used.
     pub delta: usize,

@@ -42,8 +42,172 @@ use rand::SeedableRng;
 use sparsimatch_graph::adjacency::ProbeCounts;
 use sparsimatch_graph::bitset::BitSet;
 use sparsimatch_graph::csr::{from_sorted_edges, CsrGraph};
-use sparsimatch_graph::edge_stream::EdgeStreamSource;
+use sparsimatch_graph::edge_stream::{EdgeStreamSource, IoFaultStats};
 use sparsimatch_graph::io::ReadError;
+use sparsimatch_obs::{keys, WorkMeter};
+use std::time::Duration;
+
+/// Delay schedule between retry attempts of a failed stream pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backoff {
+    /// Retry immediately — right for tests and local disks.
+    #[default]
+    None,
+    /// Sleep a fixed duration before every retry.
+    Fixed(Duration),
+    /// Sleep `base · 2^(attempt−1)`, capped at `cap`.
+    Exponential {
+        /// Delay before the first retry.
+        base: Duration,
+        /// Upper bound on any single delay.
+        cap: Duration,
+    },
+}
+
+impl Backoff {
+    /// Delay before retry number `attempt` (1-based), `None` for no wait.
+    fn delay(&self, attempt: u32) -> Option<Duration> {
+        match *self {
+            Backoff::None => None,
+            Backoff::Fixed(d) => Some(d),
+            Backoff::Exponential { base, cap } => {
+                let shift = attempt.saturating_sub(1).min(16);
+                Some(base.saturating_mul(1u32 << shift).min(cap))
+            }
+        }
+    }
+}
+
+/// How often a failed stream pass may be re-run from scratch, and how
+/// long to wait between attempts.
+///
+/// Restarting a pass is safe because the build keeps no state a restart
+/// cannot reset: pass 1 is a pure degree count, and pass 2's sampling
+/// decisions replay bit-for-bit from the per-vertex seeded `pos_v`
+/// samplers. A build that succeeds after any number of restarts is
+/// therefore byte-identical to a fault-free build (pinned by proptest
+/// and the `chaos-stream` check oracle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per pass, counting the first (≥ 1).
+    pub max_attempts: u32,
+    /// Wait applied between consecutive attempts of the same pass.
+    pub backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure of either pass is final.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::None,
+        }
+    }
+
+    /// Up to `max_attempts` attempts per pass with no backoff wait.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        assert!(max_attempts >= 1, "a pass always gets one attempt");
+        RetryPolicy {
+            max_attempts,
+            backoff: Backoff::None,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Typed failure of the retrying streamed build: the error is only
+/// surfaced after the [`RetryPolicy`] budget is spent, so a caller
+/// seeing this knows every allowed attempt of the failing pass was made.
+#[derive(Debug)]
+pub enum StreamBuildError {
+    /// One pass failed on every allowed attempt.
+    RetriesExhausted {
+        /// Which pass (1 = degree count, 2 = arrival filter).
+        pass: u8,
+        /// Attempts made (equals the policy's `max_attempts`).
+        attempts: u32,
+        /// The error the final attempt died with.
+        last: ReadError,
+    },
+}
+
+impl std::fmt::Display for StreamBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamBuildError::RetriesExhausted {
+                pass,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "stream pass {pass} failed after {attempts} attempt(s): {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamBuildError::RetriesExhausted { last, .. } => Some(last),
+        }
+    }
+}
+
+/// Mirror a [`IoFaultStats`] record into the unified [`WorkMeter`]
+/// accounting (the `io.faults.*` keys), the same way distsim's
+/// `FaultStats::mirror_into` reports network faults.
+pub fn mirror_io_faults(stats: &IoFaultStats, meter: &mut WorkMeter) {
+    meter.add(keys::IO_FAULTS_EIO, stats.eio);
+    meter.add(keys::IO_FAULTS_SHORT_READS, stats.short_reads);
+    meter.add(keys::IO_FAULTS_TORN_LINES, stats.torn_lines);
+    meter.add(keys::IO_FAULTS_HEADER_MUTATIONS, stats.header_mutations);
+}
+
+/// Run one pass body under the retry budget. The body resets whatever
+/// per-pass state it owns, runs one full scan, and reports the
+/// half-edges it visited (charged to `edges_scanned` even when the scan
+/// aborts — the work was done, so the accounting keeps it).
+fn run_pass<S, F>(
+    src: &mut S,
+    pass: u8,
+    policy: &RetryPolicy,
+    edges_scanned: &mut u64,
+    retries: &mut u64,
+    mut body: F,
+) -> Result<(), StreamBuildError>
+where
+    S: EdgeStreamSource,
+    F: FnMut(&mut S) -> (u64, Result<(), ReadError>),
+{
+    let mut attempt = 0u32;
+    loop {
+        let (half_edges, result) = body(src);
+        *edges_scanned += half_edges;
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    return Err(StreamBuildError::RetriesExhausted {
+                        pass,
+                        attempts: attempt,
+                        last: e,
+                    });
+                }
+                *retries += 1;
+                if let Some(d) = policy.backoff.delay(attempt) {
+                    std::thread::sleep(d);
+                }
+            }
+        }
+    }
+}
 
 /// What the out-of-core build measured, reported in the units the huge
 /// bench tier commits to `BENCH_pipeline.json`.
@@ -63,9 +227,15 @@ pub struct StreamBuildReport {
     /// Analytic probe counts, same convention as the in-memory pipeline:
     /// two degree probes per vertex, one neighbor probe per mark placed.
     pub probes: ProbeCounts,
-    /// Half-edge visits across both stream passes (`4m`): the stream-side
-    /// work, for comparison against the probe counts.
+    /// Half-edge visits counted across every scan attempt, aborted
+    /// passes included: exactly `4m` on the fault-free path (two passes,
+    /// two half-edges per edge), strictly more when faults forced
+    /// partial rescans.
     pub edges_scanned: u64,
+    /// Pass restarts performed by the [`RetryPolicy`] — 0 on the
+    /// fault-free path, so fault-free reports stay comparable across
+    /// sources.
+    pub io_retries: u64,
 }
 
 /// Build `G_Δ` from a lex-sorted edge stream without materializing the
@@ -78,17 +248,70 @@ pub fn build_sparsifier_streamed(
     params: &SparsifierParams,
     seed: u64,
 ) -> Result<(Sparsifier, StreamBuildReport), ReadError> {
+    build_sparsifier_streamed_with_retry(src, params, seed, &RetryPolicy::none()).map_err(
+        |e| match e {
+            StreamBuildError::RetriesExhausted { last, .. } => last,
+        },
+    )
+}
+
+/// [`build_sparsifier_streamed`] under a [`RetryPolicy`]: a pass that
+/// fails is re-run from scratch (its state fully reset) up to
+/// `max_attempts` times. Because pass state replays deterministically
+/// from `(degrees, seed)`, a recovered build is byte-identical to a
+/// fault-free one; the report records the extra scan work
+/// (`edges_scanned`) and the restarts (`io_retries`).
+pub fn build_sparsifier_streamed_with_retry(
+    src: &mut impl EdgeStreamSource,
+    params: &SparsifierParams,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<(Sparsifier, StreamBuildReport), StreamBuildError> {
+    let mut meter = WorkMeter::new();
+    build_sparsifier_streamed_with_retry_metered(src, params, seed, policy, &mut meter)
+}
+
+/// [`build_sparsifier_streamed_with_retry`] with unified accounting:
+/// restarts land on the meter's `io.retries` key (and from there in
+/// `--metrics-json`), alongside whatever the caller mirrors from a
+/// fault-injecting source via [`mirror_io_faults`].
+pub fn build_sparsifier_streamed_with_retry_metered(
+    src: &mut impl EdgeStreamSource,
+    params: &SparsifierParams,
+    seed: u64,
+    policy: &RetryPolicy,
+    meter: &mut WorkMeter,
+) -> Result<(Sparsifier, StreamBuildReport), StreamBuildError> {
     let n = src.num_vertices();
     let m = src.num_edges();
     let mark_cap = params.mark_cap();
     let mut peak = 0usize;
+    let mut edges_scanned = 0u64;
+    let mut io_retries = 0u64;
 
     // Pass 1: degree counting — 4 bytes per vertex of resident state.
+    // A retried attempt starts from zeroed counts, so only a *complete*
+    // scan ever feeds the sampling stage.
     let mut degree = vec![0u32; n];
-    src.scan(&mut |u, v| {
-        degree[u as usize] += 1;
-        degree[v as usize] += 1;
-    })?;
+    run_pass(
+        src,
+        1,
+        policy,
+        &mut edges_scanned,
+        &mut io_retries,
+        |src| {
+            for d in degree.iter_mut() {
+                *d = 0;
+            }
+            let mut half = 0u64;
+            let result = src.scan(&mut |u, v| {
+                half += 2;
+                degree[u as usize] += 1;
+                degree[v as usize] += 1;
+            });
+            (half, result)
+        },
+    )?;
 
     // Between passes: replay every vertex's sampling from its degree.
     // High-degree vertices contribute exactly Δ sorted positions each;
@@ -151,38 +374,58 @@ pub fn build_sparsifier_streamed(
 
     // Pass 2: arrival-position filtering. The degree array is reused as
     // the arrival counters; `cursor[v]` walks v's sorted position set.
+    // Every retry resets counters, cursors, and the kept buffer — the
+    // filtering decisions are pure functions of arrival position, so a
+    // restarted attempt re-derives the identical kept prefix. An aborted
+    // attempt can never over-fill `kept` (it keeps a prefix of the full
+    // pass's edges), so the buffer never reallocates across retries and
+    // the resident-memory accounting is retry-invariant.
     let mut cursor: Vec<u32> = mark_off[..n].to_vec();
     let mut kept: Vec<(u32, u32)> = Vec::with_capacity(m.min(stats.marks_placed));
-    for counter in degree.iter_mut() {
-        *counter = 0;
-    }
-    src.scan(&mut |u, v| {
-        let (ui, vi) = (u as usize, v as usize);
-        let pu = degree[ui];
-        degree[ui] += 1;
-        let pv = degree[vi];
-        degree[vi] += 1;
-        // Both cursors advance independently: an edge marked from both
-        // sides must consume both positions, exactly like the in-memory
-        // path placing two marks that dedup to one edge.
-        let take_u = keep_all.get(ui) || {
-            let c = cursor[ui];
-            c < mark_off[ui + 1] && mark_pos[c as usize] == pu && {
-                cursor[ui] = c + 1;
-                true
+    run_pass(
+        src,
+        2,
+        policy,
+        &mut edges_scanned,
+        &mut io_retries,
+        |src| {
+            cursor.copy_from_slice(&mark_off[..n]);
+            for counter in degree.iter_mut() {
+                *counter = 0;
             }
-        };
-        let take_v = keep_all.get(vi) || {
-            let c = cursor[vi];
-            c < mark_off[vi + 1] && mark_pos[c as usize] == pv && {
-                cursor[vi] = c + 1;
-                true
-            }
-        };
-        if take_u || take_v {
-            kept.push((u, v));
-        }
-    })?;
+            kept.clear();
+            let mut half = 0u64;
+            let result = src.scan(&mut |u, v| {
+                half += 2;
+                let (ui, vi) = (u as usize, v as usize);
+                let pu = degree[ui];
+                degree[ui] += 1;
+                let pv = degree[vi];
+                degree[vi] += 1;
+                // Both cursors advance independently: an edge marked from
+                // both sides must consume both positions, exactly like the
+                // in-memory path placing two marks that dedup to one edge.
+                let take_u = keep_all.get(ui) || {
+                    let c = cursor[ui];
+                    c < mark_off[ui + 1] && mark_pos[c as usize] == pu && {
+                        cursor[ui] = c + 1;
+                        true
+                    }
+                };
+                let take_v = keep_all.get(vi) || {
+                    let c = cursor[vi];
+                    c < mark_off[vi + 1] && mark_pos[c as usize] == pv && {
+                        cursor[vi] = c + 1;
+                        true
+                    }
+                };
+                if take_u || take_v {
+                    kept.push((u, v));
+                }
+            });
+            (half, result)
+        },
+    )?;
     let filter_resident = degree.capacity() * 4
         + keep_all.capacity_bytes()
         + mark_off.capacity() * 4
@@ -210,6 +453,7 @@ pub fn build_sparsifier_streamed(
     let layout_resident = sparsifier_bytes + (kept_capacity - m_sparse) * 8 + n * 4;
     peak = peak.max(layout_resident);
 
+    meter.add(keys::IO_RETRIES, io_retries);
     let report = StreamBuildReport {
         peak_resident_bytes: peak,
         graph_bytes: CsrGraph::projected_memory_bytes(n, m),
@@ -218,7 +462,8 @@ pub fn build_sparsifier_streamed(
             degree_probes: 2 * n as u64,
             neighbor_probes: stats.marks_placed as u64,
         },
-        edges_scanned: 4 * m as u64,
+        edges_scanned,
+        io_retries,
     };
     Ok((Sparsifier { graph, stats }, report))
 }
@@ -235,6 +480,23 @@ pub fn approx_mcm_streamed(
     params: &SparsifierParams,
     seed: u64,
 ) -> Result<(PipelineResult, StreamBuildReport), ReadError> {
+    approx_mcm_streamed_with_retry(src, params, seed, &RetryPolicy::none()).map_err(|e| match e {
+        StreamBuildError::RetriesExhausted { last, .. } => last,
+    })
+}
+
+/// [`approx_mcm_streamed`] under a [`RetryPolicy`]: the build stage
+/// retries failed passes; the match stage runs on the recovered
+/// sparsifier exactly as on a fault-free one. Under any recoverable
+/// fault plan the [`PipelineResult`] is identical to the fault-free
+/// streamed (and in-memory) pipeline — the `chaos-stream` check oracle
+/// fingerprints exactly this claim.
+pub fn approx_mcm_streamed_with_retry(
+    src: &mut impl EdgeStreamSource,
+    params: &SparsifierParams,
+    seed: u64,
+    policy: &RetryPolicy,
+) -> Result<(PipelineResult, StreamBuildReport), StreamBuildError> {
     let eps_stage = stage_eps(params.eps);
     // The same Δ-rescaling the in-memory pipeline applies: keep the
     // caller's scale relative to the paper constant, re-aimed at the
@@ -242,7 +504,7 @@ pub fn approx_mcm_streamed(
     let scale = params.delta as f64
         / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
     let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
-    let (sparsifier, report) = build_sparsifier_streamed(src, &stage_params, seed)?;
+    let (sparsifier, report) = build_sparsifier_streamed_with_retry(src, &stage_params, seed, policy)?;
     let (matching, aug) = approx_mcm_on_sparsifier(&sparsifier.graph, eps_stage);
     Ok((
         PipelineResult {
@@ -390,5 +652,92 @@ mod tests {
         );
         assert!(report.sparsifier_bytes <= report.peak_resident_bytes);
         assert_eq!(report.edges_scanned, 4 * g.num_edges() as u64);
+        assert_eq!(report.io_retries, 0);
+    }
+
+    #[test]
+    fn retry_recovers_byte_identically_under_recoverable_faults() {
+        use sparsimatch_graph::edge_stream::{FaultyEdgeSource, IoFaultPlan, IoFaultRates};
+        let p = SparsifierParams::practical(2, 0.4);
+        let rates = IoFaultRates {
+            eio: 0.5,
+            short_read: 0.4,
+            torn_line: 0.4,
+            header_mutation: 0.3,
+        };
+        for (name, mut g) in family_zoo() {
+            for plan_seed in 0u64..4 {
+                let (clean, clean_report) = build_sparsifier_streamed(&mut g, &p, 7).unwrap();
+                // Horizon 3 with 4 attempts per pass: recovery guaranteed.
+                let plan = IoFaultPlan::new(plan_seed, rates).with_horizon(3);
+                let mut faulty = FaultyEdgeSource::new(g.clone(), plan);
+                let mut meter = WorkMeter::new();
+                let (recovered, report) = build_sparsifier_streamed_with_retry_metered(
+                    &mut faulty,
+                    &p,
+                    7,
+                    &RetryPolicy::attempts(4),
+                    &mut meter,
+                )
+                .unwrap();
+                assert_eq!(
+                    recovered.graph, clean.graph,
+                    "{name} plan {plan_seed}: recovered build diverged"
+                );
+                assert_stats_eq(&recovered.stats, &clean.stats, &name);
+                assert_eq!(report.io_retries, faulty.stats().total());
+                assert_eq!(meter.get(keys::IO_RETRIES), report.io_retries);
+                mirror_io_faults(&faulty.stats(), &mut meter);
+                assert_eq!(meter.get(keys::IO_FAULTS_EIO), faulty.stats().eio);
+                // Aborted attempts are charged: total scan work is the
+                // fault-free 4m plus whatever the failed prefixes read.
+                assert!(report.edges_scanned >= clean_report.edges_scanned);
+                if report.io_retries == 0 {
+                    assert_eq!(report.edges_scanned, clean_report.edges_scanned);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unrecoverable_plan_returns_typed_error_after_the_budget() {
+        use sparsimatch_graph::edge_stream::{FaultyEdgeSource, IoFaultPlan, IoFaultRates};
+        let p = SparsifierParams::practical(2, 0.4);
+        let g = clique(40);
+        let plan = IoFaultPlan::new(
+            5,
+            IoFaultRates {
+                eio: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut faulty = FaultyEdgeSource::new(g, plan);
+        let err = build_sparsifier_streamed_with_retry(&mut faulty, &p, 7, &RetryPolicy::attempts(3))
+            .unwrap_err();
+        match err {
+            StreamBuildError::RetriesExhausted {
+                pass,
+                attempts,
+                last,
+            } => {
+                assert_eq!(pass, 1, "every attempt dies in pass 1");
+                assert_eq!(attempts, 3);
+                assert!(matches!(last, ReadError::Io(_)));
+            }
+        }
+        assert_eq!(faulty.attempts(), 3);
+    }
+
+    #[test]
+    fn exponential_backoff_caps_and_grows() {
+        let b = Backoff::Exponential {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(5),
+        };
+        assert_eq!(b.delay(1), Some(Duration::from_millis(2)));
+        assert_eq!(b.delay(2), Some(Duration::from_millis(4)));
+        assert_eq!(b.delay(3), Some(Duration::from_millis(5)));
+        assert_eq!(b.delay(40), Some(Duration::from_millis(5)));
+        assert_eq!(Backoff::None.delay(1), None);
     }
 }

@@ -73,6 +73,17 @@ pub enum ReadError {
         /// Human-readable description.
         message: String,
     },
+    /// A rescannable source that previously delivered all `expected`
+    /// edges came up short on a later pass: the file was truncated (or
+    /// the device failed) between scans of a multi-pass build. Distinct
+    /// from [`ReadError::Parse`] so callers can tell "the input was
+    /// always bad" from "the input changed underneath a running build".
+    TruncatedBetweenPasses {
+        /// The declared (and previously delivered) edge count.
+        expected: usize,
+        /// Edges the short scan actually delivered.
+        found: usize,
+    },
 }
 
 impl std::fmt::Display for ReadError {
@@ -85,6 +96,11 @@ impl std::fmt::Display for ReadError {
             ReadError::SelfLoop { line } => write!(f, "line {line}: self-loop"),
             ReadError::DuplicateEdge { line } => write!(f, "line {line}: duplicate edge"),
             ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ReadError::TruncatedBetweenPasses { expected, found } => write!(
+                f,
+                "stream truncated between passes: {expected} edges previously \
+                 delivered, only {found} on rescan"
+            ),
         }
     }
 }

@@ -21,7 +21,7 @@ use sparsimatch_graph::csr::CsrGraph;
 use sparsimatch_graph::ids::VertexId;
 
 /// Statistics from a bounded-augmentation run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AugStats {
     /// Total augmenting paths flipped across all cap values.
     pub augmentations: usize,

@@ -19,7 +19,7 @@ use sparsimatch_graph::csr::{CsrGraph, GraphBuilder};
 use sparsimatch_graph::generators::{family_from_spec, family_size_estimate};
 use sparsimatch_graph::ids::VertexId;
 use sparsimatch_graph::io::{MAX_EDGES, MAX_VERTICES};
-use sparsimatch_obs::{Json, WorkMeter};
+use sparsimatch_obs::{keys, Json, WorkMeter};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,6 +33,21 @@ pub struct SharedStats {
     pub overloaded: AtomicU64,
     /// Lines rejected before reaching the engine (parse/too-deep/too-large).
     pub wire_errors: AtomicU64,
+    /// Requests answered `timeout`: shed unexecuted past their deadline,
+    /// or executed but finished after it (late result discarded).
+    pub timed_out: AtomicU64,
+}
+
+/// Daemon-wide gauges shared by every session of a unix-socket daemon,
+/// so any session's `metrics` can report the lifecycle state of the
+/// whole process. Stdio sessions have no daemon; their `metrics` report
+/// the single-session equivalents.
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    /// Sessions currently holding a slot.
+    pub sessions_active: AtomicU64,
+    /// Sessions evicted by the idle/LRU policy since the daemon started.
+    pub sessions_evicted: AtomicU64,
 }
 
 /// Engine configuration.
@@ -72,6 +87,7 @@ pub struct SessionEngine {
     last_solve_size: Option<u64>,
     solves: u64,
     command_counts: [u64; COMMANDS.len()],
+    daemon: Option<Arc<DaemonStats>>,
 }
 
 impl SessionEngine {
@@ -88,12 +104,19 @@ impl SessionEngine {
             last_solve_size: None,
             solves: 0,
             command_counts: [0; COMMANDS.len()],
+            daemon: None,
         }
     }
 
     /// The stats block the surrounding I/O layer should increment.
     pub fn shared_stats(&self) -> Arc<SharedStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// Attach the daemon-wide gauges this session's `metrics` should
+    /// mirror (unix-socket mode; stdio sessions report defaults).
+    pub fn set_daemon_stats(&mut self, daemon: Arc<DaemonStats>) {
+        self.daemon = Some(daemon);
     }
 
     /// Total solves this session has run (used by tests to assert the
@@ -378,6 +401,27 @@ impl SessionEngine {
             "wire_errors",
             self.stats.wire_errors.load(Ordering::Relaxed),
         );
+        body.set(
+            "requests_timed_out",
+            self.stats.timed_out.load(Ordering::Relaxed),
+        );
+        // Lifecycle gauges: daemon-wide in unix mode, the single-session
+        // equivalents (1 active, 0 evicted) over stdio.
+        body.set(
+            "sessions_active",
+            self.daemon
+                .as_ref()
+                .map_or(1, |d| d.sessions_active.load(Ordering::Relaxed)),
+        );
+        body.set(
+            "sessions_evicted",
+            self.daemon
+                .as_ref()
+                .map_or(0, |d| d.sessions_evicted.load(Ordering::Relaxed)),
+        );
+        // Cumulative stream-scan retries recorded by any streamed build
+        // metered into this session (0 until one runs).
+        body.set("io_retries", self.meter.get(keys::IO_RETRIES));
         body.set("scratch_capacity_bytes", self.scratch.capacity_bytes());
         // Resident footprint of the loaded graph: the dynamic adjacency
         // list when updates have been applied, the static CSR otherwise,

@@ -28,6 +28,9 @@ pub mod engine;
 pub mod protocol;
 pub mod server;
 
-pub use engine::{EngineConfig, SessionEngine};
+pub use engine::{DaemonStats, EngineConfig, SessionEngine};
 pub use protocol::{ErrorCode, Request, WireError, MAX_REQUEST_BYTES, PROTOCOL_VERSION};
-pub use server::{run_session, serve_stdio, serve_unix, ServeConfig, SessionSummary};
+pub use server::{
+    run_session, run_session_ctl, serve_stdio, serve_unix, ServeConfig, SessionCtl,
+    SessionSummary,
+};

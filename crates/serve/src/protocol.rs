@@ -90,6 +90,16 @@ pub enum ErrorCode {
     Overloaded,
     /// The daemon failed internally (e.g. an I/O error mid-response).
     Internal,
+    /// The request's deadline passed before a reply could be produced;
+    /// it was shed (or its late result discarded) without side effects
+    /// on the reply stream beyond this error.
+    Timeout,
+    /// This session was evicted: it had been idle longest while the
+    /// session limit was saturated and a new client was waiting.
+    SessionEvicted,
+    /// The session or daemon is draining after `shutdown`; the queued
+    /// request was shed without being executed.
+    ShuttingDown,
 }
 
 impl ErrorCode {
@@ -103,6 +113,9 @@ impl ErrorCode {
             ErrorCode::NoGraph => "no_graph",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Internal => "internal",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::SessionEvicted => "session_evicted",
+            ErrorCode::ShuttingDown => "shutting_down",
         }
     }
 }

@@ -17,15 +17,16 @@
 //! instead of unbounded buffering (memory DoS) or transport backpressure
 //! deadlock (both sides blocked on full pipes).
 
-use crate::engine::{EngineConfig, SessionEngine};
+use crate::engine::{DaemonStats, EngineConfig, SessionEngine};
 use crate::protocol::{self, ErrorCode, Request, MAX_REQUEST_BYTES};
 use sparsimatch_obs::{wire, Json};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Server configuration, shared by every frontend.
 #[derive(Clone, Copy, Debug)]
@@ -36,8 +37,25 @@ pub struct ServeConfig {
     /// queue is full are answered `overloaded` and dropped.
     pub queue_cap: usize,
     /// Concurrent sessions accepted in unix-socket mode; further
-    /// connections are answered `overloaded` and closed.
+    /// connections are answered `overloaded` and closed (or, with
+    /// `idle_timeout_ms` set, admitted by evicting the idlest session).
     pub max_sessions: usize,
+    /// Per-request deadline in milliseconds, measured from admission to
+    /// reply. A request that misses it is answered `timeout` — shed
+    /// unexecuted when it expires while queued, its result discarded
+    /// when a runaway execution finishes late. 0 disables deadlines.
+    pub deadline_ms: u64,
+    /// Idle threshold for LRU session eviction in unix-socket mode: at
+    /// `max_sessions` saturation a new connection evicts the
+    /// longest-idle session, provided it has been idle (no lines
+    /// received, `load_graph` or not) at least this long. 0 disables
+    /// eviction, restoring unconditional `overloaded` at saturation.
+    pub idle_timeout_ms: u64,
+    /// Bound on the daemon's graceful-drain window after a
+    /// `scope: "daemon"` shutdown: live sessions get this long to
+    /// finish in-flight work and shed their queues before their sockets
+    /// are closed under them.
+    pub drain_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -46,6 +64,9 @@ impl Default for ServeConfig {
             threads: 1,
             queue_cap: 128,
             max_sessions: 4,
+            deadline_ms: 0,
+            idle_timeout_ms: 0,
+            drain_ms: 2_000,
         }
     }
 }
@@ -136,18 +157,41 @@ fn peek_id(line: &str) -> Option<u64> {
 }
 
 struct Queue {
-    lines: VecDeque<String>,
+    /// Admitted lines with their admission timestamps (the deadline
+    /// clock starts at admission, not at execution).
+    lines: VecDeque<(String, Instant)>,
     eof: bool,
+}
+
+/// Frontend hooks and daemon context for [`run_session_ctl`]. The
+/// plain-transport default (`SessionCtl::default()`) has no hooks and no
+/// daemon, which is exactly stdio mode.
+#[derive(Default)]
+pub struct SessionCtl<'a> {
+    /// Invoked once by the worker right after it decides to end the
+    /// session; frontends use it to unblock the reader (e.g.
+    /// `UnixStream::shutdown(Read)`).
+    pub on_shutdown: Option<&'a (dyn Fn() + Send + Sync)>,
+    /// Invoked by the reader for every complete line received — the
+    /// idle/LRU bookkeeping signal. Covers the whole session lifetime,
+    /// including before any `load_graph`.
+    pub on_activity: Option<&'a (dyn Fn() + Send + Sync)>,
+    /// Daemon drain flag: once set, already-queued requests are shed
+    /// with `shutting_down` instead of executed.
+    pub draining: Option<&'a AtomicBool>,
+    /// Daemon-wide gauges mirrored into this session's `metrics`.
+    pub daemon: Option<Arc<DaemonStats>>,
 }
 
 /// Run one session over an arbitrary transport until EOF or `shutdown`.
 ///
 /// `on_shutdown` is invoked (once) by the worker right after the
 /// `shutdown` response is written; frontends use it to unblock the
-/// reader (e.g. `UnixStream::shutdown(Read)`). Requests still queued or
-/// arriving after `shutdown` are dropped unanswered.
+/// reader (e.g. `UnixStream::shutdown(Read)`). Requests still queued
+/// when `shutdown` executes are answered `shutting_down`, not dropped;
+/// requests queued at plain EOF are completed normally.
 pub fn run_session<R, W>(
-    mut reader: R,
+    reader: R,
     writer: W,
     cfg: &ServeConfig,
     on_shutdown: Option<&(dyn Fn() + Send + Sync)>,
@@ -156,9 +200,38 @@ where
     R: BufRead + Send,
     W: Write + Send,
 {
+    run_session_ctl(
+        reader,
+        writer,
+        cfg,
+        &SessionCtl {
+            on_shutdown,
+            ..SessionCtl::default()
+        },
+    )
+}
+
+/// [`run_session`] with the full control surface ([`SessionCtl`]): the
+/// unix-socket frontend threads activity tracking, the daemon drain
+/// flag, and daemon gauges through here.
+pub fn run_session_ctl<R, W>(
+    mut reader: R,
+    writer: W,
+    cfg: &ServeConfig,
+    ctl: &SessionCtl<'_>,
+) -> io::Result<SessionSummary>
+where
+    R: BufRead + Send,
+    W: Write + Send,
+{
     let mut engine = SessionEngine::new(EngineConfig {
         threads: cfg.threads,
     });
+    if let Some(daemon) = &ctl.daemon {
+        engine.set_daemon_stats(Arc::clone(daemon));
+    }
+    let on_shutdown = ctl.on_shutdown;
+    let deadline = (cfg.deadline_ms > 0).then(|| Duration::from_millis(cfg.deadline_ms));
     let stats = engine.shared_stats();
     let writer = Mutex::new(writer);
     let queue = Mutex::new(Queue {
@@ -174,11 +247,11 @@ where
     std::thread::scope(|scope| -> io::Result<()> {
         let worker = scope.spawn(|| {
             loop {
-                let line = {
+                let (line, admitted_at) = {
                     let mut q = queue.lock().expect("queue lock");
                     loop {
-                        if let Some(line) = q.lines.pop_front() {
-                            break line;
+                        if let Some(entry) = q.lines.pop_front() {
+                            break entry;
                         }
                         if q.eof {
                             return;
@@ -186,7 +259,37 @@ where
                         q = ready.wait(q).expect("queue wait");
                     }
                 };
-                let response;
+                // Daemon drain: everything still queued is shed with a
+                // typed error, never silently dropped or executed.
+                if ctl.draining.is_some_and(|d| d.load(Ordering::SeqCst)) {
+                    let _ = write_line(
+                        &writer,
+                        &protocol::error_response(
+                            peek_id(&line),
+                            ErrorCode::ShuttingDown,
+                            "daemon shutting down; request not executed",
+                        ),
+                    );
+                    continue;
+                }
+                // Deadline shed: a request that expired while queued is
+                // answered `timeout` without ever reaching the engine, so
+                // one runaway solve cannot cascade into a stale backlog.
+                if let Some(d) = deadline {
+                    if admitted_at.elapsed() >= d {
+                        stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_line(
+                            &writer,
+                            &protocol::error_response(
+                                peek_id(&line),
+                                ErrorCode::Timeout,
+                                "deadline exceeded while queued; request shed",
+                            ),
+                        );
+                        continue;
+                    }
+                }
+                let mut response;
                 let mut end_session = false;
                 match protocol::parse_request(&line) {
                     Err((id, e)) => {
@@ -225,6 +328,21 @@ where
                                 )
                             }
                         };
+                        // A runaway execution that finished past the
+                        // deadline answers `timeout` too: the client has
+                        // already given up on this id, so a late result
+                        // would only desynchronize its correlation.
+                        // Shutdown is exempt — its side effect happened.
+                        if let (Some(d), false) = (deadline, end_session) {
+                            if admitted_at.elapsed() >= d {
+                                stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                                response = protocol::error_response(
+                                    Some(env.id),
+                                    ErrorCode::Timeout,
+                                    "deadline exceeded during execution; result discarded",
+                                );
+                            }
+                        }
                         requests.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -233,6 +351,22 @@ where
                 let write_ok = write_line(&writer, &response).is_ok();
                 if end_session || !write_ok {
                     stop.store(true, Ordering::SeqCst);
+                    // Graceful drain: whatever was already queued behind
+                    // the shutdown gets a typed `shutting_down` answer
+                    // (skipped when the client is gone anyway).
+                    if write_ok {
+                        let mut q = queue.lock().expect("queue lock");
+                        while let Some((line, _)) = q.lines.pop_front() {
+                            let _ = write_line(
+                                &writer,
+                                &protocol::error_response(
+                                    peek_id(&line),
+                                    ErrorCode::ShuttingDown,
+                                    "session shutting down; request not executed",
+                                ),
+                            );
+                        }
+                    }
                     if let Some(hook) = on_shutdown {
                         hook();
                     }
@@ -279,6 +413,9 @@ where
                     );
                 }
                 Ok(LineIn::Line(line)) => {
+                    if let Some(touch) = ctl.on_activity {
+                        touch();
+                    }
                     if line.trim().is_empty() {
                         continue;
                     }
@@ -287,7 +424,7 @@ where
                         if q.lines.len() >= cfg.queue_cap {
                             false
                         } else {
-                            q.lines.push_back(line.clone());
+                            q.lines.push_back((line.clone(), Instant::now()));
                             ready.notify_one();
                             true
                         }
@@ -330,15 +467,68 @@ pub fn serve_stdio(cfg: &ServeConfig) -> io::Result<SessionSummary> {
     run_session(BufReader::new(io::stdin()), io::stdout(), cfg, None)
 }
 
+/// One live unix session as the accept loop sees it: when it last heard
+/// from its client, how to signal eviction, and the socket handle that
+/// can unblock (or kill) its reader from outside.
+struct SessionSlot {
+    last_activity: Instant,
+    evicted: Arc<AtomicBool>,
+    sock: UnixStream,
+}
+
+/// Pick the longest-idle evictable session, mark it evicted, and
+/// unblock its reader. Returns whether an eviction was initiated. Idle
+/// time counts from the last *line received* (or connect), so a client
+/// that connected and never spoke — never even sent `load_graph` — is
+/// evictable like any other.
+fn evict_lru(
+    registry: &Mutex<HashMap<u64, SessionSlot>>,
+    daemon: &DaemonStats,
+    idle_timeout: Duration,
+) -> bool {
+    let reg = registry.lock().expect("registry lock");
+    let now = Instant::now();
+    let candidate = reg
+        .iter()
+        .filter(|(_, s)| !s.evicted.load(Ordering::SeqCst))
+        .filter(|(_, s)| now.duration_since(s.last_activity) >= idle_timeout)
+        .min_by_key(|(_, s)| s.last_activity)
+        .map(|(id, _)| *id);
+    let Some(id) = candidate else {
+        return false;
+    };
+    let slot = &reg[&id];
+    slot.evicted.store(true, Ordering::SeqCst);
+    daemon.sessions_evicted.fetch_add(1, Ordering::SeqCst);
+    let _ = slot.sock.shutdown(std::net::Shutdown::Read);
+    true
+}
+
+/// How long the accept loop waits for an evicted session to release its
+/// slot before giving up and answering `overloaded` after all.
+const EVICT_WAIT_MS: u64 = 2_000;
+
 /// Serve sessions over a unix socket until a `shutdown` request with
 /// `scope: "daemon"`. Each accepted connection gets its own session
-/// thread (and engine); connections beyond `max_sessions` are answered
-/// `overloaded` and closed. The socket file is created on bind and
-/// removed on return.
+/// thread (and engine). At `max_sessions` saturation a new connection
+/// either evicts the longest-idle session (when `idle_timeout_ms` is
+/// set and one qualifies — the evictee is notified with a typed
+/// `session_evicted` error) or is answered `overloaded` and closed.
+///
+/// Daemon shutdown drains gracefully: the accept loop stops (new
+/// connects are refused), in-flight requests complete, queued requests
+/// across every session are shed with `shutting_down`, and sessions get
+/// at most `drain_ms` before their sockets are closed under them — the
+/// call returns (and the process can exit 0) within a bounded window.
+/// The socket file is created on bind and removed on return.
 pub fn serve_unix(path: &Path, cfg: &ServeConfig) -> io::Result<()> {
     let listener = UnixListener::bind(path)?;
     let stop = AtomicBool::new(false);
+    let draining = AtomicBool::new(false);
     let active = AtomicUsize::new(0);
+    let daemon = Arc::new(DaemonStats::default());
+    let registry: Mutex<HashMap<u64, SessionSlot>> = Mutex::new(HashMap::new());
+    let mut next_id = 0u64;
     std::thread::scope(|scope| {
         for conn in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
@@ -346,20 +536,55 @@ pub fn serve_unix(path: &Path, cfg: &ServeConfig) -> io::Result<()> {
             }
             let Ok(stream) = conn else { continue };
             if active.load(Ordering::SeqCst) >= cfg.max_sessions {
-                let mut w = &stream;
-                let _ = writeln!(
-                    w,
-                    "{}",
-                    protocol::error_response(
-                        None,
-                        ErrorCode::Overloaded,
-                        "session limit reached; retry later",
+                let mut admitted = false;
+                if cfg.idle_timeout_ms > 0
+                    && evict_lru(
+                        &registry,
+                        &daemon,
+                        Duration::from_millis(cfg.idle_timeout_ms),
                     )
-                );
-                continue; // dropping the stream closes it
+                {
+                    // The evicted session still has to notice, notify its
+                    // client, and release the slot; wait for that, bounded.
+                    let wait_until = Instant::now() + Duration::from_millis(EVICT_WAIT_MS);
+                    while active.load(Ordering::SeqCst) >= cfg.max_sessions
+                        && Instant::now() < wait_until
+                    {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    admitted = active.load(Ordering::SeqCst) < cfg.max_sessions;
+                }
+                if !admitted {
+                    let mut w = &stream;
+                    let _ = writeln!(
+                        w,
+                        "{}",
+                        protocol::error_response(
+                            None,
+                            ErrorCode::Overloaded,
+                            "session limit reached; retry later",
+                        )
+                    );
+                    continue; // dropping the stream closes it
+                }
             }
+            let id = next_id;
+            next_id += 1;
             active.fetch_add(1, Ordering::SeqCst);
-            let (stop, active) = (&stop, &active);
+            daemon.sessions_active.fetch_add(1, Ordering::SeqCst);
+            let evicted = Arc::new(AtomicBool::new(false));
+            if let Ok(sock) = stream.try_clone() {
+                registry.lock().expect("registry lock").insert(
+                    id,
+                    SessionSlot {
+                        last_activity: Instant::now(),
+                        evicted: Arc::clone(&evicted),
+                        sock,
+                    },
+                );
+            }
+            let (stop, draining, active, registry) = (&stop, &draining, &active, &registry);
+            let daemon = Arc::clone(&daemon);
             scope.spawn(move || {
                 let session = (|| -> io::Result<SessionSummary> {
                     let reader = BufReader::new(stream.try_clone()?);
@@ -368,18 +593,64 @@ pub fn serve_unix(path: &Path, cfg: &ServeConfig) -> io::Result<()> {
                     let hook = move || {
                         let _ = unblock.shutdown(std::net::Shutdown::Read);
                     };
-                    run_session(reader, writer, cfg, Some(&hook))
+                    let touch = || {
+                        if let Some(slot) = registry.lock().expect("registry lock").get_mut(&id)
+                        {
+                            slot.last_activity = Instant::now();
+                        }
+                    };
+                    let ctl = SessionCtl {
+                        on_shutdown: Some(&hook),
+                        on_activity: Some(&touch),
+                        draining: Some(draining),
+                        daemon: Some(Arc::clone(&daemon)),
+                    };
+                    run_session_ctl(reader, writer, cfg, &ctl)
                 })();
+                // The typed eviction notification: written after the
+                // session drained, right before the close the client is
+                // about to observe.
+                if evicted.load(Ordering::SeqCst) {
+                    let mut w = &stream;
+                    let _ = writeln!(
+                        w,
+                        "{}",
+                        protocol::error_response(
+                            None,
+                            ErrorCode::SessionEvicted,
+                            "session evicted: idle longest while the session limit was saturated",
+                        )
+                    );
+                }
+                registry.lock().expect("registry lock").remove(&id);
                 if let Ok(summary) = session {
                     if summary.daemon_shutdown {
                         stop.store(true, Ordering::SeqCst);
+                        draining.store(true, Ordering::SeqCst);
                         // Unblock the accept loop with a throwaway
                         // connection to our own socket.
                         let _ = UnixStream::connect(path);
                     }
                 }
                 active.fetch_sub(1, Ordering::SeqCst);
+                daemon.sessions_active.fetch_sub(1, Ordering::SeqCst);
             });
+        }
+        // Graceful drain. The accept loop is done (new connects now fail
+        // at connect()), so: tell every live session to shed queued work,
+        // unblock their readers, and give in-flight requests `drain_ms`
+        // to finish before closing the stragglers' sockets outright —
+        // the scope join below is then bounded.
+        draining.store(true, Ordering::SeqCst);
+        for slot in registry.lock().expect("registry lock").values() {
+            let _ = slot.sock.shutdown(std::net::Shutdown::Read);
+        }
+        let drain_until = Instant::now() + Duration::from_millis(cfg.drain_ms.max(1));
+        while active.load(Ordering::SeqCst) > 0 && Instant::now() < drain_until {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for slot in registry.lock().expect("registry lock").values() {
+            let _ = slot.sock.shutdown(std::net::Shutdown::Both);
         }
     });
     std::fs::remove_file(path).ok();

@@ -202,13 +202,21 @@ fn oversized_line_is_skipped_cleanly() {
     script.push('\n');
     let (lines, summary) = run_script(&script, &ServeConfig::default());
     assert_eq!(lines.len(), 3);
-    assert_eq!(error_code(&parse_response(&lines[0])), None);
-    assert_eq!(
-        error_code(&parse_response(&lines[1])).as_deref(),
-        Some("too_large")
-    );
-    let status = parse_response(&lines[2]);
-    assert_eq!(error_code(&status), None);
+    // The `too_large` reply comes from the reader thread and the two ok
+    // replies from the worker; their relative order is not guaranteed
+    // (responses interleave through the shared writer by design), so
+    // match responses by id rather than by position.
+    let docs: Vec<Json> = lines.iter().map(|l| parse_response(l)).collect();
+    let too_large = docs
+        .iter()
+        .find(|d| error_code(d).as_deref() == Some("too_large"))
+        .expect("the oversized line was rejected");
+    assert_eq!(too_large.get("id"), Some(&Json::Null));
+    let status = docs
+        .iter()
+        .find(|d| d.get("id").unwrap().as_u64() == Some(2))
+        .expect("the request after the oversized line still ran");
+    assert_eq!(error_code(status), None);
     assert_eq!(
         status
             .get("result")
@@ -400,5 +408,271 @@ fn unix_socket_sessions_are_isolated_and_daemon_shutdown_stops_the_listener() {
     assert_eq!(error_code(&r), None);
     server.join().unwrap().unwrap();
     assert!(!sock.exists(), "socket file removed on daemon shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Session-scope `shutdown` drains gracefully: the in-flight request
+/// completes, the shutdown is acked, and everything still queued behind
+/// it is answered with a typed `shutting_down` — never silently dropped
+/// and never executed.
+#[test]
+fn session_shutdown_sheds_queued_requests_with_shutting_down() {
+    // The slow clique solve pins the worker while the reader queues the
+    // shutdown and a tail of queries behind it.
+    let mut script = String::new();
+    script.push_str(r#"{"id":1,"cmd":"load_graph","n":840,"family":"clique"}"#);
+    script.push('\n');
+    script.push_str(r#"{"id":2,"cmd":"solve","beta":1,"eps":0.5}"#);
+    script.push('\n');
+    script.push_str(r#"{"id":3,"cmd":"shutdown"}"#);
+    script.push('\n');
+    let tail = 10u64;
+    for i in 0..tail {
+        script.push_str(&format!(r#"{{"id":{},"cmd":"query"}}"#, 100 + i));
+        script.push('\n');
+    }
+    let cfg = ServeConfig {
+        queue_cap: 64,
+        ..ServeConfig::default()
+    };
+    let (lines, summary) = run_script(&script, &cfg);
+    assert_eq!(lines.len(), 3 + tail as usize, "{lines:#?}");
+    let docs: Vec<Json> = lines.iter().map(|l| parse_response(l)).collect();
+    // In-flight work completed normally before the stop.
+    assert_eq!(error_code(&docs[0]), None);
+    assert_eq!(error_code(&docs[1]), None);
+    assert_eq!(
+        docs[1]
+            .get("result")
+            .unwrap()
+            .get("matching_size")
+            .unwrap()
+            .as_u64(),
+        Some(420)
+    );
+    // The shutdown ack, then one typed shed per queued request, each
+    // still echoing its id for correlation.
+    assert_eq!(error_code(&docs[2]), None);
+    for doc in &docs[3..] {
+        assert_eq!(error_code(doc).as_deref(), Some("shutting_down"));
+        assert!(doc.get("id").unwrap().as_u64().unwrap() >= 100);
+    }
+    assert_eq!(summary.requests, 3, "shed requests never reach the engine");
+    assert!(!summary.daemon_shutdown);
+}
+
+/// With a deadline configured, a runaway execution answers `timeout`
+/// (result discarded) and the stale backlog behind it is shed as
+/// `timeout` at dequeue instead of executing against a client that has
+/// already given up.
+#[test]
+fn deadline_sheds_stale_queue_and_discards_late_results() {
+    let mut script = String::new();
+    script.push_str(r#"{"id":1,"cmd":"load_graph","n":840,"family":"clique"}"#);
+    script.push('\n');
+    script.push_str(r#"{"id":2,"cmd":"solve","beta":1,"eps":0.5}"#);
+    script.push('\n');
+    let tail = 10u64;
+    for i in 0..tail {
+        script.push_str(&format!(r#"{{"id":{},"cmd":"query"}}"#, 100 + i));
+        script.push('\n');
+    }
+    let cfg = ServeConfig {
+        deadline_ms: 10,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    };
+    let (lines, _) = run_script(&script, &cfg);
+    assert_eq!(lines.len(), 2 + tail as usize, "{lines:#?}");
+    let docs: Vec<Json> = lines.iter().map(|l| parse_response(l)).collect();
+    // The load may beat the deadline or not depending on the machine;
+    // everything after it is pinned behind the big solve and must miss.
+    for (i, doc) in docs.iter().enumerate().skip(1) {
+        assert_eq!(
+            error_code(doc).as_deref(),
+            Some("timeout"),
+            "line {i}: {:?}",
+            lines[i]
+        );
+    }
+    // Shed responses still echo the request id.
+    assert!(docs.last().unwrap().get("id").unwrap().as_u64().unwrap() >= 100);
+}
+
+/// `metrics` exposes the lifecycle observability fields: timeout and
+/// eviction counters, the active-session gauge, and cumulative I/O
+/// retries from streamed builds.
+#[test]
+fn metrics_reports_lifecycle_gauges() {
+    let script = concat!(
+        r#"{"id":1,"cmd":"metrics"}"#,
+        "\n",
+        r#"{"id":2,"cmd":"shutdown"}"#,
+        "\n",
+    );
+    let (lines, _) = run_script(script, &ServeConfig::default());
+    assert_eq!(lines.len(), 2);
+    let doc = parse_response(&lines[0]);
+    assert_eq!(error_code(&doc), None);
+    let m = doc.get("result").unwrap();
+    assert_eq!(m.get("requests_timed_out").unwrap().as_u64(), Some(0));
+    assert_eq!(m.get("sessions_active").unwrap().as_u64(), Some(1));
+    assert_eq!(m.get("sessions_evicted").unwrap().as_u64(), Some(0));
+    assert_eq!(m.get("io_retries").unwrap().as_u64(), Some(0));
+}
+
+/// At `max_sessions` saturation, a silent client — connected but never
+/// having sent a line, not even `load_graph` — is evicted once it
+/// crosses the idle threshold: it receives a typed `session_evicted`
+/// notification, its slot admits the new connection, and the daemon's
+/// metrics account for the eviction.
+#[test]
+fn idle_silent_session_is_evicted_to_admit_a_new_connection() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-evict-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("serve.sock");
+    std::fs::remove_file(&sock).ok();
+    let cfg = ServeConfig {
+        max_sessions: 1,
+        idle_timeout_ms: 50,
+        ..ServeConfig::default()
+    };
+    let server = {
+        let sock = sock.clone();
+        std::thread::spawn(move || serve_unix(&sock, &cfg))
+    };
+    let connect = || {
+        let mut tries = 0;
+        loop {
+            match UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(e) => {
+                    tries += 1;
+                    assert!(tries < 500, "socket never came up: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    };
+
+    // The silent client: connects, sends nothing, idles past the
+    // threshold while holding the daemon's only session slot.
+    let silent = connect();
+    let mut silent_reader = BufReader::new(silent.try_clone().unwrap());
+    std::thread::sleep(std::time::Duration::from_millis(120));
+
+    // The second connection must be admitted by evicting the idler, not
+    // bounced with `overloaded`.
+    let mut fresh = connect();
+    let mut fresh_reader = BufReader::new(fresh.try_clone().unwrap());
+    writeln!(fresh, r#"{{"id":1,"cmd":"query"}}"#).unwrap();
+    let mut response = String::new();
+    fresh_reader.read_line(&mut response).unwrap();
+    let doc = parse_response(response.trim_end());
+    assert_eq!(error_code(&doc), None, "new session admitted: {response}");
+
+    // The evictee got the typed notification before its close.
+    let mut notice = String::new();
+    silent_reader.read_line(&mut notice).unwrap();
+    let doc = parse_response(notice.trim_end());
+    assert_eq!(error_code(&doc).as_deref(), Some("session_evicted"));
+
+    // The daemon gauges saw it.
+    writeln!(fresh, r#"{{"id":2,"cmd":"metrics"}}"#).unwrap();
+    let mut response = String::new();
+    fresh_reader.read_line(&mut response).unwrap();
+    let doc = parse_response(response.trim_end());
+    let m = doc.get("result").unwrap();
+    assert_eq!(m.get("sessions_active").unwrap().as_u64(), Some(1));
+    assert_eq!(m.get("sessions_evicted").unwrap().as_u64(), Some(1));
+
+    writeln!(fresh, r#"{{"id":3,"cmd":"shutdown","scope":"daemon"}}"#).unwrap();
+    let mut response = String::new();
+    fresh_reader.read_line(&mut response).unwrap();
+    assert_eq!(error_code(&parse_response(response.trim_end())), None);
+    server.join().unwrap().unwrap();
+    assert!(!sock.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Daemon-scope shutdown under load drains gracefully: the request
+/// already executing in another session completes and is answered, the
+/// requests queued behind it are shed with `shutting_down`, and
+/// `serve_unix` returns Ok — i.e. the process exits 0 — within the
+/// bounded drain window.
+#[test]
+fn daemon_shutdown_completes_in_flight_and_sheds_queued_across_sessions() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("serve.sock");
+    std::fs::remove_file(&sock).ok();
+    let cfg = ServeConfig {
+        queue_cap: 64,
+        drain_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let server = {
+        let sock = sock.clone();
+        std::thread::spawn(move || serve_unix(&sock, &cfg))
+    };
+    let connect = || {
+        let mut tries = 0;
+        loop {
+            match UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(e) => {
+                    tries += 1;
+                    assert!(tries < 500, "socket never came up: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    };
+
+    // Session A: burst a slow generate-and-load (the request whose cost
+    // scales with the input — the sparsified solve itself is near
+    // input-size independent) plus a tail of queries, all unread, so
+    // the load is in flight and the queries are queued when the
+    // shutdown lands.
+    let mut a = connect();
+    let mut a_reader = BufReader::new(a.try_clone().unwrap());
+    writeln!(a, r#"{{"id":1,"cmd":"load_graph","n":2000,"family":"clique"}}"#).unwrap();
+    let tail = 5u64;
+    for i in 0..tail {
+        writeln!(a, r#"{{"id":{},"cmd":"query"}}"#, 100 + i).unwrap();
+    }
+    // Give A's worker time to dequeue the load before the drain flag
+    // goes up (shed decisions happen at dequeue, not admission).
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    // Session B pulls the plug on the whole daemon.
+    let mut b = connect();
+    let mut b_reader = BufReader::new(b.try_clone().unwrap());
+    writeln!(b, r#"{{"id":1,"cmd":"shutdown","scope":"daemon"}}"#).unwrap();
+    let mut response = String::new();
+    b_reader.read_line(&mut response).unwrap();
+    assert_eq!(error_code(&parse_response(response.trim_end())), None);
+
+    // A's in-flight load completes with a real answer; the queued tail
+    // is shed with the typed drain error, ids intact.
+    let mut response = String::new();
+    a_reader.read_line(&mut response).unwrap();
+    let doc = parse_response(response.trim_end());
+    assert_eq!(error_code(&doc), None, "in-flight load completed: {response}");
+    assert_eq!(
+        doc.get("result").unwrap().get("n").unwrap().as_u64(),
+        Some(2000)
+    );
+    for _ in 0..tail {
+        let mut response = String::new();
+        a_reader.read_line(&mut response).unwrap();
+        let doc = parse_response(response.trim_end());
+        assert_eq!(error_code(&doc).as_deref(), Some("shutting_down"));
+        assert!(doc.get("id").unwrap().as_u64().unwrap() >= 100);
+    }
+
+    // Bounded exit: the daemon comes down on its own, socket removed.
+    server.join().unwrap().unwrap();
+    assert!(!sock.exists());
     std::fs::remove_dir_all(&dir).ok();
 }
