@@ -40,6 +40,17 @@
 //! `peak_resident_bytes < graph_bytes` is asserted here and re-checked
 //! against the committed baseline by `tests/results_json.rs`.
 //!
+//! A `backends` section races the two sparsifier backends (`delta` vs
+//! `edcs` at β = 16, λ = 1/8) through the `MatchingSparsifier` trait:
+//! conformance first — valid matchings, each backend under its own
+//! claimed size bound, the two matching sizes mutually consistent under
+//! the claimed ratios — then best-of-reps wall-clock per family at one
+//! thread, plus a streamed rematch over the spilled `huge` files
+//! (the EDCS fixpoint re-scans the file until convergence, so its
+//! `edges_scanned` is `passes × 2m` against the delta build's fixed
+//! `4m`). `results/RESULTS.md` renders the head-to-head table from this
+//! section.
+//!
 //! Usage: `bench_baseline [--full]`; the output path defaults to
 //! `BENCH_pipeline.json` in the current directory and can be overridden
 //! with the `SPARSIMATCH_BENCH_OUT` environment variable. The schema is
@@ -47,6 +58,8 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use sparsimatch_bench::{scale_from_args, Scale, Violations};
+use sparsimatch_core::backend::{DeltaBackend, EdcsBackend, MatchingSparsifier};
+use sparsimatch_core::edcs::EdcsParams;
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_core::pipeline::{
     approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_with_scratch,
@@ -68,6 +81,19 @@ use std::time::Instant;
 static ALLOC: sparsimatch_obs::alloc::CountingAllocator = sparsimatch_obs::alloc::CountingAllocator;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The EDCS arm of the backend race runs at β = 16 with the β-derived
+/// default λ = 2/β — the same operating point the CLI's
+/// `--backend edcs` defaults to, so the committed numbers describe what
+/// a user who just flips the flag gets.
+const EDCS_BETA: usize = 16;
+const EDCS_LAMBDA: f64 = 0.125;
+
+/// Slack for cross-backend conformance: each backend's claimed ratio
+/// bounds the *optimum*, so two certified backends can disagree by at
+/// most the product of their ratios — plus a couple of edges of
+/// integer-rounding room on small instances.
+const BACKEND_ABS_SLACK: f64 = 2.0;
 
 #[cfg(target_env = "gnu")]
 extern "C" {
@@ -258,7 +284,7 @@ fn bench_huge(
     dir: &std::path::Path,
     seed_index: u64,
     violations: &mut Violations,
-) -> HugeRun {
+) -> (HugeRun, [StreamedRow; 2]) {
     let name = spec.name;
     let mut rng = StdRng::seed_from_u64(0xB16 ^ seed_index);
     let g = (spec.generate)(&mut rng);
@@ -273,7 +299,68 @@ fn bench_huge(
     let (result, report) =
         approx_mcm_streamed(&mut src, &spec.params, 7).expect("streamed pipeline runs");
     let solve_nanos = t0.elapsed().as_nanos() as u64;
+
+    // The EDCS arm of the streamed backend race reuses the spilled file:
+    // its fixpoint re-scans until convergence, so `edges_scanned` is
+    // `passes × 2m` rather than the delta build's fixed `4m`.
+    let edcs_backend = EdcsBackend {
+        params: EdcsParams::new(EDCS_BETA, EDCS_LAMBDA).expect("bench EDCS point is valid"),
+        eps: spec.params.eps,
+    };
+    let mut src = FileEdgeSource::open(&path).expect("huge edge list re-opens for the EDCS arm");
+    let t0 = Instant::now();
+    let (edcs_result, edcs_report) = edcs_backend
+        .solve_streamed(&mut src, 7)
+        .expect("streamed EDCS runs");
+    let edcs_nanos = t0.elapsed().as_nanos() as u64;
     std::fs::remove_file(&path).ok();
+
+    violations.check(
+        edcs_report.peak_resident_bytes < edcs_report.graph_bytes,
+        || {
+            format!(
+                "{name}: streamed EDCS peak {} B >= materialized parent {} B",
+                edcs_report.peak_resident_bytes, edcs_report.graph_bytes
+            )
+        },
+    );
+    violations.check(
+        edcs_result.sparsifier.edges <= edcs_backend.claimed_size_bound(vertices),
+        || {
+            format!(
+                "{name}: streamed EDCS kept {} edges, over its claimed bound {}",
+                edcs_result.sparsifier.edges,
+                edcs_backend.claimed_size_bound(vertices)
+            )
+        },
+    );
+    let delta_backend = DeltaBackend {
+        params: spec.params,
+    };
+    let streamed = [
+        StreamedRow {
+            backend: delta_backend.name(),
+            params: delta_backend.params_summary(),
+            solve_nanos,
+            peak_resident_bytes: report.peak_resident_bytes,
+            graph_bytes: report.graph_bytes,
+            sparsifier_edges: result.sparsifier.edges,
+            matching_size: result.matching.len(),
+            edges_scanned: report.edges_scanned,
+            passes: report.edges_scanned / (2 * edges as u64),
+        },
+        StreamedRow {
+            backend: edcs_backend.name(),
+            params: edcs_backend.params_summary(),
+            solve_nanos: edcs_nanos,
+            peak_resident_bytes: edcs_report.peak_resident_bytes,
+            graph_bytes: edcs_report.graph_bytes,
+            sparsifier_edges: edcs_result.sparsifier.edges,
+            matching_size: edcs_result.matching.len(),
+            edges_scanned: edcs_report.edges_scanned,
+            passes: edcs_report.edges_scanned / (2 * edges as u64),
+        },
+    ];
 
     violations.check(report.peak_resident_bytes < report.graph_bytes, || {
         format!(
@@ -294,7 +381,7 @@ fn bench_huge(
             edges
         )
     });
-    HugeRun {
+    let huge = HugeRun {
         name,
         vertices,
         edges,
@@ -303,7 +390,8 @@ fn bench_huge(
         matching_size: result.matching.len(),
         sparsifier_edges: result.sparsifier.edges,
         solve_nanos,
-    }
+    };
+    (huge, streamed)
 }
 
 struct Run {
@@ -395,6 +483,124 @@ fn bench_family(f: &Family, reps: usize, violations: &mut Violations) -> Vec<Run
         });
     }
     runs
+}
+
+/// One backend's row in the in-memory race: best-of-reps through the
+/// [`MatchingSparsifier`] trait at one thread, with the backend's own
+/// claims recorded next to what it measured so the conformance gate is
+/// checkable from the JSON alone.
+struct BackendRun {
+    backend: &'static str,
+    params: String,
+    claimed_ratio: f64,
+    claimed_size_bound: usize,
+    total_nanos: u64,
+    mark_nanos: u64,
+    extract_nanos: u64,
+    match_nanos: u64,
+    matching_size: usize,
+    sparsifier_edges: usize,
+    probes_total: u64,
+}
+
+/// Race both backends on one family (1 thread, best of `reps`, one warm
+/// arena per backend). Conformance before speed: every rep's matching
+/// must be valid on the parent, every sparsifier must sit under the
+/// backend's own claimed size bound, and the two matchings must agree
+/// within the product each backend's claimed ratio allows — a certified
+/// backend pair cannot disagree more, so a larger gap means one of the
+/// claims is wrong.
+fn bench_backends(f: &Family, reps: usize, violations: &mut Violations) -> Vec<BackendRun> {
+    let delta = DeltaBackend {
+        params: SparsifierParams::practical(f.beta, f.eps),
+    };
+    let edcs = EdcsBackend {
+        params: EdcsParams::new(EDCS_BETA, EDCS_LAMBDA).expect("bench EDCS point is valid"),
+        eps: f.eps,
+    };
+    let backends: [&dyn MatchingSparsifier; 2] = [&delta, &edcs];
+    let n = f.graph.num_vertices();
+    let mut rows = Vec::new();
+    for b in backends {
+        let mut scratch = PipelineScratch::new();
+        let mut best: Option<BestRep> = None;
+        for _ in 0..reps {
+            let mut meter = WorkMeter::new();
+            let r = b
+                .solve_metered(&f.graph, 7, 1, &mut meter, &mut scratch)
+                .expect("one thread is always accepted");
+            violations.check(r.matching.is_valid_for(&f.graph), || {
+                format!("{}/{}: invalid matching on the parent", f.name, b.name())
+            });
+            violations.check(r.sparsifier.edges <= b.claimed_size_bound(n), || {
+                format!(
+                    "{}/{}: sparsifier {} edges exceeds its claimed bound {}",
+                    f.name,
+                    b.name(),
+                    r.sparsifier.edges,
+                    b.claimed_size_bound(n)
+                )
+            });
+            let total = meter.span_stats(keys::PIPELINE_TOTAL).total_nanos as u64;
+            let stats = (r.matching.len(), r.sparsifier.edges);
+            let probes = r.probes.total();
+            if best.as_ref().is_none_or(|(t, ..)| total < *t) {
+                best = Some((total, meter, stats.0, stats.1, (probes, 0)));
+            }
+        }
+        let (total, meter, matching_size, sparsifier_edges, (probes_total, _)) = best.unwrap();
+        let span = |key: &str| meter.span_stats(key).total_nanos as u64;
+        rows.push(BackendRun {
+            backend: b.name(),
+            params: b.params_summary(),
+            claimed_ratio: b.claimed_ratio(),
+            claimed_size_bound: b.claimed_size_bound(n),
+            total_nanos: total,
+            mark_nanos: span(keys::STAGE_MARK),
+            extract_nanos: span(keys::STAGE_EXTRACT),
+            match_nanos: span(keys::STAGE_MATCH),
+            matching_size,
+            sparsifier_edges,
+            probes_total,
+        });
+    }
+    // Cross-backend conformance: each matching lower-bounds the optimum
+    // the *other* backend's ratio claim upper-bounds.
+    let [d, e] = &rows[..] else { unreachable!() };
+    violations.check(
+        d.matching_size as f64 <= e.claimed_ratio * e.matching_size as f64 + BACKEND_ABS_SLACK,
+        || {
+            format!(
+                "{}: edcs matching {} too small vs delta {} for its claimed ratio {:.3}",
+                f.name, e.matching_size, d.matching_size, e.claimed_ratio
+            )
+        },
+    );
+    violations.check(
+        e.matching_size as f64 <= d.claimed_ratio * d.matching_size as f64 + BACKEND_ABS_SLACK,
+        || {
+            format!(
+                "{}: delta matching {} too small vs edcs {} for its claimed ratio {:.3}",
+                f.name, d.matching_size, e.matching_size, d.claimed_ratio
+            )
+        },
+    );
+    rows
+}
+
+/// One backend's row in the streamed (out-of-core) race, built from the
+/// same spilled edge file as the `huge` tier: the delta row re-reports
+/// the huge run itself, so the EDCS arm is the only extra solve paid.
+struct StreamedRow {
+    backend: &'static str,
+    params: String,
+    solve_nanos: u64,
+    peak_resident_bytes: usize,
+    graph_bytes: usize,
+    sparsifier_edges: usize,
+    matching_size: usize,
+    edges_scanned: u64,
+    passes: u64,
 }
 
 fn bench_steady(f: &Family, reps: usize, violations: &mut Violations) -> Steady {
@@ -520,6 +726,66 @@ fn huge_json(h: &HugeRun) -> Json {
     doc
 }
 
+fn backends_family_json(f: &Family, rows: &[BackendRun]) -> Json {
+    let mut doc = Json::object();
+    doc.set("family", f.name);
+    doc.set("vertices", f.graph.num_vertices());
+    doc.set("edges", f.graph.num_edges());
+    let runs: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            let mut stage = Json::object();
+            stage.set("mark", r.mark_nanos);
+            stage.set("extract", r.extract_nanos);
+            stage.set("match", r.match_nanos);
+            let mut run = Json::object();
+            run.set("backend", r.backend);
+            run.set("params", r.params.as_str());
+            run.set("claimed_ratio", r.claimed_ratio);
+            run.set("claimed_size_bound", r.claimed_size_bound);
+            run.set("total_nanos", r.total_nanos);
+            run.set("stage_nanos", stage);
+            run.set("matching_size", r.matching_size);
+            run.set("sparsifier_edges", r.sparsifier_edges);
+            run.set("probes_total", r.probes_total);
+            run
+        })
+        .collect();
+    doc.set("runs", Json::Array(runs));
+    // delta-time / edcs-time: > 1 means the EDCS build-and-match was
+    // faster end to end on this family.
+    doc.set(
+        "edcs_speedup_vs_delta",
+        rows[0].total_nanos as f64 / rows[1].total_nanos.max(1) as f64,
+    );
+    doc
+}
+
+fn streamed_family_json(name: &str, vertices: usize, edges: usize, rows: &[StreamedRow]) -> Json {
+    let mut doc = Json::object();
+    doc.set("family", name);
+    doc.set("vertices", vertices);
+    doc.set("edges", edges);
+    let runs: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            let mut run = Json::object();
+            run.set("backend", r.backend);
+            run.set("params", r.params.as_str());
+            run.set("solve_nanos", r.solve_nanos);
+            run.set("peak_resident_bytes", r.peak_resident_bytes);
+            run.set("graph_bytes", r.graph_bytes);
+            run.set("sparsifier_edges", r.sparsifier_edges);
+            run.set("matching_size", r.matching_size);
+            run.set("edges_scanned", r.edges_scanned);
+            run.set("passes", r.passes);
+            run
+        })
+        .collect();
+    doc.set("runs", Json::Array(runs));
+    doc
+}
+
 fn steady_json(s: &Steady) -> Json {
     let mut doc = Json::object();
     doc.set("family", s.family);
@@ -545,6 +811,8 @@ fn main() {
     let mut violations = Violations::new();
     let mut family_docs = Vec::new();
     let mut steady_docs = Vec::new();
+    let mut backend_docs = Vec::new();
+    let mut streamed_docs = Vec::new();
 
     println!("pipeline throughput baseline ({})", scale.name());
     println!("host parallelism: {host_parallelism} hardware threads\n");
@@ -570,6 +838,21 @@ fn main() {
             );
         }
         family_docs.push(family_json(&f, &runs));
+
+        // The backend race on the same instance: conformance-checked,
+        // then timed head to head at one thread.
+        let rows = bench_backends(&f, reps, &mut violations);
+        println!(
+            "      backends: delta {:>10.3} ms / edcs {:>10.3} ms  \
+             (edges kept {} vs {}, matching {} vs {})",
+            rows[0].total_nanos as f64 / 1e6,
+            rows[1].total_nanos as f64 / 1e6,
+            rows[0].sparsifier_edges,
+            rows[1].sparsifier_edges,
+            rows[0].matching_size,
+            rows[1].matching_size,
+        );
+        backend_docs.push(backends_family_json(&f, &rows));
     }
 
     println!("\nsteady-state repeat-solve comparison (1 thread, fixed shapes):");
@@ -590,7 +873,7 @@ fn main() {
     std::fs::create_dir_all(&tmp).expect("create huge-tier spill dir");
     let mut huge_docs = Vec::new();
     for (i, spec) in huge_families(scale).into_iter().enumerate() {
-        let h = bench_huge(spec, &tmp, i as u64, &mut violations);
+        let (h, streamed) = bench_huge(spec, &tmp, i as u64, &mut violations);
         println!(
             "{:>14}: n = {}, m = {}  peak {:>7.1} MiB < graph {:>7.1} MiB  \
              (sparsifier {:.1} MiB, {} probes, {:>8.3} s)",
@@ -603,7 +886,15 @@ fn main() {
             h.report.probes.total(),
             h.solve_nanos as f64 / 1e9
         );
+        println!(
+            "                streamed race: delta {:>8.3} s ({} passes) / edcs {:>8.3} s ({} passes)",
+            streamed[0].solve_nanos as f64 / 1e9,
+            streamed[0].passes,
+            streamed[1].solve_nanos as f64 / 1e9,
+            streamed[1].passes,
+        );
         huge_docs.push(huge_json(&h));
+        streamed_docs.push(streamed_family_json(h.name, h.vertices, h.edges, &streamed));
     }
     std::fs::remove_dir_all(&tmp).ok();
 
@@ -619,6 +910,15 @@ fn main() {
     doc.set("families", Json::Array(family_docs));
     doc.set("steady_state", Json::Array(steady_docs));
     doc.set("huge", Json::Array(huge_docs));
+    let mut edcs_point = Json::object();
+    edcs_point.set("beta", EDCS_BETA);
+    edcs_point.set("lambda", EDCS_LAMBDA);
+    let mut backends = Json::object();
+    backends.set("threads", 1usize);
+    backends.set("edcs", edcs_point);
+    backends.set("families", Json::Array(backend_docs));
+    backends.set("streamed", Json::Array(streamed_docs));
+    doc.set("backends", backends);
 
     let out = std::env::var_os("SPARSIMATCH_BENCH_OUT")
         .map(std::path::PathBuf::from)

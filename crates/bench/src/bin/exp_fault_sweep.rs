@@ -31,11 +31,11 @@ use rand::{rngs::StdRng, SeedableRng};
 use sparsimatch_bench::table::{f3, Table};
 use sparsimatch_bench::{results_dir, scale_from_args, Scale, Violations};
 use sparsimatch_core::params::SparsifierParams;
-use sparsimatch_distsim::algorithms::pipeline::{
-    distributed_maximal_baseline, distributed_maximal_baseline_faulty, DistributedOutcome,
-};
 use sparsimatch_core::stream_build::{
     approx_mcm_streamed, approx_mcm_streamed_with_retry, RetryPolicy,
+};
+use sparsimatch_distsim::algorithms::pipeline::{
+    distributed_maximal_baseline, distributed_maximal_baseline_faulty, DistributedOutcome,
 };
 use sparsimatch_distsim::{FaultPlan, FaultRates, ResilienceParams};
 use sparsimatch_graph::edge_stream::{FaultyEdgeSource, IoFaultPlan, IoFaultRates};
@@ -244,20 +244,16 @@ fn io_fault_arm(
         for fault_seed in 0..seeds_per_rate {
             let plan = IoFaultPlan::new(fault_seed ^ 0x10FA, rates).with_horizon(IO_HORIZON);
             let mut src = FaultyEdgeSource::new(g.clone(), plan);
-            let (res, report) = match approx_mcm_streamed_with_retry(
-                &mut src,
-                params,
-                ALGO_SEED,
-                &policy,
-            ) {
-                Ok(r) => r,
-                Err(e) => {
-                    violations.check(false, || {
-                        format!("recoverable io plan (p {p:.2}, seed {fault_seed}) failed: {e}")
-                    });
-                    continue;
-                }
-            };
+            let (res, report) =
+                match approx_mcm_streamed_with_retry(&mut src, params, ALGO_SEED, &policy) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        violations.check(false, || {
+                            format!("recoverable io plan (p {p:.2}, seed {fault_seed}) failed: {e}")
+                        });
+                        continue;
+                    }
+                };
             let same = res.matching.pairs().collect::<Vec<_>>() == clean_pairs
                 && res.sparsifier == clean.sparsifier
                 && res.probes == clean.probes
@@ -311,10 +307,9 @@ fn io_fault_arm(
     table.print();
     // The arm must actually exercise the retry path: at the top rate
     // nearly every early scan attempt faults.
-    violations.check(
-        rows.last().is_some_and(|r| r.mean_retries > 0.0),
-        || "the io arm never injected a fault; the retry path went unexercised".to_string(),
-    );
+    violations.check(rows.last().is_some_and(|r| r.mean_retries > 0.0), || {
+        "the io arm never injected a fault; the retry path went unexercised".to_string()
+    });
     rows
 }
 

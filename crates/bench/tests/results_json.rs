@@ -130,7 +130,10 @@ fn fault_sweep_writes_valid_monotone_schema() {
     // must recover byte-identically at every rate, with the zero-rate
     // anchor paying no retries and the top rate actually retrying.
     let io = doc.get("io").expect("io arm present");
-    assert!(io.get("attempts").unwrap().as_u64().unwrap() > io.get("horizon").unwrap().as_u64().unwrap());
+    assert!(
+        io.get("attempts").unwrap().as_u64().unwrap()
+            > io.get("horizon").unwrap().as_u64().unwrap()
+    );
     let io_rows = io.get("rows").unwrap().as_array().unwrap();
     assert!(io_rows.len() >= 3, "need a real io sweep");
     let matching = field(&io_rows[0], "matching");
@@ -239,6 +242,10 @@ fn bench_baseline_writes_valid_schema() {
     // gates it must hold at every scale.
     assert_huge_tier_schema(&doc, 0);
 
+    // The backend race (delta vs edcs) carries its conformance fields at
+    // every scale — the claims are analytic, only the timings vary.
+    assert_backends_schema(&doc);
+
     // One steady-state row per family, with internally consistent fields.
     // The ≥1.3× warm-speedup acceptance bound is asserted on the committed
     // full-scale baseline only — a quick run inside a busy CI worker is
@@ -344,6 +351,131 @@ fn assert_huge_tier_schema(doc: &Json, min_edges: u64) {
             (shrink - graph_bytes as f64 / peak as f64).abs() < 1e-9,
             "{name}: resident_shrink inconsistent with its numerator/denominator"
         );
+    }
+}
+
+/// Shared checks for the `backends` section (see EXPERIMENTS.md
+/// "Benchmark baseline · backend race"): both backends on every
+/// in-memory family and every streamed huge family, with the
+/// conformance claims — size bound honored, matching sizes mutually
+/// consistent under the claimed ratios — re-checkable from the JSON
+/// alone. `results/RESULTS.md` renders its table from this section.
+fn assert_backends_schema(doc: &Json) {
+    let backends = doc.get("backends").expect("backends section missing");
+    assert_eq!(backends.get("threads").unwrap().as_u64(), Some(1));
+    let edcs = backends.get("edcs").expect("EDCS operating point missing");
+    let beta = edcs.get("beta").unwrap().as_u64().unwrap();
+    let lambda = edcs.get("lambda").unwrap().as_f64().unwrap();
+    assert!(beta >= 2, "EDCS needs beta >= 2, got {beta}");
+    assert!(0.0 < lambda && lambda < 1.0 && lambda * beta as f64 >= 1.0);
+
+    // Cross-backend conformance slack: two certified backends can
+    // disagree by at most the other's claimed ratio (each matching
+    // lower-bounds the optimum the other's ratio upper-bounds), plus a
+    // couple of edges of integer-rounding room.
+    const SLACK: f64 = 2.0;
+
+    let families = backends.get("families").unwrap().as_array().unwrap();
+    let names: Vec<&str> = families
+        .iter()
+        .map(|f| f.get("family").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["clique", "clique-union", "bipartite"]);
+    for f in families {
+        let name = f.get("family").unwrap().as_str().unwrap();
+        let vertices = f.get("vertices").unwrap().as_u64().unwrap();
+        let edges = f.get("edges").unwrap().as_u64().unwrap();
+        assert!(vertices > 0 && edges > 0, "{name}");
+        let runs = f.get("runs").unwrap().as_array().unwrap();
+        let kinds: Vec<&str> = runs
+            .iter()
+            .map(|r| r.get("backend").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(kinds, ["delta", "edcs"], "{name}");
+        for r in runs {
+            let b = r.get("backend").unwrap().as_str().unwrap();
+            assert!(!r.get("params").unwrap().as_str().unwrap().is_empty());
+            let ratio = r.get("claimed_ratio").unwrap().as_f64().unwrap();
+            assert!(ratio >= 1.0, "{name}/{b}: ratio claim below 1");
+            let bound = r.get("claimed_size_bound").unwrap().as_u64().unwrap();
+            let kept = r.get("sparsifier_edges").unwrap().as_u64().unwrap();
+            assert!(
+                kept <= bound,
+                "{name}/{b}: kept {kept} edges over the claimed bound {bound}"
+            );
+            assert!(r.get("total_nanos").unwrap().as_u64().unwrap() > 0);
+            assert!(r.get("matching_size").unwrap().as_u64().unwrap() > 0);
+            let stages = r.get("stage_nanos").unwrap();
+            for key in ["mark", "extract", "match"] {
+                assert!(
+                    stages.get(key).unwrap().as_u64().unwrap() > 0,
+                    "{name}/{b}: zero {key} span"
+                );
+            }
+            let probes = r.get("probes_total").unwrap().as_u64().unwrap();
+            // EDCS reads every edge at least once per fixpoint pass
+            // (2m half-edge visits). Delta's probe budget is only
+            // sublinear at streaming scale, so it gets no bound here —
+            // the `huge`/`streamed` sections gate that.
+            if b == "edcs" {
+                assert!(probes >= 2 * edges, "{name}: edcs probes below one pass");
+            } else {
+                assert!(probes > 0, "{name}/{b}: no probes recorded");
+            }
+        }
+        let size = |i: usize| runs[i].get("matching_size").unwrap().as_u64().unwrap() as f64;
+        let ratio = |i: usize| runs[i].get("claimed_ratio").unwrap().as_f64().unwrap();
+        assert!(
+            size(0) <= ratio(1) * size(1) + SLACK && size(1) <= ratio(0) * size(0) + SLACK,
+            "{name}: backends disagree beyond their claimed ratios \
+             ({} vs {})",
+            size(0),
+            size(1)
+        );
+        let speedup = f.get("edcs_speedup_vs_delta").unwrap().as_f64().unwrap();
+        assert!(speedup > 0.0, "{name}");
+    }
+
+    let streamed = backends.get("streamed").unwrap().as_array().unwrap();
+    let names: Vec<&str> = streamed
+        .iter()
+        .map(|f| f.get("family").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["clique-union", "bipartite", "power-law"]);
+    for f in streamed {
+        let name = f.get("family").unwrap().as_str().unwrap();
+        let edges = f.get("edges").unwrap().as_u64().unwrap();
+        let runs = f.get("runs").unwrap().as_array().unwrap();
+        let kinds: Vec<&str> = runs
+            .iter()
+            .map(|r| r.get("backend").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(kinds, ["delta", "edcs"], "{name}");
+        for r in runs {
+            let b = r.get("backend").unwrap().as_str().unwrap();
+            let peak = r.get("peak_resident_bytes").unwrap().as_u64().unwrap();
+            let graph_bytes = r.get("graph_bytes").unwrap().as_u64().unwrap();
+            assert!(
+                peak < graph_bytes,
+                "{name}/{b}: streamed peak {peak} B >= parent {graph_bytes} B"
+            );
+            assert!(r.get("solve_nanos").unwrap().as_u64().unwrap() > 0);
+            assert!(r.get("matching_size").unwrap().as_u64().unwrap() > 0);
+            assert!(r.get("sparsifier_edges").unwrap().as_u64().unwrap() < edges);
+            let scanned = r.get("edges_scanned").unwrap().as_u64().unwrap();
+            let passes = r.get("passes").unwrap().as_u64().unwrap();
+            match b {
+                // The delta stream build does exactly two passes (4m
+                // half-edge visits); the EDCS fixpoint re-scans until
+                // convergence, which needs at least two passes (the
+                // final pass observes no change).
+                "delta" => assert_eq!(scanned, 4 * edges, "{name}"),
+                _ => {
+                    assert!(passes >= 2, "{name}: EDCS converged in < 2 passes?");
+                    assert_eq!(scanned, passes * 2 * edges, "{name}");
+                }
+            }
+        }
     }
 }
 
@@ -463,6 +595,22 @@ fn committed_baseline_huge_tier_is_out_of_core_at_scale() {
     let doc = Json::parse(&text).expect("committed baseline parses");
     assert_eq!(doc.get("scale").unwrap().as_str(), Some("full"));
     assert_huge_tier_schema(&doc, 20_000_000);
+}
+
+/// Acceptance gate on the *committed* full-scale `backends` section:
+/// the race in `results/RESULTS.md` is only publishable because both
+/// backends passed conformance first — size bounds honored, matching
+/// sizes mutually consistent under the claimed ratios, and the streamed
+/// arms out-of-core on every huge family.
+#[test]
+fn committed_baseline_backends_race_is_conformant() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_pipeline.json");
+    let text = std::fs::read_to_string(&path).expect("committed BENCH_pipeline.json present");
+    let doc = Json::parse(&text).expect("committed baseline parses");
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("full"));
+    assert_backends_schema(&doc);
 }
 
 /// Shared structural checks for a `serve_bench.json` document at either

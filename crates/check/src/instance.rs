@@ -10,6 +10,7 @@
 use crate::oracles::OracleKind;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use sparsimatch_core::backend::BackendKind;
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_dynamic::adversary::{Adversary, Policy, StreamAdversary, Update};
 use sparsimatch_dynamic::scheme::DynamicMatcher;
@@ -33,6 +34,11 @@ pub struct CheckConfig {
     /// `SparsifierParams::practical` sizing (used to demonstrate failures
     /// when Δ is below theory).
     pub delta: Option<usize>,
+    /// Focus the sweep on one sparsifier backend: every seed runs the
+    /// `backend` oracle, restricted to the named backend's sub-checks
+    /// (the CI oracle slice for `--backend edcs`). `None` keeps the
+    /// normal rotation, whose `backend` slot certifies both.
+    pub backend: Option<BackendKind>,
 }
 
 /// A self-contained, serializable test instance.
@@ -248,21 +254,29 @@ fn named(inst: workloads::Instance) -> (String, CsrGraph, usize) {
 impl Scenario {
     /// Deterministically generate the trial for `seed`: the oracle
     /// rotates static → dynamic → distsim → scratch → stream →
-    /// chaos-stream with the seed, and the instance is drawn from a
-    /// seed-derived RNG, so the same `(seed, cfg)` always produces the
-    /// same trial.
+    /// chaos-stream → backend with the seed, and the instance is drawn
+    /// from a seed-derived RNG, so the same `(seed, cfg)` always
+    /// produces the same trial. A [`CheckConfig::backend`] filter
+    /// replaces the rotation with the `backend` oracle on every seed.
     pub fn generate(seed: u64, cfg: &CheckConfig) -> Scenario {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_C0DE_D1FF_F00D);
-        let oracle = match seed % 6 {
-            0 => OracleKind::Static,
-            1 => OracleKind::Dynamic,
-            2 => OracleKind::Distsim,
-            3 => OracleKind::Scratch,
-            4 => OracleKind::Stream,
-            _ => OracleKind::ChaosStream,
+        let oracle = if cfg.backend.is_some() {
+            OracleKind::Backend
+        } else {
+            match seed % 7 {
+                0 => OracleKind::Static,
+                1 => OracleKind::Dynamic,
+                2 => OracleKind::Distsim,
+                3 => OracleKind::Scratch,
+                4 => OracleKind::Stream,
+                5 => OracleKind::ChaosStream,
+                _ => OracleKind::Backend,
+            }
         };
         let instance = match oracle {
-            OracleKind::Static => static_instance(&mut rng, cfg, 8, 40),
+            // Backend claims need exact-MCM ground truth too, so they
+            // share the static oracle's small shapes.
+            OracleKind::Static | OracleKind::Backend => static_instance(&mut rng, cfg, 8, 40),
             OracleKind::Distsim => static_instance(&mut rng, cfg, 10, 34),
             // Scratch, stream, and chaos identities are cheap (no
             // exact-MCM ground truth), so they get the larger static
@@ -367,6 +381,7 @@ mod tests {
         let cfg = CheckConfig {
             bound_eps: None,
             delta: Some(3),
+            backend: None,
         };
         for seed in 0..15 {
             let s = Scenario::generate(seed, &cfg);
@@ -382,7 +397,7 @@ mod tests {
     #[test]
     fn oracle_rotation_covers_all_kinds() {
         let cfg = CheckConfig::default();
-        let kinds: Vec<OracleKind> = (0..6).map(|s| Scenario::generate(s, &cfg).oracle).collect();
+        let kinds: Vec<OracleKind> = (0..7).map(|s| Scenario::generate(s, &cfg).oracle).collect();
         assert_eq!(
             kinds,
             vec![
@@ -391,9 +406,23 @@ mod tests {
                 OracleKind::Distsim,
                 OracleKind::Scratch,
                 OracleKind::Stream,
-                OracleKind::ChaosStream
+                OracleKind::ChaosStream,
+                OracleKind::Backend
             ]
         );
+    }
+
+    #[test]
+    fn backend_filter_forces_the_backend_oracle() {
+        let cfg = CheckConfig {
+            backend: Some(BackendKind::Edcs),
+            ..CheckConfig::default()
+        };
+        for seed in 0..7 {
+            let s = Scenario::generate(seed, &cfg);
+            assert_eq!(s.oracle, OracleKind::Backend, "seed {seed}");
+            assert!(s.instance.updates.is_empty());
+        }
     }
 
     #[test]

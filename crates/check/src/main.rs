@@ -10,11 +10,12 @@ sparsimatch-check — differential fuzzing of the sparsimatch oracles
 
 USAGE:
   sparsimatch-check [--seeds <N>] [--start-seed <S>] [--out-dir <DIR>]
-                    [--bound-eps <E>] [--delta <D>] [--max-counterexamples <K>]
+                    [--bound-eps <E>] [--delta <D>] [--backend <B>]
+                    [--max-counterexamples <K>]
 
 Runs N seeded trials (default 1000) rotating through the static,
-dynamic, distsim, scratch, stream, and chaos-stream oracles. Every
-trial is deterministic in its seed,
+dynamic, distsim, scratch, stream, chaos-stream, and backend oracles.
+Every trial is deterministic in its seed,
 so a failure is reproducible by seed alone; on top of that each failure
 is shrunk (ddmin over edges/updates) and written to
 <out-dir>/counterexample-<seed>.json (default results/check/), a file
@@ -24,6 +25,8 @@ is shrunk (ddmin over edges/updates) and written to
 and --delta forces an explicit per-vertex mark count; both exist to
 demonstrate the find -> shrink -> reproduce loop on bounds the theory
 does not promise. At default parameters a sweep is expected to be clean.
+--backend <delta|edcs> focuses every seed on the backend oracle,
+restricted to that backend's claim checks (the CI oracle slice).
 
 Exit codes: 0 clean sweep, 1 violations found, 2 usage error.";
 
@@ -73,6 +76,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.cfg.delta = Some(delta);
             }
+            "--backend" => {
+                args.cfg.backend = Some(
+                    sparsimatch_core::backend::BackendKind::parse(value)
+                        .ok_or_else(|| format!("--backend must be delta or edcs, got {value}"))?,
+                );
+            }
             "--max-counterexamples" => {
                 args.max_counterexamples = value.parse().map_err(|e| bad(&e))?
             }
@@ -98,7 +107,7 @@ fn main() {
         }
     };
 
-    let mut trials_by_oracle = [0u64; 6];
+    let mut trials_by_oracle = [0u64; 7];
     let mut violations = 0usize;
     // One pipeline arena for the whole sweep: every oracle's sequential
     // pipeline runs reuse it (the scratch oracle proves reuse is exact,
@@ -169,7 +178,7 @@ fn main() {
 
     println!(
         "checked {} seeds (static {}, dynamic {}, distsim {}, scratch {}, stream {}, \
-         chaos-stream {}): {}",
+         chaos-stream {}, backend {}): {}",
         trials_by_oracle.iter().sum::<u64>(),
         trials_by_oracle[0],
         trials_by_oracle[1],
@@ -177,6 +186,7 @@ fn main() {
         trials_by_oracle[3],
         trials_by_oracle[4],
         trials_by_oracle[5],
+        trials_by_oracle[6],
         if violations == 0 {
             "all oracles green".to_string()
         } else {

@@ -35,6 +35,13 @@
 //!   the work accounting, and an unrecoverable plan must surface a typed
 //!   [`StreamBuildError`] — never a panic, never a silently wrong
 //!   sparsifier.
+//! * **backend** — the [`MatchingSparsifier`] contract: the `delta`
+//!   backend behind the trait is byte-identical to the direct pipeline
+//!   at `t ∈ {1, 2, 4}` (the tentpole's zero-behavior-change pin), and
+//!   *every* backend's self-declared claims hold — the built subgraph
+//!   respects its claimed size bound and local invariants (for EDCS,
+//!   Properties A and B plus in-memory/streamed build identity), and the
+//!   solved matching is within the claimed ratio of exact blossom.
 //!
 //! A whole seed sweep shares one [`PipelineScratch`] (see
 //! [`OracleKind::check_with_scratch`]), so every oracle's sequential
@@ -47,6 +54,8 @@
 use crate::instance::{CheckConfig, CheckInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sparsimatch_core::backend::{BackendKind, DeltaBackend, EdcsBackend, MatchingSparsifier};
+use sparsimatch_core::edcs::{build_edcs, build_edcs_streamed, edcs_violation, EdcsParams};
 use sparsimatch_core::pipeline::{
     approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_with_scratch,
 };
@@ -87,6 +96,12 @@ pub const DISTSIM_ABS_SLACK: f64 = 2.0;
 /// audit exists to catch).
 const DYNAMIC_AUDIT_PERIOD: usize = 25;
 
+/// Additive slack on the backend ratio checks: the claims are worst-case
+/// asymptotic statements, and at `n ≤ 40` a single unlucky vertex is one
+/// matched edge of noise — the same allowance the dynamic and distsim
+/// oracles get.
+pub const BACKEND_ABS_SLACK: f64 = 2.0;
+
 /// Tiny epsilon absorbing float rounding in ratio comparisons.
 const FLOAT_FUDGE: f64 = 1e-9;
 
@@ -124,6 +139,10 @@ pub enum OracleKind {
     /// Streamed pipeline under seeded I/O faults: recoverable plans must
     /// retry to byte identity, unrecoverable ones must fail typed.
     ChaosStream,
+    /// The backend trait contract: delta-behind-trait byte identity plus
+    /// each backend's claimed size bound, local invariants, and claimed
+    /// ratio vs exact blossom.
+    Backend,
 }
 
 impl OracleKind {
@@ -136,6 +155,7 @@ impl OracleKind {
             OracleKind::Scratch => "scratch",
             OracleKind::Stream => "stream",
             OracleKind::ChaosStream => "chaos-stream",
+            OracleKind::Backend => "backend",
         }
     }
 
@@ -148,6 +168,7 @@ impl OracleKind {
             "scratch" => Ok(OracleKind::Scratch),
             "stream" => Ok(OracleKind::Stream),
             "chaos-stream" => Ok(OracleKind::ChaosStream),
+            "backend" => Ok(OracleKind::Backend),
             other => Err(format!("unknown oracle {other:?}")),
         }
     }
@@ -176,6 +197,7 @@ impl OracleKind {
             OracleKind::Scratch => check_scratch(inst, cfg, scratch),
             OracleKind::Stream => check_stream(inst, cfg, scratch),
             OracleKind::ChaosStream => check_chaos_stream(inst, cfg),
+            OracleKind::Backend => check_backend(inst, cfg, scratch),
         }
     }
 }
@@ -733,7 +755,7 @@ fn check_chaos_stream(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violati
     // run out with a typed error — the failure mode is a report, not a
     // panic and not a quietly corrupted sparsifier.
     let hard = IoFaultPlan::new(
-        inst.algo_seed ^ 0xDEAD_10,
+        inst.algo_seed ^ 0x00DE_AD10,
         IoFaultRates {
             eio: 1.0,
             ..IoFaultRates::default()
@@ -751,6 +773,188 @@ fn check_chaos_stream(inst: &CheckInstance, cfg: &CheckConfig) -> Option<Violati
             "unrecoverable fault plan produced a result instead of a typed error".to_string(),
         )),
     }
+}
+
+/// The seed-derived EDCS parameters the backend oracle stresses: β swept
+/// over `4..=32` and `λ = 2/β`, so `λβ = 2` keeps every draw inside
+/// [`EdcsParams::new`]'s validity window while `β⁻ = β − 2` varies the
+/// saturation floor across the sweep.
+fn edcs_oracle_params(inst: &CheckInstance) -> EdcsParams {
+    let beta = 4 + (inst.algo_seed % 29) as usize;
+    EdcsParams::new(beta, 2.0 / beta as f64).expect("lambda * beta = 2 is always valid")
+}
+
+/// Does the config select this backend's sub-checks? `None` certifies
+/// every backend; a filter runs only its own.
+fn backend_selected(cfg: &CheckConfig, kind: BackendKind) -> bool {
+    cfg.backend.is_none() || cfg.backend == Some(kind)
+}
+
+fn check_backend(
+    inst: &CheckInstance,
+    cfg: &CheckConfig,
+    scratch: &mut PipelineScratch,
+) -> Option<Violation> {
+    let g: CsrGraph = inst.graph();
+    let n = g.num_vertices();
+    let exact = maximum_matching(&g).len();
+
+    // Sub-check order is fixed — delta first, then EDCS — in both the
+    // full rotation and filtered (`--backend`) modes, so a violation
+    // found in a filtered sweep replays identically without the filter.
+    if backend_selected(cfg, BackendKind::Delta) {
+        let backend = DeltaBackend {
+            params: inst.params(),
+        };
+        // The tentpole pin: the trait is a zero-behavior-change seam.
+        for threads in SCRATCH_THREADS {
+            let direct =
+                match approx_mcm_via_sparsifier(&g, &backend.params, inst.algo_seed, threads) {
+                    Ok(r) => pipeline_fingerprint(&r),
+                    Err(e) => {
+                        return Some(Violation::new(
+                            "pipeline-error",
+                            format!("direct pipeline rejected {threads} threads: {e}"),
+                        ))
+                    }
+                };
+            let traited = match backend.solve(&g, inst.algo_seed, threads, scratch) {
+                Ok(r) => pipeline_fingerprint(r),
+                Err(e) => {
+                    return Some(Violation::new(
+                        "pipeline-error",
+                        format!("delta backend rejected {threads} threads: {e}"),
+                    ))
+                }
+            };
+            if traited != direct {
+                return Some(Violation::new(
+                    "backend-delta-fingerprint",
+                    format!(
+                        "delta backend diverged from the direct pipeline at {threads} threads: \
+                         {} vs {} matched pairs (family {}, n = {n})",
+                        traited.0.len(),
+                        direct.0.len(),
+                        inst.family
+                    ),
+                ));
+            }
+        }
+        if let Some(v) = certify_claims(&backend, &g, inst, exact) {
+            return Some(v);
+        }
+    }
+
+    if backend_selected(cfg, BackendKind::Edcs) {
+        let backend = EdcsBackend {
+            params: edcs_oracle_params(inst),
+            eps: inst.eps,
+        };
+        // Local invariants of the built subgraph: H ⊆ G, Property A,
+        // Property B — checked directly, not trusted from stats.
+        let (h, _) = build_edcs(&g, &backend.params);
+        if let Some(msg) = edcs_violation(&g, &h, &backend.params) {
+            return Some(Violation::new(
+                "edcs-invariant",
+                format!(
+                    "{msg} (family {}, n = {n}, {})",
+                    inst.family,
+                    backend.params_summary()
+                ),
+            ));
+        }
+        // The out-of-core build must be the identical fixpoint.
+        let mut src = g.clone();
+        match build_edcs_streamed(&mut src, &backend.params) {
+            Ok((h_streamed, ..)) => {
+                let mem: Vec<(u32, u32)> = h.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+                let str_edges: Vec<(u32, u32)> =
+                    h_streamed.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+                if mem != str_edges {
+                    return Some(Violation::new(
+                        "edcs-stream-identity",
+                        format!(
+                            "streamed EDCS build diverged from in-memory: {} vs {} edges \
+                             (family {}, n = {n})",
+                            str_edges.len(),
+                            mem.len(),
+                            inst.family
+                        ),
+                    ));
+                }
+            }
+            Err(e) => {
+                return Some(Violation::new(
+                    "stream-error",
+                    format!("streamed EDCS build rejected its own CSR stream: {e}"),
+                ))
+            }
+        }
+        if let Some(v) = certify_claims(&backend, &g, inst, exact) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// The backend-generic half of the oracle: whatever a backend *claims*
+/// (size bound, approximation ratio), certify against ground truth. A
+/// backend overstating its own theory is a shrinkable counterexample.
+fn certify_claims(
+    backend: &dyn MatchingSparsifier,
+    g: &CsrGraph,
+    inst: &CheckInstance,
+    exact: usize,
+) -> Option<Violation> {
+    let n = g.num_vertices();
+    let h = backend.build(g, inst.algo_seed);
+    if h.num_edges() > backend.claimed_size_bound(n) {
+        return Some(Violation::new(
+            "backend-size",
+            format!(
+                "{} backend built {} edges > its claimed bound {} (family {}, n = {n}, {})",
+                backend.name(),
+                h.num_edges(),
+                backend.claimed_size_bound(n),
+                inst.family,
+                backend.params_summary()
+            ),
+        ));
+    }
+    let mut fresh = PipelineScratch::new();
+    let r = match backend.solve(g, inst.algo_seed, 1, &mut fresh) {
+        Ok(r) => r,
+        Err(e) => {
+            return Some(Violation::new(
+                "pipeline-error",
+                format!("{} backend rejected 1 thread: {e}", backend.name()),
+            ))
+        }
+    };
+    if !r.matching.is_valid_for(g) {
+        return Some(Violation::new(
+            "backend-validity",
+            format!(
+                "{} backend output is not a valid matching of the input graph",
+                backend.name()
+            ),
+        ));
+    }
+    let ratio = backend.claimed_ratio();
+    if exact as f64 > ratio * r.matching.len() as f64 + BACKEND_ABS_SLACK + FLOAT_FUDGE {
+        return Some(Violation::new(
+            "backend-ratio",
+            format!(
+                "exact MCM {exact} > claimed {ratio:.4} x {} backend matching {} + \
+                 {BACKEND_ABS_SLACK} (family {}, n = {n}, {})",
+                backend.name(),
+                r.matching.len(),
+                inst.family,
+                backend.params_summary()
+            ),
+        ));
+    }
+    None
 }
 
 #[cfg(test)]
@@ -777,6 +981,7 @@ mod tests {
         let cfg = CheckConfig {
             bound_eps: Some(0.05),
             delta: Some(1),
+            backend: None,
         };
         for seed in 0..6 {
             let s = Scenario::generate(seed, &cfg);
@@ -795,10 +1000,42 @@ mod tests {
             OracleKind::Scratch,
             OracleKind::Stream,
             OracleKind::ChaosStream,
+            OracleKind::Backend,
         ] {
             assert_eq!(OracleKind::from_name(kind.name()).unwrap(), kind);
         }
         assert!(OracleKind::from_name("quantum").is_err());
+    }
+
+    #[test]
+    fn backend_oracle_passes_default_params_and_filters_agree() {
+        // The full backend oracle passes on a seed sample, and a
+        // violation-free verdict is unchanged by per-backend filters
+        // (delta sub-checks run before EDCS sub-checks in both modes).
+        let full = CheckConfig::default();
+        let mut scratch = PipelineScratch::new();
+        for seed in [6u64, 13, 20, 27] {
+            let s = Scenario::generate(seed, &full);
+            assert_eq!(s.oracle, OracleKind::Backend, "seed {seed}");
+            assert_eq!(
+                s.oracle
+                    .check_with_scratch(&s.instance, &full, &mut scratch),
+                None,
+                "seed {seed} ({})",
+                s.instance.family
+            );
+            for kind in sparsimatch_core::backend::BackendKind::ALL {
+                let filtered = CheckConfig {
+                    backend: Some(kind),
+                    ..full
+                };
+                assert_eq!(
+                    OracleKind::Backend.check_with_scratch(&s.instance, &filtered, &mut scratch),
+                    None,
+                    "seed {seed} filtered to {kind}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependency needed for four
 //! subcommands).
 
+use sparsimatch_core::backend::BackendKind;
 use std::path::PathBuf;
 
 /// Top-level usage text.
@@ -16,14 +17,16 @@ USAGE:
   sparsimatch sparsify <FILE> --beta <B> --eps <E> [--scale <S>] [--seed <S>] [--out <FILE>]
                        [--threads <T>] [--metrics-json <FILE>]
   sparsimatch match <FILE> (--eps <E> --beta <B> | --exact | --greedy) [--seed <S>] [--pairs]
+                    [--backend delta|edcs] [--edcs-beta <B>] [--lambda <L>]
                     [--threads <T>] [--metrics-json <FILE>]
   sparsimatch distsim <FILE> [--algo approx|baseline|randomized] [--beta <B>] [--eps <E>]
                       [--seed <S>] [--pairs] [--metrics-json <FILE>]
                       [--fault-seed <S>] [--drop <P>] [--duplicate <P>] [--reorder <P>]
                       [--crash <P>] [--crash-period <K>] [--fault-horizon <R>] [--retries <K>]
   sparsimatch check --replay <FILE>
-  sparsimatch serve [--socket <PATH>] [--threads <T>] [--queue-cap <N>] [--max-sessions <C>]
-                    [--deadline-ms <D>] [--idle-timeout-ms <I>] [--drain-ms <W>]
+  sparsimatch serve [--socket <PATH>] [--backend delta|edcs] [--threads <T>] [--queue-cap <N>]
+                    [--max-sessions <C>] [--deadline-ms <D>] [--idle-timeout-ms <I>]
+                    [--drain-ms <W>]
   sparsimatch help
 
 Graphs are plain-text edge lists: a `n m` header line followed by one
@@ -39,6 +42,16 @@ RNG draws, overlay writes, ...) as JSON; the file is byte-stable for a
 fixed seed unless the SPARSIMATCH_METRICS_TIMINGS=1 environment
 variable adds wall-clock span timings (including per-stage
 stage.mark / stage.extract / stage.match spans).
+
+--backend selects the sparsifier family behind `match` (and the default
+each serve session applies when a solve request names none). `delta`
+(the default) is the paper's G_Delta pipeline and takes --beta/--eps.
+`edcs` builds a (beta, (1 - lambda) * beta)-EDCS instead: it takes only
+--eps, with --edcs-beta (default 16, must be >= 2) and --lambda
+(default min(2/beta, 1/2), must keep lambda * beta >= 1) tuning the
+edge-degree bound. EDCS construction is deterministic and ignores
+--seed. See results/RESULTS.md for the measured trade-off between the
+two backends.
 
 distsim runs the synchronous message-passing pipeline on one machine
 and reports rounds/messages/bits. The --drop/--duplicate/--reorder/
@@ -116,11 +129,21 @@ pub struct SparsifyArgs {
 /// Matching algorithm selector.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MatchAlgo {
-    /// Sparsify-and-match (needs β and ε).
+    /// Sparsify-and-match through the `delta` backend (needs β and ε).
     Sparsify {
         /// β bound.
         beta: usize,
         /// Target ε.
+        eps: f64,
+    },
+    /// Sparsify-and-match through the `edcs` backend (needs only ε; the
+    /// EDCS parameters have CLI defaults).
+    Edcs {
+        /// EDCS edge-degree bound β (`--edcs-beta`).
+        beta: usize,
+        /// Slack λ (`--lambda`; `None` = the β-derived default).
+        lambda: Option<f64>,
+        /// Target ε for the augmentation stage.
         eps: f64,
     },
     /// Exact blossom.
@@ -207,6 +230,8 @@ pub struct CheckArgs {
 pub struct ServeArgs {
     /// Unix socket path (stdin/stdout session if absent).
     pub socket: Option<PathBuf>,
+    /// Backend a solve request falls back to when it names none.
+    pub backend: BackendKind,
     /// Worker threads (1..=64) per pipeline solve.
     pub threads: usize,
     /// Bounded per-session request queue capacity.
@@ -299,6 +324,16 @@ impl<'a> Flags<'a> {
         }
         Ok(())
     }
+
+    /// `--backend` as a [`BackendKind`], or `None` when absent.
+    fn backend(&self) -> Result<Option<BackendKind>, String> {
+        match self.get("--backend")? {
+            None => Ok(None),
+            Some(s) => BackendKind::parse(s)
+                .map(Some)
+                .ok_or_else(|| format!("--backend must be delta or edcs, got {s:?}")),
+        }
+    }
 }
 
 /// Parse a raw argument vector (without the program name).
@@ -371,21 +406,51 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             flags.expect_known(&[
                 "--exact",
                 "--greedy",
+                "--backend",
                 "--beta",
                 "--eps",
+                "--edcs-beta",
+                "--lambda",
                 "--seed",
                 "--pairs",
                 "--threads",
                 "--metrics-json",
             ])?;
+            let backend = flags.backend()?;
+            if backend.is_some() && (flags.has("--exact") || flags.has("--greedy")) {
+                return Err(
+                    "--backend selects a sparsifier; it conflicts with --exact/--greedy".into(),
+                );
+            }
             let algo = if flags.has("--exact") {
                 MatchAlgo::Exact
             } else if flags.has("--greedy") {
                 MatchAlgo::Greedy
             } else {
-                MatchAlgo::Sparsify {
-                    beta: flags.require("--beta")?,
-                    eps: flags.require("--eps")?,
+                match backend.unwrap_or(BackendKind::Delta) {
+                    BackendKind::Delta => {
+                        if flags.has("--edcs-beta") || flags.has("--lambda") {
+                            return Err("--edcs-beta/--lambda require --backend edcs".to_string());
+                        }
+                        MatchAlgo::Sparsify {
+                            beta: flags.require("--beta")?,
+                            eps: flags.require("--eps")?,
+                        }
+                    }
+                    BackendKind::Edcs => {
+                        if flags.has("--beta") {
+                            return Err(
+                                "--beta is the delta backend's bound; with --backend edcs \
+                                 use --edcs-beta"
+                                    .to_string(),
+                            );
+                        }
+                        MatchAlgo::Edcs {
+                            beta: flags.parse_opt("--edcs-beta")?.unwrap_or(16),
+                            lambda: flags.parse_opt("--lambda")?,
+                            eps: flags.require("--eps")?,
+                        }
+                    }
                 }
             };
             Ok(Command::Match(MatchArgs {
@@ -461,6 +526,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let flags = Flags { rest: &args[1..] };
             flags.expect_known(&[
                 "--socket",
+                "--backend",
                 "--threads",
                 "--queue-cap",
                 "--max-sessions",
@@ -470,6 +536,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             ])?;
             Ok(Command::Serve(ServeArgs {
                 socket: flags.get("--socket")?.map(PathBuf::from),
+                backend: flags.backend()?.unwrap_or(BackendKind::Delta),
                 threads: flags.parse_opt("--threads")?.unwrap_or(1),
                 queue_cap: flags.parse_opt("--queue-cap")?.unwrap_or(128),
                 max_sessions: flags.parse_opt("--max-sessions")?.unwrap_or(4),
@@ -641,6 +708,7 @@ mod tests {
             parse(&args("serve")).unwrap(),
             Command::Serve(ServeArgs {
                 socket: None,
+                backend: BackendKind::Delta,
                 threads: 1,
                 queue_cap: 128,
                 max_sessions: 4,
@@ -651,12 +719,13 @@ mod tests {
         );
         assert_eq!(
             parse(&args(
-                "serve --socket /tmp/s.sock --threads 2 --queue-cap 16 --max-sessions 8 \
-                 --deadline-ms 250 --idle-timeout-ms 5000 --drain-ms 750"
+                "serve --socket /tmp/s.sock --backend edcs --threads 2 --queue-cap 16 \
+                 --max-sessions 8 --deadline-ms 250 --idle-timeout-ms 5000 --drain-ms 750"
             ))
             .unwrap(),
             Command::Serve(ServeArgs {
                 socket: Some(PathBuf::from("/tmp/s.sock")),
+                backend: BackendKind::Edcs,
                 threads: 2,
                 queue_cap: 16,
                 max_sessions: 8,
@@ -668,6 +737,54 @@ mod tests {
         assert!(parse(&args("serve --socket")).is_err());
         assert!(parse(&args("serve --threads wat")).is_err());
         assert!(parse(&args("serve --port 80")).is_err(), "unknown flag");
+        assert!(parse(&args("serve --backend magic")).is_err());
+    }
+
+    #[test]
+    fn parses_match_backend_selection() {
+        // EDCS with everything explicit.
+        let Command::Match(m) = parse(&args(
+            "match g.el --backend edcs --edcs-beta 8 --lambda 0.25 --eps 0.3",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            m.algo,
+            MatchAlgo::Edcs {
+                beta: 8,
+                lambda: Some(0.25),
+                eps: 0.3,
+            }
+        );
+        // EDCS defaults: beta 16, lambda derived at the command layer.
+        let Command::Match(m) = parse(&args("match g.el --backend edcs --eps 0.3")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            m.algo,
+            MatchAlgo::Edcs {
+                beta: 16,
+                lambda: None,
+                eps: 0.3,
+            }
+        );
+        // An explicit `--backend delta` is the existing sparsify algo.
+        let Command::Match(m) =
+            parse(&args("match g.el --backend delta --beta 2 --eps 0.3")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(m.algo, MatchAlgo::Sparsify { beta: 2, eps: 0.3 });
+        // Conflicts and typos are hard errors, not silent fallbacks.
+        assert!(parse(&args("match g.el --backend warp --eps 0.3")).is_err());
+        assert!(parse(&args("match g.el --backend edcs --beta 2 --eps 0.3")).is_err());
+        assert!(parse(&args("match g.el --edcs-beta 8 --beta 2 --eps 0.3")).is_err());
+        assert!(parse(&args(
+            "match g.el --backend delta --lambda 0.1 --beta 2 --eps 0.3"
+        ))
+        .is_err());
+        assert!(parse(&args("match g.el --backend edcs --exact")).is_err());
     }
 
     #[test]

@@ -7,8 +7,10 @@ use crate::args::{
 };
 use crate::error::CliError;
 use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::edcs::{approx_mcm_via_edcs_with_scratch_metered, EdcsParams};
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_metered;
+use sparsimatch_core::scratch::PipelineScratch;
 use sparsimatch_core::sparsifier::{
     build_sparsifier_parallel_metered, ThreadCountError, MAX_THREADS,
 };
@@ -54,6 +56,32 @@ fn require_positive(name: &str, x: f64) -> Result<(), CliError> {
     } else {
         Err(CliError::InvalidParam(format!(
             "{name} must be a finite positive number, got {x}"
+        )))
+    }
+}
+
+/// Reject an ε outside the open interval (0, 1). The sparsifier's Δ
+/// sizing divides by ε and the augmenting-path length bound needs
+/// ε < 1, so values on or past either endpoint would trip internal
+/// asserts instead of producing a typed exit-7 error.
+fn require_eps(name: &str, eps: f64) -> Result<(), CliError> {
+    if eps.is_finite() && 0.0 < eps && eps < 1.0 {
+        Ok(())
+    } else {
+        Err(CliError::InvalidParam(format!(
+            "{name} must be in the open interval (0, 1), got {eps}"
+        )))
+    }
+}
+
+/// Reject β = 0, which [`SparsifierParams`] asserts against (any graph
+/// with an edge has neighborhood independence at least 1).
+fn require_beta(name: &str, beta: usize) -> Result<(), CliError> {
+    if beta >= 1 {
+        Ok(())
+    } else {
+        Err(CliError::InvalidParam(format!(
+            "{name} must be at least 1, got 0"
         )))
     }
 }
@@ -207,7 +235,8 @@ pub fn analyze(args: AnalyzeArgs, out: Out<'_>) -> Result<(), CliError> {
 /// `sparsimatch sparsify`.
 pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), CliError> {
     let g = read_edge_list_file(&args.input)?;
-    require_positive("--eps", args.eps)?;
+    require_beta("--beta", args.beta)?;
+    require_eps("--eps", args.eps)?;
     require_positive("--scale", args.scale)?;
     let params = SparsifierParams::scaled(args.beta, args.eps, args.scale);
     let mut meter = WorkMeter::new();
@@ -245,9 +274,6 @@ pub fn sparsify(args: SparsifyArgs, out: Out<'_>) -> Result<(), CliError> {
 /// `sparsimatch match`.
 pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), CliError> {
     let g = read_edge_list_file(&args.input)?;
-    if let MatchAlgo::Sparsify { eps, .. } = args.algo {
-        require_positive("--eps", eps)?;
-    }
     let mut meter = WorkMeter::new();
     let (label, matching): (&str, Matching) = match args.algo {
         MatchAlgo::Exact => (
@@ -259,6 +285,8 @@ pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), CliError> {
             meter.time("match", |_| greedy_maximal_matching(&g)),
         ),
         MatchAlgo::Sparsify { beta, eps } => {
+            require_beta("--beta", beta)?;
+            require_eps("--eps", eps)?;
             let params = SparsifierParams::practical(beta, eps);
             // One seeded pipeline for every thread count: `--threads`
             // accelerates marking, extraction, and matching without
@@ -271,6 +299,32 @@ pub fn do_match(args: MatchArgs, out: Out<'_>) -> Result<(), CliError> {
             writeln!(out, "probes: {} (m = {})", r.probes.total(), g.num_edges())
                 .map_err(io_err)?;
             ("sparsify+match", r.matching)
+        }
+        MatchAlgo::Edcs { beta, lambda, eps } => {
+            require_eps("--eps", eps)?;
+            let lambda = lambda.unwrap_or_else(|| EdcsParams::default_lambda(beta));
+            let params =
+                EdcsParams::new(beta, lambda).map_err(|e| CliError::InvalidParam(e.to_string()))?;
+            // EDCS construction is deterministic (it ignores --seed), so
+            // the output — like delta's — is identical for every thread
+            // count; --threads only bounds the accepted range here.
+            let mut scratch = PipelineScratch::new();
+            let r = meter
+                .time("match", |m| {
+                    approx_mcm_via_edcs_with_scratch_metered(
+                        &g,
+                        &params,
+                        eps,
+                        args.threads,
+                        m,
+                        &mut scratch,
+                    )
+                    .cloned()
+                })
+                .map_err(CliError::from)?;
+            writeln!(out, "probes: {} (m = {})", r.probes.total(), g.num_edges())
+                .map_err(io_err)?;
+            ("edcs+match", r.matching)
         }
     };
     writeln!(out, "algorithm: {label}").map_err(io_err)?;
@@ -301,7 +355,8 @@ pub fn distsim(args: DistsimArgs, out: Out<'_>) -> Result<(), CliError> {
     require_probability("--duplicate", args.duplicate)?;
     require_probability("--reorder", args.reorder)?;
     require_probability("--crash", args.crash)?;
-    require_positive("--eps", args.eps)?;
+    require_beta("--beta", args.beta)?;
+    require_eps("--eps", args.eps)?;
     if args.crash_period == 0 {
         return Err(CliError::InvalidParam(
             "--crash-period must be at least 1".into(),
@@ -457,6 +512,7 @@ pub fn serve(args: ServeArgs, _out: Out<'_>) -> Result<(), CliError> {
     }
     let cfg = ServeConfig {
         threads: args.threads,
+        backend: args.backend,
         queue_cap: args.queue_cap,
         max_sessions: args.max_sessions,
         deadline_ms: args.deadline_ms,

@@ -262,6 +262,163 @@ fn invalid_parameter_exits_seven() {
 }
 
 #[test]
+fn edcs_backend_matches_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-edcs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("edcs.el");
+
+    let out = bin()
+        .args([
+            "generate",
+            "clique",
+            "--n",
+            "40",
+            "--out",
+            file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let out = bin()
+        .args([
+            "match",
+            file.to_str().unwrap(),
+            "--backend",
+            "edcs",
+            "--eps",
+            "0.3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("algorithm: edcs+match"), "{text}");
+    assert!(text.contains("matching size: 20"), "{text}");
+    assert!(text.contains("probes:"), "{text}");
+
+    // EDCS construction is deterministic and ignores the seed, so a rerun
+    // under a different seed must be byte-identical.
+    let rerun = bin()
+        .args([
+            "match",
+            file.to_str().unwrap(),
+            "--backend",
+            "edcs",
+            "--eps",
+            "0.3",
+            "--seed",
+            "99",
+        ])
+        .output()
+        .unwrap();
+    assert!(rerun.status.success(), "{rerun:?}");
+    assert_eq!(text, String::from_utf8(rerun.stdout).unwrap());
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn backend_parameter_bounds_exit_seven() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-bparam-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("bparam.el");
+    std::fs::write(&file, "4 2\n0 1\n2 3\n").unwrap();
+    let f = file.to_str().unwrap();
+
+    // Latent panics in SparsifierParams::scaled are now typed CLI errors.
+    assert_fails(
+        &["match", f, "--beta", "0", "--eps", "0.4"],
+        7,
+        "--beta must be at least 1",
+    );
+    assert_fails(
+        &["match", f, "--beta", "2", "--eps", "1"],
+        7,
+        "open interval (0, 1)",
+    );
+    assert_fails(
+        &["sparsify", f, "--beta", "0", "--eps", "0.4"],
+        7,
+        "--beta must be at least 1",
+    );
+    assert_fails(
+        &["distsim", f, "--beta", "2", "--eps", "NaN"],
+        7,
+        "open interval (0, 1)",
+    );
+
+    // EDCS-specific bounds surface the library's own invariant messages.
+    assert_fails(
+        &[
+            "match",
+            f,
+            "--backend",
+            "edcs",
+            "--edcs-beta",
+            "1",
+            "--eps",
+            "0.3",
+        ],
+        7,
+        "at least 2",
+    );
+    assert_fails(
+        &[
+            "match",
+            f,
+            "--backend",
+            "edcs",
+            "--lambda",
+            "1.5",
+            "--eps",
+            "0.3",
+        ],
+        7,
+        "in (0, 1)",
+    );
+    assert_fails(
+        &[
+            "match",
+            f,
+            "--backend",
+            "edcs",
+            "--edcs-beta",
+            "100",
+            "--lambda",
+            "0.001",
+            "--eps",
+            "0.3",
+        ],
+        7,
+        "lambda * beta >= 1",
+    );
+
+    // Cross-backend knobs are usage errors caught at parse time.
+    assert_fails(
+        &[
+            "match",
+            f,
+            "--backend",
+            "edcs",
+            "--beta",
+            "3",
+            "--eps",
+            "0.3",
+        ],
+        2,
+        "use --edcs-beta",
+    );
+    assert_fails(
+        &["match", f, "--backend", "magic", "--eps", "0.3"],
+        2,
+        "must be delta or edcs",
+    );
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
 fn check_replay_reproduces_a_real_counterexample_byte_identically() {
     use sparsimatch_check::shrink::DEFAULT_CALL_BUDGET;
     use sparsimatch_check::{counterexample_doc, shrink_instance, CheckConfig, Scenario};
@@ -274,6 +431,7 @@ fn check_replay_reproduces_a_real_counterexample_byte_identically() {
     let cfg = CheckConfig {
         bound_eps: Some(0.05),
         delta: Some(1),
+        backend: None,
     };
     let (scenario, violation) = (0u64..64)
         .find_map(|seed| {
@@ -335,6 +493,7 @@ fn check_replay_of_a_non_reproducing_file_exits_eight() {
     let cfg = CheckConfig {
         bound_eps: Some(0.05),
         delta: Some(1),
+        backend: None,
     };
     let v = Violation {
         check: "stale".to_string(),

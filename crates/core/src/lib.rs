@@ -32,8 +32,16 @@
 //! * [`lower_bounds`] — the paper's negative results as executable
 //!   instances: deterministic marking fails (Lemma 2.13) and exact
 //!   preservation fails (Observation 2.14).
+//! * [`backend`] — the [`backend::MatchingSparsifier`] contract over
+//!   interchangeable sparsifier backends, with the `G_Δ` pipeline as the
+//!   `delta` backend (byte-identical to the direct entry points).
+//! * [`edcs`] — the Assadi–Bernstein edge-degree constrained subgraph
+//!   (arXiv:1811.02009), the second backend: deterministic, smaller for
+//!   comparable degree budgets, `3/2 + O(λ)` ratio floor.
 
+pub mod backend;
 pub mod composed;
+pub mod edcs;
 pub mod lower_bounds;
 pub mod params;
 pub mod pipeline;
@@ -43,6 +51,8 @@ pub mod solomon;
 pub mod sparsifier;
 pub mod stream_build;
 
+pub use backend::{BackendKind, DeltaBackend, EdcsBackend, MatchingSparsifier};
+pub use edcs::{build_edcs, EdcsParams, EdcsParamsError, EdcsStats};
 pub use params::SparsifierParams;
 pub use pipeline::{
     approx_mcm_via_sparsifier, approx_mcm_via_sparsifier_metered,

@@ -92,6 +92,18 @@ pub fn stage_eps(eps: f64) -> f64 {
     eps / 2.5
 }
 
+/// The per-stage [`SparsifierParams`] the pipeline actually marks with:
+/// Δ re-aimed at [`stage_eps`] while keeping the caller's scaling choice
+/// relative to the paper constant. Shared by the in-memory pipeline, the
+/// out-of-core build, and the `delta` backend's size-bound claim, so all
+/// three agree on the sparsifier they describe.
+pub fn stage_params(params: &SparsifierParams) -> SparsifierParams {
+    let eps_stage = stage_eps(params.eps);
+    let scale = params.delta as f64
+        / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
+    SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9))
+}
+
 /// Theorem 3.1: compute a `(1+ε)`-approximate MCM of `g` by sparsifying
 /// and matching on the sparsifier. `params.eps` is the *end-to-end* target;
 /// both stages run at [`stage_eps`].
@@ -204,11 +216,7 @@ fn approx_mcm_via_sparsifier_impl(
     }
     let total_start = Instant::now();
     let eps_stage = stage_eps(params.eps);
-    // Size Δ for the stage accuracy, keeping the caller's scaling choice
-    // relative to the paper constant.
-    let scale = params.delta as f64
-        / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
-    let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
+    let stage_params = stage_params(params);
 
     let PipelineScratch {
         sampler,

@@ -60,6 +60,10 @@ pub struct PipelineScratch {
     /// Match stage: blossom searcher (frontier queue, parent/base/root
     /// forests).
     pub(crate) searcher: BlossomSearcher,
+    /// EDCS backend: per-edge H-membership flags (EdgeId-indexed).
+    pub(crate) edcs_in: Vec<bool>,
+    /// EDCS backend: per-vertex H-degrees.
+    pub(crate) edcs_deg: Vec<u32>,
     /// The result slot, including the reusable output matching.
     pub(crate) result: PipelineResult,
     /// Largest capacity footprint observed at the end of any run.
@@ -78,6 +82,8 @@ impl PipelineScratch {
             ids: Vec::new(),
             csr: CsrScratch::new(),
             searcher: BlossomSearcher::new(&Matching::new(0)),
+            edcs_in: Vec::new(),
+            edcs_deg: Vec::new(),
             result: PipelineResult {
                 matching: Matching::new(0),
                 sparsifier: Default::default(),
@@ -97,6 +103,8 @@ impl PipelineScratch {
         self.keep.clear();
         self.ids.clear();
         self.csr.clear();
+        self.edcs_in.clear();
+        self.edcs_deg.clear();
         self.result.matching.reset(0);
         self.result.sparsifier = Default::default();
         self.result.probes = ProbeCounts::default();
@@ -123,6 +131,8 @@ impl PipelineScratch {
             + self.ids.capacity() * size_of::<EdgeId>()
             + self.csr.capacity_bytes()
             + self.searcher.capacity_bytes()
+            + self.edcs_in.capacity()
+            + self.edcs_deg.capacity() * size_of::<u32>()
     }
 
     /// Largest [`PipelineScratch::capacity_bytes`] observed at the end of

@@ -248,11 +248,11 @@ pub fn build_sparsifier_streamed(
     params: &SparsifierParams,
     seed: u64,
 ) -> Result<(Sparsifier, StreamBuildReport), ReadError> {
-    build_sparsifier_streamed_with_retry(src, params, seed, &RetryPolicy::none()).map_err(
-        |e| match e {
+    build_sparsifier_streamed_with_retry(src, params, seed, &RetryPolicy::none()).map_err(|e| {
+        match e {
             StreamBuildError::RetriesExhausted { last, .. } => last,
-        },
-    )
+        }
+    })
 }
 
 /// [`build_sparsifier_streamed`] under a [`RetryPolicy`]: a pass that
@@ -293,25 +293,18 @@ pub fn build_sparsifier_streamed_with_retry_metered(
     // A retried attempt starts from zeroed counts, so only a *complete*
     // scan ever feeds the sampling stage.
     let mut degree = vec![0u32; n];
-    run_pass(
-        src,
-        1,
-        policy,
-        &mut edges_scanned,
-        &mut io_retries,
-        |src| {
-            for d in degree.iter_mut() {
-                *d = 0;
-            }
-            let mut half = 0u64;
-            let result = src.scan(&mut |u, v| {
-                half += 2;
-                degree[u as usize] += 1;
-                degree[v as usize] += 1;
-            });
-            (half, result)
-        },
-    )?;
+    run_pass(src, 1, policy, &mut edges_scanned, &mut io_retries, |src| {
+        for d in degree.iter_mut() {
+            *d = 0;
+        }
+        let mut half = 0u64;
+        let result = src.scan(&mut |u, v| {
+            half += 2;
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        });
+        (half, result)
+    })?;
 
     // Between passes: replay every vertex's sampling from its degree.
     // High-degree vertices contribute exactly Δ sorted positions each;
@@ -382,50 +375,43 @@ pub fn build_sparsifier_streamed_with_retry_metered(
     // the resident-memory accounting is retry-invariant.
     let mut cursor: Vec<u32> = mark_off[..n].to_vec();
     let mut kept: Vec<(u32, u32)> = Vec::with_capacity(m.min(stats.marks_placed));
-    run_pass(
-        src,
-        2,
-        policy,
-        &mut edges_scanned,
-        &mut io_retries,
-        |src| {
-            cursor.copy_from_slice(&mark_off[..n]);
-            for counter in degree.iter_mut() {
-                *counter = 0;
-            }
-            kept.clear();
-            let mut half = 0u64;
-            let result = src.scan(&mut |u, v| {
-                half += 2;
-                let (ui, vi) = (u as usize, v as usize);
-                let pu = degree[ui];
-                degree[ui] += 1;
-                let pv = degree[vi];
-                degree[vi] += 1;
-                // Both cursors advance independently: an edge marked from
-                // both sides must consume both positions, exactly like the
-                // in-memory path placing two marks that dedup to one edge.
-                let take_u = keep_all.get(ui) || {
-                    let c = cursor[ui];
-                    c < mark_off[ui + 1] && mark_pos[c as usize] == pu && {
-                        cursor[ui] = c + 1;
-                        true
-                    }
-                };
-                let take_v = keep_all.get(vi) || {
-                    let c = cursor[vi];
-                    c < mark_off[vi + 1] && mark_pos[c as usize] == pv && {
-                        cursor[vi] = c + 1;
-                        true
-                    }
-                };
-                if take_u || take_v {
-                    kept.push((u, v));
+    run_pass(src, 2, policy, &mut edges_scanned, &mut io_retries, |src| {
+        cursor.copy_from_slice(&mark_off[..n]);
+        for counter in degree.iter_mut() {
+            *counter = 0;
+        }
+        kept.clear();
+        let mut half = 0u64;
+        let result = src.scan(&mut |u, v| {
+            half += 2;
+            let (ui, vi) = (u as usize, v as usize);
+            let pu = degree[ui];
+            degree[ui] += 1;
+            let pv = degree[vi];
+            degree[vi] += 1;
+            // Both cursors advance independently: an edge marked from
+            // both sides must consume both positions, exactly like the
+            // in-memory path placing two marks that dedup to one edge.
+            let take_u = keep_all.get(ui) || {
+                let c = cursor[ui];
+                c < mark_off[ui + 1] && mark_pos[c as usize] == pu && {
+                    cursor[ui] = c + 1;
+                    true
                 }
-            });
-            (half, result)
-        },
-    )?;
+            };
+            let take_v = keep_all.get(vi) || {
+                let c = cursor[vi];
+                c < mark_off[vi + 1] && mark_pos[c as usize] == pv && {
+                    cursor[vi] = c + 1;
+                    true
+                }
+            };
+            if take_u || take_v {
+                kept.push((u, v));
+            }
+        });
+        (half, result)
+    })?;
     let filter_resident = degree.capacity() * 4
         + keep_all.capacity_bytes()
         + mark_off.capacity() * 4
@@ -498,13 +484,10 @@ pub fn approx_mcm_streamed_with_retry(
     policy: &RetryPolicy,
 ) -> Result<(PipelineResult, StreamBuildReport), StreamBuildError> {
     let eps_stage = stage_eps(params.eps);
-    // The same Δ-rescaling the in-memory pipeline applies: keep the
-    // caller's scale relative to the paper constant, re-aimed at the
-    // stage accuracy.
-    let scale = params.delta as f64
-        / (20.0 * (params.beta as f64 / params.eps) * (24.0 / params.eps).ln()).ceil();
-    let stage_params = SparsifierParams::scaled(params.beta, eps_stage, scale.max(1e-9));
-    let (sparsifier, report) = build_sparsifier_streamed_with_retry(src, &stage_params, seed, policy)?;
+    // The same Δ-rescaling the in-memory pipeline applies.
+    let stage_params = crate::pipeline::stage_params(params);
+    let (sparsifier, report) =
+        build_sparsifier_streamed_with_retry(src, &stage_params, seed, policy)?;
     let (matching, aug) = approx_mcm_on_sparsifier(&sparsifier.graph, eps_stage);
     Ok((
         PipelineResult {
@@ -712,8 +695,9 @@ mod tests {
             },
         );
         let mut faulty = FaultyEdgeSource::new(g, plan);
-        let err = build_sparsifier_streamed_with_retry(&mut faulty, &p, 7, &RetryPolicy::attempts(3))
-            .unwrap_err();
+        let err =
+            build_sparsifier_streamed_with_retry(&mut faulty, &p, 7, &RetryPolicy::attempts(3))
+                .unwrap_err();
         match err {
             StreamBuildError::RetriesExhausted {
                 pass,

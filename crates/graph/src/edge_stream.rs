@@ -225,6 +225,24 @@ impl EdgeStreamSource for CsrGraph {
     }
 }
 
+/// A mutable reference to a source is itself a source, so callers that
+/// hold a `&mut dyn EdgeStreamSource` (e.g. a backend trait object) can
+/// feed the generic streamed build entry points without knowing the
+/// concrete type.
+impl<S: EdgeStreamSource + ?Sized> EdgeStreamSource for &mut S {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    fn scan(&mut self, visit: &mut dyn FnMut(u32, u32)) -> Result<(), ReadError> {
+        (**self).scan(visit)
+    }
+}
+
 /// Per-kind I/O fault probabilities, each in `[0, 1]`, drawn once per
 /// scan attempt.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -684,9 +702,8 @@ mod tests {
 
     #[test]
     fn every_fault_kind_fires_with_its_typed_error() {
-        let all_of = |rates: IoFaultRates| {
-            FaultyEdgeSource::new(sample_graph(), IoFaultPlan::new(9, rates))
-        };
+        let all_of =
+            |rates: IoFaultRates| FaultyEdgeSource::new(sample_graph(), IoFaultPlan::new(9, rates));
         let mut eio = all_of(IoFaultRates {
             eio: 1.0,
             ..Default::default()

@@ -10,6 +10,8 @@
 
 use crate::protocol::{ErrorCode, QueryWhat, Request, UpdateOp, WireError, PROTOCOL_VERSION};
 use rand::{rngs::StdRng, SeedableRng};
+use sparsimatch_core::backend::BackendKind;
+use sparsimatch_core::edcs::{approx_mcm_via_edcs_with_scratch_metered, EdcsParams};
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_core::pipeline::approx_mcm_via_sparsifier_with_scratch_metered;
 use sparsimatch_core::scratch::PipelineScratch;
@@ -55,11 +57,17 @@ pub struct DaemonStats {
 pub struct EngineConfig {
     /// Worker threads for each pipeline solve (1..=64).
     pub threads: usize,
+    /// Backend a `solve` uses when the request names none
+    /// (`serve --backend`).
+    pub backend: BackendKind,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { threads: 1 }
+        EngineConfig {
+            threads: 1,
+            backend: BackendKind::Delta,
+        }
     }
 }
 
@@ -75,6 +83,7 @@ const COMMANDS: [&str; 6] = [
 /// A session's resident state. See the module docs.
 pub struct SessionEngine {
     threads: usize,
+    default_backend: BackendKind,
     graph: Option<CsrGraph>,
     scratch: PipelineScratch,
     dynamic: Option<DynamicMatcher>,
@@ -95,6 +104,7 @@ impl SessionEngine {
     pub fn new(cfg: EngineConfig) -> Self {
         SessionEngine {
             threads: cfg.threads,
+            default_backend: cfg.backend,
             graph: None,
             scratch: PipelineScratch::new(),
             dynamic: None,
@@ -144,7 +154,9 @@ impl SessionEngine {
                 eps,
                 seed,
                 pairs,
-            } => self.solve(*beta, *eps, *seed, *pairs),
+                backend,
+                edcs,
+            } => self.solve(*beta, *eps, *seed, *pairs, *backend, edcs),
             Request::Update {
                 ops,
                 beta,
@@ -235,7 +247,15 @@ impl SessionEngine {
         Ok(body)
     }
 
-    fn solve(&mut self, beta: usize, eps: f64, seed: u64, pairs: bool) -> Result<Json, WireError> {
+    fn solve(
+        &mut self,
+        beta: usize,
+        eps: f64,
+        seed: u64,
+        pairs: bool,
+        backend: Option<BackendKind>,
+        edcs: &EdcsParams,
+    ) -> Result<Json, WireError> {
         // Solve reflects dynamic updates: snapshot the matcher's current
         // graph if one exists, else use the resident static graph.
         let snapshot;
@@ -252,16 +272,31 @@ impl SessionEngine {
                 ))
             }
         };
-        let params = SparsifierParams::practical(beta, eps);
+        let backend = backend.unwrap_or(self.default_backend);
         let warm = self.solves > 0;
-        let result = approx_mcm_via_sparsifier_with_scratch_metered(
-            g,
-            &params,
-            seed,
-            self.threads,
-            &mut self.meter,
-            &mut self.scratch,
-        )
+        let result = match backend {
+            BackendKind::Delta => {
+                let params = SparsifierParams::practical(beta, eps);
+                approx_mcm_via_sparsifier_with_scratch_metered(
+                    g,
+                    &params,
+                    seed,
+                    self.threads,
+                    &mut self.meter,
+                    &mut self.scratch,
+                )
+            }
+            // EDCS construction is deterministic; `seed` is ignored by
+            // design (the CLI documents the same contract).
+            BackendKind::Edcs => approx_mcm_via_edcs_with_scratch_metered(
+                g,
+                edcs,
+                eps,
+                self.threads,
+                &mut self.meter,
+                &mut self.scratch,
+            ),
+        }
         .map_err(|e| WireError::new(ErrorCode::Internal, e.to_string()))?;
         self.solves += 1;
         self.last_pairs.clear();
@@ -269,6 +304,7 @@ impl SessionEngine {
             .extend(result.matching.pairs().map(|(u, v)| (u.0, v.0)));
         self.last_solve_size = Some(result.matching.len() as u64);
         let mut body = Json::object();
+        body.set("backend", backend.as_str());
         body.set("matching_size", result.matching.len());
         body.set("sparsifier_edges", result.sparsifier.edges);
         body.set("probes", result.probes.total());
@@ -486,6 +522,56 @@ mod tests {
             .map(|(u, v)| Json::Array(vec![Json::from(u64::from(u.0)), Json::from(u64::from(v.0))]))
             .collect();
         assert_eq!(warm.get("pairs").unwrap().as_array().unwrap(), expected);
+    }
+
+    #[test]
+    fn edcs_solves_dispatch_by_request_and_session_default() {
+        // Explicit backend on the request.
+        let mut engine = SessionEngine::new(EngineConfig::default());
+        handle(
+            &mut engine,
+            r#"{"id":1,"cmd":"load_graph","n":40,"family":"clique"}"#,
+        )
+        .unwrap();
+        let solve =
+            r#"{"id":2,"cmd":"solve","backend":"edcs","edcs_beta":8,"eps":0.3,"pairs":true}"#;
+        let cold = handle(&mut engine, solve).unwrap();
+        assert_eq!(cold.get("backend").unwrap().as_str(), Some("edcs"));
+        // A 40-clique has a perfect matching and EDCS keeps enough of it.
+        assert_eq!(cold.get("matching_size").unwrap().as_u64(), Some(20));
+        // Warm solve through the shared scratch arena is identical.
+        let warm = handle(&mut engine, solve).unwrap();
+        assert_eq!(warm.get("warm").unwrap().as_bool(), Some(true));
+        assert_eq!(cold.get("pairs"), warm.get("pairs"));
+        // And matches the library entry point.
+        let g = sparsimatch_graph::generators::clique(40);
+        let params = EdcsParams::new(8, EdcsParams::default_lambda(8)).unwrap();
+        let lib = sparsimatch_core::edcs::approx_mcm_via_edcs(&g, &params, 0.3, 1).unwrap();
+        assert_eq!(
+            cold.get("matching_size").unwrap().as_u64(),
+            Some(lib.matching.len() as u64)
+        );
+
+        // Session default: a backend-free solve on an edcs-default engine.
+        let mut engine = SessionEngine::new(EngineConfig {
+            threads: 1,
+            backend: BackendKind::Edcs,
+        });
+        handle(
+            &mut engine,
+            r#"{"id":1,"cmd":"load_graph","n":40,"family":"clique"}"#,
+        )
+        .unwrap();
+        let body = handle(&mut engine, r#"{"id":2,"cmd":"solve","eps":0.3}"#).unwrap();
+        assert_eq!(body.get("backend").unwrap().as_str(), Some("edcs"));
+        // ... and an explicit delta request overrides the session default.
+        let body = handle(
+            &mut engine,
+            r#"{"id":3,"cmd":"solve","backend":"delta","beta":1,"eps":0.5}"#,
+        )
+        .unwrap();
+        assert_eq!(body.get("backend").unwrap().as_str(), Some("delta"));
+        assert_eq!(body.get("matching_size").unwrap().as_u64(), Some(20));
     }
 
     #[test]

@@ -31,6 +31,5 @@ pub mod server;
 pub use engine::{DaemonStats, EngineConfig, SessionEngine};
 pub use protocol::{ErrorCode, Request, WireError, MAX_REQUEST_BYTES, PROTOCOL_VERSION};
 pub use server::{
-    run_session, run_session_ctl, serve_stdio, serve_unix, ServeConfig, SessionCtl,
-    SessionSummary,
+    run_session, run_session_ctl, serve_stdio, serve_unix, ServeConfig, SessionCtl, SessionSummary,
 };

@@ -16,6 +16,8 @@
 //! [`sparsimatch_obs::wire`]: unknown fields are errors, and a present
 //! field of the wrong type never silently falls back to a default.
 
+use sparsimatch_core::backend::BackendKind;
+use sparsimatch_core::edcs::EdcsParams;
 use sparsimatch_graph::io::{MAX_EDGES, MAX_VERTICES};
 use sparsimatch_obs::{wire, Json, ParseErrorKind};
 
@@ -54,12 +56,7 @@ fn validate_solver_params(beta: usize, eps: f64) -> Result<(), WireError> {
             "beta = {beta} exceeds the cap of {MAX_BETA}"
         )));
     }
-    // `contains` is false for NaN, so this also rejects it.
-    if !(MIN_EPS..1.0).contains(&eps) {
-        return Err(WireError::bad(format!(
-            "eps must be in [{MIN_EPS}, 1), got {eps}"
-        )));
-    }
+    validate_eps(eps)?;
     // Mirror SparsifierParams::practical, the scale the engine uses.
     let delta = (beta as f64 / eps) * (24.0 / eps).ln();
     if delta > MAX_DELTA as f64 {
@@ -69,6 +66,33 @@ fn validate_solver_params(beta: usize, eps: f64) -> Result<(), WireError> {
         )));
     }
     Ok(())
+}
+
+/// The ε window shared by every backend (the EDCS path has no derived
+/// Δ, but its augmentation stage still needs `0 < eps < 1`, floored at
+/// [`MIN_EPS`] for the same resource reason).
+fn validate_eps(eps: f64) -> Result<(), WireError> {
+    // `contains` is false for NaN, so this also rejects it.
+    if !(MIN_EPS..1.0).contains(&eps) {
+        return Err(WireError::bad(format!(
+            "eps must be in [{MIN_EPS}, 1), got {eps}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validate and assemble the EDCS knobs of a `solve` request. The typed
+/// [`EdcsParams`] constructor enforces β ≥ 2, λ ∈ (0, 1), and λβ ≥ 1;
+/// the wire additionally caps β so no request can demand an H larger
+/// than any admissible graph.
+fn validate_edcs_params(edcs_beta: usize, lambda: Option<f64>) -> Result<EdcsParams, WireError> {
+    if edcs_beta > MAX_BETA {
+        return Err(WireError::bad(format!(
+            "edcs_beta = {edcs_beta} exceeds the cap of {MAX_BETA}"
+        )));
+    }
+    let lambda = lambda.unwrap_or_else(|| EdcsParams::default_lambda(edcs_beta));
+    EdcsParams::new(edcs_beta, lambda).map_err(|e| WireError::bad(e.to_string()))
 }
 
 /// Machine-readable error codes (the `error.code` response field).
@@ -178,7 +202,7 @@ pub enum Request {
     },
     /// Run the sparsify-and-match pipeline on the resident graph.
     Solve {
-        /// Neighborhood-independence bound β.
+        /// Neighborhood-independence bound β (delta backend).
         beta: usize,
         /// Target approximation slack ε.
         eps: f64,
@@ -186,6 +210,12 @@ pub enum Request {
         seed: u64,
         /// Also return the matched pairs, not just the size.
         pairs: bool,
+        /// Explicit backend choice; `None` defers to the session default
+        /// (`serve --backend`, delta unless overridden).
+        backend: Option<BackendKind>,
+        /// EDCS parameters, validated at parse time (defaults apply when
+        /// the `edcs_beta`/`lambda` fields are absent).
+        edcs: EdcsParams,
     },
     /// Apply edge insertions/deletions through the Thm 3.5 dynamic
     /// scheme. `beta`/`eps`/`seed` configure the dynamic matcher when
@@ -353,16 +383,64 @@ fn parse_load_graph(doc: &Json) -> Result<Request, WireError> {
 }
 
 fn parse_solve(doc: &Json) -> Result<Request, WireError> {
-    wire::expect_known_fields(doc, &["id", "cmd", "beta", "eps", "seed", "pairs"])
-        .map_err(field_err)?;
+    wire::expect_known_fields(
+        doc,
+        &[
+            "id",
+            "cmd",
+            "beta",
+            "eps",
+            "seed",
+            "pairs",
+            "backend",
+            "edcs_beta",
+            "lambda",
+        ],
+    )
+    .map_err(field_err)?;
+    let backend = match wire::opt_str(doc, "backend").map_err(field_err)? {
+        None => None,
+        Some(name) => Some(BackendKind::parse(name).ok_or_else(|| {
+            WireError::bad(format!(
+                "backend must be \"delta\" or \"edcs\", got {name:?}"
+            ))
+        })?),
+    };
     let beta = wire::opt_u64(doc, "beta", 2).map_err(field_err)? as usize;
     let eps = wire::opt_f64(doc, "eps", 0.5).map_err(field_err)?;
-    validate_solver_params(beta, eps)?;
+    // Backend-specific knobs on the wrong backend are schema errors, not
+    // silently ignored fields.
+    if backend == Some(BackendKind::Delta)
+        && (doc.get("edcs_beta").is_some() || doc.get("lambda").is_some())
+    {
+        return Err(WireError::bad("edcs_beta/lambda require backend \"edcs\""));
+    }
+    if backend == Some(BackendKind::Edcs) && doc.get("beta").is_some() {
+        return Err(WireError::bad(
+            "beta is the delta backend's bound; with backend \"edcs\" use edcs_beta",
+        ));
+    }
+    // Validate for whichever backend can run: an explicit edcs choice
+    // needs only the shared eps window; otherwise the session default
+    // may be delta, so the delta derivation must stay in bounds too.
+    if backend == Some(BackendKind::Edcs) {
+        validate_eps(eps)?;
+    } else {
+        validate_solver_params(beta, eps)?;
+    }
+    let edcs_beta = wire::opt_u64(doc, "edcs_beta", 16).map_err(field_err)? as usize;
+    let lambda = match doc.get("lambda") {
+        None => None,
+        Some(_) => Some(wire::opt_f64(doc, "lambda", 0.0).map_err(field_err)?),
+    };
+    let edcs = validate_edcs_params(edcs_beta, lambda)?;
     Ok(Request::Solve {
         beta,
         eps,
         seed: wire::opt_u64(doc, "seed", 0).map_err(field_err)?,
         pairs: wire::opt_bool(doc, "pairs", false).map_err(field_err)?,
+        backend,
+        edcs,
     })
 }
 
@@ -471,6 +549,30 @@ mod tests {
                     eps: 0.5,
                     seed: 9,
                     pairs: true,
+                    backend: None,
+                    edcs: EdcsParams::new(16, 0.125).unwrap(),
+                },
+            ),
+            (
+                r#"{"id":9,"cmd":"solve","backend":"edcs","edcs_beta":8,"lambda":0.25,"eps":0.3}"#,
+                Request::Solve {
+                    beta: 2,
+                    eps: 0.3,
+                    seed: 0,
+                    pairs: false,
+                    backend: Some(BackendKind::Edcs),
+                    edcs: EdcsParams::new(8, 0.25).unwrap(),
+                },
+            ),
+            (
+                r#"{"id":10,"cmd":"solve","backend":"delta","beta":1,"eps":0.5}"#,
+                Request::Solve {
+                    beta: 1,
+                    eps: 0.5,
+                    seed: 0,
+                    pairs: false,
+                    backend: Some(BackendKind::Delta),
+                    edcs: EdcsParams::new(16, 0.125).unwrap(),
                 },
             ),
             (
@@ -574,6 +676,52 @@ mod tests {
         ] {
             parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
         }
+    }
+
+    #[test]
+    fn edcs_solver_param_bounds() {
+        let err = |line: &str| parse_request(line).unwrap_err().1;
+        let code = |line: &str| err(line).code;
+        // Unknown backend names are typed errors.
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","backend":"warp","eps":0.3}"#),
+            ErrorCode::BadRequest
+        );
+        // EDCS invariant violations die at the parse layer: β < 2, λ out
+        // of (0, 1), λβ < 1.
+        for line in [
+            r#"{"id":1,"cmd":"solve","backend":"edcs","edcs_beta":1,"eps":0.3}"#,
+            r#"{"id":1,"cmd":"solve","backend":"edcs","edcs_beta":8,"lambda":1.5,"eps":0.3}"#,
+            r#"{"id":1,"cmd":"solve","backend":"edcs","edcs_beta":8,"lambda":-0.1,"eps":0.3}"#,
+            r#"{"id":1,"cmd":"solve","backend":"edcs","edcs_beta":100,"lambda":0.001,"eps":0.3}"#,
+            r#"{"id":1,"cmd":"solve","backend":"edcs","edcs_beta":268435457,"eps":0.3}"#,
+        ] {
+            assert_eq!(code(line), ErrorCode::BadRequest, "{line}");
+        }
+        // The eps window applies to the edcs backend too.
+        assert_eq!(
+            code(r#"{"id":1,"cmd":"solve","backend":"edcs","eps":1}"#),
+            ErrorCode::BadRequest
+        );
+        // Cross-backend knobs are schema errors, not silently ignored.
+        assert!(
+            err(r#"{"id":1,"cmd":"solve","backend":"delta","edcs_beta":8,"eps":0.3}"#)
+                .message
+                .contains("require backend")
+        );
+        assert!(
+            err(r#"{"id":1,"cmd":"solve","backend":"edcs","beta":2,"eps":0.3}"#)
+                .message
+                .contains("use edcs_beta")
+        );
+        // An explicit edcs backend skips the delta Δ derivation, so a
+        // beta-free request with tiny eps is fine where delta's is not.
+        parse_request(r#"{"id":1,"cmd":"solve","backend":"edcs","eps":0.000001}"#).unwrap();
+        // Valid explicit EDCS knobs round-trip.
+        parse_request(
+            r#"{"id":1,"cmd":"solve","backend":"edcs","edcs_beta":4,"lambda":0.5,"eps":0.3}"#,
+        )
+        .unwrap();
     }
 
     #[test]

@@ -33,6 +33,8 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Worker threads per pipeline solve (1..=64).
     pub threads: usize,
+    /// Backend a `solve` uses when the request names none.
+    pub backend: sparsimatch_core::backend::BackendKind,
     /// Bounded request queue per session; requests arriving while the
     /// queue is full are answered `overloaded` and dropped.
     pub queue_cap: usize,
@@ -62,6 +64,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             threads: 1,
+            backend: sparsimatch_core::backend::BackendKind::Delta,
             queue_cap: 128,
             max_sessions: 4,
             deadline_ms: 0,
@@ -226,6 +229,7 @@ where
 {
     let mut engine = SessionEngine::new(EngineConfig {
         threads: cfg.threads,
+        backend: cfg.backend,
     });
     if let Some(daemon) = &ctl.daemon {
         engine.set_daemon_stats(Arc::clone(daemon));
@@ -594,8 +598,7 @@ pub fn serve_unix(path: &Path, cfg: &ServeConfig) -> io::Result<()> {
                         let _ = unblock.shutdown(std::net::Shutdown::Read);
                     };
                     let touch = || {
-                        if let Some(slot) = registry.lock().expect("registry lock").get_mut(&id)
-                        {
+                        if let Some(slot) = registry.lock().expect("registry lock").get_mut(&id) {
                             slot.last_activity = Instant::now();
                         }
                     };

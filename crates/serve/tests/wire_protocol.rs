@@ -636,7 +636,11 @@ fn daemon_shutdown_completes_in_flight_and_sheds_queued_across_sessions() {
     // shutdown lands.
     let mut a = connect();
     let mut a_reader = BufReader::new(a.try_clone().unwrap());
-    writeln!(a, r#"{{"id":1,"cmd":"load_graph","n":2000,"family":"clique"}}"#).unwrap();
+    writeln!(
+        a,
+        r#"{{"id":1,"cmd":"load_graph","n":2000,"family":"clique"}}"#
+    )
+    .unwrap();
     let tail = 5u64;
     for i in 0..tail {
         writeln!(a, r#"{{"id":{},"cmd":"query"}}"#, 100 + i).unwrap();
@@ -658,7 +662,11 @@ fn daemon_shutdown_completes_in_flight_and_sheds_queued_across_sessions() {
     let mut response = String::new();
     a_reader.read_line(&mut response).unwrap();
     let doc = parse_response(response.trim_end());
-    assert_eq!(error_code(&doc), None, "in-flight load completed: {response}");
+    assert_eq!(
+        error_code(&doc),
+        None,
+        "in-flight load completed: {response}"
+    );
     assert_eq!(
         doc.get("result").unwrap().get("n").unwrap().as_u64(),
         Some(2000)
