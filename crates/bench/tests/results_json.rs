@@ -479,6 +479,105 @@ fn assert_backends_schema(doc: &Json) {
     }
 }
 
+/// Schema + identity gates shared by the quick-run and committed-artifact
+/// distsim-scale checks: rows cover every (family, thread count) cell,
+/// the sequential anchor is present, and — the tentpole contract — every
+/// row's fingerprint matches the sequential run.
+fn assert_distsim_scale_schema(doc: &Json, min_nodes: u64) {
+    assert_eq!(
+        doc.get("experiment").unwrap().as_str(),
+        Some("distsim_scale")
+    );
+    assert_eq!(doc.get("bounds_ok").unwrap().as_bool(), Some(true));
+    assert!(doc
+        .get("violations")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+    let nodes = doc.get("nodes").unwrap().as_u64().unwrap();
+    assert!(nodes >= min_nodes, "need >= {min_nodes} nodes, got {nodes}");
+    let host = doc.get("host_parallelism").unwrap().as_u64().unwrap();
+    assert!(host >= 1);
+    let thread_counts: Vec<u64> = doc
+        .get("thread_counts")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|t| t.as_u64().unwrap())
+        .collect();
+    assert_eq!(thread_counts, vec![1, 2, 4, 8]);
+
+    let rows = doc.get("rows").unwrap().as_array().unwrap();
+    let mut families = std::collections::BTreeMap::<String, Vec<u64>>::new();
+    for row in rows {
+        let family = row.get("family").unwrap().as_str().unwrap().to_string();
+        let threads = row.get("threads").unwrap().as_u64().unwrap();
+        assert_eq!(row.get("n").unwrap().as_u64(), Some(nodes));
+        assert!(row.get("m").unwrap().as_u64().unwrap() > 0);
+        assert!(row.get("rounds").unwrap().as_u64().unwrap() > 0);
+        assert!(row.get("messages").unwrap().as_u64().unwrap() > 0);
+        assert!(row.get("bits").unwrap().as_u64().unwrap() > 0);
+        assert!(row.get("matching").unwrap().as_u64().unwrap() > 0);
+        assert!(row.get("wall_ms").unwrap().as_f64().unwrap() > 0.0);
+        let speedup = row.get("speedup").unwrap().as_f64().unwrap();
+        assert!(speedup > 0.0, "speedup must be present and positive");
+        if threads == 1 {
+            assert_eq!(speedup, 1.0, "t=1 is the speedup anchor");
+        }
+        assert_eq!(
+            row.get("fingerprint_match").unwrap().as_bool(),
+            Some(true),
+            "{family} t={threads}: sharded run diverged from the sequential fingerprint"
+        );
+        families.entry(family).or_default().push(threads);
+    }
+    assert_eq!(families.len(), 2, "two graph families expected");
+    for (family, counts) in families {
+        assert_eq!(counts, vec![1, 2, 4, 8], "{family}: thread grid incomplete");
+    }
+}
+
+/// Run the distsim-scale experiment on a tiny node count (debug builds
+/// are slow; CI's release quick run covers 100k nodes) and validate the
+/// schema + the sharded-vs-sequential identity gate end to end.
+#[test]
+fn distsim_scale_quick_run_writes_valid_schema() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-dscale-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let status = Command::new(env!("CARGO_BIN_EXE_exp_distsim_scale"))
+        .args(["--nodes", "4000"])
+        .env("SPARSIMATCH_RESULTS_DIR", &dir)
+        .status()
+        .expect("distsim scale binary runs");
+    assert!(status.success(), "exp_distsim_scale exited nonzero");
+
+    let path = dir.join("distsim_scale.json");
+    let text = std::fs::read_to_string(&path).expect("distsim scale JSON written");
+    let doc = Json::parse(&text).expect("distsim scale JSON parses");
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("quick"));
+    assert_distsim_scale_schema(&doc, 4000);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance gate on the *committed* full-scale scaling run
+/// (`results/distsim_scale.json`): at least a million simulated nodes,
+/// per-thread-count wall time, and fingerprint identity on every row.
+#[test]
+fn committed_distsim_scale_is_full_scale_and_byte_identical() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results/distsim_scale.json");
+    let text =
+        std::fs::read_to_string(&path).expect("committed results/distsim_scale.json present");
+    let doc = Json::parse(&text).expect("committed distsim scale parses");
+    assert_eq!(doc.get("scale").unwrap().as_str(), Some("full"));
+    assert_distsim_scale_schema(&doc, 1_000_000);
+}
+
 /// The *committed* baseline (repo-root `BENCH_pipeline.json`) must record
 /// the bench host's hardware parallelism — speedup ratios are
 /// uninterpretable without it (see EXPERIMENTS.md "Benchmark baseline").

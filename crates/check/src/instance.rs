@@ -39,6 +39,10 @@ pub struct CheckConfig {
     /// (the CI oracle slice for `--backend edcs`). `None` keeps the
     /// normal rotation, whose `backend` slot certifies both.
     pub backend: Option<BackendKind>,
+    /// Pin every seed to one oracle instead of the seed rotation (the CI
+    /// oracle slice for `--oracle distsim`). A [`CheckConfig::backend`]
+    /// filter takes precedence when both are set.
+    pub oracle: Option<OracleKind>,
 }
 
 /// A self-contained, serializable test instance.
@@ -262,6 +266,8 @@ impl Scenario {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_C0DE_D1FF_F00D);
         let oracle = if cfg.backend.is_some() {
             OracleKind::Backend
+        } else if let Some(pinned) = cfg.oracle {
+            pinned
         } else {
             match seed % 7 {
                 0 => OracleKind::Static,
@@ -382,6 +388,7 @@ mod tests {
             bound_eps: None,
             delta: Some(3),
             backend: None,
+            oracle: None,
         };
         for seed in 0..15 {
             let s = Scenario::generate(seed, &cfg);
@@ -423,6 +430,26 @@ mod tests {
             assert_eq!(s.oracle, OracleKind::Backend, "seed {seed}");
             assert!(s.instance.updates.is_empty());
         }
+    }
+
+    #[test]
+    fn oracle_pin_replaces_the_rotation() {
+        let cfg = CheckConfig {
+            oracle: Some(OracleKind::Distsim),
+            ..CheckConfig::default()
+        };
+        for seed in 0..7 {
+            let s = Scenario::generate(seed, &cfg);
+            assert_eq!(s.oracle, OracleKind::Distsim, "seed {seed}");
+            assert!(s.instance.updates.is_empty());
+        }
+        // The backend filter wins when both are set.
+        let both = CheckConfig {
+            backend: Some(BackendKind::Delta),
+            oracle: Some(OracleKind::Distsim),
+            ..CheckConfig::default()
+        };
+        assert_eq!(Scenario::generate(0, &both).oracle, OracleKind::Backend);
     }
 
     #[test]

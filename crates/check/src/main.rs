@@ -11,7 +11,7 @@ sparsimatch-check — differential fuzzing of the sparsimatch oracles
 USAGE:
   sparsimatch-check [--seeds <N>] [--start-seed <S>] [--out-dir <DIR>]
                     [--bound-eps <E>] [--delta <D>] [--backend <B>]
-                    [--max-counterexamples <K>]
+                    [--oracle <O>] [--max-counterexamples <K>]
 
 Runs N seeded trials (default 1000) rotating through the static,
 dynamic, distsim, scratch, stream, chaos-stream, and backend oracles.
@@ -27,6 +27,11 @@ demonstrate the find -> shrink -> reproduce loop on bounds the theory
 does not promise. At default parameters a sweep is expected to be clean.
 --backend <delta|edcs> focuses every seed on the backend oracle,
 restricted to that backend's claim checks (the CI oracle slice).
+--oracle <static|dynamic|distsim|scratch|stream|chaos-stream|backend>
+pins every seed to one oracle instead of the rotation — e.g. the CI
+distsim slice runs `--oracle distsim`, whose checks include sharded
+(multi-thread) vs sequential byte identity. --backend wins over
+--oracle when both are given.
 
 Exit codes: 0 clean sweep, 1 violations found, 2 usage error.";
 
@@ -81,6 +86,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     sparsimatch_core::backend::BackendKind::parse(value)
                         .ok_or_else(|| format!("--backend must be delta or edcs, got {value}"))?,
                 );
+            }
+            "--oracle" => {
+                args.cfg.oracle =
+                    Some(sparsimatch_check::OracleKind::from_name(value).map_err(|e| bad(&e))?);
             }
             "--max-counterexamples" => {
                 args.max_counterexamples = value.parse().map_err(|e| bad(&e))?

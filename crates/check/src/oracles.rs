@@ -65,7 +65,8 @@ use sparsimatch_core::stream_build::{
     approx_mcm_streamed, approx_mcm_streamed_with_retry, RetryPolicy, StreamBuildError,
 };
 use sparsimatch_distsim::algorithms::pipeline::{
-    distributed_approx_mcm, distributed_approx_mcm_faulty, DistributedOutcome,
+    distributed_approx_mcm, distributed_approx_mcm_faulty, distributed_approx_mcm_sharded,
+    DistributedOutcome,
 };
 use sparsimatch_distsim::{FaultPlan, FaultRates, ResilienceParams};
 use sparsimatch_dynamic::adversary::Update;
@@ -475,6 +476,51 @@ fn check_distsim(
             "faulty-validity",
             "distributed matching under faults is invalid for the input".to_string(),
         ));
+    }
+
+    // Sharded engine: at every worker count the sharded run must be
+    // byte-identical to the sequential transport — perfect and faulty
+    // (stress plan + retry) alike, fault counters included.
+    let plan = stress_plan(inst);
+    for threads in [2usize, 4] {
+        let sharded = distributed_approx_mcm_sharded(&g, &params, inst.algo_seed, None, threads);
+        if outcome_fingerprint(&sharded) != outcome_fingerprint(&perfect) {
+            return Some(Violation::new(
+                "sharded-identity",
+                format!(
+                    "t={threads} sharded run diverged from the perfect network: \
+                     {} vs {} matched, {}/{} rounds",
+                    sharded.matching.len(),
+                    perfect.matching.len(),
+                    sharded.metrics.rounds,
+                    perfect.metrics.rounds
+                ),
+            ));
+        }
+        let sharded_faulty = distributed_approx_mcm_sharded(
+            &g,
+            &params,
+            inst.algo_seed,
+            Some((&plan, ResilienceParams::retry(1))),
+            threads,
+        );
+        if outcome_fingerprint(&sharded_faulty) != outcome_fingerprint(&faulty)
+            || sharded_faulty.faults != faulty.faults
+        {
+            return Some(Violation::new(
+                "sharded-faulty-identity",
+                format!(
+                    "t={threads} sharded faulty run diverged from FaultyNetwork: \
+                     {} vs {} matched, {}/{} rounds, faults {} vs {}",
+                    sharded_faulty.matching.len(),
+                    faulty.matching.len(),
+                    sharded_faulty.metrics.rounds,
+                    faulty.metrics.rounds,
+                    sharded_faulty.faults,
+                    faulty.faults
+                ),
+            ));
+        }
     }
 
     // Theorem 3.2/3.3 ratio, and agreement with the sequential pipeline.
@@ -982,6 +1028,7 @@ mod tests {
             bound_eps: Some(0.05),
             delta: Some(1),
             backend: None,
+            oracle: None,
         };
         for seed in 0..6 {
             let s = Scenario::generate(seed, &cfg);

@@ -140,14 +140,16 @@ pub fn replay_str(text: &str) -> Result<ReplayReport, String> {
         updates_after: u64_field(shrink_doc, "updates_after")?,
     };
 
-    // The backend filter is deliberately not serialized: the `backend`
-    // oracle's sub-check order is identical in filtered and full modes,
-    // so replaying without the filter re-finds the same first violation
-    // while keeping the document schema (and its byte stability) fixed.
+    // The backend filter and oracle pin are deliberately not serialized:
+    // both only select *which* oracle runs (the document already names
+    // it), never what that oracle checks, so replaying without them
+    // re-finds the same first violation while keeping the document schema
+    // (and its byte stability) fixed.
     let cfg = CheckConfig {
         bound_eps,
         delta: inst.delta,
         backend: None,
+        oracle: None,
     };
     let fresh = oracle.check(&inst, &cfg);
     let byte_identical = match &fresh {
@@ -182,6 +184,7 @@ mod tests {
             bound_eps: Some(0.05),
             delta: Some(1),
             backend: None,
+            oracle: None,
         };
         let v = Violation {
             check: "stub".to_string(),

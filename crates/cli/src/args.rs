@@ -20,7 +20,7 @@ USAGE:
                     [--backend delta|edcs] [--edcs-beta <B>] [--lambda <L>]
                     [--threads <T>] [--metrics-json <FILE>]
   sparsimatch distsim <FILE> [--algo approx|baseline|randomized] [--beta <B>] [--eps <E>]
-                      [--seed <S>] [--pairs] [--metrics-json <FILE>]
+                      [--seed <S>] [--pairs] [--threads <T>] [--metrics-json <FILE>]
                       [--fault-seed <S>] [--drop <P>] [--duplicate <P>] [--reorder <P>]
                       [--crash <P>] [--crash-period <K>] [--fault-horizon <R>] [--retries <K>]
   sparsimatch check --replay <FILE>
@@ -54,7 +54,12 @@ edge-degree bound. EDCS construction is deterministic and ignores
 two backends.
 
 distsim runs the synchronous message-passing pipeline on one machine
-and reports rounds/messages/bits. The --drop/--duplicate/--reorder/
+and reports rounds/messages/bits. --threads <T> (1..=64, default 1)
+selects the execution engine: 1 runs the historical sequential
+simulator, 2 and above runs the sharded engine (contiguous vertex
+shards, one round worker each, deterministic batched message router);
+the matching, round/message/bit counts, and fault counters are
+byte-identical at every thread count. The --drop/--duplicate/--reorder/
 --crash probabilities (each in [0, 1], default 0) inject seeded,
 reproducible transport faults; --retries <K> arms a per-message
 ack/retry layer that re-sends up to K times. Fault counters
@@ -214,6 +219,9 @@ pub struct DistsimArgs {
     pub fault_horizon: Option<u64>,
     /// Ack/retry resend budget (0 = resilience layer off).
     pub retries: u32,
+    /// Round-worker threads (1 = historical sequential simulator,
+    /// 2..=64 = sharded execution engine; byte-identical output).
+    pub threads: usize,
     /// Write work-counter + fault-counter metrics as JSON to this path.
     pub metrics_json: Option<PathBuf>,
 }
@@ -482,6 +490,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "--crash-period",
                 "--fault-horizon",
                 "--retries",
+                "--threads",
                 "--metrics-json",
             ])?;
             let algo = match flags.get("--algo")?.unwrap_or("approx") {
@@ -509,6 +518,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 crash_period: flags.parse_opt("--crash-period")?.unwrap_or(8),
                 fault_horizon: flags.parse_opt("--fault-horizon")?,
                 retries: flags.parse_opt("--retries")?.unwrap_or(0),
+                threads: flags.parse_opt("--threads")?.unwrap_or(1),
                 metrics_json: flags.get("--metrics-json")?.map(PathBuf::from),
             }))
         }
@@ -662,7 +672,7 @@ mod tests {
         let Command::Distsim(d) = parse(&args(
             "distsim g.el --algo baseline --beta 3 --eps 0.4 --seed 5 \
              --fault-seed 9 --drop 0.25 --duplicate 0.1 --reorder 0.5 \
-             --crash 0.05 --crash-period 4 --fault-horizon 32 --retries 2",
+             --crash 0.05 --crash-period 4 --fault-horizon 32 --retries 2 --threads 4",
         ))
         .unwrap() else {
             panic!()
@@ -674,8 +684,10 @@ mod tests {
         assert_eq!(d.crash_period, 4);
         assert_eq!(d.fault_horizon, Some(32));
         assert_eq!(d.retries, 2);
+        assert_eq!(d.threads, 4);
 
-        // Defaults: approx variant, zero-fault plan, resilience off.
+        // Defaults: approx variant, zero-fault plan, resilience off,
+        // sequential engine.
         let Command::Distsim(d) = parse(&args("distsim g.el")).unwrap() else {
             panic!()
         };
@@ -683,6 +695,7 @@ mod tests {
         assert_eq!(d.drop, 0.0);
         assert_eq!(d.fault_horizon, None);
         assert_eq!(d.retries, 0);
+        assert_eq!(d.threads, 1);
 
         assert!(parse(&args("distsim g.el --algo quantum")).is_err());
         assert!(parse(&args("distsim")).is_err());

@@ -15,8 +15,8 @@ use sparsimatch_core::sparsifier::{
     build_sparsifier_parallel_metered, ThreadCountError, MAX_THREADS,
 };
 use sparsimatch_distsim::algorithms::pipeline::{
-    distributed_approx_mcm_faulty, distributed_maximal_baseline_faulty,
-    distributed_randomized_maximal_faulty,
+    distributed_approx_mcm_sharded, distributed_maximal_baseline_sharded,
+    distributed_randomized_maximal_sharded, FaultCfg,
 };
 use sparsimatch_distsim::{FaultPlan, FaultRates, ResilienceParams};
 use sparsimatch_graph::analysis::arboricity::{arboricity_bounds, degeneracy};
@@ -362,6 +362,14 @@ pub fn distsim(args: DistsimArgs, out: Out<'_>) -> Result<(), CliError> {
             "--crash-period must be at least 1".into(),
         ));
     }
+    if !(1..=MAX_THREADS).contains(&args.threads) {
+        return Err(CliError::Threads(
+            ThreadCountError {
+                requested: args.threads,
+            }
+            .to_string(),
+        ));
+    }
     let g = read_edge_list_file(&args.input)?;
     let rates = FaultRates {
         drop: args.drop,
@@ -379,27 +387,33 @@ pub fn distsim(args: DistsimArgs, out: Out<'_>) -> Result<(), CliError> {
         ResilienceParams::off()
     };
     let params = SparsifierParams::practical(args.beta, args.eps);
-    type FaultyRun = fn(
+    type ShardedRun = fn(
         &CsrGraph,
         &SparsifierParams,
         u64,
-        &FaultPlan,
-        ResilienceParams,
+        FaultCfg<'_>,
+        usize,
     ) -> sparsimatch_distsim::algorithms::pipeline::DistributedOutcome;
-    let (label, run): (&str, FaultyRun) = match args.algo {
-        DistAlgo::Approx => ("distributed approx-mcm", distributed_approx_mcm_faulty),
+    let (label, run): (&str, ShardedRun) = match args.algo {
+        DistAlgo::Approx => ("distributed approx-mcm", distributed_approx_mcm_sharded),
         DistAlgo::Baseline => (
             "distributed maximal (color-scheduled)",
-            distributed_maximal_baseline_faulty,
+            distributed_maximal_baseline_sharded,
         ),
         DistAlgo::Randomized => (
             "distributed maximal (randomized)",
-            distributed_randomized_maximal_faulty,
+            distributed_randomized_maximal_sharded,
         ),
     };
     let mut meter = WorkMeter::new();
     let outcome = meter.time("distsim", |_| {
-        run(&g, &params, args.seed, &plan, resilience)
+        run(
+            &g,
+            &params,
+            args.seed,
+            Some((&plan, resilience)),
+            args.threads,
+        )
     });
     writeln!(out, "algorithm: {label}").map_err(io_err)?;
     writeln!(out, "matching size: {}", outcome.matching.len()).map_err(io_err)?;
@@ -420,6 +434,7 @@ pub fn distsim(args: DistsimArgs, out: Out<'_>) -> Result<(), CliError> {
         let mut doc = metrics_doc("distsim", &g);
         doc.set("algorithm", label);
         doc.set("seed", args.seed);
+        doc.set("threads", args.threads);
         let mut fault_cfg = Json::object();
         fault_cfg.set("seed", args.fault_seed);
         fault_cfg.set("drop", args.drop);

@@ -432,6 +432,7 @@ fn check_replay_reproduces_a_real_counterexample_byte_identically() {
         bound_eps: Some(0.05),
         delta: Some(1),
         backend: None,
+        oracle: None,
     };
     let (scenario, violation) = (0u64..64)
         .find_map(|seed| {
@@ -494,6 +495,7 @@ fn check_replay_of_a_non_reproducing_file_exits_eight() {
         bound_eps: Some(0.05),
         delta: Some(1),
         backend: None,
+        oracle: None,
     };
     let v = Violation {
         check: "stale".to_string(),
@@ -601,6 +603,74 @@ fn distsim_runs_and_reports_faults() {
     for p in [&file, &metrics] {
         std::fs::remove_file(p).ok();
     }
+}
+
+/// `--threads 2` runs the sharded engine and must produce byte-identical
+/// stdout (matching, rounds, messages, bits, fault counters) to the
+/// sequential `--threads 1` run — including under an active fault plan.
+#[test]
+fn distsim_sharded_output_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("sparsimatch-bin-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("shard.el");
+
+    let out = bin()
+        .args([
+            "generate",
+            "clique-union:2:20",
+            "--n",
+            "80",
+            "--seed",
+            "4",
+            "--out",
+            file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let run = |threads: &str| {
+        let out = bin()
+            .args([
+                "distsim",
+                file.to_str().unwrap(),
+                "--algo",
+                "randomized",
+                "--pairs",
+                "--drop",
+                "0.2",
+                "--fault-horizon",
+                "30",
+                "--retries",
+                "1",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "t={threads}: {out:?}");
+        out.stdout
+    };
+    let sequential = run("1");
+    assert_eq!(run("2"), sequential, "t=2 stdout differs from t=1");
+    assert_eq!(run("4"), sequential, "t=4 stdout differs from t=1");
+
+    // Out-of-range thread counts die with the stable threads exit code.
+    let out = bin()
+        .args(["distsim", file.to_str().unwrap(), "--threads", "65"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("between 1 and 64"));
+
+    std::fs::remove_file(&file).ok();
 }
 
 /// Drive `sparsimatch serve` over stdin/stdout with a scripted session

@@ -14,6 +14,7 @@ use crate::algorithms::sparsify::distributed_sparsifier;
 use crate::faults::{FaultPlan, FaultStats, FaultyNetwork, ResilienceParams};
 use crate::metrics::Metrics;
 use crate::network::{Incoming, Net, Network, Outgoing};
+use crate::shard::ShardedNetwork;
 use sparsimatch_core::params::SparsifierParams;
 use sparsimatch_core::solomon::degree_cap_for;
 use sparsimatch_graph::csr::CsrGraph;
@@ -38,20 +39,27 @@ pub struct DistributedOutcome {
 /// Fault configuration threaded through a pipeline run: the plan is
 /// re-instantiated for each phase network (each phase restarts its round
 /// counter, so one plan describes each phase's disruption window).
-type FaultCfg<'a> = Option<(&'a FaultPlan, ResilienceParams)>;
+pub type FaultCfg<'a> = Option<(&'a FaultPlan, ResilienceParams)>;
 
-/// Per-phase transport: a perfect [`Network`] or a [`FaultyNetwork`],
-/// chosen at runtime so `run_pipeline` stays monomorphic.
+/// Per-phase transport: a perfect [`Network`], a [`FaultyNetwork`], or
+/// the sharded engine, chosen at runtime so `run_pipeline` stays
+/// monomorphic. One thread means the historical sequential transports;
+/// two or more means [`ShardedNetwork`] (which folds the fault plan in).
 enum PhaseNet<'g> {
     Plain(Network<'g>),
     Faulty(FaultyNetwork<'g>),
+    Sharded(ShardedNetwork<'g>),
 }
 
 impl<'g> PhaseNet<'g> {
-    fn build(g: &'g CsrGraph, cfg: FaultCfg<'_>) -> Self {
-        match cfg {
-            None => PhaseNet::Plain(Network::new(g)),
-            Some((plan, res)) => {
+    fn build(g: &'g CsrGraph, cfg: FaultCfg<'_>, threads: usize) -> Self {
+        match (threads, cfg) {
+            (2.., None) => PhaseNet::Sharded(ShardedNetwork::new(g, threads)),
+            (2.., Some((plan, res))) => {
+                PhaseNet::Sharded(ShardedNetwork::with_faults(g, threads, plan.clone(), res))
+            }
+            (_, None) => PhaseNet::Plain(Network::new(g)),
+            (_, Some((plan, res))) => {
                 PhaseNet::Faulty(FaultyNetwork::with_resilience(g, plan.clone(), res))
             }
         }
@@ -61,6 +69,7 @@ impl<'g> PhaseNet<'g> {
         match self {
             PhaseNet::Plain(_) => FaultStats::default(),
             PhaseNet::Faulty(n) => n.fault_stats(),
+            PhaseNet::Sharded(n) => n.fault_stats(),
         }
     }
 }
@@ -70,6 +79,7 @@ impl<'g> Net<'g> for PhaseNet<'g> {
         match self {
             PhaseNet::Plain(n) => n.graph(),
             PhaseNet::Faulty(n) => Net::graph(n),
+            PhaseNet::Sharded(n) => Net::graph(n),
         }
     }
 
@@ -77,13 +87,18 @@ impl<'g> Net<'g> for PhaseNet<'g> {
         match self {
             PhaseNet::Plain(n) => n.metrics(),
             PhaseNet::Faulty(n) => Net::metrics(n),
+            PhaseNet::Sharded(n) => n.metrics(),
         }
     }
 
-    fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
+    fn exchange<M: Clone + Send>(
+        &mut self,
+        outboxes: Vec<Vec<Outgoing<M>>>,
+    ) -> Vec<Vec<Incoming<M>>> {
         match self {
             PhaseNet::Plain(n) => n.exchange(outboxes),
             PhaseNet::Faulty(n) => Net::exchange(n, outboxes),
+            PhaseNet::Sharded(n) => Net::exchange(n, outboxes),
         }
     }
 
@@ -91,6 +106,15 @@ impl<'g> Net<'g> for PhaseNet<'g> {
         match self {
             PhaseNet::Plain(n) => n.charge_gather(radius, bits_per_message),
             PhaseNet::Faulty(n) => Net::charge_gather(n, radius, bits_per_message),
+            PhaseNet::Sharded(n) => Net::charge_gather(n, radius, bits_per_message),
+        }
+    }
+
+    fn record_clones(&mut self, count: u64) {
+        match self {
+            PhaseNet::Plain(n) => Net::record_clones(n, count),
+            PhaseNet::Faulty(n) => Net::record_clones(n, count),
+            PhaseNet::Sharded(n) => Net::record_clones(n, count),
         }
     }
 
@@ -98,6 +122,7 @@ impl<'g> Net<'g> for PhaseNet<'g> {
         match self {
             PhaseNet::Plain(n) => n.ball(v, radius),
             PhaseNet::Faulty(n) => Net::ball(n, v, radius),
+            PhaseNet::Sharded(n) => Net::ball(n, v, radius),
         }
     }
 
@@ -105,6 +130,7 @@ impl<'g> Net<'g> for PhaseNet<'g> {
         match self {
             PhaseNet::Plain(_) => true,
             PhaseNet::Faulty(n) => Net::lossless(n),
+            PhaseNet::Sharded(n) => Net::lossless(n),
         }
     }
 }
@@ -116,7 +142,21 @@ pub fn distributed_approx_mcm(
     params: &SparsifierParams,
     seed: u64,
 ) -> DistributedOutcome {
-    run_pipeline(g, params, seed, true, None)
+    run_pipeline(g, params, seed, true, None, 1)
+}
+
+/// [`distributed_approx_mcm`] on the sharded engine: every phase runs on
+/// a [`ShardedNetwork`] with `threads` round workers (1 falls back to the
+/// historical sequential transports). Outcomes are byte-identical to the
+/// sequential run at every thread count, fault configuration included.
+pub fn distributed_approx_mcm_sharded(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    cfg: FaultCfg<'_>,
+    threads: usize,
+) -> DistributedOutcome {
+    run_pipeline(g, params, seed, true, cfg, threads)
 }
 
 /// [`distributed_approx_mcm`] under fault injection: every phase runs on
@@ -132,7 +172,7 @@ pub fn distributed_approx_mcm_faulty(
     plan: &FaultPlan,
     resilience: ResilienceParams,
 ) -> DistributedOutcome {
-    run_pipeline(g, params, seed, true, Some((plan, resilience)))
+    run_pipeline(g, params, seed, true, Some((plan, resilience)), 1)
 }
 
 /// The `(2+ε)`-style comparator (Barenboim–Oren shape): identical
@@ -142,7 +182,19 @@ pub fn distributed_maximal_baseline(
     params: &SparsifierParams,
     seed: u64,
 ) -> DistributedOutcome {
-    run_pipeline(g, params, seed, false, None)
+    run_pipeline(g, params, seed, false, None, 1)
+}
+
+/// [`distributed_maximal_baseline`] on the sharded engine (see
+/// [`distributed_approx_mcm_sharded`]).
+pub fn distributed_maximal_baseline_sharded(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    cfg: FaultCfg<'_>,
+    threads: usize,
+) -> DistributedOutcome {
+    run_pipeline(g, params, seed, false, cfg, threads)
 }
 
 /// [`distributed_maximal_baseline`] under fault injection (see
@@ -154,7 +206,7 @@ pub fn distributed_maximal_baseline_faulty(
     plan: &FaultPlan,
     resilience: ResilienceParams,
 ) -> DistributedOutcome {
-    run_pipeline(g, params, seed, false, Some((plan, resilience)))
+    run_pipeline(g, params, seed, false, Some((plan, resilience)), 1)
 }
 
 /// Randomized variant: sparsifiers as usual, then Israeli–Itai randomized
@@ -166,7 +218,19 @@ pub fn distributed_randomized_maximal(
     params: &SparsifierParams,
     seed: u64,
 ) -> DistributedOutcome {
-    run_randomized(g, params, seed, None)
+    run_randomized(g, params, seed, None, 1)
+}
+
+/// [`distributed_randomized_maximal`] on the sharded engine (see
+/// [`distributed_approx_mcm_sharded`]).
+pub fn distributed_randomized_maximal_sharded(
+    g: &CsrGraph,
+    params: &SparsifierParams,
+    seed: u64,
+    cfg: FaultCfg<'_>,
+    threads: usize,
+) -> DistributedOutcome {
+    run_randomized(g, params, seed, cfg, threads)
 }
 
 /// [`distributed_randomized_maximal`] under fault injection (see
@@ -178,7 +242,7 @@ pub fn distributed_randomized_maximal_faulty(
     plan: &FaultPlan,
     resilience: ResilienceParams,
 ) -> DistributedOutcome {
-    run_randomized(g, params, seed, Some((plan, resilience)))
+    run_randomized(g, params, seed, Some((plan, resilience)), 1)
 }
 
 fn run_randomized(
@@ -186,24 +250,25 @@ fn run_randomized(
     params: &SparsifierParams,
     seed: u64,
     cfg: FaultCfg<'_>,
+    threads: usize,
 ) -> DistributedOutcome {
     let mut totals = Metrics::new();
     let mut faults = FaultStats::default();
 
-    let mut net1 = PhaseNet::build(g, cfg);
+    let mut net1 = PhaseNet::build(g, cfg, threads);
     let g_delta = distributed_sparsifier(&mut net1, params, seed);
     let sparsify_rounds = net1.metrics().rounds;
     totals.absorb(net1.metrics());
     faults.absorb(net1.fault_stats());
 
-    let mut net2 = PhaseNet::build(&g_delta, cfg);
+    let mut net2 = PhaseNet::build(&g_delta, cfg, threads);
     let cap = degree_cap_for(params.arboricity_bound(), params.eps);
     let composed = distributed_solomon(&mut net2, cap);
     let solomon_rounds = net2.metrics().rounds;
     totals.absorb(net2.metrics());
     faults.absorb(net2.fault_stats());
 
-    let mut net3 = PhaseNet::build(&composed, cfg);
+    let mut net3 = PhaseNet::build(&composed, cfg, threads);
     let (matching, _) = crate::algorithms::israeli_itai::israeli_itai_matching(&mut net3, seed);
     let matching_rounds = net3.metrics().rounds;
     totals.absorb(net3.metrics());
@@ -225,19 +290,20 @@ fn run_pipeline(
     seed: u64,
     augment: bool,
     cfg: FaultCfg<'_>,
+    threads: usize,
 ) -> DistributedOutcome {
     let mut totals = Metrics::new();
     let mut faults = FaultStats::default();
 
     // Phase 1: one-round random sparsifier on the physical network.
-    let mut net1 = PhaseNet::build(g, cfg);
+    let mut net1 = PhaseNet::build(g, cfg, threads);
     let g_delta = distributed_sparsifier(&mut net1, params, seed);
     let sparsify_rounds = net1.metrics().rounds;
     totals.absorb(net1.metrics());
     faults.absorb(net1.fault_stats());
 
     // Phase 2: one-round bounded-degree sparsifier on G_Δ.
-    let mut net2 = PhaseNet::build(&g_delta, cfg);
+    let mut net2 = PhaseNet::build(&g_delta, cfg, threads);
     let cap = degree_cap_for(params.arboricity_bound(), params.eps);
     let composed = distributed_solomon(&mut net2, cap);
     let solomon_rounds = net2.metrics().rounds;
@@ -245,7 +311,7 @@ fn run_pipeline(
     faults.absorb(net2.fault_stats());
 
     // Phase 3: bounded-degree matching on the composed sparsifier.
-    let mut net3 = PhaseNet::build(&composed, cfg);
+    let mut net3 = PhaseNet::build(&composed, cfg, threads);
     let matching = if augment {
         bounded_degree_matching(&mut net3, params.eps).0
     } else {

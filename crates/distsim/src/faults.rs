@@ -338,16 +338,31 @@ pub struct FaultyNetwork<'g> {
     faults: FaultStats,
 }
 
-struct Pending<M> {
-    sender: VertexId,
-    dest: VertexId,
-    in_port: usize,
-    slot: u64,
-    back_slot: u64,
-    payload: M,
-    bits: u64,
-    deliveries: u32,
-    acked: bool,
+pub(crate) struct Pending<M> {
+    pub(crate) sender: VertexId,
+    pub(crate) dest: VertexId,
+    pub(crate) in_port: usize,
+    pub(crate) slot: u64,
+    pub(crate) back_slot: u64,
+    /// `Some` until the payload is moved to its receiver. The resilience
+    /// layer retains the payload (cloning per delivery) so it can
+    /// retransmit; without resilience the single delivery takes it.
+    pub(crate) payload: Option<M>,
+    pub(crate) bits: u64,
+    pub(crate) deliveries: u32,
+    pub(crate) acked: bool,
+}
+
+impl<M: Clone> Pending<M> {
+    /// Hand out the payload for one delivery. Retaining transports clone
+    /// (and say so via the returned flag); the final delivery moves.
+    pub(crate) fn payload_for_delivery(&mut self, retain: bool) -> (M, bool) {
+        if retain {
+            (self.payload.clone().expect("payload retained"), true)
+        } else {
+            (self.payload.take().expect("payload delivered once"), false)
+        }
+    }
 }
 
 impl<'g> FaultyNetwork<'g> {
@@ -411,7 +426,10 @@ impl<'g> Net<'g> for FaultyNetwork<'g> {
         self.metrics
     }
 
-    fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
+    fn exchange<M: Clone + Send>(
+        &mut self,
+        outboxes: Vec<Vec<Outgoing<M>>>,
+    ) -> Vec<Vec<Incoming<M>>> {
         let graph = self.inner.graph();
         let n = graph.num_vertices();
         assert_eq!(outboxes.len(), n);
@@ -430,7 +448,7 @@ impl<'g> Net<'g> for FaultyNetwork<'g> {
                     in_port,
                     slot: self.inner.slot_of(v, port) as u64,
                     back_slot: self.inner.slot_of(dest, in_port) as u64,
-                    payload,
+                    payload: Some(payload),
                     bits,
                     deliveries: 0,
                     acked: false,
@@ -477,14 +495,21 @@ impl<'g> Net<'g> for FaultyNetwork<'g> {
                     self.faults.dropped += 1;
                     continue;
                 }
-                inboxes[msg.dest.index()].push((msg.in_port, msg.payload.clone()));
+                let dup = self.plan.message_duplicated(round, msg.slot);
+                // Retain the payload whenever another delivery may still
+                // need it: a retransmit (resilience) or the dup below.
+                let (payload, cloned) = msg.payload_for_delivery(self.resilience.enabled() || dup);
+                self.metrics.messages_cloned += cloned as u64;
+                inboxes[msg.dest.index()].push((msg.in_port, payload));
                 if msg.deliveries > 0 {
                     // Ack-loss retransmit: the receiver sees it twice.
                     self.faults.duplicated += 1;
                 }
                 msg.deliveries += 1;
-                if self.plan.message_duplicated(round, msg.slot) {
-                    inboxes[msg.dest.index()].push((msg.in_port, msg.payload.clone()));
+                if dup {
+                    let (payload, cloned) = msg.payload_for_delivery(self.resilience.enabled());
+                    self.metrics.messages_cloned += cloned as u64;
+                    inboxes[msg.dest.index()].push((msg.in_port, payload));
                     msg.deliveries += 1;
                     self.faults.duplicated += 1;
                 }
@@ -543,45 +568,66 @@ impl<'g> Net<'g> for FaultyNetwork<'g> {
         self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits_per_message);
     }
 
+    fn record_clones(&mut self, count: u64) {
+        self.metrics.messages_cloned += count;
+    }
+
     fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId> {
         if !self.plan.has_crashes() {
             return self.inner.ball(v, radius);
         }
-        // Crashed nodes neither forward nor reply, so they (and everything
-        // reachable only through them) are absent from the gathered ball.
         // Evaluated at the current round (the last charged gather round).
-        let round = self.metrics.rounds.max(1);
-        let mut out = vec![v];
-        if self.plan.is_down(v.0, round) {
-            return out; // a down node knows only itself
-        }
-        let g = self.inner.graph();
-        let mut dist = std::collections::HashMap::new();
-        dist.insert(v, 0usize);
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(v);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[&u];
-            if du == radius {
-                continue;
-            }
-            for w in g.neighbors(u) {
-                if self.plan.is_down(w.0, round) {
-                    continue;
-                }
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
-                    e.insert(du + 1);
-                    out.push(w);
-                    queue.push_back(w);
-                }
-            }
-        }
-        out
+        crash_aware_ball(
+            self.inner.graph(),
+            &self.plan,
+            self.metrics.rounds.max(1),
+            v,
+            radius,
+        )
     }
 
     fn lossless(&self) -> bool {
         self.plan.is_zero_fault()
     }
+}
+
+/// The radius-`r` ball around `v` as a crash-afflicted gather delivers it:
+/// crashed nodes neither forward nor reply, so they (and everything
+/// reachable only through them) are absent. A down origin knows only
+/// itself. Shared by [`FaultyNetwork`] and the sharded transport so the
+/// two report identical balls at identical rounds.
+pub(crate) fn crash_aware_ball(
+    g: &CsrGraph,
+    plan: &FaultPlan,
+    round: u64,
+    v: VertexId,
+    radius: usize,
+) -> Vec<VertexId> {
+    let mut out = vec![v];
+    if plan.is_down(v.0, round) {
+        return out; // a down node knows only itself
+    }
+    let mut dist = std::collections::HashMap::new();
+    dist.insert(v, 0usize);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(v);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        if du == radius {
+            continue;
+        }
+        for w in g.neighbors(u) {
+            if plan.is_down(w.0, round) {
+                continue;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(du + 1);
+                out.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -36,7 +36,9 @@ pub mod faults;
 pub mod metrics;
 pub mod mpc;
 pub mod network;
+pub mod shard;
 
 pub use faults::{FaultPlan, FaultRates, FaultStats, FaultyNetwork, ResilienceParams};
 pub use metrics::Metrics;
 pub use network::{Net, Network};
+pub use shard::ShardedNetwork;

@@ -15,6 +15,11 @@ pub struct Metrics {
     /// Largest single-message payload observed, in bits — the CONGEST
     /// model demands this stays `O(log n)`.
     pub max_message_bits: u64,
+    /// Payload clones the transport performed on the host (broadcast
+    /// fan-out copies, duplicate deliveries, retained retransmit
+    /// buffers). Pure host-side cost accounting — a unicast message on
+    /// a perfect transport moves its payload and clones nothing.
+    pub messages_cloned: u64,
 }
 
 impl Metrics {
@@ -38,6 +43,7 @@ impl Metrics {
         self.messages += other.messages;
         self.bits += other.bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.messages_cloned += other.messages_cloned;
     }
 
     /// Mirror into the unified [`WorkMeter`] accounting: rounds, messages
@@ -47,6 +53,7 @@ impl Metrics {
         meter.add(keys::MESSAGES, self.messages);
         meter.add(keys::MESSAGE_BITS, self.bits);
         meter.record_max(keys::MAX_MESSAGE_BITS, self.max_message_bits);
+        meter.add(keys::MESSAGES_CLONED, self.messages_cloned);
     }
 }
 
@@ -71,12 +78,14 @@ mod tests {
             messages: 10,
             bits: 100,
             max_message_bits: 8,
+            messages_cloned: 2,
         };
         a.absorb(Metrics {
             rounds: 2,
             messages: 5,
             bits: 7,
             max_message_bits: 32,
+            messages_cloned: 3,
         });
         assert_eq!(
             a,
@@ -85,6 +94,7 @@ mod tests {
                 messages: 15,
                 bits: 107,
                 max_message_bits: 32,
+                messages_cloned: 5,
             }
         );
     }
@@ -96,6 +106,7 @@ mod tests {
             messages: 30,
             bits: 240,
             max_message_bits: 16,
+            messages_cloned: 7,
         };
         let mut meter = WorkMeter::new();
         m.mirror_into(&mut meter);
@@ -104,6 +115,7 @@ mod tests {
         assert_eq!(meter.get(keys::MESSAGES), 60);
         assert_eq!(meter.get(keys::MESSAGE_BITS), 480);
         assert_eq!(meter.get_max(keys::MAX_MESSAGE_BITS), 16);
+        assert_eq!(meter.get(keys::MESSAGES_CLONED), 14);
     }
 
     #[test]
@@ -113,6 +125,7 @@ mod tests {
             messages: 3,
             bits: 4,
             max_message_bits: 4,
+            messages_cloned: 0,
         };
         assert_eq!(m.to_string(), "2 rounds, 3 messages, 4 bits");
     }

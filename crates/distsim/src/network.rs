@@ -44,11 +44,20 @@ pub trait Net<'g>: Sync {
     /// Panics if `outboxes.len() != num_nodes()` or any entry names a port
     /// `>= deg(v)` — a malformed outbox is an algorithm bug, not a network
     /// fault, so every transport rejects it identically.
-    fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>>;
+    fn exchange<M: Clone + Send>(
+        &mut self,
+        outboxes: Vec<Vec<Outgoing<M>>>,
+    ) -> Vec<Vec<Incoming<M>>>;
 
     /// Charge the canonical LOCAL "gather your radius-`r` ball" primitive
     /// (see [`Network::charge_gather`]).
     fn charge_gather(&mut self, radius: usize, bits_per_message: u64);
+
+    /// Account `count` host-side payload clones against this transport's
+    /// [`Metrics::messages_cloned`]. Unicast delivery moves payloads and
+    /// never calls this; broadcast fan-out, duplicate deliveries, and
+    /// retained retransmit buffers do.
+    fn record_clones(&mut self, count: u64);
 
     /// Collect the radius-`r` ball around `v` as the transport would
     /// deliver it (a faulty transport omits crashed nodes).
@@ -65,17 +74,17 @@ pub trait Net<'g>: Sync {
     }
 
     /// Broadcast convenience: every node sends the same payload on all its
-    /// ports (the broadcast transmission mode of Section 3.2).
-    fn broadcast_exchange<M: Clone>(&mut self, payloads: Vec<(M, u64)>) -> Vec<Vec<Incoming<M>>> {
+    /// ports (the broadcast transmission mode of Section 3.2). The fan-out
+    /// performs `deg(v) - 1` payload clones per speaking node (the last
+    /// port takes the original by value), accounted via
+    /// [`Net::record_clones`].
+    fn broadcast_exchange<M: Clone + Send>(
+        &mut self,
+        payloads: Vec<(M, u64)>,
+    ) -> Vec<Vec<Incoming<M>>> {
         let graph = self.graph();
-        let outboxes = payloads
-            .into_iter()
-            .enumerate()
-            .map(|(v, (payload, bits))| {
-                let deg = graph.degree(VertexId::new(v));
-                (0..deg).map(|p| (p, payload.clone(), bits)).collect()
-            })
-            .collect();
+        let (outboxes, clones) = broadcast_outboxes(graph, payloads);
+        self.record_clones(clones);
         self.exchange(outboxes)
     }
 
@@ -86,6 +95,34 @@ pub trait Net<'g>: Sync {
     fn lossless(&self) -> bool {
         true
     }
+}
+
+/// Expand per-node broadcast payloads into per-port outboxes, cloning the
+/// payload for all ports but the last (which takes it by value). Returns
+/// the outboxes and the number of clones performed, so every transport's
+/// broadcast costs the same host-side copies.
+pub(crate) fn broadcast_outboxes<M: Clone>(
+    graph: &CsrGraph,
+    payloads: Vec<(M, u64)>,
+) -> (Vec<Vec<Outgoing<M>>>, u64) {
+    let mut clones = 0u64;
+    let outboxes = payloads
+        .into_iter()
+        .enumerate()
+        .map(|(v, (payload, bits))| {
+            let deg = graph.degree(VertexId::new(v));
+            let mut out: Vec<Outgoing<M>> = Vec::with_capacity(deg);
+            for p in 0..deg.saturating_sub(1) {
+                out.push((p, payload.clone(), bits));
+                clones += 1;
+            }
+            if deg > 0 {
+                out.push((deg - 1, payload, bits));
+            }
+            out
+        })
+        .collect();
+    (outboxes, clones)
 }
 
 /// The simulated network over a fixed topology.
@@ -194,6 +231,12 @@ impl<'g> Network<'g> {
         self.offsets[v.index()] + port
     }
 
+    /// The routing tables shared with the sharded transport:
+    /// (per-vertex slot offsets, peer-port per half-edge slot).
+    pub(crate) fn tables(&self) -> (&[usize], &[u32]) {
+        (&self.offsets, &self.peer_port)
+    }
+
     /// One synchronous round: every node's outbox is delivered to the
     /// corresponding peer's inbox (tagged with the receiving port).
     /// `outboxes[v]` lists `(port, payload, payload_bits)`.
@@ -203,7 +246,10 @@ impl<'g> Network<'g> {
     /// `>= deg(v)`: outboxes are produced by the simulated algorithm, not
     /// by the (possibly adversarial) environment, so a bad port is a
     /// protocol bug and fails loudly instead of being dropped.
-    pub fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
+    pub fn exchange<M: Clone + Send>(
+        &mut self,
+        outboxes: Vec<Vec<Outgoing<M>>>,
+    ) -> Vec<Vec<Incoming<M>>> {
         assert_eq!(outboxes.len(), self.num_nodes());
         self.metrics.rounds += 1;
         let mut inboxes: Vec<Vec<Incoming<M>>> = vec![Vec::new(); self.num_nodes()];
@@ -216,26 +262,22 @@ impl<'g> Network<'g> {
                 self.metrics.messages += 1;
                 self.metrics.bits += bits;
                 self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
-                inboxes[u.index()].push((in_port, payload.clone()));
+                inboxes[u.index()].push((in_port, payload));
             }
         }
         inboxes
     }
 
     /// Broadcast convenience: every node sends the same payload on all its
-    /// ports (the broadcast transmission mode of Section 3.2).
-    pub fn broadcast_exchange<M: Clone>(
+    /// ports (the broadcast transmission mode of Section 3.2). Performs
+    /// `deg(v) - 1` payload clones per speaking node, counted in
+    /// [`Metrics::messages_cloned`].
+    pub fn broadcast_exchange<M: Clone + Send>(
         &mut self,
         payloads: Vec<(M, u64)>,
     ) -> Vec<Vec<Incoming<M>>> {
-        let outboxes = payloads
-            .into_iter()
-            .enumerate()
-            .map(|(v, (payload, bits))| {
-                let deg = self.graph.degree(VertexId::new(v));
-                (0..deg).map(|p| (p, payload.clone(), bits)).collect()
-            })
-            .collect();
+        let (outboxes, clones) = broadcast_outboxes(self.graph, payloads);
+        self.metrics.messages_cloned += clones;
         self.exchange(outboxes)
     }
 
@@ -290,12 +332,19 @@ impl<'g> Net<'g> for Network<'g> {
         Network::metrics(self)
     }
 
-    fn exchange<M: Clone>(&mut self, outboxes: Vec<Vec<Outgoing<M>>>) -> Vec<Vec<Incoming<M>>> {
+    fn exchange<M: Clone + Send>(
+        &mut self,
+        outboxes: Vec<Vec<Outgoing<M>>>,
+    ) -> Vec<Vec<Incoming<M>>> {
         Network::exchange(self, outboxes)
     }
 
     fn charge_gather(&mut self, radius: usize, bits_per_message: u64) {
         Network::charge_gather(self, radius, bits_per_message)
+    }
+
+    fn record_clones(&mut self, count: u64) {
+        self.metrics.messages_cloned += count;
     }
 
     fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId> {
@@ -310,7 +359,10 @@ impl<'g> Net<'g> for Network<'g> {
         Network::peer(self, v, port)
     }
 
-    fn broadcast_exchange<M: Clone>(&mut self, payloads: Vec<(M, u64)>) -> Vec<Vec<Incoming<M>>> {
+    fn broadcast_exchange<M: Clone + Send>(
+        &mut self,
+        payloads: Vec<(M, u64)>,
+    ) -> Vec<Vec<Incoming<M>>> {
         Network::broadcast_exchange(self, payloads)
     }
 }
@@ -350,6 +402,27 @@ mod tests {
         assert_eq!(m.rounds, 1);
         assert_eq!(m.messages, 1);
         assert_eq!(m.bits, 32);
+        assert_eq!(m.messages_cloned, 0, "unicast moves its payload");
+    }
+
+    #[test]
+    fn unicast_exchange_never_clones_payloads() {
+        // A payload whose Clone panics: delivery must move it instead.
+        struct Fragile(u32);
+        impl Clone for Fragile {
+            fn clone(&self) -> Self {
+                panic!("unicast exchange must not clone");
+            }
+        }
+        let g = cycle(4);
+        let mut net = Network::new(&g);
+        let mut out: Vec<Vec<Outgoing<Fragile>>> = vec![vec![], vec![], vec![], vec![]];
+        out[0].push((0, Fragile(9), 8));
+        out[2].push((1, Fragile(11), 8));
+        let inboxes = net.exchange(out);
+        let delivered: u32 = inboxes.iter().flatten().map(|(_, m)| m.0).sum();
+        assert_eq!(delivered, 20);
+        assert_eq!(net.metrics().messages_cloned, 0);
     }
 
     #[test]
@@ -372,6 +445,8 @@ mod tests {
             8,
             "2m messages on a star of 4 edges"
         );
+        // Center (degree 4) clones 3 times; each leaf (degree 1) moves.
+        assert_eq!(net.metrics().messages_cloned, 3);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use sparsimatch_distsim::algorithms::israeli_itai::israeli_itai_matching;
 use sparsimatch_distsim::algorithms::matching::{bounded_degree_matching, color_scheduled_mm};
 use sparsimatch_distsim::algorithms::solomon::distributed_solomon;
 use sparsimatch_distsim::algorithms::sparsify::distributed_sparsifier;
-use sparsimatch_distsim::{FaultPlan, FaultRates, FaultStats, FaultyNetwork, Network};
+use sparsimatch_distsim::{
+    FaultPlan, FaultRates, FaultStats, FaultyNetwork, Network, ResilienceParams, ShardedNetwork,
+};
 use sparsimatch_graph::csr::CsrGraph;
 use sparsimatch_graph::generators::{clique, cycle, gnp, path};
 use sparsimatch_graph::ids::VertexId;
@@ -327,6 +329,97 @@ fn zero_fault_transport_is_byte_identical_on_full_algorithms() {
     assert_eq!(pairs_of(&m_p2), pairs_of(&m_f2));
     assert_eq!(it_p, it_f);
     assert_eq!(perfect2.metrics(), faulty2.metrics());
+}
+
+type SeqAlgo = Box<dyn Fn(&mut FaultyNetwork<'_>) -> Vec<(u32, u32)>>;
+type ShardAlgo = Box<dyn Fn(&mut ShardedNetwork<'_>) -> Vec<(u32, u32)>>;
+
+/// Every algorithm, under every standing fault plan, on the sharded
+/// engine at t ∈ {2, 4}: the replay fingerprint — outputs, metrics, and
+/// fault counters — must equal the sequential [`FaultyNetwork`] run.
+#[test]
+fn sharded_engine_replays_every_algorithm_under_every_standing_plan() {
+    let g = test_graph(6);
+    let target = (g.max_degree() as u64 + 1).max(2);
+    let params = SparsifierParams::with_delta(1, 0.5, 4);
+
+    for (name, plan) in standing_plans(41) {
+        // Sequential references, one per algorithm.
+        let seq = |f: &dyn Fn(&mut FaultyNetwork<'_>) -> Vec<(u32, u32)>| {
+            let mut net = FaultyNetwork::new(&g, plan.clone());
+            let out = f(&mut net);
+            (out, net.metrics(), net.fault_stats())
+        };
+        let shard = |threads: usize, f: &dyn Fn(&mut ShardedNetwork<'_>) -> Vec<(u32, u32)>| {
+            let mut net =
+                ShardedNetwork::with_faults(&g, threads, plan.clone(), ResilienceParams::off());
+            let out = f(&mut net);
+            (out, net.metrics(), net.fault_stats())
+        };
+
+        let algorithms: Vec<(&str, SeqAlgo, ShardAlgo)> = vec![
+            (
+                "israeli-itai",
+                Box::new(|net: &mut FaultyNetwork<'_>| pairs_of(&israeli_itai_matching(net, 7).0)),
+                Box::new(|net: &mut ShardedNetwork<'_>| pairs_of(&israeli_itai_matching(net, 7).0)),
+            ),
+            (
+                "linial-coloring",
+                Box::new(move |net: &mut FaultyNetwork<'_>| {
+                    let c = linial_coloring(net, target);
+                    c.colors.iter().map(|&x| (x as u32, 0)).collect()
+                }),
+                Box::new(move |net: &mut ShardedNetwork<'_>| {
+                    let c = linial_coloring(net, target);
+                    c.colors.iter().map(|&x| (x as u32, 0)).collect()
+                }),
+            ),
+            (
+                "color-scheduled-mm",
+                Box::new(move |net: &mut FaultyNetwork<'_>| {
+                    let c = linial_coloring(net, target);
+                    pairs_of(&color_scheduled_mm(net, &c))
+                }),
+                Box::new(move |net: &mut ShardedNetwork<'_>| {
+                    let c = linial_coloring(net, target);
+                    pairs_of(&color_scheduled_mm(net, &c))
+                }),
+            ),
+            (
+                "sparsifier+solomon",
+                Box::new(move |net: &mut FaultyNetwork<'_>| {
+                    let mut out = edge_list(&distributed_sparsifier(net, &params, 9));
+                    out.extend(edge_list(&distributed_solomon(net, 5)));
+                    out
+                }),
+                Box::new(move |net: &mut ShardedNetwork<'_>| {
+                    let mut out = edge_list(&distributed_sparsifier(net, &params, 9));
+                    out.extend(edge_list(&distributed_solomon(net, 5)));
+                    out
+                }),
+            ),
+            (
+                "bounded-degree-matching",
+                Box::new(|net: &mut FaultyNetwork<'_>| {
+                    pairs_of(&bounded_degree_matching(net, 0.34).0)
+                }),
+                Box::new(|net: &mut ShardedNetwork<'_>| {
+                    pairs_of(&bounded_degree_matching(net, 0.34).0)
+                }),
+            ),
+        ];
+
+        for (alg, seq_f, shard_f) in &algorithms {
+            let reference = seq(seq_f.as_ref());
+            for threads in [2usize, 4] {
+                let got = shard(threads, shard_f.as_ref());
+                assert_eq!(
+                    got, reference,
+                    "{name}/{alg}: sharded t={threads} fingerprint diverged from sequential"
+                );
+            }
+        }
+    }
 }
 
 #[test]

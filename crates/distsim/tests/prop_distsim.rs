@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use sparsimatch_distsim::algorithms::coloring::{linial_coloring, validate_coloring};
 use sparsimatch_distsim::algorithms::israeli_itai::israeli_itai_matching;
 use sparsimatch_distsim::algorithms::matching::bounded_degree_matching;
-use sparsimatch_distsim::Network;
+use sparsimatch_distsim::{FaultPlan, FaultRates, FaultyNetwork, Network, ShardedNetwork};
 use sparsimatch_graph::csr::from_edges;
 use sparsimatch_matching::blossom::maximum_matching;
 
@@ -48,6 +48,50 @@ proptest! {
             m.len() * (k + 1) >= exact * k,
             "k={} got {} vs exact {}", k, m.len(), exact
         );
+    }
+
+    /// The shard count is an execution detail: any thread count, on any
+    /// graph, fault-free or under a random fault plan, yields the exact
+    /// sequential fingerprint (matching, rounds, messages, bits).
+    #[test]
+    fn shard_count_never_changes_the_fingerprint(
+        edges in arb_edges(),
+        seed in any::<u64>(),
+        threads in 1usize..12,
+        drop_pct in 0u32..40,
+        reorder_pct in 0u32..50,
+    ) {
+        let (drop, reorder) = (f64::from(drop_pct) / 100.0, f64::from(reorder_pct) / 100.0);
+        let g = from_edges(N, edges);
+
+        let mut seq = Network::new(&g);
+        let (m_seq, it_seq) = israeli_itai_matching(&mut seq, seed);
+        let mut sharded = ShardedNetwork::new(&g, threads);
+        let (m_sh, it_sh) = israeli_itai_matching(&mut sharded, seed);
+        prop_assert_eq!(
+            m_sh.pairs().collect::<Vec<_>>(),
+            m_seq.pairs().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(it_sh, it_seq);
+        prop_assert_eq!(sharded.metrics(), seq.metrics());
+
+        let plan = FaultPlan::new(seed ^ 0xFA17, FaultRates {
+            drop,
+            reorder,
+            ..Default::default()
+        }).with_horizon(30);
+        let mut seq_f = FaultyNetwork::new(&g, plan.clone());
+        let (mf_seq, itf_seq) = israeli_itai_matching(&mut seq_f, seed);
+        let mut sharded_f = ShardedNetwork::with_faults(
+            &g, threads, plan, sparsimatch_distsim::ResilienceParams::off());
+        let (mf_sh, itf_sh) = israeli_itai_matching(&mut sharded_f, seed);
+        prop_assert_eq!(
+            mf_sh.pairs().collect::<Vec<_>>(),
+            mf_seq.pairs().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(itf_sh, itf_seq);
+        prop_assert_eq!(sharded_f.metrics(), seq_f.metrics());
+        prop_assert_eq!(sharded_f.fault_stats(), seq_f.fault_stats());
     }
 
     #[test]

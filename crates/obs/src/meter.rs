@@ -41,6 +41,8 @@ pub mod keys {
     pub const MESSAGE_BITS: &str = "distsim.bits";
     /// Largest single message, in bits (a maximum, not a sum).
     pub const MAX_MESSAGE_BITS: &str = "distsim.max_message_bits";
+    /// Host-side payload clones performed by the simulated transport.
+    pub const MESSAGES_CLONED: &str = "distsim.messages_cloned";
     /// Dynamic-scheme updates applied.
     pub const UPDATES: &str = "dynamic.updates";
     /// Work units spent across dynamic updates.
